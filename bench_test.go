@@ -1,0 +1,162 @@
+package repro_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section, plus the ablations. Each benchmark
+// regenerates its artifact through internal/experiments and, on -v or
+// with -benchtime=1x, prints the reproduced table so the rows/series
+// can be compared with the paper. Headline metrics (average model error,
+// HDD/SSD gaps, cloud savings) are reported through b.ReportMetric so
+// they appear in the benchmark output.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig7 -benchtime=1x -v
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchArtifact runs one registered experiment per iteration, printing
+// the table once and attaching its metrics to the benchmark result.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	b.StopTimer()
+	for name, v := range last.Metrics {
+		unit := name
+		switch name {
+		case "avg_error":
+			unit = "%err"
+			v *= 100
+		case "saving_R1":
+			unit = "%saveR1"
+			v *= 100
+		case "saving_R2":
+			unit = "%saveR2"
+			v *= 100
+		case "optimal_cost":
+			unit = "$opt"
+		}
+		b.ReportMetric(v, unit)
+	}
+	if testing.Verbose() {
+		if _, err := last.WriteTo(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- GATK4 motivation study (Section III) ---
+
+// BenchmarkTableIV regenerates Table IV: per-stage I/O volumes.
+func BenchmarkTableIV(b *testing.B) { benchArtifact(b, "tab4") }
+
+// BenchmarkFig2 regenerates Fig. 2: stage runtimes across the four
+// hybrid disk configurations.
+func BenchmarkFig2(b *testing.B) { benchArtifact(b, "fig2") }
+
+// BenchmarkFig3 regenerates Fig. 3: the core-count sweep on 2SSD/2HDD.
+func BenchmarkFig3(b *testing.B) { benchArtifact(b, "fig3") }
+
+// BenchmarkFig5 regenerates Fig. 5: effective bandwidth and IOPS vs
+// request size for both device models.
+func BenchmarkFig5(b *testing.B) { benchArtifact(b, "fig5") }
+
+// --- model (Section IV) ---
+
+// BenchmarkFig6 regenerates Fig. 6: the three execution phases of the
+// toy example, simulator vs Eq. 1.
+func BenchmarkFig6(b *testing.B) { benchArtifact(b, "fig6") }
+
+// --- model validation (Section V) ---
+
+// BenchmarkFig7 regenerates Fig. 7: GATK4 measured vs model across
+// configurations and core counts.
+func BenchmarkFig7(b *testing.B) { benchArtifact(b, "fig7") }
+
+// BenchmarkFig8a regenerates Fig. 8a: Logistic Regression, small
+// (cached) dataset.
+func BenchmarkFig8a(b *testing.B) { benchArtifact(b, "fig8a") }
+
+// BenchmarkFig8b regenerates Fig. 8b: Logistic Regression, large
+// (spilled) dataset.
+func BenchmarkFig8b(b *testing.B) { benchArtifact(b, "fig8b") }
+
+// BenchmarkFig9 regenerates Fig. 9: SVM.
+func BenchmarkFig9(b *testing.B) { benchArtifact(b, "fig9") }
+
+// BenchmarkFig10 regenerates Fig. 10: PageRank.
+func BenchmarkFig10(b *testing.B) { benchArtifact(b, "fig10") }
+
+// BenchmarkFig11 regenerates Fig. 11: Triangle Count.
+func BenchmarkFig11(b *testing.B) { benchArtifact(b, "fig11") }
+
+// BenchmarkFig12 regenerates Fig. 12: Terasort.
+func BenchmarkFig12(b *testing.B) { benchArtifact(b, "fig12") }
+
+// --- cloud cost study (Section VI) ---
+
+// BenchmarkTableV regenerates Table V: Google Cloud disk prices.
+func BenchmarkTableV(b *testing.B) { benchArtifact(b, "tab5") }
+
+// BenchmarkFig13 regenerates Fig. 13: cost vs HDD sizes with the R1/R2
+// reference points.
+func BenchmarkFig13(b *testing.B) { benchArtifact(b, "fig13") }
+
+// BenchmarkFig14 regenerates Fig. 14: measured vs model runtime while
+// sweeping the HDD local size.
+func BenchmarkFig14(b *testing.B) { benchArtifact(b, "fig14") }
+
+// BenchmarkFig15 regenerates Fig. 15: cost and runtime for SSD local
+// sizes across core counts.
+func BenchmarkFig15(b *testing.B) { benchArtifact(b, "fig15") }
+
+// BenchmarkHeadlineSavings regenerates the Section VI-4 summary: the
+// optimal configuration and the 38%/57% savings vs R1/R2.
+func BenchmarkHeadlineSavings(b *testing.B) { benchArtifact(b, "headline") }
+
+// --- ablations (DESIGN.md A1–A3) ---
+
+// BenchmarkAblationPeakBW compares the Doppio model against the
+// peak-bandwidth (Ernest-style) and no-overlap variants.
+func BenchmarkAblationPeakBW(b *testing.B) { benchArtifact(b, "ablation-model") }
+
+// BenchmarkAblationGC isolates the MarkDuplicate GC model.
+func BenchmarkAblationGC(b *testing.B) { benchArtifact(b, "ablation-gc") }
+
+// --- extensions (DESIGN.md E17, X1–X3) ---
+
+// BenchmarkErrorBars repeats GATK4 over five seeds (the paper's error
+// bars).
+func BenchmarkErrorBars(b *testing.B) { benchArtifact(b, "errorbars") }
+
+// BenchmarkGATK4Full runs the six-stage pipeline with BWA and
+// HaplotypeCaller (the paper's §VIII future work).
+func BenchmarkGATK4Full(b *testing.B) { benchArtifact(b, "gatk4-full") }
+
+// BenchmarkMultiDisk validates the §IV-C multi-disk generality claim.
+func BenchmarkMultiDisk(b *testing.B) { benchArtifact(b, "multidisk") }
+
+// BenchmarkScheduler quantifies the §I model-driven scheduling use case.
+func BenchmarkScheduler(b *testing.B) { benchArtifact(b, "scheduler") }
+
+// BenchmarkOusterhoutReconciliation reproduces §VII-A: why SQL workloads
+// on a 4:1 CPU:disk cluster see <=19%% gains from I/O optimisation.
+func BenchmarkOusterhoutReconciliation(b *testing.B) { benchArtifact(b, "ousterhout") }
+
+// BenchmarkSpeculation measures straggler tails and Spark speculative
+// execution on a BR-like stage.
+func BenchmarkSpeculation(b *testing.B) { benchArtifact(b, "speculation") }

@@ -1,0 +1,27 @@
+// Command doppio drives the Doppio reproduction: it lists and runs the
+// paper's experiments, simulates workloads on configurable clusters,
+// calibrates and applies the analytical model, profiles I/O, and
+// searches Google Cloud configurations for the cost optimum.
+//
+// Usage:
+//
+//	doppio experiments                 list reproducible paper artifacts
+//	doppio run [-format text|csv|md] <id>|all
+//	doppio workloads                   list workloads
+//	doppio sim [flags] <workload>      simulate a workload, print stages + iostat
+//	doppio predict [flags] <workload>  calibrate, predict, compare with sim
+//	doppio optimize [flags]            search the cloud configuration space
+//	doppio fio                         fio-like sweep of the device models
+//
+// The implementation lives in internal/cli.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

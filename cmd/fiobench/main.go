@@ -1,0 +1,81 @@
+// Command fiobench sweeps the storage device models across request
+// sizes, reporting IOPS and effective bandwidth — the reproduction of
+// the fio runs behind the paper's Fig. 5 and of the "one-time disk
+// profiling per data center" of Section VI-1.
+//
+// Usage:
+//
+//	fiobench [-dev hdd|ssd|pd-standard:SIZE|pd-ssd:SIZE] [-sizes 4KB,30KB,...]
+//
+// Without -dev both physical device models are swept.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+func main() {
+	devFlag := flag.String("dev", "", "device: hdd, ssd, pd-standard:SIZE, pd-ssd:SIZE (default: both physical models)")
+	sizesFlag := flag.String("sizes", "", "comma-separated request sizes (default: the Fig. 5 sweep)")
+	flag.Parse()
+
+	var sizes []units.ByteSize
+	if *sizesFlag != "" {
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			b, err := units.ParseByteSize(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			sizes = append(sizes, b)
+		}
+	}
+
+	var devs []disk.Device
+	switch {
+	case *devFlag == "":
+		devs = []disk.Device{disk.NewHDD(), disk.NewSSD()}
+	case *devFlag == "hdd":
+		devs = []disk.Device{disk.NewHDD()}
+	case *devFlag == "ssd":
+		devs = []disk.Device{disk.NewSSD()}
+	default:
+		name, sizeStr, ok := strings.Cut(*devFlag, ":")
+		if !ok {
+			fatal(fmt.Errorf("unknown device %q", *devFlag))
+		}
+		size, err := units.ParseByteSize(sizeStr)
+		if err != nil {
+			fatal(err)
+		}
+		switch name {
+		case "pd-standard":
+			devs = []disk.Device{cloud.NewDisk(cloud.PDStandard, size)}
+		case "pd-ssd":
+			devs = []disk.Device{cloud.NewDisk(cloud.PDSSD, size)}
+		default:
+			fatal(fmt.Errorf("unknown device type %q", name))
+		}
+	}
+
+	for i, d := range devs {
+		if i > 0 {
+			fmt.Println()
+		}
+		rep := disk.Fio(d, sizes)
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fiobench:", err)
+	os.Exit(1)
+}

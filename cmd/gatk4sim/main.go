@@ -1,0 +1,127 @@
+// Command gatk4sim runs the GATK4 whole-genome pipeline on a simulated
+// Spark cluster — the domain binary for the paper's motivating workload.
+//
+// Usage:
+//
+//	gatk4sim [-slaves N] [-cores P] [-hdfs DEV] [-local DEV]
+//	         [-readpairs M] [-iostat] [-blocked] [-predict]
+//
+// Devices: hdd, ssd, pd-standard:SIZE, pd-ssd:SIZE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/profile"
+	"repro/internal/spark"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+func main() {
+	slaves := flag.Int("slaves", 3, "worker node count N")
+	cores := flag.Int("cores", 36, "executor cores per node P")
+	hdfs := flag.String("hdfs", "ssd", "HDFS device")
+	local := flag.String("local", "ssd", "Spark Local device")
+	readPairs := flag.Int("readpairs", 500, "input size in millions of read pairs (500 = the paper's genome)")
+	iostat := flag.Bool("iostat", false, "print per-stage iostat report")
+	blocked := flag.Bool("blocked", false, "print blocked-time analysis")
+	predict := flag.Bool("predict", false, "calibrate the Doppio model and compare")
+	flag.Parse()
+
+	hd, err := parseDevice(*hdfs)
+	if err != nil {
+		fatal(err)
+	}
+	ld, err := parseDevice(*local)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Scale the genome linearly with read pairs: the paper's 500M pairs
+	// correspond to 122 GB in / 334 GB shuffle / 166 GB out.
+	params := workloads.DefaultGATK4Params()
+	scale := float64(*readPairs) / 500.0
+	params.InputBAM = units.ByteSize(scale * float64(params.InputBAM))
+	params.ShuffleBytes = units.ByteSize(scale * float64(params.ShuffleBytes))
+	params.OutputBAM = units.ByteSize(scale * float64(params.OutputBAM))
+
+	cfg := spark.DefaultTestbed(*slaves, *cores, hd, ld)
+	res, err := spark.Run(cfg, params.Build(cfg))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# GATK4, %dM read pairs (%v in, %v shuffle, %v out)\n",
+		*readPairs, params.InputBAM, params.ShuffleBytes, params.OutputBAM)
+	if _, err := res.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *iostat {
+		fmt.Println()
+		if err := profile.WriteIostat(os.Stdout, profile.Iostat(res)); err != nil {
+			fatal(err)
+		}
+	}
+	if *blocked {
+		fmt.Println()
+		if err := profile.WriteBlockedTime(os.Stdout, profile.BlockedTimeAnalysis(res)); err != nil {
+			fatal(err)
+		}
+	}
+	if *predict {
+		fmt.Println("\n# calibrating Doppio model (4 sample runs)...")
+		ssd, hddProbe := disk.NewSSD(), disk.NewHDD()
+		base := spark.DefaultTestbed(*slaves, 1, ssd, ssd)
+		cal, err := core.Calibrate(base, ssd, hddProbe, params.Build)
+		if err != nil {
+			fatal(err)
+		}
+		pred, err := cal.Model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6s %10s %10s %8s %s\n", "stage", "exp(min)", "model(min)", "err", "bottleneck")
+		for i, s := range res.Stages {
+			p := pred.Stages[i]
+			fmt.Printf("%-6s %10.1f %10.1f %7.1f%% %s\n", s.Name,
+				s.Duration().Minutes(), p.T.Minutes(),
+				core.ErrorRate(p.T, s.Duration())*100, p.Bottleneck)
+		}
+	}
+}
+
+func parseDevice(s string) (disk.Device, error) {
+	switch s {
+	case "hdd":
+		return disk.NewHDD(), nil
+	case "ssd":
+		return disk.NewSSD(), nil
+	}
+	name, sizeStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("unknown device %q", s)
+	}
+	size, err := units.ParseByteSize(sizeStr)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "pd-standard":
+		return cloud.NewDisk(cloud.PDStandard, size), nil
+	case "pd-ssd":
+		return cloud.NewDisk(cloud.PDSSD, size), nil
+	}
+	return nil, fmt.Errorf("unknown device type %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gatk4sim:", err)
+	os.Exit(1)
+}

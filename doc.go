@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Doppio: I/O-Aware
+// Performance Analysis, Modeling and Optimization for In-Memory
+// Computing Framework" (Zhou et al., ISPASS 2018).
+//
+// The library lives under internal/: a flow-level Spark cluster
+// simulator (internal/spark) over storage device models
+// (internal/disk), the Doppio analytical model and its four-sample-run
+// calibration (internal/core), the paper's workloads
+// (internal/workloads), the Google Cloud cost model and configuration
+// optimizer (internal/cloud, internal/optimizer), profiling utilities
+// (internal/profile) and the table/figure regeneration harness
+// (internal/experiments). See README.md for a tour and EXPERIMENTS.md
+// for the paper-vs-reproduction results. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation.
+package repro

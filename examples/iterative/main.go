@@ -1,0 +1,107 @@
+// Iterative workloads and the cache cliff: when an RDD fits in cluster
+// storage memory, iterations run at memory speed and disks barely
+// matter; when it spills to Spark Local, every iteration pays disk I/O
+// and the HDD/SSD choice dominates (paper Sections III-B2 and V-B).
+//
+//	go run ./examples/iterative
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/workloads"
+)
+
+func phaseSum(res *spark.Result, prefix string) time.Duration {
+	var total time.Duration
+	for _, s := range res.Stages {
+		if strings.HasPrefix(s.Name, prefix) {
+			total += s.Duration()
+		}
+	}
+	return total
+}
+
+func main() {
+	hdd, ssd := disk.NewHDD(), disk.NewSSD()
+
+	fmt.Println("=== Logistic Regression: cached (280GB) vs spilled (990GB) ===")
+	for _, name := range []string{"lr-small", "lr-large"} {
+		w, err := workloads.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, dev := range []disk.Device{ssd, hdd} {
+			cfg := spark.DefaultTestbed(10, 36, dev, dev)
+			// Show the cache decision the builder makes for this cluster.
+			app := w.Build(cfg)
+			spilled := app.Stages[1].TotalBytes(spark.OpPersistRead)
+			res, err := spark.Run(cfg, app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s on %-18s validator=%6.1f  50 iters=%6.1f  total=%6.1f min  (spill/iter: %v)\n",
+				name, dev.Name(),
+				phaseSum(res, "dataValidator").Minutes(),
+				phaseSum(res, "iter").Minutes(),
+				res.Total.Minutes(), spilled)
+		}
+	}
+	fmt.Println("\nWith everything cached the HDD/SSD gap lives in the one-time HDFS read")
+	fmt.Println("(~2x); once the RDD spills, every iteration re-reads Spark Local in")
+	fmt.Println("~256KB requests and the gap explodes to ~7x.")
+
+	fmt.Println("\n=== PageRank: 420GB graph vs 360GB of storage memory ===")
+	w, err := workloads.Get("pagerank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, dev := range []disk.Device{ssd, hdd} {
+		cfg := spark.DefaultTestbed(10, 36, dev, dev)
+		res, err := spark.Run(cfg, w.Build(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pagerank on %-18s loader=%5.1f  10 iters=%6.1f  save=%4.1f  total=%6.1f min\n",
+			dev.Name(),
+			phaseSum(res, "graphLoader").Minutes(),
+			phaseSum(res, "iter").Minutes(),
+			phaseSum(res, "saveAsTextFile").Minutes(),
+			res.Total.Minutes())
+	}
+
+	// Break-point analysis (Section IV): where does adding cores stop
+	// helping an iteration that reads spilled data?
+	fmt.Println("\n=== break points for a spilled LR iteration (Eq. 1 machinery) ===")
+	lrLarge := workloads.DefaultLRLargeParams()
+	cfg := spark.DefaultTestbed(10, 36, ssd, ssd)
+	app := lrLarge.Build(cfg)
+	iter := app.Stages[1].Groups[0]
+	op := iter.Ops[0]
+	group := core.GroupModel{
+		Name: "gradient", Count: iter.Count,
+		Ops: []core.OpModel{{
+			Kind:         op.Kind,
+			BytesPerTask: op.Bytes,
+			ReqSize:      op.ReqSize,
+			T:            op.StreamLimit,
+			CoupledRate:  op.ComputeRate(),
+		}},
+	}
+	for _, d := range []disk.Device{ssd, hdd} {
+		pl := core.Platform{N: 10, P: 36, Curves: core.CurvesFor(d, d),
+			Replication: 2, BlockSize: 128 * 1024 * 1024}
+		bp, err := group.Analyze(0, pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s T=%v  BW=%v  λ=%.1f  b=%.1f  B=%.0f  -> at P=36: %v\n",
+			d.Name(), bp.T, bp.BW, bp.Lambda, bp.B0, bp.B, bp.Classify(36))
+	}
+}

@@ -1,0 +1,115 @@
+// Quickstart: simulate a small shuffle-heavy Spark application on two
+// storage configurations, then predict the same runs with the Doppio
+// analytical model and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+func main() {
+	// A two-stage application: map tasks read 128 MB HDFS blocks and
+	// spill sorted runs; reduce tasks pull 27 MB each out of the map
+	// outputs in ~30 KB requests — the access pattern that makes HDDs
+	// collapse (paper Section III-C).
+	const (
+		input   = 64 * units.GB
+		shuffle = 128 * units.GB
+	)
+	blockSize := 128 * units.MB
+	mappers := spark.HDFSTasks(input, blockSize)
+	reducers := int(shuffle / (27 * units.MB))
+	perMap := input / units.ByteSize(mappers)
+	perRed := shuffle / units.ByteSize(reducers)
+	reqSize := spark.ShuffleReadReqSize(perRed, mappers)
+
+	app := spark.App{Name: "quickstart", Stages: []spark.Stage{
+		{
+			Name: "map",
+			Groups: []spark.TaskGroup{{
+				Name:  "map",
+				Count: mappers,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpHDFSRead, perMap, 0, units.MBps(32.5), 8*time.Second),
+					spark.IO(spark.OpShuffleWrite, shuffle/units.ByteSize(mappers), 0, units.MBps(60)),
+				},
+			}},
+		},
+		{
+			Name: "reduce",
+			Groups: []spark.TaskGroup{{
+				Name:  "reduce",
+				Count: reducers,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpShuffleRead, perRed, reqSize, units.MBps(60), 4*time.Second),
+				},
+			}},
+		},
+	}}
+
+	fmt.Printf("quickstart: %d mappers, %d reducers, shuffle request size %v\n\n",
+		mappers, reducers, reqSize)
+
+	for _, dev := range []disk.Device{disk.NewSSD(), disk.NewHDD()} {
+		cfg := spark.DefaultTestbed(4, 16, dev, dev)
+		res, err := spark.Run(cfg, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- simulated on 4 slaves with %s disks ---\n", dev.Name())
+		if _, err := res.WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+
+		// The model consumes only the device bandwidth curves and the
+		// workload's shape.
+		model := core.AppModel{Name: app.Name, Stages: []core.StageModel{
+			{
+				Name: "map",
+				Groups: []core.GroupModel{{
+					Name: "map", Count: mappers,
+					Ops: []core.OpModel{
+						{Kind: spark.OpHDFSRead, BytesPerTask: perMap,
+							T: units.MBps(32.5), CoupledRate: units.Over(perMap, 8*time.Second)},
+						{Kind: spark.OpShuffleWrite, BytesPerTask: shuffle / units.ByteSize(mappers),
+							T: units.MBps(60)},
+					},
+				}},
+			},
+			{
+				Name: "reduce",
+				Groups: []core.GroupModel{{
+					Name: "reduce", Count: reducers,
+					Ops: []core.OpModel{
+						{Kind: spark.OpShuffleRead, BytesPerTask: perRed, ReqSize: reqSize,
+							T: units.MBps(60), CoupledRate: units.Over(perRed, 4*time.Second)},
+					},
+				}},
+			},
+		}}
+		pred, err := model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range res.Stages {
+			p := pred.Stages[i]
+			fmt.Printf("model: %-7s %6.1f min (bottleneck: %s, sim err %.1f%%)\n",
+				s.Name, p.T.Minutes(), p.Bottleneck,
+				core.ErrorRate(p.T, s.Duration())*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Note how the reduce stage explodes on HDDs: 30 KB requests push the")
+	fmt.Println("drive to ~15 MB/s effective bandwidth, 32x below the SSD (Fig. 5).")
+}

@@ -1,0 +1,468 @@
+// Package cli implements the doppio command: it lists and runs the
+// paper's experiments, simulates workloads on configurable clusters,
+// calibrates and applies the analytical model, profiles I/O, and
+// searches Google Cloud configurations for the cost optimum. The thin
+// binary in cmd/doppio delegates here so every subcommand is testable
+// against an injected writer.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/experiments"
+	"repro/internal/optimizer"
+	"repro/internal/profile"
+	"repro/internal/spark"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// Main runs the doppio CLI with the given arguments (excluding the
+// program name) and returns a process exit code. All output goes to the
+// supplied writers, which makes every subcommand testable.
+func Main(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	a := &app{out: stdout}
+	var err error
+	switch args[0] {
+	case "experiments":
+		err = a.cmdExperiments()
+	case "run":
+		err = a.cmdRun(args[1:])
+	case "workloads":
+		err = a.cmdWorkloads()
+	case "sim":
+		err = a.cmdSim(args[1:])
+	case "predict":
+		err = a.cmdPredict(args[1:])
+	case "optimize":
+		err = a.cmdOptimize(args[1:])
+	case "whatif":
+		err = a.cmdWhatif(args[1:])
+	case "fio":
+		err = a.cmdFio()
+	case "help", "-h", "--help":
+		usage(stdout)
+	default:
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "doppio:", err)
+		return 1
+	}
+	return 0
+}
+
+// app carries the output sink through the subcommands.
+type app struct {
+	out io.Writer
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `doppio — I/O-aware performance analysis, modeling and optimization
+
+  doppio experiments                 list reproducible paper artifacts
+  doppio run <id>|all                regenerate a table/figure (e.g. fig7)
+  doppio workloads                   list workloads
+  doppio sim [flags] <workload>      simulate a workload on a cluster
+  doppio predict [flags] <workload>  calibrated model vs simulator
+  doppio optimize [flags]            search cloud configurations for min cost
+  doppio whatif [flags] <workload>   sweep core counts with the calibrated model
+  doppio fio                         effective-bandwidth sweep of HDD/SSD models
+`)
+}
+
+func (a *app) cmdExperiments() error {
+	for _, id := range experiments.IDs() {
+		e, err := experiments.Get(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(a.out, "%-14s %s\n", id, e.Title)
+	}
+	return nil
+}
+
+func (a *app) cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	format := fs.String("format", "text", "output format: text, csv, md")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("run: need an experiment id or 'all'")
+	}
+	ids := fs.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		e, err := experiments.Get(id)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		tab, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := tab.Render(a.out, *format); err != nil {
+			return err
+		}
+		if *format == "text" {
+			fmt.Fprintf(a.out, "# regenerated in %.1fs\n", time.Since(start).Seconds())
+		}
+		fmt.Fprintln(a.out)
+	}
+	return nil
+}
+
+func (a *app) cmdWorkloads() error {
+	for _, n := range workloads.Names() {
+		w, err := workloads.Get(n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(a.out, "%-14s %s\n", n, w.Description)
+	}
+	return nil
+}
+
+// clusterFlags defines the shared cluster-shape flags.
+type clusterFlags struct {
+	slaves     *int
+	cores      *int
+	hdfs       *string
+	local      *string
+	seed       *uint64
+	stragglers *float64
+	speculate  *bool
+}
+
+func addClusterFlags(fs *flag.FlagSet) clusterFlags {
+	return clusterFlags{
+		slaves:     fs.Int("slaves", 10, "worker node count N"),
+		cores:      fs.Int("cores", 36, "executor cores per node P"),
+		hdfs:       fs.String("hdfs", "ssd", "HDFS device: hdd, ssd, pd-standard:SIZE, pd-ssd:SIZE"),
+		local:      fs.String("local", "ssd", "Spark Local device: hdd, ssd, pd-standard:SIZE, pd-ssd:SIZE"),
+		seed:       fs.Uint64("seed", 0, "task-time jitter seed (repeat-run error bars)"),
+		stragglers: fs.Float64("stragglers", 0, "fraction of tasks running 5x slower"),
+		speculate:  fs.Bool("speculate", false, "enable Spark-style speculative execution"),
+	}
+}
+
+func (c clusterFlags) config() (spark.ClusterConfig, error) {
+	hd, err := parseDevice(*c.hdfs)
+	if err != nil {
+		return spark.ClusterConfig{}, err
+	}
+	ld, err := parseDevice(*c.local)
+	if err != nil {
+		return spark.ClusterConfig{}, err
+	}
+	cfg := spark.DefaultTestbed(*c.slaves, *c.cores, hd, ld)
+	cfg.Seed = *c.seed
+	if *c.stragglers > 0 {
+		cfg.StragglerFraction = *c.stragglers
+		cfg.StragglerSlowdown = 5
+	}
+	cfg.Speculation = *c.speculate
+	return cfg, nil
+}
+
+// parseDevice understands "hdd", "ssd", "pd-standard:2TB", "pd-ssd:200GB".
+func parseDevice(s string) (disk.Device, error) {
+	switch s {
+	case "hdd":
+		return disk.NewHDD(), nil
+	case "ssd":
+		return disk.NewSSD(), nil
+	}
+	name, sizeStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("unknown device %q", s)
+	}
+	size, err := units.ParseByteSize(sizeStr)
+	if err != nil {
+		return nil, fmt.Errorf("device %q: %v", s, err)
+	}
+	switch name {
+	case "pd-standard":
+		return cloud.NewDisk(cloud.PDStandard, size), nil
+	case "pd-ssd":
+		return cloud.NewDisk(cloud.PDSSD, size), nil
+	default:
+		return nil, fmt.Errorf("unknown device type %q", name)
+	}
+}
+
+func (a *app) cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	cf := addClusterFlags(fs)
+	iostat := fs.Bool("iostat", false, "print the per-stage iostat report")
+	blocked := fs.Bool("blocked", false, "print the blocked-time analysis")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("sim: need exactly one workload (see 'doppio workloads')")
+	}
+	w, err := workloads.Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+	res, err := spark.Run(cfg, w.Build(cfg))
+	if err != nil {
+		return err
+	}
+	if _, err := res.WriteTo(a.out); err != nil {
+		return err
+	}
+	if *iostat {
+		fmt.Fprintln(a.out)
+		if err := profile.WriteIostat(a.out, profile.Iostat(res)); err != nil {
+			return err
+		}
+	}
+	if *blocked {
+		fmt.Fprintln(a.out)
+		if err := profile.WriteBlockedTime(a.out, profile.BlockedTimeAnalysis(res)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *app) cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	cf := addClusterFlags(fs)
+	save := fs.String("save", "", "write the calibrated model to this JSON file")
+	load := fs.String("load", "", "load a previously saved model instead of calibrating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("predict: need exactly one workload")
+	}
+	w, err := workloads.Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+
+	var model core.AppModel
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if model, err = core.ReadJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(a.out, "# loaded calibrated model from %s\n", *load)
+	} else {
+		// Calibrate on the same slave count per the paper's Section VI-1.
+		ssd, hdd := disk.NewSSD(), disk.NewHDD()
+		base := spark.DefaultTestbed(cfg.Slaves, 1, ssd, ssd)
+		fmt.Fprintf(a.out, "# calibrating (4 sample runs, %d slaves)...\n", cfg.Slaves)
+		cal, err := core.Calibrate(base, ssd, hdd, w.Build)
+		if err != nil {
+			return err
+		}
+		for _, warn := range cal.Warnings {
+			fmt.Fprintln(a.out, "# warning:", warn)
+		}
+		model = cal.Model
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				return err
+			}
+			if err := model.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(a.out, "# saved calibrated model to %s\n", *save)
+		}
+	}
+
+	res, err := spark.Run(cfg, w.Build(cfg))
+	if err != nil {
+		return err
+	}
+	pred, err := model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "%-20s %10s %10s %8s %s\n", "stage", "exp(min)", "model(min)", "err", "bottleneck")
+	for i, s := range res.Stages {
+		p := pred.Stages[i]
+		fmt.Fprintf(a.out, "%-20s %10.1f %10.1f %7.1f%% %s\n",
+			s.Name, s.Duration().Minutes(), p.T.Minutes(),
+			core.ErrorRate(p.T, s.Duration())*100, p.Bottleneck)
+	}
+	fmt.Fprintf(a.out, "%-20s %10.1f %10.1f %7.1f%%\n", "TOTAL",
+		res.Total.Minutes(), pred.Total.Minutes(),
+		core.ErrorRate(pred.Total, res.Total)*100)
+	return nil
+}
+
+func (a *app) cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	slaves := fs.Int("slaves", 10, "worker node count")
+	workload := fs.String("workload", "gatk4", "workload to optimise for")
+	top := fs.Int("top", 10, "show the N cheapest configurations")
+	descend := fs.Bool("descend", false, "use coordinate descent instead of the full grid")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workloads.Get(*workload)
+	if err != nil {
+		return err
+	}
+
+	ssd := cloud.NewDisk(cloud.PDSSD, 500*units.GB)
+	hdd := cloud.NewDisk(cloud.PDStandard, 200*units.GB)
+	base := spark.DefaultTestbed(3, 1, ssd, ssd)
+	fmt.Fprintln(a.out, "# calibrating on virtual disks (4 sample runs, 3 slaves)...")
+	cal, err := core.Calibrate(base, ssd, hdd, w.Build)
+	if err != nil {
+		return err
+	}
+	eval := optimizer.ModelEvaluator(cal.Model)
+	pricing := cloud.DefaultPricing()
+	space := optimizer.DefaultSpace(*slaves)
+
+	if *descend {
+		start := cloud.ClusterSpec{
+			Slaves: *slaves, VCPUs: 16,
+			HDFSType: cloud.PDStandard, HDFSSize: units.TB,
+			LocalType: cloud.PDStandard, LocalSize: units.TB,
+		}
+		best, evals, err := optimizer.CoordinateDescent(space, start, eval, pricing)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(a.out, "best after %d evaluations (space has %d):\n  %v  time=%.0fmin  cost=%s\n",
+			evals, space.Size(), best.Spec, best.Time.Minutes(), usd(best.Cost))
+		return nil
+	}
+
+	cands, err := optimizer.GridSearch(space, eval, pricing)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "%-55s %10s %8s\n", "configuration", "time(min)", "cost")
+	for i, c := range cands {
+		if i >= *top {
+			break
+		}
+		fmt.Fprintf(a.out, "%-55s %10.0f %8s\n", c.Spec.String(), c.Time.Minutes(), usd(c.Cost))
+	}
+	for _, ref := range []struct {
+		name string
+		spec cloud.ClusterSpec
+	}{{"R1", cloud.R1(*slaves, 16)}, {"R2", cloud.R2(*slaves, 16)}} {
+		d, err := eval(ref.spec)
+		if err != nil {
+			return err
+		}
+		c := ref.spec.Cost(d, pricing)
+		fmt.Fprintf(a.out, "reference %s: %v time=%.0fmin cost=%s (optimal saves %.0f%%)\n",
+			ref.name, ref.spec, d.Minutes(), usd(c), (1-cands[0].Cost/c)*100)
+	}
+	return nil
+}
+
+func usd(v float64) string { return fmt.Sprintf("$%.2f", v) }
+
+func (a *app) cmdFio() error {
+	for _, d := range []disk.Device{disk.NewHDD(), disk.NewSSD()} {
+		rep := disk.Fio(d, nil)
+		if _, err := rep.WriteTo(a.out); err != nil {
+			return err
+		}
+		fmt.Fprintln(a.out)
+	}
+	return nil
+}
+
+// cmdWhatif calibrates once, then sweeps the per-node core count with
+// the analytical model — the capacity-planning question (how many cores
+// before I/O stops the scaling?) that the paper's break-point analysis
+// answers without burning cluster hours.
+func (a *app) cmdWhatif(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	cf := addClusterFlags(fs)
+	maxP := fs.Int("maxcores", 64, "largest per-node core count to sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("whatif: need exactly one workload")
+	}
+	w, err := workloads.Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+	ssd, hddProbe := disk.NewSSD(), disk.NewHDD()
+	base := spark.DefaultTestbed(cfg.Slaves, 1, ssd, ssd)
+	fmt.Fprintln(a.out, "# calibrating (4 sample runs)...")
+	cal, err := core.Calibrate(base, ssd, hddProbe, w.Build)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "%6s %12s %-10s\n", "P", "total(min)", "bottlenecks")
+	prev := time.Duration(0)
+	for p := 1; p <= *maxP; p *= 2 {
+		pl := core.PlatformFor(cfg.WithCores(p))
+		pred, err := cal.Model.Predict(pl, core.ModeDoppio)
+		if err != nil {
+			return err
+		}
+		bn := map[string]int{}
+		for _, s := range pred.Stages {
+			bn[s.Bottleneck]++
+		}
+		var parts []string
+		for _, k := range []string{"scale", "read", "write", "device"} {
+			if bn[k] > 0 {
+				parts = append(parts, fmt.Sprintf("%s:%d", k, bn[k]))
+			}
+		}
+		marker := ""
+		if prev > 0 && pred.Total.Seconds() > prev.Seconds()*0.95 {
+			marker = "  <- scaling exhausted (P > B for the binding stages)"
+		}
+		fmt.Fprintf(a.out, "%6d %12.1f %-10s%s\n", p, pred.Total.Minutes(), strings.Join(parts, " "), marker)
+		prev = pred.Total
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// run invokes the CLI and returns (stdout, stderr, exit code).
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errW strings.Builder
+	code := Main(args, &out, &errW)
+	return out.String(), errW.String(), code
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	_, errOut, code := run(t)
+	if code != 2 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "doppio") {
+		t.Error("usage missing")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, _, code := run(t, "frobnicate")
+	if code != 2 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out, _, code := run(t, "help")
+	if code != 0 || !strings.Contains(out, "experiments") {
+		t.Errorf("help: code=%d out=%q", code, out)
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	out, _, code := run(t, "experiments")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"fig7", "tab4", "headline", "scheduler"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments list missing %s", want)
+		}
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	out, _, code := run(t, "workloads")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"gatk4", "terasort", "pagerank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workloads list missing %s", want)
+		}
+	}
+}
+
+func TestRunExperimentFormats(t *testing.T) {
+	out, _, code := run(t, "run", "tab5")
+	if code != 0 || !strings.Contains(out, "SSD provisioned space") {
+		t.Errorf("run tab5: code=%d", code)
+	}
+	csvOut, _, code := run(t, "run", "-format", "csv", "tab5")
+	if code != 0 || !strings.Contains(csvOut, "type,price") {
+		t.Errorf("csv output: code=%d out=%q", code, csvOut)
+	}
+	mdOut, _, code := run(t, "run", "-format", "md", "tab5")
+	if code != 0 || !strings.Contains(mdOut, "| type |") {
+		t.Errorf("md output: code=%d out=%q", code, mdOut)
+	}
+	_, _, code = run(t, "run", "-format", "xml", "tab5")
+	if code != 1 {
+		t.Errorf("bad format exit = %d", code)
+	}
+	_, _, code = run(t, "run", "no-such-figure")
+	if code != 1 {
+		t.Errorf("unknown experiment exit = %d", code)
+	}
+	_, _, code = run(t, "run")
+	if code != 1 {
+		t.Errorf("missing id exit = %d", code)
+	}
+}
+
+func TestFio(t *testing.T) {
+	out, _, code := run(t, "fio")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"WD4000FYYZ", "SAMSUNG", "30KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fio output missing %s", want)
+		}
+	}
+}
+
+func TestSim(t *testing.T) {
+	out, _, code := run(t, "sim", "-slaves", "3", "-cores", "8", "-local", "hdd", "-iostat", "-blocked", "svm")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"subtract", "avgrq-sz", "blocked-on-I/O"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q", want)
+		}
+	}
+	_, _, code = run(t, "sim", "nonexistent-workload")
+	if code != 1 {
+		t.Errorf("unknown workload exit = %d", code)
+	}
+	_, _, code = run(t, "sim")
+	if code != 1 {
+		t.Errorf("missing workload exit = %d", code)
+	}
+	_, _, code = run(t, "sim", "-local", "floppy", "svm")
+	if code != 1 {
+		t.Errorf("bad device exit = %d", code)
+	}
+}
+
+func TestSimVirtualDisks(t *testing.T) {
+	out, _, code := run(t, "sim", "-slaves", "2", "-cores", "4",
+		"-hdfs", "pd-standard:1TB", "-local", "pd-ssd:200GB", "svm")
+	if code != 0 || !strings.Contains(out, "subtract") {
+		t.Errorf("virtual-disk sim failed: code=%d", code)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a calibration")
+	}
+	out, _, code := run(t, "predict", "-slaves", "4", "-cores", "12", "-local", "hdd", "svm")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"calibrating", "TOTAL", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("predict output missing %q", want)
+		}
+	}
+}
+
+func TestOptimize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a calibration plus a grid search")
+	}
+	out, _, code := run(t, "optimize", "-slaves", "3", "-workload", "svm", "-top", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"configuration", "reference R1", "reference R2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("optimize output missing %q", want)
+		}
+	}
+	out2, _, code := run(t, "optimize", "-slaves", "3", "-workload", "svm", "-descend")
+	if code != 0 || !strings.Contains(out2, "best after") {
+		t.Errorf("descend output: code=%d", code)
+	}
+}
+
+func TestWhatif(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a calibration")
+	}
+	out, _, code := run(t, "whatif", "-slaves", "3", "-local", "hdd", "-maxcores", "16", "svm")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"total(min)", "bottlenecks", "calibrating"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("whatif output missing %q", want)
+		}
+	}
+}
+
+func TestPredictSaveLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a calibration")
+	}
+	path := t.TempDir() + "/model.json"
+	out, _, code := run(t, "predict", "-slaves", "3", "-cores", "8", "-save", path, "svm")
+	if code != 0 || !strings.Contains(out, "saved calibrated model") {
+		t.Fatalf("save: code=%d", code)
+	}
+	out2, _, code := run(t, "predict", "-slaves", "3", "-cores", "8", "-load", path, "svm")
+	if code != 0 || !strings.Contains(out2, "loaded calibrated model") {
+		t.Fatalf("load: code=%d out=%q", code, out2)
+	}
+	if !strings.Contains(out2, "TOTAL") {
+		t.Error("loaded-model prediction missing")
+	}
+	_, _, code = run(t, "predict", "-load", "/nonexistent.json", "svm")
+	if code != 1 {
+		t.Errorf("missing model file exit = %d", code)
+	}
+}
+
+func TestSimStragglersAndSpeculation(t *testing.T) {
+	out, _, code := run(t, "sim", "-slaves", "3", "-cores", "8",
+		"-stragglers", "0.05", "-speculate", "-seed", "7", "svm")
+	if code != 0 || !strings.Contains(out, "subtract") {
+		t.Fatalf("straggler sim: code=%d", code)
+	}
+}

@@ -1,0 +1,168 @@
+package cloud
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+func TestVirtualDiskScalesWithSize(t *testing.T) {
+	small := NewDisk(PDStandard, 200*units.GB)
+	big := NewDisk(PDStandard, units.TB)
+	rs := 30 * units.KB
+	if small.ReadBandwidth(rs) >= big.ReadBandwidth(rs) {
+		t.Error("bigger provisioned disk should be faster")
+	}
+	// Per-GB scaling: 200 GB standard at 30 KB requests is IOPS-bound:
+	// 1.5 IOPS/GB * 200 GB * 30 KB ≈ 8.8 MB/s.
+	got := small.ReadBandwidth(rs).PerSecMB()
+	if got < 8 || got < 0 || got > 10 {
+		t.Errorf("200GB pd-standard @30KB = %.1f MB/s, want ~8.8", got)
+	}
+}
+
+func TestVirtualDiskCaps(t *testing.T) {
+	huge := NewDisk(PDStandard, 100*units.TB)
+	// Throughput cap 180 MB/s read, 120 write at large requests.
+	if got := huge.ReadBandwidth(128 * units.MB).PerSecMB(); math.Abs(got-180) > 1 {
+		t.Errorf("read cap = %.0f, want 180", got)
+	}
+	if got := huge.WriteBandwidth(128 * units.MB).PerSecMB(); math.Abs(got-120) > 1 {
+		t.Errorf("write cap = %.0f, want 120", got)
+	}
+	// IOPS cap at small requests: 3000 * 30 KB ≈ 88 MB/s — the paper's
+	// Fig. 14 flattening point: a 2 TB pd-standard already hits it.
+	twoTB := NewDisk(PDStandard, 2*units.TB)
+	fourTB := NewDisk(PDStandard, 4*units.TB)
+	g2 := twoTB.ReadBandwidth(30 * units.KB).PerSecMB()
+	g4 := fourTB.ReadBandwidth(30 * units.KB).PerSecMB()
+	if math.Abs(g2-g4) > 0.5 {
+		t.Errorf("shuffle-read bandwidth should flatten at 2TB: %.1f vs %.1f", g2, g4)
+	}
+}
+
+func TestVirtualDiskMonotone(t *testing.T) {
+	d := NewDisk(PDSSD, 500*units.GB)
+	f := func(a, b uint32) bool {
+		sa := units.ByteSize(a%(64*1024*1024) + 1)
+		sb := units.ByteSize(b%(64*1024*1024) + 1)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		return d.ReadBandwidth(sa) <= d.ReadBandwidth(sb)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVirtualDiskImplementsDevice(t *testing.T) {
+	var dev disk.Device = NewDisk(PDSSD, 100*units.GB)
+	if dev.Kind() != disk.Virtual {
+		t.Error("kind should be Virtual")
+	}
+	if !strings.Contains(dev.Name(), "pd-ssd") {
+		t.Errorf("name = %q", dev.Name())
+	}
+	if dev.ReadBandwidth(0) != 0 {
+		t.Error("zero request size should give 0")
+	}
+}
+
+func TestDiskTypeString(t *testing.T) {
+	if PDStandard.String() != "pd-standard" || PDSSD.String() != "pd-ssd" {
+		t.Error("DiskType.String broken")
+	}
+	if !strings.Contains(DiskType(7).String(), "7") {
+		t.Error("unknown DiskType.String broken")
+	}
+}
+
+func TestTableVPrices(t *testing.T) {
+	p := DefaultPricing()
+	if p.StandardPerGBMonth != 0.040 {
+		t.Errorf("standard price = %v, Table V says $0.040", p.StandardPerGBMonth)
+	}
+	if p.SSDPerGBMonth != 0.170 {
+		t.Errorf("SSD price = %v, Table V says $0.170", p.SSDPerGBMonth)
+	}
+	// The paper highlights the 4.2x price ratio.
+	if ratio := p.SSDPerGBMonth / p.StandardPerGBMonth; math.Abs(ratio-4.25) > 0.1 {
+		t.Errorf("SSD/HDD price ratio = %.2f, paper says 4.2x", ratio)
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	p := DefaultPricing()
+	spec := ClusterSpec{
+		Slaves: 10, VCPUs: 16,
+		HDFSType: PDStandard, HDFSSize: units.TB,
+		LocalType: PDSSD, LocalSize: 200 * units.GB,
+	}
+	// Per node-hour: 16*0.03 + 1024*0.04/730 + 200*0.17/730
+	wantPerHour := 10 * (16*0.03 + 1024*0.04/730 + 200*0.17/730)
+	if got := spec.DollarsPerHour(p); math.Abs(got-wantPerHour) > 1e-9 {
+		t.Errorf("DollarsPerHour = %v, want %v", got, wantPerHour)
+	}
+	if got := spec.Cost(30*time.Minute, p); math.Abs(got-wantPerHour/2) > 1e-9 {
+		t.Errorf("Cost(30min) = %v, want %v", got, wantPerHour/2)
+	}
+}
+
+func TestR1R2References(t *testing.T) {
+	r1 := R1(10, 16)
+	if r1.HDFSSize+r1.LocalSize != 8*units.TB {
+		t.Errorf("R1 total disk = %v, want 8TB (1 disk per 2 cores)", r1.HDFSSize+r1.LocalSize)
+	}
+	r2 := R2(10, 16)
+	if r2.HDFSSize+r2.LocalSize != 16*units.TB {
+		t.Errorf("R2 total disk = %v, want 16TB (1 disk per core)", r2.HDFSSize+r2.LocalSize)
+	}
+	p := DefaultPricing()
+	if R2(10, 16).DollarsPerHour(p) <= R1(10, 16).DollarsPerHour(p) {
+		t.Error("R2 should burn more than R1")
+	}
+}
+
+func TestClusterSpecValidateAndString(t *testing.T) {
+	good := ClusterSpec{Slaves: 1, VCPUs: 1, HDFSSize: units.GB, LocalSize: units.GB}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []ClusterSpec{
+		{},
+		{Slaves: 1, VCPUs: 0, HDFSSize: units.GB, LocalSize: units.GB},
+		{Slaves: 1, VCPUs: 1, HDFSSize: 0, LocalSize: units.GB},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("bad spec accepted: %+v", bad)
+		}
+	}
+	s := good.String()
+	if !strings.Contains(s, "1vCPU") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestClusterConfigBridge(t *testing.T) {
+	spec := ClusterSpec{
+		Slaves: 3, VCPUs: 8,
+		HDFSType: PDStandard, HDFSSize: units.TB,
+		LocalType: PDSSD, LocalSize: 200 * units.GB,
+	}
+	cfg := spec.ClusterConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Slaves != 3 || cfg.ExecutorCores != 8 {
+		t.Error("shape not carried over")
+	}
+	if cfg.LocalDisk.Kind() != disk.Virtual {
+		t.Error("local disk should be virtual")
+	}
+}

@@ -1,0 +1,134 @@
+// Package cloud models the Google Cloud environment of the paper's
+// Section VI: persistent disks whose bandwidth scales with provisioned
+// size, per-size/type disk pricing (Table V), per-vCPU pricing, and the
+// cost function Cost = f(P, DiskTypes, DiskSize_HDFS, DiskSize_Local,
+// Time) the optimizer minimises.
+package cloud
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// DiskType is a Google Cloud persistent-disk type.
+type DiskType int
+
+const (
+	// PDStandard is the HDD-backed "Standard provisioned space".
+	PDStandard DiskType = iota
+	// PDSSD is "SSD provisioned space".
+	PDSSD
+)
+
+// String names the type as in the paper's Table V.
+func (t DiskType) String() string {
+	switch t {
+	case PDStandard:
+		return "pd-standard"
+	case PDSSD:
+		return "pd-ssd"
+	default:
+		return fmt.Sprintf("DiskType(%d)", int(t))
+	}
+}
+
+// PerfModel is the size-scaled performance envelope of a virtual disk
+// type: throughput and IOPS both grow linearly with provisioned capacity
+// up to caps, as in the 2017 GCP datasheet. Effective bandwidth at a
+// request size is min(throughput limit, IOPS limit × request size).
+type PerfModel struct {
+	ReadMBpsPerGB   float64
+	ReadMBpsCap     float64
+	WriteMBpsPerGB  float64
+	WriteMBpsCap    float64
+	ReadIOPSPerGB   float64
+	ReadIOPSCap     float64
+	WriteIOPSPerGB  float64
+	WriteIOPSCap    float64
+	MinEffectiveBps float64 // floor, so tiny disks still make progress
+}
+
+// StandardPerf returns the pd-standard envelope. The IOPS caps are
+// calibrated against the paper's published lookup tables [14]: the
+// GATK4 shuffle-read bandwidth stops improving at 2 TB (paper Fig. 14).
+func StandardPerf() PerfModel {
+	return PerfModel{
+		ReadMBpsPerGB:  0.12,
+		ReadMBpsCap:    180,
+		WriteMBpsPerGB: 0.09,
+		WriteMBpsCap:   120,
+		ReadIOPSPerGB:  1.5,
+		ReadIOPSCap:    3000,
+		WriteIOPSPerGB: 1.5,
+		WriteIOPSCap:   3000,
+	}
+}
+
+// SSDPerf returns the pd-ssd envelope.
+func SSDPerf() PerfModel {
+	return PerfModel{
+		ReadMBpsPerGB:  0.48,
+		ReadMBpsCap:    800,
+		WriteMBpsPerGB: 0.48,
+		WriteMBpsCap:   400,
+		ReadIOPSPerGB:  30,
+		ReadIOPSCap:    25000,
+		WriteIOPSPerGB: 30,
+		WriteIOPSCap:   25000,
+	}
+}
+
+// VirtualDisk is a provisioned Google Cloud persistent disk. It
+// implements disk.Device, so the Spark simulator and the Doppio model
+// consume it exactly like a physical drive.
+type VirtualDisk struct {
+	DiskType DiskType
+	Size     units.ByteSize
+	Perf     PerfModel
+}
+
+// NewDisk provisions a virtual disk of the given type and size with the
+// default performance envelope for the type.
+func NewDisk(t DiskType, size units.ByteSize) *VirtualDisk {
+	perf := StandardPerf()
+	if t == PDSSD {
+		perf = SSDPerf()
+	}
+	return &VirtualDisk{DiskType: t, Size: size, Perf: perf}
+}
+
+// Name implements disk.Device.
+func (d *VirtualDisk) Name() string {
+	return fmt.Sprintf("%s-%s", d.DiskType, d.Size)
+}
+
+// Kind implements disk.Device.
+func (d *VirtualDisk) Kind() disk.Type { return disk.Virtual }
+
+func (d *VirtualDisk) bw(reqSize units.ByteSize, mbpsPerGB, mbpsCap, iopsPerGB, iopsCap float64) units.Rate {
+	if reqSize <= 0 || d.Size <= 0 {
+		return 0
+	}
+	gb := d.Size.GBytes()
+	mbps := math.Min(mbpsPerGB*gb, mbpsCap)
+	iops := math.Min(iopsPerGB*gb, iopsCap)
+	byIOPS := iops * float64(reqSize) / float64(units.MB)
+	eff := math.Min(mbps, byIOPS)
+	if eff < d.Perf.MinEffectiveBps {
+		eff = d.Perf.MinEffectiveBps
+	}
+	return units.MBps(eff)
+}
+
+// ReadBandwidth implements disk.Device.
+func (d *VirtualDisk) ReadBandwidth(reqSize units.ByteSize) units.Rate {
+	return d.bw(reqSize, d.Perf.ReadMBpsPerGB, d.Perf.ReadMBpsCap, d.Perf.ReadIOPSPerGB, d.Perf.ReadIOPSCap)
+}
+
+// WriteBandwidth implements disk.Device.
+func (d *VirtualDisk) WriteBandwidth(reqSize units.ByteSize) units.Rate {
+	return d.bw(reqSize, d.Perf.WriteMBpsPerGB, d.Perf.WriteMBpsCap, d.Perf.WriteIOPSPerGB, d.Perf.WriteIOPSCap)
+}

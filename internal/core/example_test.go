@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// Example reproduces the paper's Section V-A2 back-of-envelope: the
+// GATK4 BaseRecalibrator shuffle-read task on an SSD has T = 60 MB/s,
+// BW(30 KB) ≈ 480 MB/s and λ = 20, so the stage scales until
+// B = λ·b ≈ 160 cores — and on an HDD the break point collapses to
+// b = 1, B ≈ 5.
+func Example() {
+	readT := units.MBps(60).TimeFor(27 * units.MB)
+	group := core.GroupModel{
+		Name:           "recal",
+		Count:          12667,
+		ComputePerTask: time.Duration(19 * float64(readT)), // λ = 20
+		Ops: []core.OpModel{{
+			Kind:         spark.OpShuffleRead,
+			BytesPerTask: 27 * units.MB,
+			ReqSize:      30 * units.KB,
+			T:            units.MBps(60),
+		}},
+	}
+	for _, dev := range []disk.Device{disk.NewSSD(), disk.NewHDD()} {
+		pl := core.Platform{
+			N: 3, P: 36,
+			Curves:      core.CurvesFor(dev, dev),
+			Replication: 2,
+			BlockSize:   128 * units.MB,
+		}
+		bp, err := group.Analyze(0, pl)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: b=%.0f B=%.0f -> at P=36: %v\n",
+			dev.Kind(), bp.B0, bp.B, bp.Classify(36))
+	}
+	// Output:
+	// SSD: b=8 B=166 -> at P=36: b<P<=λb (I/O hidden by CPU)
+	// HDD: b=1 B=6 -> at P=36: P>λb (I/O bound)
+}

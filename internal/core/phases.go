@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Phase is one of the three execution regimes of the paper's Fig. 6.
+type Phase int
+
+const (
+	// PhaseNoContention is P <= b: cores never contend for I/O bandwidth.
+	PhaseNoContention Phase = iota
+	// PhaseHidden is b < P <= λ·b: I/O contention exists but hides under
+	// the CPU computation of other task batches.
+	PhaseHidden
+	// PhaseIOBound is P > λ·b = B: the device is the bottleneck and more
+	// cores do not help.
+	PhaseIOBound
+)
+
+// String names the phase as in the paper's figure captions.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNoContention:
+		return "P<=b (no I/O contention)"
+	case PhaseHidden:
+		return "b<P<=λb (I/O hidden by CPU)"
+	case PhaseIOBound:
+		return "P>λb (I/O bound)"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// BreakPoints carries the derived quantities of Section IV-A/B: the core
+// count b at which the device saturates and the turning point B = λ·b
+// past which the stage stops scaling.
+type BreakPoints struct {
+	// T is the per-core throughput with no contention.
+	T units.Rate
+	// BW is the device's effective bandwidth at the operating request
+	// size.
+	BW units.Rate
+	// Lambda is the ratio of the whole task time to its I/O time.
+	Lambda float64
+	// B0 is the bandwidth break point b = BW/T (cores; may be
+	// fractional). Floored at 1: a single core cannot contend with
+	// itself, even when BW < T (the paper's "b = 1" HDD case).
+	B0 float64
+	// B is the turning point λ·b after which I/O is the bottleneck.
+	B float64
+}
+
+// Classify returns the execution phase at a given per-node core count.
+func (bp BreakPoints) Classify(p int) Phase {
+	pf := float64(p)
+	switch {
+	case pf <= bp.B0:
+		return PhaseNoContention
+	case pf <= bp.B:
+		return PhaseHidden
+	default:
+		return PhaseIOBound
+	}
+}
+
+// Analyze computes the break points for one op of a group on a platform.
+// opIdx indexes the group's Ops slice.
+func (g GroupModel) Analyze(opIdx int, pl Platform) (BreakPoints, error) {
+	if opIdx < 0 || opIdx >= len(g.Ops) {
+		return BreakPoints{}, fmt.Errorf("core: op index %d out of range", opIdx)
+	}
+	op := g.Ops[opIdx]
+	bw := effBW(op, pl, ModeDoppio)
+	if bw <= 0 {
+		return BreakPoints{}, fmt.Errorf("core: op %v has no bandwidth on this platform", op.Kind)
+	}
+	t := op.T
+	if t <= 0 {
+		t = bw // uncapped stream: saturates with one core
+	}
+	// λ relates the whole task to the op's *blocked* I/O time (the
+	// paper's "I/O access" time), excluding any compute interleaved with
+	// the I/O.
+	blocked := perTaskBlockedTime(op, pl)
+	taskTime := g.TaskTime(pl, ModeDoppio)
+	lambda := math.Inf(1)
+	if blocked > 0 {
+		lambda = taskTime.Seconds() / blocked.Seconds()
+	}
+	b0 := float64(bw) / float64(t)
+	if b0 < 1 {
+		b0 = 1
+	}
+	return BreakPoints{T: t, BW: bw, Lambda: lambda, B0: b0, B: lambda * b0}, nil
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// Mode selects the model variant. Beyond the paper's model the package
+// offers two deliberately-crippled variants used by the ablation
+// benches to demonstrate why the I/O-aware ingredients matter.
+type Mode int
+
+const (
+	// ModeDoppio is the paper's full model.
+	ModeDoppio Mode = iota
+	// ModePeakBW replaces the request-size-aware bandwidth lookup by the
+	// device's peak (large-request) bandwidth — the Ernest-style
+	// assumption the paper criticises.
+	ModePeakBW
+	// ModeNoOverlap drops the max() overlap reasoning and adds the I/O
+	// limit terms to the scaling term instead, i.e. it assumes CPU and
+	// I/O never overlap across tasks.
+	ModeNoOverlap
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeDoppio:
+		return "doppio"
+	case ModePeakBW:
+		return "peak-bw"
+	case ModeNoOverlap:
+		return "no-overlap"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// StagePrediction is the evaluated Eq. 1 for one stage.
+type StagePrediction struct {
+	Name string
+	// TScale, TReadLimit, TWriteLimit are the paper's three candidate
+	// times. The directional limits take the *binding device*: paths on
+	// independent devices proceed in parallel.
+	TScale      time.Duration
+	TReadLimit  time.Duration
+	TWriteLimit time.Duration
+	// TDeviceLimit generalises Eq. 1 to stages whose reads and writes
+	// share one device (e.g. GATK4 SF reads the input from HDFS while
+	// writing the output to HDFS): the device must serve the *sum* of
+	// both directions. On the paper's testbed layouts, where each
+	// direction binds on a different device, it coincides with
+	// max(TReadLimit, TWriteLimit).
+	TDeviceLimit time.Duration
+	// T is the predicted stage time, max of the candidates.
+	T time.Duration
+	// Bottleneck names which term won: "scale", "read", "write" or
+	// "device".
+	Bottleneck string
+	// TAvg is the modelled average task time on this platform (per-group
+	// counts weighted), useful for diagnostics.
+	TAvg time.Duration
+}
+
+// AppPrediction sums stage predictions.
+type AppPrediction struct {
+	App    string
+	Stages []StagePrediction
+	Total  time.Duration
+}
+
+// Stage returns the named stage prediction, or false.
+func (p AppPrediction) Stage(name string) (StagePrediction, bool) {
+	for _, s := range p.Stages {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StagePrediction{}, false
+}
+
+// effReqSize resolves an op's request size on a platform.
+func effReqSize(op OpModel, pl Platform) units.ByteSize {
+	if op.ReqSize > 0 {
+		return op.ReqSize
+	}
+	switch op.Kind {
+	case spark.OpHDFSRead, spark.OpHDFSWrite:
+		if op.BytesPerTask < pl.BlockSize {
+			return op.BytesPerTask
+		}
+		return pl.BlockSize
+	default:
+		return op.BytesPerTask
+	}
+}
+
+// effBW returns the effective device bandwidth for an op on the
+// platform, honouring the mode.
+func effBW(op OpModel, pl Platform, mode Mode) units.Rate {
+	curve := pl.Curves.forOp(op.Kind)
+	if curve == nil {
+		return 0
+	}
+	if mode == ModePeakBW {
+		// Peak = the large-request end of the curve.
+		pts := curve.Points()
+		return pts[len(pts)-1].Bandwidth
+	}
+	return curve.Lookup(effReqSize(op, pl))
+}
+
+// opVolume returns the device-level volume of the op, including HDFS
+// replication amplification on writes.
+func opVolume(op OpModel, pl Platform) units.ByteSize {
+	if op.Kind == spark.OpHDFSWrite {
+		return op.BytesPerTask * units.ByteSize(pl.Replication)
+	}
+	return op.BytesPerTask
+}
+
+// perTaskIOTime is the uncontended duration of one op in one task:
+// bytes/min(T, BW(reqSize)), plus the interleaved compute when the op
+// has a coupled rate (harmonic composition).
+func perTaskIOTime(op OpModel, pl Platform, mode Mode) time.Duration {
+	bw := effBW(op, pl, mode)
+	rate := float64(bw)
+	if op.T > 0 && float64(op.T) < rate {
+		rate = float64(op.T)
+	}
+	if op.CoupledRate > 0 && rate > 0 {
+		rate = 1 / (1/rate + 1/float64(op.CoupledRate))
+	}
+	return units.Rate(rate).TimeFor(opVolume(op, pl))
+}
+
+// perTaskBlockedTime is the pure I/O (blocked) portion of an op's
+// uncontended time: bytes/min(T, BW), without the coupled compute.
+func perTaskBlockedTime(op OpModel, pl Platform) time.Duration {
+	bw := effBW(op, pl, ModeDoppio)
+	rate := bw
+	if op.T > 0 && op.T < rate {
+		rate = op.T
+	}
+	return rate.TimeFor(opVolume(op, pl))
+}
+
+// TaskTime returns the modelled uncontended average task time of a group
+// on the platform: compute plus per-op I/O at min(T, BW).
+func (g GroupModel) TaskTime(pl Platform, mode Mode) time.Duration {
+	t := g.ComputePerTask
+	for _, op := range g.Ops {
+		t += perTaskIOTime(op, pl, mode)
+	}
+	return t
+}
+
+// pathAgg accumulates the D/BW sums per (device, direction) path.
+// Index 0 is the Spark Local device, 1 is HDFS.
+type pathAgg struct {
+	readSec  [2]float64 // Σ D_op / BW_op, device-seconds across nodes
+	writeSec [2]float64
+}
+
+func deviceIdx(kind spark.OpKind) int {
+	if kind.OnLocal() {
+		return 0
+	}
+	return 1
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Predict evaluates Eq. 1 for the stage on the platform.
+func (s StageModel) Predict(pl Platform, mode Mode) StagePrediction {
+	pred := StagePrediction{Name: s.Name}
+
+	// t_scale: Σ_g Count_g/(N·P) · t_avg_g + δ_scale.
+	var scaleSec float64
+	var weighted float64
+	total := 0
+	for _, g := range s.Groups {
+		tg := g.TaskTime(pl, mode).Seconds()
+		scaleSec += float64(g.Count) / float64(pl.N*pl.P) * tg
+		weighted += float64(g.Count) * tg
+		total += g.Count
+	}
+	if total > 0 {
+		pred.TAvg = units.SecDuration(weighted / float64(total))
+	}
+	pred.TScale = units.SecDuration(scaleSec) + s.DeltaScale
+
+	// I/O limit terms: Σ D/BW per (device, direction); independent
+	// devices serve their loads in parallel, so directional limits take
+	// the binding device, and a device serving both directions must fit
+	// their sum.
+	var agg pathAgg
+	for _, g := range s.Groups {
+		for _, op := range g.Ops {
+			bw := effBW(op, pl, mode)
+			if bw <= 0 || op.BytesPerTask <= 0 {
+				continue
+			}
+			vol := units.ByteSize(int64(g.Count)) * opVolume(op, pl)
+			sec := float64(vol) / float64(bw)
+			d := deviceIdx(op.Kind)
+			if op.Kind.IsRead() {
+				agg.readSec[d] += sec
+			} else {
+				agg.writeSec[d] += sec
+			}
+		}
+	}
+	n := float64(pl.N)
+	if r := maxf(agg.readSec[0], agg.readSec[1]); r > 0 {
+		pred.TReadLimit = units.SecDuration(r/n) + s.DeltaRead
+	}
+	if w := maxf(agg.writeSec[0], agg.writeSec[1]); w > 0 {
+		pred.TWriteLimit = units.SecDuration(w/n) + s.DeltaWrite
+	}
+	for d := 0; d < 2; d++ {
+		combined := agg.readSec[d] + agg.writeSec[d]
+		if combined <= 0 {
+			continue
+		}
+		lim := units.SecDuration(combined / n)
+		if agg.readSec[d] > 0 {
+			lim += s.DeltaRead
+		}
+		if agg.writeSec[d] > 0 {
+			lim += s.DeltaWrite
+		}
+		if lim > pred.TDeviceLimit {
+			pred.TDeviceLimit = lim
+		}
+	}
+
+	if mode == ModeNoOverlap {
+		pred.T = pred.TScale + pred.TReadLimit + pred.TWriteLimit
+		pred.Bottleneck = "sum"
+		return pred
+	}
+
+	pred.T = pred.TScale
+	pred.Bottleneck = "scale"
+	if pred.TReadLimit > pred.T {
+		pred.T = pred.TReadLimit
+		pred.Bottleneck = "read"
+	}
+	if pred.TWriteLimit > pred.T {
+		pred.T = pred.TWriteLimit
+		pred.Bottleneck = "write"
+	}
+	if pred.TDeviceLimit > pred.T {
+		pred.T = pred.TDeviceLimit
+		pred.Bottleneck = "device"
+	}
+	return pred
+}
+
+// Predict evaluates the whole application: t_app = Σ t_stage.
+func (a AppModel) Predict(pl Platform, mode Mode) (AppPrediction, error) {
+	if err := a.Validate(); err != nil {
+		return AppPrediction{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return AppPrediction{}, err
+	}
+	out := AppPrediction{App: a.Name}
+	for _, s := range a.Stages {
+		sp := s.Predict(pl, mode)
+		out.Stages = append(out.Stages, sp)
+		out.Total += sp.T
+	}
+	return out, nil
+}
+
+// ErrorRate returns |predicted-measured| / measured; it is the metric
+// the paper reports (<10% across its workloads).
+func ErrorRate(predicted, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	d := (predicted - measured).Seconds()
+	if d < 0 {
+		d = -d
+	}
+	return d / measured.Seconds()
+}

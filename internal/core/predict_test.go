@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// flatCurve builds a request-size-independent curve.
+func flatCurve(r units.Rate) *disk.Curve {
+	return disk.MustCurve([]disk.CurvePoint{
+		{ReqSize: units.KB, Bandwidth: r},
+		{ReqSize: units.GB, Bandwidth: r},
+	})
+}
+
+func flatPlatform(n, p int, bw units.Rate) Platform {
+	c := flatCurve(bw)
+	return Platform{
+		N: n, P: p,
+		Curves:      Curves{HDFSRead: c, HDFSWrite: c, LocalRead: c, LocalWrite: c},
+		Replication: 1,
+		BlockSize:   128 * units.MB,
+	}
+}
+
+// fig6Stage is the paper's running example: T=60 MB/s, λ=4 (1s I/O + 3s
+// compute per task), BW=120 MB/s, so b=2 and B=8.
+func fig6Stage(m int) StageModel {
+	return StageModel{
+		Name: "fig6",
+		Groups: []GroupModel{{
+			Name: "g", Count: m,
+			ComputePerTask: 3 * time.Second,
+			Ops: []OpModel{{
+				Kind:         spark.OpShuffleRead,
+				BytesPerTask: 60 * units.MB,
+				ReqSize:      60 * units.MB,
+				T:            units.MBps(60),
+			}},
+		}},
+	}
+}
+
+func TestPredictScaleRegime(t *testing.T) {
+	s := fig6Stage(64)
+	pl := flatPlatform(1, 2, units.MBps(120))
+	pred := s.Predict(pl, ModeDoppio)
+	// t_scale = 64/2 * 4s = 128s; read limit = 64*60MB/120MB/s = 32s.
+	if got := pred.TScale.Seconds(); math.Abs(got-128) > 0.5 {
+		t.Errorf("TScale = %.1fs, want 128", got)
+	}
+	if got := pred.TReadLimit.Seconds(); math.Abs(got-32) > 0.5 {
+		t.Errorf("TReadLimit = %.1fs, want 32", got)
+	}
+	if pred.T != pred.TScale || pred.Bottleneck != "scale" {
+		t.Errorf("bottleneck = %s (T=%v), want scale", pred.Bottleneck, pred.T)
+	}
+	if got := pred.TAvg.Seconds(); math.Abs(got-4) > 0.01 {
+		t.Errorf("TAvg = %.2fs, want 4", got)
+	}
+}
+
+func TestPredictIOBoundRegime(t *testing.T) {
+	s := fig6Stage(64)
+	pl := flatPlatform(1, 16, units.MBps(120)) // P=16 > B=8
+	pred := s.Predict(pl, ModeDoppio)
+	// t_scale = 64/16*4 = 16s < read limit 32s.
+	if pred.Bottleneck != "read" {
+		t.Errorf("bottleneck = %s, want read", pred.Bottleneck)
+	}
+	if got := pred.T.Seconds(); math.Abs(got-32) > 0.5 {
+		t.Errorf("T = %.1fs, want 32", got)
+	}
+}
+
+func TestPredictMoreCoresDoNotHelpPastB(t *testing.T) {
+	s := fig6Stage(64)
+	t16 := s.Predict(flatPlatform(1, 16, units.MBps(120)), ModeDoppio).T
+	t64 := s.Predict(flatPlatform(1, 64, units.MBps(120)), ModeDoppio).T
+	if t64 != t16 {
+		t.Errorf("P=64 (%v) != P=16 (%v); past B the model must plateau", t64, t16)
+	}
+}
+
+func TestPredictMonotoneInP(t *testing.T) {
+	// Property: predicted stage time is non-increasing in P.
+	s := fig6Stage(200)
+	f := func(a, b uint8) bool {
+		p1, p2 := int(a%63)+1, int(b%63)+1
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		t1 := s.Predict(flatPlatform(2, p1, units.MBps(120)), ModeDoppio).T
+		t2 := s.Predict(flatPlatform(2, p2, units.MBps(120)), ModeDoppio).T
+		return t2 <= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictMonotoneInN(t *testing.T) {
+	s := fig6Stage(200)
+	f := func(a, b uint8) bool {
+		n1, n2 := int(a%15)+1, int(b%15)+1
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		t1 := s.Predict(flatPlatform(n1, 8, units.MBps(120)), ModeDoppio).T
+		t2 := s.Predict(flatPlatform(n2, 8, units.MBps(120)), ModeDoppio).T
+		return t2 <= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictDeltasAdd(t *testing.T) {
+	s := fig6Stage(64)
+	s.DeltaScale = 10 * time.Second
+	pl := flatPlatform(1, 2, units.MBps(120))
+	pred := s.Predict(pl, ModeDoppio)
+	if got := pred.TScale.Seconds(); math.Abs(got-138) > 0.5 {
+		t.Errorf("TScale with δ = %.1fs, want 138", got)
+	}
+	s.DeltaRead = 100 * time.Second
+	pred = s.Predict(flatPlatform(1, 16, units.MBps(120)), ModeDoppio)
+	if got := pred.TReadLimit.Seconds(); math.Abs(got-132) > 0.5 {
+		t.Errorf("TReadLimit with δ = %.1fs, want 132", got)
+	}
+}
+
+func TestPredictWriteLimitAndReplication(t *testing.T) {
+	s := StageModel{
+		Name: "w",
+		Groups: []GroupModel{{
+			Name: "g", Count: 10,
+			Ops: []OpModel{{
+				Kind:         spark.OpHDFSWrite,
+				BytesPerTask: 120 * units.MB,
+				T:            units.MBps(1000),
+			}},
+		}},
+	}
+	pl := flatPlatform(1, 10, units.MBps(120))
+	pl.Replication = 2
+	pred := s.Predict(pl, ModeDoppio)
+	// 10 tasks * 120 MB * 2 replication / 120 MB/s = 20s.
+	if got := pred.TWriteLimit.Seconds(); math.Abs(got-20) > 0.5 {
+		t.Errorf("TWriteLimit = %.1fs, want 20 (with 2x replication)", got)
+	}
+	if pred.Bottleneck != "write" {
+		t.Errorf("bottleneck = %s, want write", pred.Bottleneck)
+	}
+}
+
+func TestCoupledComputeHarmonic(t *testing.T) {
+	// bytes=60MB, media 60 MB/s, coupled compute 3s -> op time 4s.
+	g := GroupModel{
+		Name: "g", Count: 1,
+		Ops: []OpModel{{
+			Kind:         spark.OpShuffleRead,
+			BytesPerTask: 60 * units.MB,
+			T:            units.MBps(60),
+			CoupledRate:  units.Rate(float64(60*units.MB) / 3.0),
+		}},
+	}
+	pl := flatPlatform(1, 1, units.MBps(1000))
+	if got := g.TaskTime(pl, ModeDoppio).Seconds(); math.Abs(got-4) > 0.01 {
+		t.Errorf("coupled task time = %.2fs, want 4", got)
+	}
+}
+
+func TestModePeakBWIgnoresRequestSize(t *testing.T) {
+	// A 30 KB-request read on a realistic HDD: Doppio sees 15 MB/s, the
+	// peak-BW ablation sees ~142 MB/s and wildly underpredicts.
+	hdd := disk.NewHDD()
+	pl := Platform{
+		N: 1, P: 36,
+		Curves:      CurvesFor(hdd, hdd),
+		Replication: 2,
+		BlockSize:   128 * units.MB,
+	}
+	s := StageModel{
+		Name: "shuffle",
+		Groups: []GroupModel{{
+			Name: "g", Count: 1000,
+			Ops: []OpModel{{
+				Kind:         spark.OpShuffleRead,
+				BytesPerTask: 27 * units.MB,
+				ReqSize:      30 * units.KB,
+				T:            units.MBps(60),
+			}},
+		}},
+	}
+	doppio := s.Predict(pl, ModeDoppio)
+	peak := s.Predict(pl, ModePeakBW)
+	if ratio := doppio.T.Seconds() / peak.T.Seconds(); ratio < 5 {
+		t.Errorf("peak-BW ablation only %.1fx off; expected huge underprediction", ratio)
+	}
+}
+
+func TestModeNoOverlapSums(t *testing.T) {
+	s := fig6Stage(64)
+	pl := flatPlatform(1, 4, units.MBps(120))
+	d := s.Predict(pl, ModeDoppio)
+	n := s.Predict(pl, ModeNoOverlap)
+	if n.T != d.TScale+d.TReadLimit+d.TWriteLimit {
+		t.Errorf("no-overlap T = %v, want sum %v", n.T, d.TScale+d.TReadLimit)
+	}
+	if n.Bottleneck != "sum" {
+		t.Errorf("bottleneck = %s", n.Bottleneck)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDoppio.String() != "doppio" || ModePeakBW.String() != "peak-bw" ||
+		ModeNoOverlap.String() != "no-overlap" {
+		t.Error("Mode.String broken")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown Mode.String broken")
+	}
+}
+
+func TestAppPredictSumsStages(t *testing.T) {
+	a := AppModel{Name: "app", Stages: []StageModel{fig6Stage(64), fig6Stage(32)}}
+	pl := flatPlatform(1, 2, units.MBps(120))
+	pred, err := a.Predict(pl, ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Stages) != 2 {
+		t.Fatalf("stages = %d", len(pred.Stages))
+	}
+	if pred.Total != pred.Stages[0].T+pred.Stages[1].T {
+		t.Error("total != sum of stages")
+	}
+	if _, ok := pred.Stage("fig6"); !ok {
+		t.Error("Stage lookup failed")
+	}
+	if _, ok := pred.Stage("nope"); ok {
+		t.Error("Stage found a ghost")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	pl := flatPlatform(1, 1, units.MBps(100))
+	bad := []AppModel{
+		{Name: "empty"},
+		{Name: "nogroups", Stages: []StageModel{{Name: "s"}}},
+		{Name: "zerocount", Stages: []StageModel{{Name: "s", Groups: []GroupModel{{Count: 0}}}}},
+		{Name: "computeop", Stages: []StageModel{{Name: "s", Groups: []GroupModel{{
+			Count: 1, Ops: []OpModel{{Kind: spark.OpCompute}},
+		}}}}},
+	}
+	for _, a := range bad {
+		if _, err := a.Predict(pl, ModeDoppio); err == nil {
+			t.Errorf("model %q accepted", a.Name)
+		}
+	}
+	good := AppModel{Name: "g", Stages: []StageModel{fig6Stage(1)}}
+	for _, p := range []Platform{
+		{N: 0, P: 1, Curves: pl.Curves, Replication: 1, BlockSize: units.MB},
+		{N: 1, P: 0, Curves: pl.Curves, Replication: 1, BlockSize: units.MB},
+		{N: 1, P: 1, Curves: pl.Curves, Replication: 0, BlockSize: units.MB},
+		{N: 1, P: 1, Curves: pl.Curves, Replication: 1, BlockSize: 0},
+		{N: 1, P: 1, Replication: 1, BlockSize: units.MB},
+	} {
+		if _, err := good.Predict(p, ModeDoppio); err == nil {
+			t.Errorf("platform %+v accepted", p)
+		}
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	if e := ErrorRate(110*time.Second, 100*time.Second); math.Abs(e-0.1) > 1e-9 {
+		t.Errorf("ErrorRate = %v", e)
+	}
+	if e := ErrorRate(90*time.Second, 100*time.Second); math.Abs(e-0.1) > 1e-9 {
+		t.Errorf("ErrorRate = %v", e)
+	}
+	if ErrorRate(time.Second, 0) != 0 {
+		t.Error("zero measured should give 0")
+	}
+}
+
+func TestBreakPoints(t *testing.T) {
+	// Paper Section V-A2, SSD case: T=60 MB/s, BW=480 MB/s at 30 KB,
+	// λ=20 -> b=8, B=160.
+	ssd := disk.NewSSD()
+	pl := Platform{N: 10, P: 36, Curves: CurvesFor(ssd, ssd), Replication: 2, BlockSize: 128 * units.MB}
+	readT := units.MBps(60).TimeFor(27 * units.MB) // 0.45s
+	g := GroupModel{
+		Name: "recal", Count: 12000,
+		ComputePerTask: time.Duration(19 * float64(readT)), // λ=20
+		Ops: []OpModel{{
+			Kind:         spark.OpShuffleRead,
+			BytesPerTask: 27 * units.MB,
+			ReqSize:      30 * units.KB,
+			T:            units.MBps(60),
+		}},
+	}
+	bp, err := g.Analyze(0, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.B0 < 7 || bp.B0 > 9 {
+		t.Errorf("b = %.1f, paper says 8", bp.B0)
+	}
+	if bp.Lambda < 18 || bp.Lambda > 22 {
+		t.Errorf("λ = %.1f, paper says 20", bp.Lambda)
+	}
+	if bp.B < 140 || bp.B > 180 {
+		t.Errorf("B = %.0f, paper says 160", bp.B)
+	}
+	if ph := bp.Classify(36); ph != PhaseHidden {
+		t.Errorf("P=36 phase = %v, want hidden (36 < B=160)", ph)
+	}
+	if ph := bp.Classify(4); ph != PhaseNoContention {
+		t.Errorf("P=4 phase = %v", ph)
+	}
+	if ph := bp.Classify(200); ph != PhaseIOBound {
+		t.Errorf("P=200 phase = %v", ph)
+	}
+
+	// HDD case: BW(30KB)=15 < T=60 -> b floors at 1; λ at HDD speeds
+	// drops to ~5 -> B≈5 (paper Section V-A2).
+	hdd := disk.NewHDD()
+	plH := Platform{N: 10, P: 36, Curves: CurvesFor(hdd, hdd), Replication: 2, BlockSize: 128 * units.MB}
+	bpH, err := g.Analyze(0, plH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpH.B0 != 1 {
+		t.Errorf("HDD b = %.2f, paper says 1", bpH.B0)
+	}
+	if bpH.Lambda < 4 || bpH.Lambda > 7 {
+		t.Errorf("HDD λ = %.1f, paper says ~5", bpH.Lambda)
+	}
+	if ph := bpH.Classify(36); ph != PhaseIOBound {
+		t.Errorf("HDD P=36 phase = %v, want I/O bound", ph)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	g := GroupModel{Name: "g", Count: 1, Ops: []OpModel{{Kind: spark.OpShuffleRead, BytesPerTask: units.MB}}}
+	pl := flatPlatform(1, 1, units.MBps(100))
+	if _, err := g.Analyze(5, pl); err == nil {
+		t.Error("out-of-range op index accepted")
+	}
+	if _, err := g.Analyze(0, pl); err != nil {
+		t.Errorf("valid analyze failed: %v", err)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for _, p := range []Phase{PhaseNoContention, PhaseHidden, PhaseIOBound} {
+		if p.String() == "" {
+			t.Error("empty phase string")
+		}
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Error("unknown phase string")
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// The JSON form of a calibrated model. Calibration costs four cluster
+// runs; persisting the fitted model lets later sessions (or other
+// machines) predict without repeating them — the workflow the released
+// Doppio toolset supports with its lookup tables.
+
+type opJSON struct {
+	Kind         string         `json:"kind"`
+	BytesPerTask units.ByteSize `json:"bytesPerTask"`
+	ReqSize      units.ByteSize `json:"reqSize,omitempty"`
+	TBytesPerSec float64        `json:"tBytesPerSec,omitempty"`
+	CoupledBps   float64        `json:"coupledBytesPerSec,omitempty"`
+}
+
+type groupJSON struct {
+	Name       string   `json:"name"`
+	Count      int      `json:"count"`
+	ComputeSec float64  `json:"computeSec"`
+	Ops        []opJSON `json:"ops,omitempty"`
+}
+
+type stageJSON struct {
+	Name          string      `json:"name"`
+	Groups        []groupJSON `json:"groups"`
+	DeltaScaleSec float64     `json:"deltaScaleSec,omitempty"`
+	DeltaReadSec  float64     `json:"deltaReadSec,omitempty"`
+	DeltaWriteSec float64     `json:"deltaWriteSec,omitempty"`
+}
+
+type appJSON struct {
+	Name   string      `json:"name"`
+	Stages []stageJSON `json:"stages"`
+}
+
+var opKindNames = map[spark.OpKind]string{
+	spark.OpHDFSRead:     "hdfsRead",
+	spark.OpHDFSWrite:    "hdfsWrite",
+	spark.OpShuffleRead:  "shuffleRead",
+	spark.OpShuffleWrite: "shuffleWrite",
+	spark.OpPersistRead:  "persistRead",
+	spark.OpPersistWrite: "persistWrite",
+}
+
+var opKindValues = func() map[string]spark.OpKind {
+	m := map[string]spark.OpKind{}
+	for k, v := range opKindNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// WriteJSON serialises the model.
+func (a AppModel) WriteJSON(w io.Writer) error {
+	out := appJSON{Name: a.Name}
+	for _, s := range a.Stages {
+		sj := stageJSON{
+			Name:          s.Name,
+			DeltaScaleSec: s.DeltaScale.Seconds(),
+			DeltaReadSec:  s.DeltaRead.Seconds(),
+			DeltaWriteSec: s.DeltaWrite.Seconds(),
+		}
+		for _, g := range s.Groups {
+			gj := groupJSON{Name: g.Name, Count: g.Count, ComputeSec: g.ComputePerTask.Seconds()}
+			for _, op := range g.Ops {
+				name, ok := opKindNames[op.Kind]
+				if !ok {
+					return fmt.Errorf("core: cannot serialise op kind %v", op.Kind)
+				}
+				gj.Ops = append(gj.Ops, opJSON{
+					Kind:         name,
+					BytesPerTask: op.BytesPerTask,
+					ReqSize:      op.ReqSize,
+					TBytesPerSec: float64(op.T),
+					CoupledBps:   float64(op.CoupledRate),
+				})
+			}
+			sj.Groups = append(sj.Groups, gj)
+		}
+		out.Stages = append(out.Stages, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserialises a model and validates it.
+func ReadJSON(r io.Reader) (AppModel, error) {
+	var in appJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return AppModel{}, fmt.Errorf("core: decoding model: %w", err)
+	}
+	a := AppModel{Name: in.Name}
+	for _, sj := range in.Stages {
+		s := StageModel{
+			Name:       sj.Name,
+			DeltaScale: units.SecDuration(sj.DeltaScaleSec),
+			DeltaRead:  units.SecDuration(sj.DeltaReadSec),
+			DeltaWrite: units.SecDuration(sj.DeltaWriteSec),
+		}
+		for _, gj := range sj.Groups {
+			g := GroupModel{
+				Name:           gj.Name,
+				Count:          gj.Count,
+				ComputePerTask: units.SecDuration(gj.ComputeSec),
+			}
+			for _, oj := range gj.Ops {
+				kind, ok := opKindValues[oj.Kind]
+				if !ok {
+					return AppModel{}, fmt.Errorf("core: unknown op kind %q", oj.Kind)
+				}
+				g.Ops = append(g.Ops, OpModel{
+					Kind:         kind,
+					BytesPerTask: oj.BytesPerTask,
+					ReqSize:      oj.ReqSize,
+					T:            units.Rate(oj.TBytesPerSec),
+					CoupledRate:  units.Rate(oj.CoupledBps),
+				})
+			}
+			s.Groups = append(s.Groups, g)
+		}
+		a.Stages = append(a.Stages, s)
+	}
+	if err := a.Validate(); err != nil {
+		return AppModel{}, fmt.Errorf("core: loaded model invalid: %w", err)
+	}
+	return a, nil
+}
+
+// durationsEqual compares with sub-microsecond tolerance (JSON carries
+// float seconds).
+func durationsEqual(a, b time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < time.Microsecond
+}

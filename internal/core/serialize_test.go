@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	cal := calibrateGATK4(t)
+	var sb strings.Builder
+	if err := cal.Model.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != cal.Model.Name || len(loaded.Stages) != len(cal.Model.Stages) {
+		t.Fatal("structure lost in round trip")
+	}
+
+	// The loaded model must predict identically (within float-seconds
+	// precision) on a fresh platform.
+	hdd, ssd := disk.NewHDD(), disk.NewSSD()
+	pl := Platform{N: 10, P: 24, Curves: CurvesFor(hdd, ssd), Replication: 2, BlockSize: 128 * units.MB}
+	orig, err := cal.Model.Predict(pl, ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(pl, ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Stages {
+		if !durationsEqual(orig.Stages[i].T, got.Stages[i].T) {
+			t.Errorf("stage %s: %v vs %v after round trip",
+				orig.Stages[i].Name, orig.Stages[i].T, got.Stages[i].T)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","stages":[]}`)); err == nil {
+		t.Error("empty model accepted")
+	}
+	bad := `{"name":"x","stages":[{"name":"s","groups":[{"name":"g","count":1,
+		"ops":[{"kind":"teleport","bytesPerTask":1}]}]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("unknown op kind accepted")
+	}
+}
+
+func TestWriteJSONRejectsComputeKind(t *testing.T) {
+	m := AppModel{Name: "x", Stages: []StageModel{{
+		Name: "s",
+		Groups: []GroupModel{{
+			Name: "g", Count: 1,
+			Ops: []OpModel{{Kind: spark.OpCompute, BytesPerTask: 1}},
+		}},
+	}}}
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err == nil {
+		t.Error("compute op kind serialised")
+	}
+}

@@ -1,0 +1,51 @@
+package disk
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestArrayScalesBandwidth(t *testing.T) {
+	hdd := NewHDD()
+	arr := NewArray(hdd, 4)
+	for _, rs := range []units.ByteSize{30 * units.KB, 128 * units.MB} {
+		want := 4 * float64(hdd.ReadBandwidth(rs))
+		if got := float64(arr.ReadBandwidth(rs)); got != want {
+			t.Errorf("array read @%v = %v, want 4x member", rs, got)
+		}
+		if got := float64(arr.WriteBandwidth(rs)); got != 4*float64(hdd.WriteBandwidth(rs)) {
+			t.Errorf("array write @%v wrong", rs)
+		}
+	}
+	if arr.Kind() != HDD {
+		t.Error("array kind should follow the member")
+	}
+	if !strings.HasPrefix(arr.Name(), "4x") {
+		t.Errorf("name = %q", arr.Name())
+	}
+}
+
+func TestArrayDegenerate(t *testing.T) {
+	a := NewArray(NewSSD(), 0)
+	if a.Count != 1 {
+		t.Error("non-positive count should clamp to 1")
+	}
+}
+
+// TestElevenHDDsMatchOneSSDOnlySequentially reproduces the paper's
+// critique of Kambatla et al. [4]: matching HDD count to SSD bandwidth
+// on *sequential* I/O does not match them on random I/O.
+func TestElevenHDDsMatchOneSSDOnlySequentially(t *testing.T) {
+	ssd := NewSSD()
+	hdd11 := NewArray(NewHDD(), 11)
+	seqRatio := float64(ssd.ReadBandwidth(128*units.MB)) / float64(hdd11.ReadBandwidth(128*units.MB))
+	if seqRatio < 0.25 || seqRatio > 0.45 {
+		t.Errorf("sequential: SSD/11xHDD = %.2f (11 HDDs should out-stream one SATA SSD ~3x)", seqRatio)
+	}
+	smallRatio := float64(ssd.ReadBandwidth(30*units.KB)) / float64(hdd11.ReadBandwidth(30*units.KB))
+	if smallRatio < 2 {
+		t.Errorf("random 30KB: SSD/11xHDD = %.2f; the SSD should still win (paper §VII-B)", smallRatio)
+	}
+}

@@ -1,0 +1,131 @@
+package disk
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestCurveLookupExactPoints(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{30 * units.KB, units.MBps(15)},
+		{128 * units.MB, units.MBps(140)},
+		{4 * units.KB, units.MBps(2)},
+	})
+	if got := c.Lookup(30 * units.KB); got != units.MBps(15) {
+		t.Errorf("lookup 30KB = %v", got)
+	}
+	if got := c.Lookup(4 * units.KB); got != units.MBps(2) {
+		t.Errorf("lookup 4KB = %v", got)
+	}
+}
+
+func TestCurveClampsOutsideRange(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{30 * units.KB, units.MBps(15)},
+		{128 * units.MB, units.MBps(140)},
+	})
+	if got := c.Lookup(units.KB); got != units.MBps(15) {
+		t.Errorf("below range = %v, want clamp to 15MB/s", got)
+	}
+	if got := c.Lookup(units.GB); got != units.MBps(140) {
+		t.Errorf("above range = %v, want clamp to 140MB/s", got)
+	}
+	if got := c.Lookup(0); got != 0 {
+		t.Errorf("zero size = %v, want 0", got)
+	}
+}
+
+func TestCurveInterpolationIsMonotone(t *testing.T) {
+	c := ProfileRead(NewHDD(), nil)
+	f := func(a, b uint32) bool {
+		sa := units.ByteSize(a%(128*1024*1024) + 1)
+		sb := units.ByteSize(b%(128*1024*1024) + 1)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		return c.Lookup(sa) <= c.Lookup(sb)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveTracksDevice(t *testing.T) {
+	// The profiled curve interpolation should stay close to the true
+	// device curve between samples (log-linear fit of a smooth function).
+	dev := NewSSD()
+	c := ProfileRead(dev, nil)
+	for _, s := range []units.ByteSize{6 * units.KB, 45 * units.KB, 700 * units.KB, 9 * units.MB} {
+		truth := float64(dev.ReadBandwidth(s))
+		got := float64(c.Lookup(s))
+		if math.Abs(got-truth)/truth > 0.05 {
+			t.Errorf("at %v: curve %v vs device %v (>5%% apart)", s, c.Lookup(s), dev.ReadBandwidth(s))
+		}
+	}
+}
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve(nil); err == nil {
+		t.Error("empty curve accepted")
+	}
+	if _, err := NewCurve([]CurvePoint{{0, units.MBps(1)}}); err == nil {
+		t.Error("zero request size accepted")
+	}
+	if _, err := NewCurve([]CurvePoint{{units.KB, 0}}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := NewCurve([]CurvePoint{
+		{units.KB, units.MBps(1)}, {units.KB, units.MBps(2)},
+	}); err == nil {
+		t.Error("duplicate request size accepted")
+	}
+}
+
+func TestCurvePointsCopies(t *testing.T) {
+	c := MustCurve([]CurvePoint{{units.KB, units.MBps(1)}})
+	pts := c.Points()
+	pts[0].Bandwidth = units.MBps(999)
+	if c.Lookup(units.KB) != units.MBps(1) {
+		t.Error("Points() exposed internal state")
+	}
+}
+
+func TestCurveString(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{30 * units.KB, units.MBps(15)},
+		{128 * units.MB, units.MBps(140)},
+	})
+	s := c.String()
+	if !strings.Contains(s, "30KB") || !strings.Contains(s, "15MB/s") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestFioReport(t *testing.T) {
+	rep := Fio(NewHDD(), nil)
+	if len(rep.Rows) != len(DefaultSweepSizes()) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	var sb strings.Builder
+	if _, err := rep.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fio sweep", "30KB", "128MB", "IOPS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	rc := rep.ReadCurve()
+	if rc.Lookup(30*units.KB).PerSecMB() < 14 {
+		t.Error("read curve lost calibration")
+	}
+	wc := rep.WriteCurve()
+	if wc.Lookup(365*units.MB).PerSecMB() < 90 {
+		t.Error("write curve lost calibration")
+	}
+}

@@ -1,0 +1,163 @@
+// Package disk models storage devices at the level the Doppio paper
+// consumes them: effective bandwidth as a function of request size, for
+// reads and writes separately.
+//
+// The paper's key observation (Section III-C, Fig. 5) is that an HDD and
+// an SSD differ by 3.7x at 128 MB requests (HDFS blocks) but by 32x at
+// 30 KB requests (shuffle reads) and 181x at 4 KB. Both devices are well
+// described by a positioning-overhead + sequential-transfer service
+// model:
+//
+//	BW(s) = s / (overhead + s/seqRate)
+//
+// For the HDD the overhead is seek + rotational latency (~1.8 ms at
+// 7200 RPM with realistic queueing); for the SSD it is the much smaller
+// per-request channel/protocol overhead (~2.6 µs effective at high queue
+// depth). The default constructors are calibrated so the three anchor
+// ratios above are reproduced.
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Type distinguishes device technologies.
+type Type int
+
+// Device technologies.
+const (
+	HDD Type = iota
+	SSD
+	Virtual // cloud persistent disk; see internal/cloud
+)
+
+// String returns "HDD", "SSD" or "Virtual".
+func (t Type) String() string {
+	switch t {
+	case HDD:
+		return "HDD"
+	case SSD:
+		return "SSD"
+	case Virtual:
+		return "Virtual"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Device is a storage device's performance description. Implementations
+// must be pure functions of the request size: all queueing and
+// contention is handled by the flow-level simulator on top.
+type Device interface {
+	// Name identifies the device in traces ("WD4000FYYZ", "PM863").
+	Name() string
+	// Kind reports the device technology.
+	Kind() Type
+	// ReadBandwidth returns the sustained aggregate throughput when the
+	// device serves a saturating stream of reads of the given size.
+	ReadBandwidth(reqSize units.ByteSize) units.Rate
+	// WriteBandwidth is the write-path analogue of ReadBandwidth.
+	WriteBandwidth(reqSize units.ByteSize) units.Rate
+}
+
+// ReadIOPS converts a device's effective read bandwidth at reqSize into
+// I/O operations per second, as fio reports.
+func ReadIOPS(d Device, reqSize units.ByteSize) float64 {
+	if reqSize <= 0 {
+		return 0
+	}
+	return float64(d.ReadBandwidth(reqSize)) / float64(reqSize)
+}
+
+// WriteIOPS is the write-path analogue of ReadIOPS.
+func WriteIOPS(d Device, reqSize units.ByteSize) float64 {
+	if reqSize <= 0 {
+		return 0
+	}
+	return float64(d.WriteBandwidth(reqSize)) / float64(reqSize)
+}
+
+// SeekTransfer is the positioning + transfer device model described in
+// the package comment. It satisfies Device.
+type SeekTransfer struct {
+	// DeviceName labels the device.
+	DeviceName string
+	// Technology is HDD or SSD.
+	Technology Type
+	// ReadOverhead is the per-request positioning/processing overhead on
+	// the read path.
+	ReadOverhead time.Duration
+	// ReadSeq is the sequential (large-request) read rate.
+	ReadSeq units.Rate
+	// WriteOverhead is the per-request overhead on the write path.
+	WriteOverhead time.Duration
+	// WriteSeq is the sequential write rate.
+	WriteSeq units.Rate
+	// MaxRequest caps the request size the device accepts in one
+	// operation (Linux max_sectors_kb, 512 KB on the paper's testbed).
+	// Larger application requests are split by the kernel; for bandwidth
+	// purposes splitting sequential requests is free, so MaxRequest only
+	// matters for accounting, not performance. Zero means unlimited.
+	MaxRequest units.ByteSize
+}
+
+// Name implements Device.
+func (d *SeekTransfer) Name() string { return d.DeviceName }
+
+// Kind implements Device.
+func (d *SeekTransfer) Kind() Type { return d.Technology }
+
+func bw(reqSize units.ByteSize, overhead time.Duration, seq units.Rate) units.Rate {
+	if reqSize <= 0 || seq <= 0 {
+		return 0
+	}
+	serviceSec := overhead.Seconds() + float64(reqSize)/float64(seq)
+	return units.Rate(float64(reqSize) / serviceSec)
+}
+
+// ReadBandwidth implements Device.
+func (d *SeekTransfer) ReadBandwidth(reqSize units.ByteSize) units.Rate {
+	return bw(reqSize, d.ReadOverhead, d.ReadSeq)
+}
+
+// WriteBandwidth implements Device.
+func (d *SeekTransfer) WriteBandwidth(reqSize units.ByteSize) units.Rate {
+	return bw(reqSize, d.WriteOverhead, d.WriteSeq)
+}
+
+// NewHDD returns a model of the paper's 7200 RPM 4 TB Western Digital
+// drive. Calibration anchors (paper Fig. 5a and Section III-C):
+//
+//	~2.1 MB/s at 4 KB, 15 MB/s at 30 KB, ~140 MB/s at 128 MB,
+//	~100 MB/s effective shuffle-write bandwidth at ~365 MB chunks.
+func NewHDD() *SeekTransfer {
+	return &SeekTransfer{
+		DeviceName:    "WD4000FYYZ-7200RPM",
+		Technology:    HDD,
+		ReadOverhead:  1790 * time.Microsecond,
+		ReadSeq:       units.MBps(142),
+		WriteOverhead: 2200 * time.Microsecond,
+		WriteSeq:      units.MBps(103),
+		MaxRequest:    512 * units.KB,
+	}
+}
+
+// NewSSD returns a model of the paper's Samsung SATA SSD. Calibration
+// anchors (paper Fig. 5b and Section III-C):
+//
+//	~380 MB/s at 4 KB (181x HDD), ~480 MB/s at 30 KB (32x HDD),
+//	~520 MB/s at 128 MB (3.7x HDD).
+func NewSSD() *SeekTransfer {
+	return &SeekTransfer{
+		DeviceName:    "SAMSUNG-MZ7LM240",
+		Technology:    SSD,
+		ReadOverhead:  2600 * time.Nanosecond,
+		ReadSeq:       units.MBps(520),
+		WriteOverhead: 4500 * time.Nanosecond,
+		WriteSeq:      units.MBps(380),
+		MaxRequest:    512 * units.KB,
+	}
+}

@@ -1,0 +1,116 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// The paper's Fig. 5 / Section III-C anchor points. These are the numbers
+// the whole reproduction hangs on, so they get their own test.
+func TestPaperAnchorRatios(t *testing.T) {
+	hdd, ssd := NewHDD(), NewSSD()
+
+	hdd30 := hdd.ReadBandwidth(30 * units.KB).PerSecMB()
+	if hdd30 < 14 || hdd30 > 16 {
+		t.Errorf("HDD @30KB = %.1f MB/s, paper says ~15", hdd30)
+	}
+	ssd30 := ssd.ReadBandwidth(30 * units.KB).PerSecMB()
+	if ssd30 < 450 || ssd30 > 510 {
+		t.Errorf("SSD @30KB = %.1f MB/s, paper says ~480", ssd30)
+	}
+	gap30 := ssd30 / hdd30
+	if gap30 < 28 || gap30 > 36 {
+		t.Errorf("SSD/HDD gap @30KB = %.1fx, paper says 32x", gap30)
+	}
+
+	gap4 := ssd.ReadBandwidth(4*units.KB).PerSecMB() / hdd.ReadBandwidth(4*units.KB).PerSecMB()
+	if gap4 < 160 || gap4 > 200 {
+		t.Errorf("SSD/HDD gap @4KB = %.1fx, paper says 181x", gap4)
+	}
+
+	gap128 := ssd.ReadBandwidth(128*units.MB).PerSecMB() / hdd.ReadBandwidth(128*units.MB).PerSecMB()
+	if gap128 < 3.3 || gap128 > 4.1 {
+		t.Errorf("SSD/HDD gap @128MB = %.2fx, paper says 3.7x", gap128)
+	}
+
+	// Shuffle write chunks (~365 MB) on HDD: paper model uses 100 MB/s.
+	hddW := hdd.WriteBandwidth(365 * units.MB).PerSecMB()
+	if hddW < 90 || hddW > 110 {
+		t.Errorf("HDD write @365MB = %.1f MB/s, paper says ~100", hddW)
+	}
+}
+
+func TestBandwidthMonotoneInRequestSize(t *testing.T) {
+	// Effective bandwidth must be non-decreasing in request size for the
+	// seek+transfer model.
+	for _, d := range []Device{NewHDD(), NewSSD()} {
+		f := func(a, b uint32) bool {
+			sa := units.ByteSize(a%(256*1024) + 1)
+			sb := units.ByteSize(b%(256*1024) + 1)
+			if sa > sb {
+				sa, sb = sb, sa
+			}
+			return d.ReadBandwidth(sa) <= d.ReadBandwidth(sb)+1 &&
+				d.WriteBandwidth(sa) <= d.WriteBandwidth(sb)+1
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", d.Name(), err)
+		}
+	}
+}
+
+func TestBandwidthApproachesSequential(t *testing.T) {
+	hdd := NewHDD()
+	got := hdd.ReadBandwidth(4 * units.GB)
+	if math.Abs(got.PerSecMB()-142) > 1 {
+		t.Errorf("HDD at huge requests = %v, want ~ReadSeq 142MB/s", got)
+	}
+}
+
+func TestIOPSBandwidthConsistency(t *testing.T) {
+	ssd := NewSSD()
+	s := 4 * units.KB
+	iops := ReadIOPS(ssd, s)
+	bwFromIOPS := iops * float64(s)
+	if math.Abs(bwFromIOPS-float64(ssd.ReadBandwidth(s)))/float64(ssd.ReadBandwidth(s)) > 1e-9 {
+		t.Error("IOPS * reqSize != bandwidth")
+	}
+	if ReadIOPS(ssd, 0) != 0 || WriteIOPS(ssd, 0) != 0 {
+		t.Error("IOPS at zero request size should be 0")
+	}
+}
+
+func TestZeroAndNegativeRequestSizes(t *testing.T) {
+	hdd := NewHDD()
+	if hdd.ReadBandwidth(0) != 0 || hdd.ReadBandwidth(-5) != 0 {
+		t.Error("non-positive request size should give zero bandwidth")
+	}
+	if hdd.WriteBandwidth(0) != 0 {
+		t.Error("non-positive request size should give zero write bandwidth")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if HDD.String() != "HDD" || SSD.String() != "SSD" || Virtual.String() != "Virtual" {
+		t.Error("Type.String broken")
+	}
+	if Type(42).String() != "Type(42)" {
+		t.Error("unknown Type.String broken")
+	}
+}
+
+func TestSSDIOPSPlausible(t *testing.T) {
+	// The calibrated SSD should deliver on the order of 100k 4KB read
+	// IOPS, like a real SATA drive at high queue depth.
+	iops := ReadIOPS(NewSSD(), 4*units.KB)
+	if iops < 80_000 || iops > 130_000 {
+		t.Errorf("SSD 4KB read IOPS = %.0f, want ~100k", iops)
+	}
+	hiops := ReadIOPS(NewHDD(), 4*units.KB)
+	if hiops < 300 || hiops > 700 {
+		t.Errorf("HDD 4KB read IOPS = %.0f, want a few hundred", hiops)
+	}
+}

@@ -1,0 +1,89 @@
+package disk
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/units"
+)
+
+// FioRow is one line of a fio-style sweep report: request size, IOPS and
+// effective bandwidth for the read and write paths.
+type FioRow struct {
+	ReqSize   units.ByteSize
+	ReadIOPS  float64
+	ReadBW    units.Rate
+	WriteIOPS float64
+	WriteBW   units.Rate
+}
+
+// FioReport is the output of a full sweep over one device — the
+// simulator-world equivalent of the fio runs behind the paper's Fig. 5.
+type FioReport struct {
+	Device string
+	Kind   Type
+	Rows   []FioRow
+}
+
+// Fio sweeps the device over the given request sizes (DefaultSweepSizes
+// when nil) and returns the report.
+func Fio(d Device, sizes []units.ByteSize) FioReport {
+	if len(sizes) == 0 {
+		sizes = DefaultSweepSizes()
+	}
+	rep := FioReport{Device: d.Name(), Kind: d.Kind()}
+	for _, s := range sizes {
+		rep.Rows = append(rep.Rows, FioRow{
+			ReqSize:   s,
+			ReadIOPS:  ReadIOPS(d, s),
+			ReadBW:    d.ReadBandwidth(s),
+			WriteIOPS: WriteIOPS(d, s),
+			WriteBW:   d.WriteBandwidth(s),
+		})
+	}
+	return rep
+}
+
+// ReadCurve converts the report's read columns into a Curve.
+func (r FioReport) ReadCurve() *Curve {
+	pts := make([]CurvePoint, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		pts = append(pts, CurvePoint{ReqSize: row.ReqSize, Bandwidth: row.ReadBW})
+	}
+	return MustCurve(pts)
+}
+
+// WriteCurve converts the report's write columns into a Curve.
+func (r FioReport) WriteCurve() *Curve {
+	pts := make([]CurvePoint, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		pts = append(pts, CurvePoint{ReqSize: row.ReqSize, Bandwidth: row.WriteBW})
+	}
+	return MustCurve(pts)
+}
+
+// WriteTo renders the report as an aligned table.
+func (r FioReport) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	tw := tabwriter.NewWriter(cw, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# fio sweep: %s (%s)\n", r.Device, r.Kind)
+	fmt.Fprintln(tw, "reqsize\tread IOPS\tread BW\twrite IOPS\twrite BW")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%v\t%.0f\t%v\t%.0f\t%v\n",
+			row.ReqSize, row.ReadIOPS, row.ReadBW, row.WriteIOPS, row.WriteBW)
+	}
+	err := tw.Flush()
+	return cw.n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

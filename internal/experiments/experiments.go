@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment produces a Table (rows/series in the same
+// shape the paper reports) and is addressable by the paper artifact id
+// ("fig2", "tab4", ...). The bench harness (bench_test.go) and the
+// doppio CLI both drive this registry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// Table is a reproduced paper artifact in tabular form.
+type Table struct {
+	// ID is the registry key ("fig7").
+	ID string
+	// Title describes the artifact ("Fig. 7: GATK4 measured vs model").
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes carry the paper-expected values and any calibration caveats.
+	Notes []string
+	// Metrics exposes headline numbers (average error rates, gap
+	// ratios, savings) for programmatic assertions by the test suite
+	// and benches.
+	Metrics map[string]float64
+}
+
+// SetMetric records a headline number.
+func (t *Table) SetMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]float64{}
+	}
+	t.Metrics[name] = v
+}
+
+// AddRow appends a row from formatted values.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	fmt.Fprintf(cw, "## %s — %s\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(cw, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return cw.n, err
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(cw, "# %s\n", n)
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return e, nil
+}
+
+// IDs lists registered experiments in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- shared helpers -------------------------------------------------
+
+func fmtMin(d time.Duration) string   { return fmt.Sprintf("%.1f", d.Minutes()) }
+func fmtPct(v float64) string         { return fmt.Sprintf("%.1f%%", v*100) }
+func fmtUSD(v float64) string         { return fmt.Sprintf("$%.2f", v) }
+func fmtRate(r units.Rate) string     { return r.String() }
+func fmtGB(b units.ByteSize) string   { return fmt.Sprintf("%.0f", b.GBytes()) }
+func fmtX(v float64) string           { return fmt.Sprintf("%.1fx", v) }
+func fmtSize(b units.ByteSize) string { return b.String() }
+
+// mustWorkload resolves a registered workload.
+func mustWorkload(name string) workloads.Workload {
+	w, err := workloads.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// runSim runs a workload on a config.
+func runSim(w workloads.Workload, cfg spark.ClusterConfig) (*spark.Result, error) {
+	return spark.Run(cfg, w.Build(cfg))
+}
+
+// phaseTime aggregates stage durations of a result by name prefix.
+func phaseTime(res *spark.Result, prefix string) time.Duration {
+	var total time.Duration
+	for _, s := range res.Stages {
+		if strings.HasPrefix(s.Name, prefix) {
+			total += s.Duration()
+		}
+	}
+	return total
+}
+
+// phasePrediction aggregates predicted stage times by name prefix.
+func phasePrediction(pred core.AppPrediction, prefix string) time.Duration {
+	var total time.Duration
+	for _, s := range pred.Stages {
+		if strings.HasPrefix(s.Name, prefix) {
+			total += s.T
+		}
+	}
+	return total
+}
+
+// --- calibration caches ----------------------------------------------
+//
+// Calibration performs four full simulator runs; experiments and benches
+// reuse the fitted models.
+
+var (
+	calMu    sync.Mutex
+	calCache = map[string]*core.Calibration{}
+)
+
+// calibratedTestbed calibrates a workload on the paper's physical
+// testbed devices. Section V profiles on the evaluation cluster itself
+// (ten slaves) and varies P and the disks, so the sample runs use the
+// same slave count: RDD cache-or-persist decisions depend on cluster
+// memory, and the fitted δ constants must live at the target scale.
+func calibratedTestbed(workload string) (*core.Calibration, error) {
+	return calibrated("testbed/"+workload, func() (*core.Calibration, error) {
+		w := mustWorkload(workload)
+		ssd, hdd := disk.NewSSD(), disk.NewHDD()
+		base := spark.DefaultTestbed(10, 1, ssd, ssd)
+		return core.Calibrate(base, ssd, hdd, w.Build)
+	})
+}
+
+// calibratedCloud calibrates a workload on Google Cloud virtual disks
+// per Section VI-1: 500 GB pd-ssd for the SSD runs, 200 GB pd-standard
+// for the probes.
+func calibratedCloud(workload string) (*core.Calibration, error) {
+	return calibrated("cloud/"+workload, func() (*core.Calibration, error) {
+		w := mustWorkload(workload)
+		ssd := cloud.NewDisk(cloud.PDSSD, 500*units.GB)
+		hdd := cloud.NewDisk(cloud.PDStandard, 200*units.GB)
+		base := spark.DefaultTestbed(3, 1, ssd, ssd)
+		return core.Calibrate(base, ssd, hdd, w.Build)
+	})
+}
+
+func calibrated(key string, build func() (*core.Calibration, error)) (*core.Calibration, error) {
+	calMu.Lock()
+	defer calMu.Unlock()
+	if c, ok := calCache[key]; ok {
+		return c, nil
+	}
+	c, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: calibrating %s: %w", key, err)
+	}
+	calCache[key] = c
+	return c, nil
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be
+	// reproducible, plus the ablations.
+	want := []string{
+		"ablation-gc", "ablation-model", "errorbars",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig2", "fig3", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
+		"gatk4-full", "headline", "multidisk", "ousterhout", "scheduler",
+		"speculation", "tab4", "tab5",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "test", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.Note("note %d", 7)
+	var sb strings.Builder
+	if _, err := tab.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## x", "a", "1", "# note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+// runExperiment executes one experiment and sanity-checks the table.
+func runExperiment(t *testing.T, id string) *Table {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tab.ID != id {
+		t.Errorf("%s: table id %q", id, tab.ID)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	for i, r := range tab.Rows {
+		if len(r) != len(tab.Columns) {
+			t.Errorf("%s row %d: %d cells for %d columns", id, i, len(r), len(tab.Columns))
+		}
+	}
+	if len(tab.Notes) == 0 {
+		t.Errorf("%s: expected paper-comparison notes", id)
+	}
+	return tab
+}
+
+func TestFastExperiments(t *testing.T) {
+	for _, id := range []string{"tab4", "tab5", "fig5", "fig6"} {
+		runExperiment(t, id)
+	}
+}
+
+func TestTableIVContent(t *testing.T) {
+	tab := runExperiment(t, "tab4")
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// MD row: 122 GB HDFS read, 334 GB shuffle write.
+	if tab.Rows[0][1] != "122" || tab.Rows[0][2] != "334" {
+		t.Errorf("MD row = %v", tab.Rows[0])
+	}
+}
+
+func TestFig5Content(t *testing.T) {
+	tab := runExperiment(t, "fig5")
+	// Find the 30 KB row and check the 32x-gap column.
+	for _, r := range tab.Rows {
+		if r[0] != "30KB" {
+			continue
+		}
+		gap, err := strconv.ParseFloat(strings.TrimSuffix(r[5], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap < 28 || gap > 38 {
+			t.Errorf("30KB gap = %v, paper says 32x", gap)
+		}
+		return
+	}
+	t.Fatal("no 30KB row")
+}
+
+func TestMediumExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps")
+	}
+	for _, id := range []string{"fig2", "fig3", "ablation-gc"} {
+		runExperiment(t, id)
+	}
+}
+
+func TestModelValidationExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration + sweeps")
+	}
+	for _, id := range []string{"fig7", "fig9", "fig11", "fig12", "ablation-model"} {
+		runExperiment(t, id)
+	}
+}
+
+// TestAppFigureErrorRates asserts the abstract's headline claim: the
+// calibrated model predicts every Section V workload within 10%
+// average error, and the HDD/SSD gap ratios land near the paper's
+// published values.
+func TestAppFigureErrorRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Section V sweep")
+	}
+	cases := []struct {
+		id       string
+		gapKey   string
+		paperGap float64
+	}{
+		{"fig8a", "gap_dataValidator", 2.0},
+		{"fig8b", "gap_iter", 7.0},
+		{"fig9", "gap_subtract", 6.2},
+		{"fig10", "gap_iter", 2.2},
+		{"fig11", "gap_computeTriangleCount", 6.5},
+		{"fig12", "gap_total", 2.6},
+	}
+	for _, c := range cases {
+		tab := runExperiment(t, c.id)
+		if e := tab.Metrics["avg_error"]; e <= 0 || e > 0.10 {
+			t.Errorf("%s: average model error %.1f%% outside (0,10%%]", c.id, e*100)
+		}
+		gap := tab.Metrics[c.gapKey]
+		if gap < c.paperGap*0.75 || gap > c.paperGap*1.25 {
+			t.Errorf("%s: %s = %.2fx, paper reports %.1fx", c.id, c.gapKey, gap, c.paperGap)
+		}
+	}
+}
+
+func TestIterativeWorkloadExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long iterative sims")
+	}
+	for _, id := range []string{"fig8a", "fig8b", "fig10"} {
+		runExperiment(t, id)
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension sweeps")
+	}
+	eb := runExperiment(t, "errorbars")
+	if s := eb.Metrics["worst_spread"]; s <= 0 || s > 0.10 {
+		t.Errorf("error-bar spread %.1f%% outside (0,10%%]", s*100)
+	}
+	full := runExperiment(t, "gatk4-full")
+	if e := full.Metrics["avg_error"]; e <= 0 || e > 0.10 {
+		t.Errorf("gatk4-full avg error %.1f%%", e*100)
+	}
+	md := runExperiment(t, "multidisk")
+	if e := md.Metrics["avg_error"]; e <= 0 || e > 0.10 {
+		t.Errorf("multidisk avg error %.1f%%", e*100)
+	}
+	sc := runExperiment(t, "scheduler")
+	if r := sc.Metrics["wait_reduction"]; r < 0.2 {
+		t.Errorf("scheduler wait reduction %.0f%%; model-driven SJF should cut waits substantially", r*100)
+	}
+}
+
+func TestCloudExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cloud calibration + grid search")
+	}
+	for _, id := range []string{"fig13", "fig15"} {
+		runExperiment(t, id)
+	}
+	fig14 := runExperiment(t, "fig14")
+	if e := fig14.Metrics["avg_error"]; e <= 0 || e > 0.10 {
+		t.Errorf("fig14: average error %.1f%% outside (0,10%%]", e*100)
+	}
+	head := runExperiment(t, "headline")
+	if s := head.Metrics["saving_R1"]; s < 0.30 || s > 0.46 {
+		t.Errorf("saving vs R1 = %.0f%%, paper reports 38%%", s*100)
+	}
+	if s := head.Metrics["saving_R2"]; s < 0.49 || s > 0.65 {
+		t.Errorf("saving vs R2 = %.0f%%, paper reports 57%%", s*100)
+	}
+}
+
+func TestOusterhoutReconciliation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim sweep")
+	}
+	tab := runExperiment(t, "ousterhout")
+	// On [5]'s cluster shape the gain must stay near their <=19% bound...
+	if g := tab.Metrics["gain_4to1"]; g < 0.05 || g > 0.25 {
+		t.Errorf("4:1 gain = %.0f%%, want near [5]'s <=19%%", g*100)
+	}
+	// ...and invert decisively on the paper's core-rich shape.
+	if g := tab.Metrics["gain_18to1"]; g < 0.4 {
+		t.Errorf("18:1 gain = %.0f%%, I/O should dominate", g*100)
+	}
+}
+
+func TestSpeculationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim sweep")
+	}
+	tab := runExperiment(t, "speculation")
+	if r := tab.Metrics["tail_recovered"]; r < 0.3 {
+		t.Errorf("speculation recovered only %.0f%% of the tail", r*100)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV renders the table as RFC-4180 CSV (notes become trailing
+// comment-style rows prefixed with '#').
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		row := make([]string, len(t.Columns))
+		row[0] = "# " + n
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	var b strings.Builder
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		b.WriteString(" " + esc(c) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		b.WriteString("|")
+		for _, c := range r {
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteString("\n")
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render writes the table in the named format: "text" (default), "csv"
+// or "md".
+func (t *Table) Render(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		_, err := t.WriteTo(w)
+		return err
+	case "csv":
+		return t.WriteCSV(w)
+	case "md", "markdown":
+		return t.WriteMarkdown(w)
+	default:
+		return fmt.Errorf("experiments: unknown format %q (text, csv, md)", format)
+	}
+}

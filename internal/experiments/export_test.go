@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{ID: "x", Title: "sample", Columns: []string{"a", "b"}}
+	t.AddRow("1", "2 | with pipe")
+	t.AddRow("3", "4")
+	t.Note("a note")
+	return t
+}
+
+func TestWriteCSVParsesBack(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 rows + 1 note row
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "a" || rows[1][1] != "2 | with pipe" {
+		t.Errorf("cells = %v", rows)
+	}
+	if !strings.HasPrefix(rows[3][0], "# ") {
+		t.Errorf("note row = %v", rows[3])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### x — sample", "| a | b |", "|---|---|", "2 \\| with pipe", "> a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	for _, f := range []string{"", "text", "csv", "md", "markdown"} {
+		var sb strings.Builder
+		if err := sampleTable().Render(&sb, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("format %q produced nothing", f)
+		}
+	}
+	var sb strings.Builder
+	if err := sampleTable().Render(&sb, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/sched"
+	"repro/internal/spark"
+)
+
+func init() {
+	register(Experiment{ID: "errorbars", Title: "Error bars: five repeat runs of GATK4 (the paper's §II-C methodology)", Run: errorBars})
+	register(Experiment{ID: "gatk4-full", Title: "Extension (§VIII): six-stage GATK4 with BWA and HaplotypeCaller", Run: gatk4Full})
+	register(Experiment{ID: "multidisk", Title: "Extension (§IV-C): model generality over multi-disk arrays", Run: multiDisk})
+	register(Experiment{ID: "scheduler", Title: "Extension (§I): model-driven job scheduling vs FIFO", Run: scheduler})
+}
+
+// errorBars repeats the Fig. 2 measurement with five jitter seeds and
+// reports mean, min and max per stage — the error bars the paper draws
+// on every figure.
+func errorBars() (*Table, error) {
+	w := mustWorkload("gatk4")
+	t := &Table{
+		ID: "errorbars", Title: "GATK4 over five seeds (min), 3 slaves, P=36, 2SSD",
+		Columns: []string{"stage", "mean", "min", "max", "spread"},
+	}
+	const runs = 5
+	stageNames := []string{"MD", "BR", "SF"}
+	times := map[string][]time.Duration{}
+	for seed := 0; seed < runs; seed++ {
+		cfg := spark.DefaultTestbed(3, 36, disk.NewSSD(), disk.NewSSD())
+		cfg.Seed = uint64(seed)
+		res, err := runSim(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range stageNames {
+			times[s] = append(times[s], res.MustStage(s).Duration())
+		}
+	}
+	var worstSpread float64
+	for _, s := range stageNames {
+		var sum, min, max time.Duration
+		min = times[s][0]
+		for _, d := range times[s] {
+			sum += d
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		mean := sum / runs
+		spread := (max - min).Seconds() / mean.Seconds()
+		if spread > worstSpread {
+			worstSpread = spread
+		}
+		t.AddRow(s, fmtMin(mean), fmtMin(min), fmtMin(max), fmtPct(spread))
+	}
+	t.SetMetric("worst_spread", worstSpread)
+	t.Note("the paper reports five-run averages with positive/negative error bars; run-to-run spread here comes from the deterministic task-time jitter seeds")
+	return t, nil
+}
+
+// gatk4Full measures the extended pipeline across the disk configs and
+// checks the model tracks it without recalibration tricks (a fresh
+// calibration on the extended app).
+func gatk4Full() (*Table, error) {
+	cal, err := calibratedTestbed("gatk4-full")
+	if err != nil {
+		return nil, err
+	}
+	w := mustWorkload("gatk4-full")
+	t := &Table{
+		ID: "gatk4-full", Title: "Extended GATK4 (BWA+MD+BR+SF+HC), 10 slaves, P=24 (min)",
+		Columns: []string{"config", "BWA", "MD", "BR", "SF", "HC", "total", "model total", "err"},
+	}
+	var sumErr float64
+	var n int
+	for _, c := range hybridConfigs {
+		cfg := spark.DefaultTestbed(10, 24, c.HDFS(), c.Local())
+		res, err := runSim(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := cal.Model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
+		if err != nil {
+			return nil, err
+		}
+		e := core.ErrorRate(pred.Total, res.Total)
+		sumErr += e
+		n++
+		t.AddRow(c.Name,
+			fmtMin(res.MustStage("BWA").Duration()),
+			fmtMin(res.MustStage("MD").Duration()),
+			fmtMin(res.MustStage("BR").Duration()),
+			fmtMin(res.MustStage("SF").Duration()),
+			fmtMin(res.MustStage("HC").Duration()),
+			fmtMin(res.Total), fmtMin(pred.Total), fmtPct(e))
+	}
+	t.SetMetric("avg_error", sumErr/float64(n))
+	t.Note("BWA and HC are compute-bound and disk-insensitive; the middle stages keep their storage cliff — the extension dilutes but does not remove the paper's conclusion")
+	return t, nil
+}
+
+// multiDisk verifies the paper's Section IV-C claim: the model "relates
+// to disk bandwidth rather than disk number", so a striped array enters
+// through its bandwidth curve and nothing else.
+func multiDisk() (*Table, error) {
+	cal, err := calibratedTestbed("gatk4")
+	if err != nil {
+		return nil, err
+	}
+	w := mustWorkload("gatk4")
+	t := &Table{
+		ID: "multidisk", Title: "GATK4 with striped HDD arrays as Spark Local, 10 slaves, P=24",
+		Columns: []string{"local disks", "BR exp (min)", "BR model (min)", "err", "total exp", "total model", "err"},
+	}
+	var sumErr float64
+	var cells int
+	for _, n := range []int{1, 2, 4, 8} {
+		local := disk.NewArray(disk.NewHDD(), n)
+		cfg := spark.DefaultTestbed(10, 24, disk.NewSSD(), local)
+		res, err := runSim(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := cal.Model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
+		if err != nil {
+			return nil, err
+		}
+		br := res.MustStage("BR").Duration()
+		brPred, _ := pred.Stage("BR")
+		e1 := core.ErrorRate(brPred.T, br)
+		e2 := core.ErrorRate(pred.Total, res.Total)
+		sumErr += e1 + e2
+		cells += 2
+		t.AddRow(fmt.Sprint(n), fmtMin(br), fmtMin(brPred.T), fmtPct(e1),
+			fmtMin(res.Total), fmtMin(pred.Total), fmtPct(e2))
+	}
+	t.SetMetric("avg_error", sumErr/float64(cells))
+	t.Note("the calibration never saw an array; predictions use only the array's profiled bandwidth curve — disk *bandwidth*, not disk count, is what the model consumes")
+	return t, nil
+}
+
+// scheduler quantifies the introduction's use case: a shared cluster
+// running a batch of jobs, FIFO vs shortest-predicted-job-first with
+// Doppio runtime estimates.
+func scheduler() (*Table, error) {
+	specs := []struct {
+		workload string
+	}{
+		{"gatk4"}, {"terasort"}, {"trianglecount"}, {"svm"}, {"lr-small"},
+	}
+	var jobs []sched.Job
+	for _, s := range specs {
+		w := mustWorkload(s.workload)
+		cfg := spark.DefaultTestbed(10, 36, disk.NewSSD(), disk.NewSSD())
+		res, err := runSim(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cal, err := calibratedTestbed(s.workload)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := cal.Model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, sched.Job{
+			Name:      s.workload,
+			Runtime:   res.Total,
+			Predicted: pred.Total,
+		})
+	}
+
+	t := &Table{
+		ID: "scheduler", Title: "Batch of five jobs on a shared 10-slave cluster: average waiting time by policy",
+		Columns: []string{"policy", "avg wait (min)", "avg turnaround (min)", "makespan (min)"},
+	}
+	var fifoWait, sjfWait time.Duration
+	for _, pol := range []sched.Policy{sched.FIFO, sched.SJF, sched.SJFOracle} {
+		out, err := sched.Run(jobs, pol)
+		if err != nil {
+			return nil, err
+		}
+		switch pol {
+		case sched.FIFO:
+			fifoWait = out.AvgWait()
+		case sched.SJF:
+			sjfWait = out.AvgWait()
+		}
+		t.AddRow(pol.String(), fmtMin(out.AvgWait()), fmtMin(out.AvgTurnaround()), fmtMin(out.Makespan()))
+	}
+	if fifoWait > 0 {
+		saving := 1 - sjfWait.Seconds()/fifoWait.Seconds()
+		t.SetMetric("wait_reduction", saving)
+		t.Note("model-driven SJF cuts average waiting time by %s vs FIFO (the paper's §I scheduler claim); the oracle row shows how little the <10%% prediction error costs", fmtPct(saving))
+	}
+	return t, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{ID: "fig5", Title: "Fig. 5: fio IOPS and effective bandwidth vs request size, HDD and SSD", Run: fig5})
+	register(Experiment{ID: "fig6", Title: "Fig. 6: execution phases of the toy example (T=60MB/s, λ=4, BW=120MB/s)", Run: fig6})
+}
+
+// fig5 sweeps both devices with the fio-like microbenchmark.
+func fig5() (*Table, error) {
+	hdd, ssd := disk.NewHDD(), disk.NewSSD()
+	t := &Table{
+		ID: "fig5", Title: "Read IOPS and effective bandwidth vs request size",
+		Columns: []string{"reqsize", "HDD IOPS", "HDD BW", "SSD IOPS", "SSD BW", "SSD/HDD"},
+	}
+	for _, s := range disk.DefaultSweepSizes() {
+		hb, sb := hdd.ReadBandwidth(s), ssd.ReadBandwidth(s)
+		t.AddRow(fmtSize(s),
+			fmt.Sprintf("%.0f", disk.ReadIOPS(hdd, s)),
+			fmtRate(hb),
+			fmt.Sprintf("%.0f", disk.ReadIOPS(ssd, s)),
+			fmtRate(sb),
+			fmtX(float64(sb)/float64(hb)))
+	}
+	t.Note("paper anchors: 15 MB/s vs 480 MB/s at 30KB (32x), 181x at 4KB, 3.7x at 128MB; GATK4 shuffle request size is %v", gatk4ShuffleReqSize)
+	return t, nil
+}
+
+// fig6 simulates the paper's illustration workload and classifies each
+// core count into the three phases, comparing the simulator against the
+// analytic phase formulas.
+func fig6() (*Table, error) {
+	const (
+		tIO  = time.Second     // per-task I/O time at T
+		tCPU = 3 * time.Second // λ = 4
+		m    = 64
+	)
+	bw := units.MBps(120)
+	tt := units.MBps(60)
+	bytesPerTask := units.ByteSize(float64(tt) * tIO.Seconds())
+
+	group := core.GroupModel{
+		Name: "g", Count: m,
+		ComputePerTask: tCPU,
+		Ops: []core.OpModel{{
+			Kind:         spark.OpShuffleRead,
+			BytesPerTask: bytesPerTask,
+			ReqSize:      bytesPerTask,
+			T:            tt,
+		}},
+	}
+	stage := core.StageModel{Name: "fig6", Groups: []core.GroupModel{group}}
+
+	flat := disk.MustCurve([]disk.CurvePoint{
+		{ReqSize: units.KB, Bandwidth: bw}, {ReqSize: units.GB, Bandwidth: bw},
+	})
+
+	t := &Table{
+		ID: "fig6", Title: "Execution phases: simulator vs Eq. 1 (M=64 tasks, 1 node)",
+		Columns: []string{"P", "phase", "sim (s)", "model (s)", "bottleneck"},
+	}
+	dev := constDevice{rate: bw}
+	for _, p := range []int{1, 2, 4, 8, 12, 16, 32} {
+		pl := core.Platform{
+			N: 1, P: p,
+			Curves:      core.Curves{HDFSRead: flat, HDFSWrite: flat, LocalRead: flat, LocalWrite: flat},
+			Replication: 1,
+			BlockSize:   128 * units.MB,
+		}
+		bp, err := group.Analyze(0, pl)
+		if err != nil {
+			return nil, err
+		}
+		pred := stage.Predict(pl, core.ModeDoppio)
+
+		cfg := spark.DefaultTestbed(1, p, dev, dev)
+		cfg.TaskLaunchOverhead = 0
+		cfg.StageSetupOverhead = 0
+		cfg.ModelNetwork = false
+		app := spark.App{Name: "fig6", Stages: []spark.Stage{{
+			Name: "s",
+			Groups: []spark.TaskGroup{{
+				Name: "g", Count: m,
+				Ops: []spark.Op{spark.IOC(spark.OpShuffleRead, bytesPerTask, bytesPerTask, tt, tCPU)},
+			}},
+		}}}
+		res, err := spark.Run(cfg, app)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(p), bp.Classify(p).String(),
+			fmt.Sprintf("%.1f", res.Total.Seconds()),
+			fmt.Sprintf("%.1f", pred.T.Seconds()),
+			pred.Bottleneck)
+	}
+	t.Note("b = BW/T = 2, B = λ·b = 8: runtime scales up to P=8, then plateaus at D/BW")
+	return t, nil
+}
+
+// constDevice is a request-size-independent device for the toy example.
+type constDevice struct{ rate units.Rate }
+
+func (c constDevice) Name() string                             { return "const" }
+func (c constDevice) Kind() disk.Type                          { return disk.SSD }
+func (c constDevice) ReadBandwidth(units.ByteSize) units.Rate  { return c.rate }
+func (c constDevice) WriteBandwidth(units.ByteSize) units.Rate { return c.rate }

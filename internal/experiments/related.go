@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/profile"
+	"repro/internal/spark"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ousterhout",
+		Title: "Section VII-A reconciliation: why [5] found I/O irrelevant for SQL — and when it stops being true",
+		Run:   ousterhout,
+	})
+}
+
+// ousterhout runs the low-I/O-intensity SQL workload on [5]'s 4:1
+// CPU:disk shape and on the paper's core-rich 18:1 shape, measuring the
+// HDD→SSD improvement and the blocked-time fraction in both.
+func ousterhout() (*Table, error) {
+	w := mustWorkload("sql")
+	t := &Table{
+		ID:    "ousterhout",
+		Title: "SQL query: HDD->SSD improvement and blocked time by cluster shape (10 slaves)",
+		Columns: []string{
+			"cluster shape", "P", "HDD (min)", "SSD (min)", "I/O optimisation gain", "blocked on HDD",
+		},
+	}
+	type shape struct {
+		name string
+		p    int
+	}
+	var gains []float64
+	for _, sh := range []shape{
+		{"[5]-like 4:1 CPU:disk", 8},
+		{"paper-like 18:1 CPU:disk", 36},
+	} {
+		hddCfg := spark.DefaultTestbed(10, sh.p, disk.NewHDD(), disk.NewHDD())
+		hdd, err := runSim(w, hddCfg)
+		if err != nil {
+			return nil, err
+		}
+		ssd, err := runSim(w, spark.DefaultTestbed(10, sh.p, disk.NewSSD(), disk.NewSSD()))
+		if err != nil {
+			return nil, err
+		}
+		gain := 1 - ssd.Total.Seconds()/hdd.Total.Seconds()
+		gains = append(gains, gain)
+
+		var blocked, taskTime float64
+		for _, b := range profile.BlockedTimeAnalysis(hdd) {
+			blocked += b.Blocked.Seconds()
+			taskTime += b.TaskTime.Seconds()
+		}
+		frac := 0.0
+		if taskTime > 0 {
+			frac = blocked / taskTime
+		}
+		t.AddRow(sh.name, fmt.Sprint(sh.p),
+			fmtMin(hdd.Total), fmtMin(ssd.Total), fmtPct(gain), fmtPct(frac))
+	}
+	t.SetMetric("gain_4to1", gains[0])
+	t.SetMetric("gain_18to1", gains[1])
+	t.Note("[5] reports <=19%% runtime reduction from eliminating disk I/O on SQL workloads; with their ~10 MB/s-per-core intensity and 4:1 shape the reproduction agrees — and the model predicts the same query turns I/O-bound once the core count outruns the disks (the paper's §VII-A explanation: apply their numbers to Eq. 1)")
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "speculation",
+		Title: "Extension: straggler tails and Spark speculative execution",
+		Run:   speculation,
+	})
+}
+
+// speculation measures a BR-like shuffle stage under injected stragglers
+// with and without speculative re-execution — the mitigation behind the
+// straggler factor Ousterhout et al. decompose alongside disk and
+// network.
+func speculation() (*Table, error) {
+	app := spark.App{Name: "spec", Stages: []spark.Stage{{
+		Name: "recal",
+		Groups: []spark.TaskGroup{{
+			Name:  "reduce",
+			Count: 2000,
+			Ops: []spark.Op{
+				spark.IOC(spark.OpShuffleRead, 27*units.MB, 28*units.KB,
+					units.MBps(60), 8550*time.Millisecond),
+			},
+		}},
+	}}}
+
+	t := &Table{
+		ID:    "speculation",
+		Title: "BR-like stage (2000 tasks) on SSDs, 10 slaves, P=36: straggler tail vs speculation",
+		Columns: []string{
+			"stragglers", "speculation", "stage time (min)", "vs clean",
+		},
+	}
+	runCase := func(frac float64, spec bool) (time.Duration, error) {
+		cfg := spark.DefaultTestbed(10, 36, disk.NewSSD(), disk.NewSSD())
+		cfg.StragglerFraction = frac
+		cfg.StragglerSlowdown = 5
+		cfg.Speculation = spec
+		cfg.SpeculationMultiplier = 1.5
+		res, err := spark.Run(cfg, app)
+		if err != nil {
+			return 0, err
+		}
+		return res.Total, nil
+	}
+	clean, err := runCase(0, false)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("none", "off", fmtMin(clean), "1.0x")
+	var tail, recovered time.Duration
+	for _, spec := range []bool{false, true} {
+		d, err := runCase(0.02, spec)
+		if err != nil {
+			return nil, err
+		}
+		label := "off"
+		if spec {
+			label = "on"
+			recovered = d
+		} else {
+			tail = d
+		}
+		t.AddRow("2% at 5x", label, fmtMin(d), fmtX(d.Seconds()/clean.Seconds()))
+	}
+	if tail > clean {
+		frac := 1 - float64(recovered-clean)/float64(tail-clean)
+		t.SetMetric("tail_recovered", frac)
+		t.Note("speculative re-execution recovers %s of the straggler-induced excess", fmtPct(frac))
+	}
+	return t, nil
+}

@@ -1,0 +1,203 @@
+// Package genome provides a synthetic read-level substrate for the
+// GATK4 pipeline: a deterministic generator of aligned short reads
+// (with PCR duplicates and base-quality errors injected at known
+// rates), plus the three pipeline transforms the paper profiles —
+// duplicate marking, base-quality recalibration and the final save —
+// implemented for real over the mini-RDD engine.
+//
+// The paper's genome (HCC1954, 122 GB) is not redistributable; this
+// package generates workloads with the same *structure*: reads grouped
+// by alignment position with duplicates to collapse, quality scores to
+// recalibrate against an empirical error model, and an output
+// re-serialisation. Tests validate the transforms semantically (every
+// duplicate found, recalibration converges toward the injected error
+// rates), and the traced I/O feeds the performance model exactly as the
+// real tool's profile does.
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Read is one aligned short read.
+type Read struct {
+	// Name identifies the physical DNA fragment the read came from.
+	Name string
+	// Chrom and Pos are the alignment coordinates.
+	Chrom int
+	Pos   int
+	// Seq is the nucleotide string.
+	Seq string
+	// Qual holds per-base quality scores (Phred-like, 0–60): the
+	// sequencer's *claimed* error probabilities, which BQSR corrects.
+	Qual []byte
+	// ReadGroup tags the sequencing lane/run, a BQSR covariate.
+	ReadGroup int
+	// Duplicate is set by MarkDuplicates.
+	Duplicate bool
+	// ErrInjected marks bases the generator actually corrupted — the
+	// ground truth the synthetic substrate substitutes for the known
+	// SNP sites the real BQSR uses. Exported so it survives the
+	// engine's gob-encoded shuffle like any other read field.
+	ErrInjected []bool
+}
+
+// Key returns the duplicate-grouping key: reads from different physical
+// fragments that align to the same coordinates are PCR/optical
+// duplicates (the MarkDuplicates criterion).
+func (r Read) Key() PosKey { return PosKey{Chrom: r.Chrom, Pos: r.Pos} }
+
+// PosKey is an alignment coordinate.
+type PosKey struct {
+	Chrom int
+	Pos   int
+}
+
+// String renders the key like "chr2:12345".
+func (k PosKey) String() string { return fmt.Sprintf("chr%d:%d", k.Chrom, k.Pos) }
+
+// GenParams shapes the synthetic sequencing run.
+type GenParams struct {
+	// Reads is the total read count.
+	Reads int
+	// ReadLen is the bases per read (the paper's genome: ~101).
+	ReadLen int
+	// Chroms is the chromosome count.
+	Chroms int
+	// PosRange is the coordinate space per chromosome.
+	PosRange int
+	// DupFraction is the probability a read is a PCR duplicate of the
+	// previous read (GATK pipelines typically see 5–25%).
+	DupFraction float64
+	// ReadGroups is the number of lanes.
+	ReadGroups int
+	// TrueErrRate[g] is lane g's real per-base error rate; the
+	// generator emits *miscalibrated* quality scores (claimedQual) so
+	// BQSR has something to fix.
+	TrueErrRate []float64
+	// ClaimedQual[g] is the constant quality score lane g claims.
+	ClaimedQual []byte
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// DefaultGenParams returns a small, structurally faithful run: two
+// lanes, one optimistic and one pessimistic about their real error
+// rates.
+func DefaultGenParams(reads int) GenParams {
+	return GenParams{
+		Reads:       reads,
+		ReadLen:     101,
+		Chroms:      4,
+		PosRange:    500_000,
+		DupFraction: 0.15,
+		ReadGroups:  2,
+		// Lane 0 claims Q30 (0.1% error) but really errs at 1%; lane 1
+		// claims Q20 (1%) but really errs at 0.1%.
+		TrueErrRate: []float64{0.01, 0.001},
+		ClaimedQual: []byte{30, 20},
+		Seed:        1,
+	}
+}
+
+var bases = []byte("ACGT")
+
+// Generate produces the reads of one synthetic sequencing run,
+// partitioned for the RDD engine.
+func Generate(p GenParams, partitions int) ([][]Read, error) {
+	if p.Reads <= 0 || p.ReadLen <= 0 || partitions <= 0 {
+		return nil, fmt.Errorf("genome: Reads, ReadLen and partitions must be positive")
+	}
+	if p.ReadGroups <= 0 || len(p.TrueErrRate) != p.ReadGroups || len(p.ClaimedQual) != p.ReadGroups {
+		return nil, fmt.Errorf("genome: need TrueErrRate and ClaimedQual per read group")
+	}
+	out := make([][]Read, partitions)
+	for part := 0; part < partitions; part++ {
+		rng := rand.New(rand.NewSource(p.Seed + int64(part)*7919))
+		lo := part * p.Reads / partitions
+		hi := (part + 1) * p.Reads / partitions
+		var prev *Read
+		for i := lo; i < hi; i++ {
+			var r Read
+			if prev != nil && rng.Float64() < p.DupFraction {
+				// A PCR duplicate: same coordinates and sequence origin,
+				// different fragment name, independent sequencing errors.
+				r = cloneForDup(*prev, i, rng, p)
+			} else {
+				r = freshRead(i, rng, p)
+				prev = &r
+			}
+			out[part] = append(out[part], r)
+		}
+	}
+	return out, nil
+}
+
+func freshRead(i int, rng *rand.Rand, p GenParams) Read {
+	g := rng.Intn(p.ReadGroups)
+	seq := make([]byte, p.ReadLen)
+	for j := range seq {
+		seq[j] = bases[rng.Intn(4)]
+	}
+	r := Read{
+		Name:      fmt.Sprintf("frag-%08d", i),
+		Chrom:     rng.Intn(p.Chroms) + 1,
+		Pos:       rng.Intn(p.PosRange),
+		ReadGroup: g,
+	}
+	applyErrors(&r, seq, rng, p)
+	return r
+}
+
+func cloneForDup(orig Read, i int, rng *rand.Rand, p GenParams) Read {
+	r := Read{
+		Name:      fmt.Sprintf("frag-%08d", i),
+		Chrom:     orig.Chrom,
+		Pos:       orig.Pos,
+		ReadGroup: orig.ReadGroup,
+	}
+	applyErrors(&r, []byte(strings.ToUpper(orig.Seq)), rng, p)
+	return r
+}
+
+// applyErrors corrupts bases at the lane's true error rate while
+// claiming the lane's fixed quality score.
+func applyErrors(r *Read, template []byte, rng *rand.Rand, p GenParams) {
+	g := r.ReadGroup
+	seq := make([]byte, len(template))
+	copy(seq, template)
+	qual := make([]byte, len(seq))
+	injected := make([]bool, len(seq))
+	for j := range seq {
+		qual[j] = p.ClaimedQual[g]
+		if rng.Float64() < p.TrueErrRate[g] {
+			orig := seq[j]
+			for seq[j] == orig {
+				seq[j] = bases[rng.Intn(4)]
+			}
+			injected[j] = true
+		}
+	}
+	r.Seq = string(seq)
+	r.Qual = qual
+	r.ErrInjected = injected
+}
+
+// Bytes approximates the read's serialised size (name + coordinates +
+// sequence + qualities), used for I/O accounting.
+func (r Read) Bytes() int {
+	return len(r.Name) + 12 + len(r.Seq) + len(r.Qual)
+}
+
+// InjectedErrors counts ground-truth corrupted bases.
+func (r Read) InjectedErrors() int {
+	n := 0
+	for _, e := range r.ErrInjected {
+		if e {
+			n++
+		}
+	}
+	return n
+}

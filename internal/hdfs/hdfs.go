@@ -1,0 +1,430 @@
+// Package hdfs is a miniature in-memory Hadoop Distributed File System:
+// a namenode that splits files into fixed-size blocks and places
+// replicas across datanodes, plus readers that prefer local replicas.
+// It supplies the input side of the mini-RDD engine (one partition per
+// block, which is exactly how the paper's M — the map task count — comes
+// about: M = 122 GB / 128 MB = 973 for the whole genome) and lets tests
+// exercise replication, balance and datanode failure.
+package hdfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// Config shapes the filesystem, mirroring the paper's Table II.
+type Config struct {
+	// BlockSize is dfs.blocksize (128 MB in the paper; tests use small
+	// values).
+	BlockSize units.ByteSize
+	// Replication is dfs.replication (2 in the paper).
+	Replication int
+	// Nodes is the datanode count.
+	Nodes int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.BlockSize <= 0:
+		return fmt.Errorf("hdfs: BlockSize must be positive")
+	case c.Replication <= 0:
+		return fmt.Errorf("hdfs: Replication must be positive")
+	case c.Nodes <= 0:
+		return fmt.Errorf("hdfs: Nodes must be positive")
+	case c.Replication > c.Nodes:
+		return fmt.Errorf("hdfs: Replication %d exceeds %d nodes", c.Replication, c.Nodes)
+	}
+	return nil
+}
+
+// Block is one placed file block.
+type Block struct {
+	// Index is the block's position within its file.
+	Index int
+	// Size is the block's byte length (the last block may be short).
+	Size units.ByteSize
+	// Replicas are the datanode ids holding a copy.
+	Replicas []int
+}
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Name   string
+	Size   units.ByteSize
+	Blocks []Block
+}
+
+// NumBlocks returns the block count — the natural partition count for
+// a computation over the file.
+func (f FileInfo) NumBlocks() int { return len(f.Blocks) }
+
+type datanode struct {
+	id     int
+	alive  bool
+	used   units.ByteSize
+	blocks map[string][]byte // key: file/blockIndex
+}
+
+func blockKey(file string, idx int) string { return fmt.Sprintf("%s/%d", file, idx) }
+
+// FileSystem is the namenode plus its datanodes.
+type FileSystem struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	nodes []*datanode
+	files map[string]*FileInfo
+
+	localBytes  units.ByteSize
+	remoteBytes units.ByteSize
+}
+
+// New creates an empty filesystem.
+func New(cfg Config) (*FileSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &FileSystem{cfg: cfg, files: map[string]*FileInfo{}}
+	for i := 0; i < cfg.Nodes; i++ {
+		fs.nodes = append(fs.nodes, &datanode{id: i, alive: true, blocks: map[string][]byte{}})
+	}
+	return fs, nil
+}
+
+// Config returns the filesystem configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// List returns the stored file names, sorted.
+func (fs *FileSystem) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stat returns a file's metadata.
+func (fs *FileSystem) Stat(name string) (FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("hdfs: no such file %q", name)
+	}
+	return *f, nil
+}
+
+// Delete removes a file and its block replicas.
+func (fs *FileSystem) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("hdfs: no such file %q", name)
+	}
+	for _, b := range f.Blocks {
+		for _, nid := range b.Replicas {
+			n := fs.nodes[nid]
+			key := blockKey(name, b.Index)
+			if data, ok := n.blocks[key]; ok {
+				n.used -= units.ByteSize(len(data))
+				delete(n.blocks, key)
+			}
+		}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// KillNode marks a datanode dead: its replicas become unreadable and it
+// receives no new blocks. Reads fall back to surviving replicas.
+func (fs *FileSystem) KillNode(id int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id < 0 || id >= len(fs.nodes) {
+		return fmt.Errorf("hdfs: no node %d", id)
+	}
+	fs.nodes[id].alive = false
+	return nil
+}
+
+// ReviveNode brings a datanode back (its stored blocks become readable
+// again; this mini filesystem does not re-replicate).
+func (fs *FileSystem) ReviveNode(id int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id < 0 || id >= len(fs.nodes) {
+		return fmt.Errorf("hdfs: no node %d", id)
+	}
+	fs.nodes[id].alive = true
+	return nil
+}
+
+// NodeUsage returns the stored bytes per datanode — the balance the
+// placement policy maintains.
+func (fs *FileSystem) NodeUsage() []units.ByteSize {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]units.ByteSize, len(fs.nodes))
+	for i, n := range fs.nodes {
+		out[i] = n.used
+	}
+	return out
+}
+
+// LocalityStats reports bytes served from the reader's preferred node
+// vs elsewhere (the data-locality concern of the paper's related work,
+// Opass [44]).
+func (fs *FileSystem) LocalityStats() (local, remote units.ByteSize) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.localBytes, fs.remoteBytes
+}
+
+// placeReplicas picks Replication distinct alive nodes with the least
+// used space (the namenode's balance heuristic).
+func (fs *FileSystem) placeReplicas() ([]int, error) {
+	type cand struct {
+		id   int
+		used units.ByteSize
+	}
+	var cands []cand
+	for _, n := range fs.nodes {
+		if n.alive {
+			cands = append(cands, cand{n.id, n.used})
+		}
+	}
+	if len(cands) < fs.cfg.Replication {
+		return nil, fmt.Errorf("hdfs: only %d alive nodes for replication %d", len(cands), fs.cfg.Replication)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].used != cands[j].used {
+			return cands[i].used < cands[j].used
+		}
+		return cands[i].id < cands[j].id
+	})
+	out := make([]int, fs.cfg.Replication)
+	for i := range out {
+		out[i] = cands[i].id
+	}
+	return out, nil
+}
+
+// Writer streams a new file into the filesystem, sealing a block every
+// BlockSize bytes.
+type Writer struct {
+	fs     *FileSystem
+	name   string
+	buf    []byte
+	info   *FileInfo
+	closed bool
+}
+
+// Create starts writing a new file. The file becomes visible at Close.
+func (fs *FileSystem) Create(name string) (*Writer, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, dup := fs.files[name]; dup {
+		return nil, fmt.Errorf("hdfs: file %q exists", name)
+	}
+	return &Writer{fs: fs, name: name, info: &FileInfo{Name: name}}, nil
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("hdfs: write to closed writer")
+	}
+	w.buf = append(w.buf, p...)
+	for units.ByteSize(len(w.buf)) >= w.fs.cfg.BlockSize {
+		if err := w.seal(w.buf[:w.fs.cfg.BlockSize]); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[w.fs.cfg.BlockSize:]
+	}
+	return len(p), nil
+}
+
+func (w *Writer) seal(data []byte) error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	replicas, err := w.fs.placeReplicas()
+	if err != nil {
+		return err
+	}
+	idx := len(w.info.Blocks)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	for _, nid := range replicas {
+		n := w.fs.nodes[nid]
+		n.blocks[blockKey(w.name, idx)] = cp
+		n.used += units.ByteSize(len(cp))
+	}
+	w.info.Blocks = append(w.info.Blocks, Block{Index: idx, Size: units.ByteSize(len(cp)), Replicas: replicas})
+	w.info.Size += units.ByteSize(len(cp))
+	return nil
+}
+
+// Close seals the trailing partial block and publishes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.seal(w.buf); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.fs.files[w.name] = w.info
+	return nil
+}
+
+// Reader reads a stored file with positional access, preferring a given
+// node's replicas (−1 means no preference).
+type Reader struct {
+	fs        *FileSystem
+	info      FileInfo
+	name      string
+	preferred int
+	offset    int64
+}
+
+// Open returns a reader with no locality preference.
+func (fs *FileSystem) Open(name string) (*Reader, error) { return fs.OpenAt(name, -1) }
+
+// OpenAt returns a reader that prefers replicas on the given node.
+func (fs *FileSystem) OpenAt(name string, preferredNode int) (*Reader, error) {
+	info, err := fs.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{fs: fs, info: info, name: name, preferred: preferredNode}, nil
+}
+
+// Size returns the file length.
+func (r *Reader) Size() units.ByteSize { return r.info.Size }
+
+// ReadAt implements io.ReaderAt across block boundaries.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("hdfs: negative offset")
+	}
+	total := 0
+	for total < len(p) {
+		if off >= int64(r.info.Size) {
+			return total, io.EOF
+		}
+		bi := int(off / int64(r.fs.cfg.BlockSize))
+		within := off % int64(r.fs.cfg.BlockSize)
+		data, local, err := r.fs.blockData(r.name, r.info.Blocks[bi], r.preferred)
+		if err != nil {
+			return total, err
+		}
+		n := copy(p[total:], data[within:])
+		r.fs.account(units.ByteSize(n), local)
+		total += n
+		off += int64(n)
+		if n == 0 {
+			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	n, err := r.ReadAt(p, r.offset)
+	r.offset += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.offset
+	case io.SeekEnd:
+		base = int64(r.info.Size)
+	default:
+		return 0, fmt.Errorf("hdfs: bad whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("hdfs: seek before start")
+	}
+	r.offset = pos
+	return pos, nil
+}
+
+func (fs *FileSystem) blockData(name string, b Block, preferred int) ([]byte, bool, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	// Prefer the local replica, then any alive one.
+	order := append([]int(nil), b.Replicas...)
+	sort.Slice(order, func(i, j int) bool {
+		return (order[i] == preferred) && (order[j] != preferred)
+	})
+	for _, nid := range order {
+		n := fs.nodes[nid]
+		if !n.alive {
+			continue
+		}
+		if data, ok := n.blocks[blockKey(name, b.Index)]; ok {
+			return data, nid == preferred, nil
+		}
+	}
+	return nil, false, fmt.Errorf("hdfs: block %d of %q has no alive replica", b.Index, name)
+}
+
+func (fs *FileSystem) account(n units.ByteSize, local bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if local {
+		fs.localBytes += n
+	} else {
+		fs.remoteBytes += n
+	}
+}
+
+// WriteFile is a convenience that stores data as a file.
+func (fs *FileSystem) WriteFile(name string, data []byte) error {
+	w, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// ReadFile returns the whole file.
+func (fs *FileSystem) ReadFile(name string) ([]byte, error) {
+	r, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, r.Size())
+	if len(out) == 0 {
+		return out, nil
+	}
+	if _, err := r.ReadAt(out, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func newFS(t *testing.T, block units.ByteSize, repl, nodes int) *FileSystem {
+	t.Helper()
+	fs, err := New(Config{BlockSize: block, Replication: repl, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{BlockSize: 1, Replication: 0, Nodes: 1},
+		{BlockSize: 1, Replication: 3, Nodes: 2},
+		{BlockSize: 0, Replication: 1, Nodes: 1},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config accepted: %+v", c)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, 1024, 2, 4)
+	data := bytes.Repeat([]byte("0123456789abcdef"), 1000) // 16000 B -> 16 blocks
+	if err := fs.WriteFile("genome.bam", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("genome.bam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted data")
+	}
+	info, err := fs.Stat("genome.bam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16000/1024 = 15 full blocks + one 640 B tail.
+	if info.NumBlocks() != 16 {
+		t.Errorf("blocks = %d, want 16", info.NumBlocks())
+	}
+	if info.Blocks[15].Size != 640 {
+		t.Errorf("tail block = %d bytes", info.Blocks[15].Size)
+	}
+	for _, b := range info.Blocks {
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d has %d replicas", b.Index, len(b.Replicas))
+		}
+		if b.Replicas[0] == b.Replicas[1] {
+			t.Errorf("block %d replicas on the same node", b.Index)
+		}
+	}
+}
+
+// TestBlockCountDrivesTaskCount reproduces the paper's M arithmetic:
+// a 122 GB file with 128 MB blocks yields 976 blocks (map tasks).
+func TestBlockCountDrivesTaskCount(t *testing.T) {
+	fs := newFS(t, 128, 2, 4) // scaled: 1 B here = 1 MB
+	data := make([]byte, 122*1024)
+	if err := fs.WriteFile("wgs", data); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("wgs")
+	if info.NumBlocks() != 976 {
+		t.Errorf("blocks = %d, want 976 (= ceil(122*1024/128))", info.NumBlocks())
+	}
+}
+
+func TestPlacementBalance(t *testing.T) {
+	fs := newFS(t, 100, 2, 5)
+	for i := 0; i < 20; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("f%02d", i), make([]byte, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	usage := fs.NodeUsage()
+	// 20 files x 5 blocks x 2 replicas x 100 B = 20000 B over 5 nodes:
+	// perfectly balanceable at 4000 B each; allow modest skew.
+	var min, max units.ByteSize = 1 << 62, 0
+	for _, u := range usage {
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	if float64(max) > 1.3*float64(min) {
+		t.Errorf("placement imbalance: %v", usage)
+	}
+}
+
+func TestReplicationSurvivesNodeFailure(t *testing.T) {
+	fs := newFS(t, 64, 2, 3)
+	data := bytes.Repeat([]byte("x"), 640)
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("f")
+	if err != nil {
+		t.Fatalf("read after one failure: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted after failover")
+	}
+	// Kill a second node: with replication 2 some block must lose both
+	// replicas.
+	if err := fs.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("f"); err == nil {
+		t.Error("read succeeded with both replicas dead")
+	}
+	// Revive and read again.
+	if err := fs.ReviveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("f"); err != nil {
+		t.Errorf("read after revive: %v", err)
+	}
+}
+
+func TestWriteFailsWithoutEnoughAliveNodes(t *testing.T) {
+	fs := newFS(t, 64, 2, 2)
+	if err := fs.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	err := fs.WriteFile("f", make([]byte, 100))
+	if err == nil {
+		t.Error("write accepted with fewer alive nodes than replication")
+	}
+}
+
+func TestLocalityAccounting(t *testing.T) {
+	fs := newFS(t, 128, 2, 2) // two nodes, replication 2: everything is everywhere
+	data := make([]byte, 1024)
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.OpenAt("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	local, remote := fs.LocalityStats()
+	if local != 1024 || remote != 0 {
+		t.Errorf("local=%v remote=%v; with full replication all reads should be local", local, remote)
+	}
+}
+
+func TestReaderSeekRead(t *testing.T) {
+	fs := newFS(t, 16, 1, 1)
+	data := []byte("abcdefghijklmnopqrstuvwxyz0123456789")
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Seek(10, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "klmnopqrst" {
+		t.Errorf("read %q", buf)
+	}
+	if _, err := r.Seek(-5, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(rest) != "56789" {
+		t.Errorf("tail = %q", rest)
+	}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Error("seek before start accepted")
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	fs := newFS(t, 64, 2, 3)
+	if err := fs.WriteFile("f", make([]byte, 640)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range fs.NodeUsage() {
+		if u != 0 {
+			t.Errorf("node %d still holds %v", i, u)
+		}
+	}
+	if err := fs.Delete("f"); err == nil {
+		t.Error("double delete accepted")
+	}
+	if len(fs.List()) != 0 {
+		t.Error("file still listed")
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := newFS(t, 64, 1, 1)
+	if err := fs.WriteFile("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("f"); err == nil {
+		t.Error("duplicate create accepted")
+	}
+}
+
+// TestRoundTripProperty: any content round-trips through any block size.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte, blockSz uint8) bool {
+		fs, err := New(Config{
+			BlockSize:   units.ByteSize(blockSz%200) + 1,
+			Replication: 2,
+			Nodes:       3,
+		})
+		if err != nil {
+			return false
+		}
+		if err := fs.WriteFile("f", data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("f")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := newFS(t, 64, 1, 1)
+	if err := fs.WriteFile("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty file read %d bytes", len(got))
+	}
+	info, _ := fs.Stat("empty")
+	if info.NumBlocks() != 0 {
+		t.Errorf("empty file has %d blocks", info.NumBlocks())
+	}
+}

@@ -1,0 +1,266 @@
+// Package optimizer solves the paper's Section VI configuration
+// problem: minimise Cost = f(P, DiskTypes, DiskSize_HDFS,
+// DiskSize_Local, Time) over the Google Cloud provisioning space, where
+// Time comes from the calibrated Doppio model (so the search costs
+// model evaluations, not cluster-hours).
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// Evaluator predicts the application runtime on a candidate
+// configuration.
+type Evaluator func(spec cloud.ClusterSpec) (time.Duration, error)
+
+// ModelEvaluator builds an Evaluator from a calibrated Doppio model:
+// profile the candidate's virtual disks, assemble the platform, apply
+// Eq. 1. This is what makes exploring thousands of configurations
+// feasible.
+func ModelEvaluator(model core.AppModel) Evaluator {
+	return func(spec cloud.ClusterSpec) (time.Duration, error) {
+		cfg := spec.ClusterConfig()
+		pred, err := model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
+		if err != nil {
+			return 0, err
+		}
+		return pred.Total, nil
+	}
+}
+
+// SimEvaluator builds an Evaluator that runs the full cluster simulator
+// — the "measured" side used to verify the optimizer's picks (paper
+// Section VI-2).
+func SimEvaluator(build func(spark.ClusterConfig) spark.App) Evaluator {
+	return func(spec cloud.ClusterSpec) (time.Duration, error) {
+		cfg := spec.ClusterConfig()
+		res, err := spark.Run(cfg, build(cfg))
+		if err != nil {
+			return 0, err
+		}
+		return res.Total, nil
+	}
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Spec cloud.ClusterSpec
+	Time time.Duration
+	Cost float64
+}
+
+// Space is the discrete search space.
+type Space struct {
+	Slaves     int
+	VCPUs      []int
+	HDFSTypes  []cloud.DiskType
+	HDFSSizes  []units.ByteSize
+	LocalTypes []cloud.DiskType
+	LocalSizes []units.ByteSize
+}
+
+// DefaultSpace mirrors the paper's exploration: 16-vCPU workers (their
+// fixed choice from [33]) plus smaller machines, disk sizes from 20 GB
+// to 3.2 TB, both disk types for Spark Local, pd-standard for HDFS
+// (the paper reports SSD HDFS brings no further savings — the optimizer
+// can check that by including it).
+func DefaultSpace(slaves int) Space {
+	sizes := []units.ByteSize{
+		20 * units.GB, 50 * units.GB, 100 * units.GB, 200 * units.GB,
+		500 * units.GB, units.TB, 2 * units.TB, ByteTB(3.2),
+	}
+	return Space{
+		Slaves:     slaves,
+		VCPUs:      []int{4, 8, 16, 32},
+		HDFSTypes:  []cloud.DiskType{cloud.PDStandard, cloud.PDSSD},
+		HDFSSizes:  []units.ByteSize{500 * units.GB, units.TB, 2 * units.TB, 4 * units.TB},
+		LocalTypes: []cloud.DiskType{cloud.PDStandard, cloud.PDSSD},
+		LocalSizes: sizes,
+	}
+}
+
+// ByteTB builds fractional-terabyte sizes (3.2 TB appears throughout
+// the paper's sweeps).
+func ByteTB(v float64) units.ByteSize {
+	return units.ByteSize(v * 1024 * 1024 * float64(units.MB))
+}
+
+// Size reports the number of candidate configurations in the space.
+func (s Space) Size() int {
+	return len(s.VCPUs) * len(s.HDFSTypes) * len(s.HDFSSizes) * len(s.LocalTypes) * len(s.LocalSizes)
+}
+
+// GridSearch evaluates the full space and returns candidates sorted by
+// cost (cheapest first).
+func GridSearch(space Space, eval Evaluator, pricing cloud.Pricing) ([]Candidate, error) {
+	if space.Size() == 0 {
+		return nil, fmt.Errorf("optimizer: empty search space")
+	}
+	var out []Candidate
+	for _, v := range space.VCPUs {
+		for _, ht := range space.HDFSTypes {
+			for _, hs := range space.HDFSSizes {
+				for _, lt := range space.LocalTypes {
+					for _, ls := range space.LocalSizes {
+						spec := cloud.ClusterSpec{
+							Slaves: space.Slaves, VCPUs: v,
+							HDFSType: ht, HDFSSize: hs,
+							LocalType: lt, LocalSize: ls,
+						}
+						d, err := eval(spec)
+						if err != nil {
+							return nil, fmt.Errorf("optimizer: evaluating %v: %w", spec, err)
+						}
+						out = append(out, Candidate{Spec: spec, Time: d, Cost: spec.Cost(d, pricing)})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out, nil
+}
+
+// Best returns the cheapest candidate of a sorted or unsorted list.
+func Best(cands []Candidate) (Candidate, error) {
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("optimizer: no candidates")
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Cost < best.Cost {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// CoordinateDescent performs the paper's gradient-descent-style search:
+// from a starting spec, repeatedly move one coordinate (vCPUs, disk
+// type, either disk size) to the neighbouring value that lowers cost,
+// until no single move helps. It evaluates far fewer points than the
+// grid and, on the convex-ish cost surfaces of Section VI, finds the
+// same optimum.
+func CoordinateDescent(space Space, start cloud.ClusterSpec, eval Evaluator, pricing cloud.Pricing) (Candidate, int, error) {
+	evals := 0
+	score := func(s cloud.ClusterSpec) (Candidate, error) {
+		evals++
+		d, err := eval(s)
+		if err != nil {
+			return Candidate{}, err
+		}
+		return Candidate{Spec: s, Time: d, Cost: s.Cost(d, pricing)}, nil
+	}
+	cur, err := score(start)
+	if err != nil {
+		return Candidate{}, evals, err
+	}
+	for {
+		improved := false
+		for _, n := range neighbours(space, cur.Spec) {
+			c, err := score(n)
+			if err != nil {
+				return Candidate{}, evals, err
+			}
+			if c.Cost < cur.Cost {
+				cur = c
+				improved = true
+			}
+		}
+		if !improved {
+			return cur, evals, nil
+		}
+	}
+}
+
+// neighbours enumerates single-coordinate moves within the space.
+func neighbours(space Space, s cloud.ClusterSpec) []cloud.ClusterSpec {
+	var out []cloud.ClusterSpec
+	add := func(n cloud.ClusterSpec) { out = append(out, n) }
+	for _, v := range adjacentInts(space.VCPUs, s.VCPUs) {
+		n := s
+		n.VCPUs = v
+		add(n)
+	}
+	for _, sz := range adjacentSizes(space.HDFSSizes, s.HDFSSize) {
+		n := s
+		n.HDFSSize = sz
+		add(n)
+	}
+	for _, sz := range adjacentSizes(space.LocalSizes, s.LocalSize) {
+		n := s
+		n.LocalSize = sz
+		add(n)
+	}
+	// Disk-type switches are paired with every size: the cost surface has
+	// a valley between "large HDD" and "small SSD" optima (the paper's
+	// Fig. 13 vs Fig. 15), and a type flip at constant size cannot cross
+	// it.
+	for _, t := range space.LocalTypes {
+		if t == s.LocalType {
+			continue
+		}
+		for _, sz := range space.LocalSizes {
+			n := s
+			n.LocalType = t
+			n.LocalSize = sz
+			add(n)
+		}
+	}
+	for _, t := range space.HDFSTypes {
+		if t == s.HDFSType {
+			continue
+		}
+		for _, sz := range space.HDFSSizes {
+			n := s
+			n.HDFSType = t
+			n.HDFSSize = sz
+			add(n)
+		}
+	}
+	return out
+}
+
+func adjacentInts(vals []int, cur int) []int {
+	sorted := append([]int(nil), vals...)
+	sort.Ints(sorted)
+	var out []int
+	for i, v := range sorted {
+		if v == cur {
+			if i > 0 {
+				out = append(out, sorted[i-1])
+			}
+			if i < len(sorted)-1 {
+				out = append(out, sorted[i+1])
+			}
+			return out
+		}
+	}
+	// Current value outside the space: allow any entry as a move.
+	return sorted
+}
+
+func adjacentSizes(vals []units.ByteSize, cur units.ByteSize) []units.ByteSize {
+	sorted := append([]units.ByteSize(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []units.ByteSize
+	for i, v := range sorted {
+		if v == cur {
+			if i > 0 {
+				out = append(out, sorted[i-1])
+			}
+			if i < len(sorted)-1 {
+				out = append(out, sorted[i+1])
+			}
+			return out
+		}
+	}
+	return sorted
+}

@@ -1,0 +1,143 @@
+// Package profile turns simulator measurements into the profiling
+// artifacts the paper's methodology consumes: iostat-style per-stage
+// request-size and throughput reports (Section III-C2 measures the
+// average request size in 512-byte sectors) and a blocked-time analysis
+// in the style of Ousterhout et al. [5], the study whose "I/O doesn't
+// matter" conclusion the paper re-examines.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// SectorSize is the iostat sector unit (512 B).
+const SectorSize = 512 * units.Byte
+
+// IostatRow summarises one op kind within a stage, in iostat's
+// vocabulary.
+type IostatRow struct {
+	Op spark.OpKind
+	// Requests is the estimated device request count.
+	Requests float64
+	// AvgReqSectors is the average request size in 512 B sectors
+	// (iostat's avgrq-sz; the paper reads 60 sectors ≈ 30 KB for the
+	// GATK4 shuffle).
+	AvgReqSectors float64
+	// AvgReqSize is the same in bytes.
+	AvgReqSize units.ByteSize
+	// Bytes is the total volume moved.
+	Bytes units.ByteSize
+	// Throughput is volume over stage wall time.
+	Throughput units.Rate
+}
+
+// StageIOProfile is the per-stage iostat report.
+type StageIOProfile struct {
+	Stage    string
+	Duration time.Duration
+	Rows     []IostatRow
+}
+
+// Iostat builds per-stage reports from a simulation result.
+func Iostat(res *spark.Result) []StageIOProfile {
+	var out []StageIOProfile
+	for _, s := range res.Stages {
+		p := StageIOProfile{Stage: s.Name, Duration: s.Duration()}
+		kinds := make([]spark.OpKind, 0, len(s.IO))
+		for k := range s.IO {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, k := range kinds {
+			st := s.IO[k]
+			if st.Bytes == 0 {
+				continue
+			}
+			row := IostatRow{
+				Op:         k,
+				Requests:   st.Requests,
+				AvgReqSize: st.AvgReqSize(),
+				Bytes:      st.Bytes,
+			}
+			row.AvgReqSectors = float64(row.AvgReqSize) / float64(SectorSize)
+			if d := s.Duration(); d > 0 {
+				row.Throughput = units.Over(st.Bytes, d)
+			}
+			p.Rows = append(p.Rows, row)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteIostat renders the reports as an aligned table.
+func WriteIostat(w io.Writer, profiles []StageIOProfile) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\top\trequests\tavgrq-sz(sectors)\tavgrq-sz\tbytes\tthroughput")
+	for _, p := range profiles {
+		for _, r := range p.Rows {
+			fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%v\t%v\t%v\n",
+				p.Stage, r.Op, r.Requests, r.AvgReqSectors, r.AvgReqSize, r.Bytes, r.Throughput)
+		}
+	}
+	return tw.Flush()
+}
+
+// BlockedTime is the per-stage blocked-time decomposition: how much of
+// the total task time waited on storage.
+type BlockedTime struct {
+	Stage string
+	// TaskTime is the summed wall time of all tasks.
+	TaskTime time.Duration
+	// Blocked is the part spent blocked on disk I/O (op time minus the
+	// compute interleaved with it).
+	Blocked time.Duration
+}
+
+// Fraction is Blocked / TaskTime.
+func (b BlockedTime) Fraction() float64 {
+	if b.TaskTime <= 0 {
+		return 0
+	}
+	return b.Blocked.Seconds() / b.TaskTime.Seconds()
+}
+
+// BlockedTimeAnalysis decomposes each stage of a result.
+func BlockedTimeAnalysis(res *spark.Result) []BlockedTime {
+	var out []BlockedTime
+	for _, s := range res.Stages {
+		bt := BlockedTime{Stage: s.Name}
+		for _, g := range s.Groups {
+			bt.TaskTime += g.TotalTaskTime
+			for _, op := range g.OpTimes {
+				if op.Kind == spark.OpCompute {
+					continue
+				}
+				blocked := op.Time - op.Coupled
+				if blocked > 0 {
+					bt.Blocked += blocked
+				}
+			}
+		}
+		out = append(out, bt)
+	}
+	return out
+}
+
+// WriteBlockedTime renders the analysis.
+func WriteBlockedTime(w io.Writer, rows []BlockedTime) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\ttask-time\tblocked-on-I/O\tfraction")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0fs\t%.0fs\t%.0f%%\n",
+			r.Stage, r.TaskTime.Seconds(), r.Blocked.Seconds(), r.Fraction()*100)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,128 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+func gatk4Result(t *testing.T, hdfs, local disk.Device) *spark.Result {
+	t.Helper()
+	w, err := workloads.Get("gatk4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spark.DefaultTestbed(3, 36, hdfs, local)
+	res, err := spark.Run(cfg, w.Build(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestIostatMatchesPaperSectors reproduces the paper's Section III-C2
+// measurement: the average shuffle-read request size is ~60 sectors
+// (30 KB).
+func TestIostatMatchesPaperSectors(t *testing.T) {
+	ssd := disk.NewSSD()
+	res := gatk4Result(t, ssd, ssd)
+	profiles := Iostat(res)
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	var found bool
+	for _, p := range profiles {
+		if p.Stage != "BR" {
+			continue
+		}
+		for _, r := range p.Rows {
+			if r.Op != spark.OpShuffleRead {
+				continue
+			}
+			found = true
+			if r.AvgReqSectors < 50 || r.AvgReqSectors > 65 {
+				t.Errorf("BR shuffle read avgrq-sz = %.0f sectors, paper measures ~60", r.AvgReqSectors)
+			}
+			if r.Requests < 1e6 {
+				t.Errorf("requests = %.0f, expected millions of small reads", r.Requests)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no BR shuffle-read row")
+	}
+}
+
+func TestIostatWriteReport(t *testing.T) {
+	ssd := disk.NewSSD()
+	res := gatk4Result(t, ssd, ssd)
+	var sb strings.Builder
+	if err := WriteIostat(&sb, Iostat(res)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"avgrq-sz", "BR", "ShuffleRead", "HDFSRead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestBlockedTimeHDDvsSSD: on HDDs the shuffle stages are dominated by
+// blocked time; on SSDs they are compute-dominated. This is the
+// quantitative reconciliation with Ousterhout et al.'s conclusion that
+// the paper's Section VII discusses.
+func TestBlockedTimeHDDvsSSD(t *testing.T) {
+	frac := func(dev disk.Device, stage string) float64 {
+		res := gatk4Result(t, dev, dev)
+		for _, b := range BlockedTimeAnalysis(res) {
+			if b.Stage == stage {
+				return b.Fraction()
+			}
+		}
+		t.Fatalf("stage %s missing", stage)
+		return 0
+	}
+	hddBR := frac(disk.NewHDD(), "BR")
+	ssdBR := frac(disk.NewSSD(), "BR")
+	if hddBR < 0.5 {
+		t.Errorf("HDD BR blocked fraction = %.0f%%, want I/O dominated", hddBR*100)
+	}
+	if ssdBR > 0.3 {
+		t.Errorf("SSD BR blocked fraction = %.0f%%, want compute dominated", ssdBR*100)
+	}
+	if hddBR <= ssdBR {
+		t.Error("HDD must block more than SSD")
+	}
+}
+
+func TestBlockedTimeWriteReport(t *testing.T) {
+	res := gatk4Result(t, disk.NewSSD(), disk.NewSSD())
+	var sb strings.Builder
+	if err := WriteBlockedTime(&sb, BlockedTimeAnalysis(res)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "blocked-on-I/O") {
+		t.Error("missing header")
+	}
+}
+
+func TestBlockedTimeFractionEdge(t *testing.T) {
+	if (BlockedTime{}).Fraction() != 0 {
+		t.Error("zero task time should give zero fraction")
+	}
+}
+
+func TestSectorConstant(t *testing.T) {
+	if SectorSize != 512 {
+		t.Errorf("SectorSize = %d", SectorSize)
+	}
+	// 30 KB / 512 B = 60 sectors, the paper's number.
+	if float64(30*units.KB)/float64(SectorSize) != 60 {
+		t.Error("sector arithmetic broken")
+	}
+}

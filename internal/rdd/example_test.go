@@ -1,0 +1,68 @@
+package rdd_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdd"
+)
+
+// Example runs the canonical word count on the mini-RDD engine: a lazy
+// FlatMap into key-value pairs, then a ReduceByKey over a real
+// file-backed shuffle.
+func Example() {
+	ctx := rdd.NewContext(4)
+	defer ctx.Close()
+
+	lines := rdd.Parallelize(ctx, []string{
+		"to be or not to be",
+		"that is the question",
+	}, 2)
+	words := rdd.FlatMap(lines, func(l string) []rdd.Pair[string, int] {
+		var out []rdd.Pair[string, int]
+		for _, w := range strings.Fields(l) {
+			out = append(out, rdd.KV(w, 1))
+		}
+		return out
+	})
+	counts, err := rdd.CountByKey(words)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if counts[k] > 1 {
+			fmt.Printf("%s=%d\n", k, counts[k])
+		}
+	}
+	// Output:
+	// be=2
+	// to=2
+}
+
+// ExampleSortByKey shows the Terasort building block: range partition
+// plus in-partition sort gives a globally ordered dataset.
+func ExampleSortByKey() {
+	ctx := rdd.NewContext(2)
+	defer ctx.Close()
+	data := []rdd.Pair[int, string]{
+		rdd.KV(30, "c"), rdd.KV(10, "a"), rdd.KV(40, "d"), rdd.KV(20, "b"),
+	}
+	sorted, err := rdd.Collect(rdd.SortByKey(rdd.Parallelize(ctx, data, 2), 2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, kv := range sorted {
+		fmt.Print(kv.Value)
+	}
+	fmt.Println()
+	// Output:
+	// abcd
+}

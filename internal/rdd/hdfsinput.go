@@ -1,0 +1,39 @@
+package rdd
+
+import (
+	"repro/internal/hdfs"
+)
+
+// HDFSTextFile reads a file stored in the mini-HDFS as a dataset of
+// lines with **one partition per block** — the rule that determines the
+// paper's map-task count M (122 GB / 128 MB = 973 for the whole
+// genome). Line records straddling block boundaries are handled with
+// the same split rule as TextFile. Reads prefer the replica of the node
+// given by nodeFor (pass nil for no locality preference).
+func HDFSTextFile(ctx *Context, fs *hdfs.FileSystem, name string, nodeFor func(part int) int) *Dataset[string] {
+	info, err := fs.Stat(name)
+	parts := 1
+	if err == nil && info.NumBlocks() > 0 {
+		parts = info.NumBlocks()
+	}
+	blockSize := int64(fs.Config().BlockSize)
+	return InputFunc(ctx, "hdfs://"+name, parts, func(part int) ([]string, int64, error) {
+		if err != nil {
+			return nil, 0, err
+		}
+		preferred := -1
+		if nodeFor != nil {
+			preferred = nodeFor(part)
+		}
+		r, err := fs.OpenAt(name, preferred)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := int64(part) * blockSize
+		end := start + blockSize
+		if size := int64(r.Size()); end > size {
+			end = size
+		}
+		return readLineRange(r, start, end)
+	})
+}

@@ -1,0 +1,115 @@
+package rdd
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/units"
+)
+
+func miniHDFS(t *testing.T, blockSize units.ByteSize) *hdfs.FileSystem {
+	t.Helper()
+	fs, err := hdfs.New(hdfs.Config{BlockSize: blockSize, Replication: 2, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestHDFSTextFileOnePartitionPerBlock(t *testing.T) {
+	fs := miniHDFS(t, 256)
+	var lines []string
+	for i := 0; i < 120; i++ {
+		lines = append(lines, fmt.Sprintf("record-%04d padded to be longer", i))
+	}
+	content := strings.Join(lines, "\n") + "\n"
+	if err := fs.WriteFile("input.txt", []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("input.txt")
+
+	ctx := NewContext(4)
+	defer ctx.Close()
+	d := HDFSTextFile(ctx, fs, "input.txt", nil)
+	if d.NumPartitions() != info.NumBlocks() {
+		t.Fatalf("partitions = %d, blocks = %d: M must equal the block count",
+			d.NumPartitions(), info.NumBlocks())
+	}
+	got, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, lines) {
+		t.Fatalf("line mismatch: got %d lines, want %d (%s)", len(got), len(lines), diffAt(got, lines))
+	}
+	// Input bytes traced.
+	if traced := int64(ctx.Trace().InputBytes()); traced != int64(len(content)) {
+		t.Errorf("traced %d bytes, want %d", traced, len(content))
+	}
+}
+
+func TestHDFSTextFileLocality(t *testing.T) {
+	fs := miniHDFS(t, 16*units.KB)
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "line %d with a bit of padding\n", i)
+	}
+	if err := fs.WriteFile("f", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("f")
+
+	ctx := NewContext(4)
+	defer ctx.Close()
+	// Schedule every partition on the node holding its first replica —
+	// perfect locality, like Spark's preferredLocations.
+	d := HDFSTextFile(ctx, fs, "f", func(part int) int {
+		return info.Blocks[part].Replicas[0]
+	})
+	if _, err := Count(d); err != nil {
+		t.Fatal(err)
+	}
+	local, remote := fs.LocalityStats()
+	if remote > local/10 {
+		t.Errorf("remote=%v local=%v; locality scheduling should keep reads local", remote, local)
+	}
+}
+
+func TestHDFSTextFileMissing(t *testing.T) {
+	fs := miniHDFS(t, 128)
+	ctx := NewContext(1)
+	defer ctx.Close()
+	if _, err := Count(HDFSTextFile(ctx, fs, "ghost", nil)); err == nil {
+		t.Error("missing HDFS file accepted")
+	}
+}
+
+// TestHDFSWordCountEndToEnd exercises the full mini stack: HDFS blocks
+// -> block-aligned partitions -> shuffle -> counts.
+func TestHDFSWordCountEndToEnd(t *testing.T) {
+	fs := miniHDFS(t, 64)
+	text := strings.Repeat("alpha beta gamma\nbeta gamma\ngamma\n", 50)
+	if err := fs.WriteFile("corpus", []byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(4)
+	defer ctx.Close()
+	words := FlatMap(HDFSTextFile(ctx, fs, "corpus", nil), func(l string) []Pair[string, int] {
+		var out []Pair[string, int]
+		for _, w := range strings.Fields(l) {
+			out = append(out, KV(w, 1))
+		}
+		return out
+	})
+	counts, err := CountByKey(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"alpha": 50, "beta": 100, "gamma": 150}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,132 @@
+package rdd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// InputFunc builds a dataset from an arbitrary partitioned source. The
+// reader returns the rows of one partition plus the number of input
+// bytes consumed, which is recorded in the context's trace (the
+// "HDFS read" side of the I/O profile).
+func InputFunc[T any](ctx *Context, name string, parts int, read func(part int) ([]T, int64, error)) *Dataset[T] {
+	return newDataset(ctx, name, parts, func(part int) ([]T, error) {
+		rows, n, err := read(part)
+		if err != nil {
+			return nil, err
+		}
+		ctx.trace.addInput(n)
+		return rows, nil
+	})
+}
+
+// TextFile reads a local file as a dataset of lines, split into parts
+// byte ranges aligned to line boundaries — the same splitting rule an
+// HDFS input format applies to blocks. Each partition read is traced as
+// input I/O.
+func TextFile(ctx *Context, path string, parts int) *Dataset[string] {
+	if parts <= 0 {
+		parts = maxInt(1, ctx.Parallelism)
+	}
+	return InputFunc(ctx, "textFile("+path+")", parts, func(part int) ([]string, int64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return nil, 0, err
+		}
+		size := st.Size()
+		start := size * int64(part) / int64(parts)
+		end := size * int64(part+1) / int64(parts)
+		return readLineRange(f, start, end)
+	})
+}
+
+// readLineRange returns the lines whose first byte lies in [start, end),
+// the Hadoop input-split rule: a reader that does not own byte 0 seeks
+// to start-1 and discards through the first newline, so a line beginning
+// exactly at start is kept and a line straddling start belongs to the
+// previous split (whose reader runs past its range to finish it).
+func readLineRange(f io.ReadSeeker, start, end int64) ([]string, int64, error) {
+	pos := start
+	seekTo := start
+	if start > 0 {
+		seekTo = start - 1
+	}
+	if _, err := f.Seek(seekTo, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	// A modest read-ahead buffer keeps the overrun past `end` (needed to
+	// finish the final straddling line) small, which matters for
+	// locality accounting when the source is block-placed storage.
+	r := bufio.NewReaderSize(f, 512)
+	var consumed int64
+	if start > 0 {
+		skipped, err := r.ReadString('\n')
+		pos = start - 1 + int64(len(skipped))
+		if err == io.EOF {
+			return nil, 0, nil // no newline before EOF: nothing owned here
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var lines []string
+	for pos < end {
+		line, err := r.ReadString('\n')
+		if len(line) > 0 {
+			pos += int64(len(line))
+			consumed += int64(len(line))
+			lines = append(lines, trimNewline(line))
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, consumed, err
+		}
+	}
+	return lines, consumed, nil
+}
+
+func trimNewline(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// SaveAsTextFile writes the dataset as one part-file per partition
+// under dir, like Spark's saveAsTextFile.
+func SaveAsTextFile[T any](d *Dataset[T], dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return runParts(d.ctx, d.parts, func(p int) error {
+		rows, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(fmt.Sprintf("%s/part-%05d", dir, p))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for _, row := range rows {
+			if _, err := fmt.Fprintln(w, row); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+}

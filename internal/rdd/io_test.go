@@ -1,0 +1,139 @@
+package rdd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writeTempFile(t *testing.T, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "input.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTextFileReadsAllLinesOnce(t *testing.T) {
+	var lines []string
+	for i := 0; i < 250; i++ {
+		lines = append(lines, fmt.Sprintf("line-%04d with some padding text", i))
+	}
+	path := writeTempFile(t, strings.Join(lines, "\n")+"\n")
+
+	for _, parts := range []int{1, 2, 3, 7, 16} {
+		ctx := NewContext(4)
+		d := TextFile(ctx, path, parts)
+		got, err := Collect(d)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if !reflect.DeepEqual(got, lines) {
+			t.Fatalf("parts=%d: %d lines, first mismatch around %v", parts, len(got), diffAt(got, lines))
+		}
+		ctx.Close()
+	}
+}
+
+func diffAt(a, b []string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("index %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("lengths %d vs %d", len(a), len(b))
+}
+
+func TestTextFileNoTrailingNewline(t *testing.T) {
+	path := writeTempFile(t, "a\nb\nc") // no trailing newline
+	ctx := NewContext(2)
+	defer ctx.Close()
+	got, err := Collect(TextFile(ctx, path, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTextFileTracesInputBytes(t *testing.T) {
+	content := strings.Repeat("0123456789\n", 1000)
+	path := writeTempFile(t, content)
+	ctx := NewContext(4)
+	defer ctx.Close()
+	if _, err := Count(TextFile(ctx, path, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got := int64(ctx.Trace().InputBytes())
+	if got != int64(len(content)) {
+		t.Errorf("traced input = %d, want %d", got, len(content))
+	}
+}
+
+func TestTextFileMissing(t *testing.T) {
+	ctx := NewContext(1)
+	defer ctx.Close()
+	if _, err := Count(TextFile(ctx, "/nonexistent/file", 2)); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveAsTextFile(t *testing.T) {
+	ctx := NewContext(2)
+	defer ctx.Close()
+	d := Parallelize(ctx, []string{"x", "y", "z"}, 2)
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := SaveAsTextFile(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("part files = %d", len(entries))
+	}
+	var all []string
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, strings.Fields(string(b))...)
+	}
+	if !reflect.DeepEqual(all, []string{"x", "y", "z"}) {
+		t.Errorf("saved = %v", all)
+	}
+}
+
+func TestContextCloseRemovesShuffleDirs(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, []Pair[int, int]{KV(1, 1), KV(2, 2)}, 2)
+	if _, err := Count(GroupByKey(d, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx.mu.Lock()
+	dirs := append([]string(nil), ctx.shuffleDirs...)
+	ctx.mu.Unlock()
+	if len(dirs) == 0 {
+		t.Fatal("no shuffle dirs registered")
+	}
+	if err := ctx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Errorf("dir %s survived Close", dir)
+		}
+	}
+}

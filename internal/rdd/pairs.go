@@ -1,0 +1,339 @@
+package rdd
+
+import (
+	"bytes"
+	"cmp"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Pair is a key-value record, the currency of shuffle operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// KV builds a pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Value: v} }
+
+// hashKey produces a deterministic hash for any comparable key.
+func hashKey[K comparable](k K) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", k)
+	return h.Sum64()
+}
+
+// hashPartitioner assigns keys to reducers by hash, Spark's default.
+func hashPartitioner[K comparable](k K, reducers int) int {
+	return int(hashKey(k) % uint64(reducers))
+}
+
+// shuffle holds the materialised map outputs of one shuffle dependency:
+// one file per mapper, containing one gob-encoded segment per reducer —
+// the layout of Spark's sort-based shuffle, and the reason reducers
+// issue M small reads each (paper Section III-C2).
+type shuffle struct {
+	dir      string
+	id       int // index into the trace's per-shuffle records
+	mappers  int
+	reducers int
+	mu       sync.Mutex
+	// segLen[m][r] is the byte length of mapper m's segment for reducer
+	// r (the in-memory equivalent of Spark's .index files).
+	segLen [][]int64
+}
+
+func (s *shuffle) mapFile(m int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("map-%05d.data", m))
+}
+
+// writeShuffle eagerly materialises the map side of a shuffle.
+func writeShuffle[K comparable, V any](d *Dataset[Pair[K, V]], name string, reducers int,
+	part func(K, int) int) (*shuffle, error) {
+	dir, err := os.MkdirTemp("", "rdd-shuffle-")
+	if err != nil {
+		return nil, fmt.Errorf("rdd: shuffle dir: %w", err)
+	}
+	d.ctx.addShuffleDir(dir)
+	sh := &shuffle{
+		dir: dir, id: d.ctx.trace.registerShuffle(name, d.parts, reducers),
+		mappers: d.parts, reducers: reducers,
+		segLen: make([][]int64, d.parts),
+	}
+	err = runParts(d.ctx, d.parts, func(m int) error {
+		rows, err := d.partition(m)
+		if err != nil {
+			return err
+		}
+		segs := make([][]Pair[K, V], reducers)
+		for _, kv := range rows {
+			r := part(kv.Key, reducers)
+			if r < 0 || r >= reducers {
+				return fmt.Errorf("rdd: partitioner sent key %v to %d of %d", kv.Key, r, reducers)
+			}
+			segs[r] = append(segs[r], kv)
+		}
+		f, err := os.Create(sh.mapFile(m))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		lens := make([]int64, reducers)
+		var written int64
+		for r, seg := range segs {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(seg); err != nil {
+				return fmt.Errorf("rdd: encoding shuffle segment: %w", err)
+			}
+			n, err := f.Write(buf.Bytes())
+			if err != nil {
+				return err
+			}
+			lens[r] = int64(n)
+			written += int64(n)
+		}
+		sh.setLens(m, lens)
+		d.ctx.trace.addShuffleWrite(sh.id, written)
+		return f.Close()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+func (s *shuffle) setLens(m int, lens []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segLen[m] = lens
+}
+
+// readSegment performs the positioned read of one (mapper, reducer)
+// segment — a real small-block file read.
+func readSegment[K comparable, V any](ctx *Context, s *shuffle, m, r int) ([]Pair[K, V], error) {
+	length := s.segLen[m][r]
+	var off int64
+	for i := 0; i < r; i++ {
+		off += s.segLen[m][i]
+	}
+	f, err := os.Open(s.mapFile(m))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("rdd: shuffle read map=%d red=%d: %w", m, r, err)
+	}
+	ctx.trace.addShuffleRead(s.id, length)
+	var seg []Pair[K, V]
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&seg); err != nil {
+		return nil, fmt.Errorf("rdd: decoding shuffle segment: %w", err)
+	}
+	return seg, nil
+}
+
+// shuffled builds the reduce-side dataset over a lazily-written shuffle.
+func shuffled[K comparable, V any](d *Dataset[Pair[K, V]], name string, reducers int,
+	part func(K, int) int) *Dataset[Pair[K, V]] {
+	if reducers <= 0 {
+		reducers = d.parts
+	}
+	var once sync.Once
+	var sh *shuffle
+	var shErr error
+	ensure := func() (*shuffle, error) {
+		once.Do(func() { sh, shErr = writeShuffle(d, name, reducers, part) })
+		return sh, shErr
+	}
+	ctx := d.ctx
+	return newDataset(ctx, name, reducers, func(r int) ([]Pair[K, V], error) {
+		s, err := ensure()
+		if err != nil {
+			return nil, err
+		}
+		var out []Pair[K, V]
+		for m := 0; m < s.mappers; m++ {
+			seg, err := readSegment[K, V](ctx, s, m, r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, seg...)
+		}
+		return out, nil
+	})
+}
+
+// GroupByKey shuffles and groups values by key, Spark's groupByKey
+// (paper Fig. 4).
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], reducers int) *Dataset[Pair[K, []V]] {
+	red := shuffled(d, d.name+".groupByKey", reducers, hashPartitioner[K])
+	return MapPartitions(red, func(_ int, rows []Pair[K, V]) ([]Pair[K, []V], error) {
+		groups := map[K][]V{}
+		var order []K
+		for _, kv := range rows {
+			if _, seen := groups[kv.Key]; !seen {
+				order = append(order, kv.Key)
+			}
+			groups[kv.Key] = append(groups[kv.Key], kv.Value)
+		}
+		out := make([]Pair[K, []V], 0, len(order))
+		for _, k := range order {
+			out = append(out, KV(k, groups[k]))
+		}
+		return out, nil
+	})
+}
+
+// ReduceByKey shuffles with map-side combining (Spark's preferred
+// aggregation: far less shuffle volume than GroupByKey).
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], f func(a, b V) V, reducers int) *Dataset[Pair[K, V]] {
+	combined := MapPartitions(d, func(_ int, rows []Pair[K, V]) ([]Pair[K, V], error) {
+		acc := map[K]V{}
+		var order []K
+		for _, kv := range rows {
+			if cur, seen := acc[kv.Key]; seen {
+				acc[kv.Key] = f(cur, kv.Value)
+			} else {
+				order = append(order, kv.Key)
+				acc[kv.Key] = kv.Value
+			}
+		}
+		out := make([]Pair[K, V], 0, len(order))
+		for _, k := range order {
+			out = append(out, KV(k, acc[k]))
+		}
+		return out, nil
+	})
+	red := shuffled(combined, d.name+".reduceByKey", reducers, hashPartitioner[K])
+	return MapPartitions(red, func(_ int, rows []Pair[K, V]) ([]Pair[K, V], error) {
+		acc := map[K]V{}
+		var order []K
+		for _, kv := range rows {
+			if cur, seen := acc[kv.Key]; seen {
+				acc[kv.Key] = f(cur, kv.Value)
+			} else {
+				order = append(order, kv.Key)
+				acc[kv.Key] = kv.Value
+			}
+		}
+		out := make([]Pair[K, V], 0, len(order))
+		for _, k := range order {
+			out = append(out, KV(k, acc[k]))
+		}
+		return out, nil
+	})
+}
+
+// CountByKey returns the per-key record counts.
+func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]]) (map[K]int, error) {
+	counted := ReduceByKey(Map(d, func(kv Pair[K, V]) Pair[K, int] {
+		return KV(kv.Key, 1)
+	}), func(a, b int) int { return a + b }, d.parts)
+	rows, err := Collect(counted)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int, len(rows))
+	for _, kv := range rows {
+		out[kv.Key] = kv.Value
+	}
+	return out, nil
+}
+
+// SortByKey range-partitions by sampled split points and sorts within
+// each partition — Terasort's structure (paper Section V-B5).
+func SortByKey[K cmp.Ordered, V any](d *Dataset[Pair[K, V]], reducers int) *Dataset[Pair[K, V]] {
+	if reducers <= 0 {
+		reducers = d.parts
+	}
+	// Sample split points from the first partition (Spark samples all;
+	// one is enough for the mini engine and keeps the sample cheap).
+	splits, err := sampleSplits(d, reducers)
+	rangePart := func(k K, r int) int {
+		if err != nil || len(splits) == 0 {
+			return hashPartitioner(k, r)
+		}
+		i := sort.Search(len(splits), func(i int) bool { return !(splits[i] < k) })
+		return i
+	}
+	red := shuffled(d, d.name+".sortByKey", reducers, rangePart)
+	return MapPartitions(red, func(_ int, rows []Pair[K, V]) ([]Pair[K, V], error) {
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+		return rows, nil
+	})
+}
+
+// sampleSplits derives reducers-1 ascending split keys.
+func sampleSplits[K cmp.Ordered, V any](d *Dataset[Pair[K, V]], reducers int) ([]K, error) {
+	rows, err := d.partition(0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || reducers <= 1 {
+		return nil, nil
+	}
+	keys := make([]K, len(rows))
+	for i, kv := range rows {
+		keys[i] = kv.Key
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	splits := make([]K, 0, reducers-1)
+	for i := 1; i < reducers; i++ {
+		splits = append(splits, keys[i*len(keys)/reducers])
+	}
+	return splits, nil
+}
+
+// Tuple2 is a value pair (no comparability requirement), used for join
+// results.
+type Tuple2[A, B any] struct {
+	A A
+	B B
+}
+
+// Join inner-joins two pair datasets by key over a common shuffle
+// partitioning.
+func Join[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]], reducers int) *Dataset[Pair[K, Tuple2[V, W]]] {
+	if reducers <= 0 {
+		reducers = maxInt(a.parts, b.parts)
+	}
+	ra := shuffled(a, a.name+".join-left", reducers, hashPartitioner[K])
+	rb := shuffled(b, b.name+".join-right", reducers, hashPartitioner[K])
+	return newDataset(a.ctx, a.name+"⋈"+b.name, reducers, func(r int) ([]Pair[K, Tuple2[V, W]], error) {
+		left, err := ra.partition(r)
+		if err != nil {
+			return nil, err
+		}
+		right, err := rb.partition(r)
+		if err != nil {
+			return nil, err
+		}
+		byKey := map[K][]V{}
+		for _, kv := range left {
+			byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+		}
+		var out []Pair[K, Tuple2[V, W]]
+		for _, kw := range right {
+			for _, v := range byKey[kw.Key] {
+				out = append(out, KV(kw.Key, Tuple2[V, W]{A: v, B: kw.Value}))
+			}
+		}
+		return out, nil
+	})
+}
+
+// Keys projects the keys.
+func Keys[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[K] {
+	return Map(d, func(kv Pair[K, V]) K { return kv.Key })
+}
+
+// Values projects the values.
+func Values[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[V] {
+	return Map(d, func(kv Pair[K, V]) V { return kv.Value })
+}

@@ -1,0 +1,367 @@
+// Package rdd is a miniature functional implementation of Spark's
+// resilient distributed dataset abstraction: lazy, partitioned,
+// lineage-based datasets with transformations (Map, Filter,
+// GroupByKey, ...), actions (Collect, Count, Reduce, ...), explicit
+// caching, and a real sort-based shuffle that materialises map outputs
+// in per-reducer segments — the M×R small-block access pattern whose
+// I/O cost the Doppio model quantifies.
+//
+// The engine is single-process (partitions run on goroutines) and is
+// the workload-side substrate of the reproduction: it executes real
+// computations at laptop scale while an attached Trace records the
+// logical I/O (input bytes, shuffle volumes, request sizes,
+// recomputation counts). The bridge in trace.go converts a trace into a
+// spark.App so a small real run can be scaled up on the cluster
+// simulator and priced by the analytical model — the workflow the paper
+// applies to GATK4.
+//
+// Because Go methods cannot introduce type parameters,
+// type-transforming operations are package functions (rdd.Map,
+// rdd.GroupByKey) rather than methods.
+package rdd
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Context owns execution resources and instrumentation for a set of
+// datasets, playing the role of SparkContext.
+type Context struct {
+	// Parallelism bounds the number of concurrently computed
+	// partitions (the executor core count). Zero means unbounded.
+	Parallelism int
+
+	mu          sync.Mutex
+	trace       *Trace
+	seq         int
+	shuffleDirs []string
+}
+
+// NewContext returns a context with the given parallelism.
+func NewContext(parallelism int) *Context {
+	return &Context{Parallelism: parallelism, trace: NewTrace()}
+}
+
+// Trace returns the context's I/O trace.
+func (c *Context) Trace() *Trace { return c.trace }
+
+func (c *Context) nextID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+// Dataset is a lazy, partitioned, immutable collection with lineage.
+type Dataset[T any] struct {
+	ctx   *Context
+	id    int
+	name  string
+	parts int
+	// compute materialises one partition from the dataset's parents.
+	compute func(part int) ([]T, error)
+
+	mu       sync.Mutex
+	cached   [][]T
+	caching  bool
+	computes int // number of partition computations (lineage re-runs)
+}
+
+// newDataset wires a dataset into the context.
+func newDataset[T any](ctx *Context, name string, parts int, compute func(int) ([]T, error)) *Dataset[T] {
+	if parts <= 0 {
+		parts = 1
+	}
+	return &Dataset[T]{ctx: ctx, id: ctx.nextID(), name: name, parts: parts, compute: compute}
+}
+
+// Name returns the dataset's lineage label.
+func (d *Dataset[T]) Name() string { return d.name }
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return d.parts }
+
+// Computations reports how many partition computations this dataset has
+// executed — caching makes repeated actions stop increasing it, the
+// recomputation-vs-persist trade-off of the paper's Section III-B2.
+func (d *Dataset[T]) Computations() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.computes
+}
+
+// Cache marks the dataset for in-memory materialisation on first use.
+func (d *Dataset[T]) Cache() *Dataset[T] {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.caching = true
+	return d
+}
+
+// Uncache drops any materialised partitions.
+func (d *Dataset[T]) Uncache() *Dataset[T] {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.caching = false
+	d.cached = nil
+	return d
+}
+
+// partition returns one partition, using the cache when enabled.
+func (d *Dataset[T]) partition(part int) ([]T, error) {
+	if part < 0 || part >= d.parts {
+		return nil, fmt.Errorf("rdd: partition %d out of range [0,%d)", part, d.parts)
+	}
+	d.mu.Lock()
+	if d.cached != nil && d.cached[part] != nil {
+		p := d.cached[part]
+		d.mu.Unlock()
+		return p, nil
+	}
+	d.mu.Unlock()
+
+	rows, err := d.compute(part)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: computing %s[%d]: %w", d.name, part, err)
+	}
+
+	d.mu.Lock()
+	d.computes++
+	if d.caching {
+		if d.cached == nil {
+			d.cached = make([][]T, d.parts)
+		}
+		d.cached[part] = rows
+	}
+	d.mu.Unlock()
+	return rows, nil
+}
+
+// runParts evaluates fn over every partition index with the context's
+// parallelism, collecting the first error.
+func runParts(ctx *Context, parts int, fn func(part int) error) error {
+	sem := make(chan struct{}, maxInt(1, parallelismOf(ctx, parts)))
+	errCh := make(chan error, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(p); err != nil {
+				errCh <- err
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+func parallelismOf(ctx *Context, parts int) int {
+	if ctx.Parallelism <= 0 || ctx.Parallelism > parts {
+		return parts
+	}
+	return ctx.Parallelism
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Parallelize distributes a slice over partitions.
+func Parallelize[T any](ctx *Context, data []T, parts int) *Dataset[T] {
+	if parts <= 0 {
+		parts = maxInt(1, ctx.Parallelism)
+	}
+	n := len(data)
+	// Copy so later mutation of the caller's slice cannot alter the
+	// "immutable" dataset.
+	snapshot := make([]T, n)
+	copy(snapshot, data)
+	return newDataset(ctx, "parallelize", parts, func(part int) ([]T, error) {
+		lo := part * n / parts
+		hi := (part + 1) * n / parts
+		out := make([]T, hi-lo)
+		copy(out, snapshot[lo:hi])
+		return out, nil
+	})
+}
+
+// Map applies f to every element.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return newDataset(d.ctx, d.name+".map", d.parts, func(part int) ([]U, error) {
+		in, err := d.partition(part)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out, nil
+	})
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return newDataset(d.ctx, d.name+".flatMap", d.parts, func(part int) ([]U, error) {
+		in, err := d.partition(part)
+		if err != nil {
+			return nil, err
+		}
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out, nil
+	})
+}
+
+// Filter keeps the elements for which f is true.
+func Filter[T any](d *Dataset[T], f func(T) bool) *Dataset[T] {
+	return newDataset(d.ctx, d.name+".filter", d.parts, func(part int) ([]T, error) {
+		in, err := d.partition(part)
+		if err != nil {
+			return nil, err
+		}
+		out := in[:0:0]
+		for _, v := range in {
+			if f(v) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// MapPartitions applies f to whole partitions.
+func MapPartitions[T, U any](d *Dataset[T], f func(part int, rows []T) ([]U, error)) *Dataset[U] {
+	return newDataset(d.ctx, d.name+".mapPartitions", d.parts, func(part int) ([]U, error) {
+		in, err := d.partition(part)
+		if err != nil {
+			return nil, err
+		}
+		return f(part, in)
+	})
+}
+
+// Union concatenates two datasets (partitions of b follow partitions of
+// a) — the UnionRDD of GATK4's markedReads.
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	return newDataset(a.ctx, a.name+"+"+b.name, a.parts+b.parts, func(part int) ([]T, error) {
+		if part < a.parts {
+			return a.partition(part)
+		}
+		return b.partition(part - a.parts)
+	})
+}
+
+// --- actions ------------------------------------------------------
+
+// Collect materialises the whole dataset in partition order.
+func Collect[T any](d *Dataset[T]) ([]T, error) {
+	parts := make([][]T, d.parts)
+	err := runParts(d.ctx, d.parts, func(p int) error {
+		rows, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count returns the element count.
+func Count[T any](d *Dataset[T]) (int, error) {
+	counts := make([]int, d.parts)
+	err := runParts(d.ctx, d.parts, func(p int) error {
+		rows, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		counts[p] = len(rows)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// Reduce folds the dataset with an associative, commutative f. An empty
+// dataset is an error, matching Spark.
+func Reduce[T any](d *Dataset[T], f func(a, b T) T) (T, error) {
+	var zero T
+	partials := make([]*T, d.parts)
+	err := runParts(d.ctx, d.parts, func(p int) error {
+		rows, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			return nil
+		}
+		acc := rows[0]
+		for _, v := range rows[1:] {
+			acc = f(acc, v)
+		}
+		partials[p] = &acc
+		return nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	var acc *T
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		if acc == nil {
+			v := *p
+			acc = &v
+		} else {
+			v := f(*acc, *p)
+			acc = &v
+		}
+	}
+	if acc == nil {
+		return zero, fmt.Errorf("rdd: reduce of empty dataset %s", d.name)
+	}
+	return *acc, nil
+}
+
+// Take returns up to n leading elements without materialising every
+// partition.
+func Take[T any](d *Dataset[T], n int) ([]T, error) {
+	var out []T
+	for p := 0; p < d.parts && len(out) < n; p++ {
+		rows, err := d.partition(p)
+		if err != nil {
+			return nil, err
+		}
+		need := n - len(out)
+		if need > len(rows) {
+			need = len(rows)
+		}
+		out = append(out, rows[:need]...)
+	}
+	return out, nil
+}

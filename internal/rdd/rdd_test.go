@@ -1,0 +1,390 @@
+package rdd
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollect(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	d := Parallelize(ctx, intRange(100), 7)
+	if d.NumPartitions() != 7 {
+		t.Fatalf("partitions = %d", d.NumPartitions())
+	}
+	got, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, intRange(100)) {
+		t.Errorf("collect mismatch: %v", got[:10])
+	}
+}
+
+func TestParallelizeIsImmutable(t *testing.T) {
+	ctx := NewContext(2)
+	defer ctx.Close()
+	src := []int{1, 2, 3}
+	d := Parallelize(ctx, src, 2)
+	src[0] = 99
+	got, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("dataset observed caller mutation")
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	d := Parallelize(ctx, intRange(10), 3)
+	squares := Map(d, func(x int) int { return x * x })
+	evens := Filter(squares, func(x int) bool { return x%2 == 0 })
+	got, err := Collect(evens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 4, 16, 36, 64}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+
+	doubled, err := Collect(FlatMap(d, func(x int) []int { return []int{x, x} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doubled) != 20 {
+		t.Errorf("flatMap len = %d", len(doubled))
+	}
+}
+
+func TestCountReduceTake(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	d := Parallelize(ctx, intRange(1000), 13)
+	n, err := Count(d)
+	if err != nil || n != 1000 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	sum, err := Reduce(d, func(a, b int) int { return a + b })
+	if err != nil || sum != 999*1000/2 {
+		t.Fatalf("sum = %d, %v", sum, err)
+	}
+	head, err := Take(d, 5)
+	if err != nil || !reflect.DeepEqual(head, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("take = %v, %v", head, err)
+	}
+	empty := Filter(d, func(int) bool { return false })
+	if _, err := Reduce(empty, func(a, b int) int { return a + b }); err == nil {
+		t.Error("reduce of empty dataset should error")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ctx := NewContext(2)
+	defer ctx.Close()
+	a := Parallelize(ctx, []int{1, 2}, 2)
+	b := Parallelize(ctx, []int{3, 4, 5}, 3)
+	u := Union(a, b)
+	if u.NumPartitions() != 5 {
+		t.Fatalf("union partitions = %d", u.NumPartitions())
+	}
+	got, err := Collect(u)
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("union = %v, %v", got, err)
+	}
+}
+
+// TestCachingStopsRecomputation is the paper's Section III-B2 trade-off
+// in miniature: without Cache every action re-runs the lineage; with it
+// the second action is free.
+func TestCachingStopsRecomputation(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	d := Map(Parallelize(ctx, intRange(100), 4), func(x int) int { return x + 1 })
+	if _, err := Count(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Count(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Computations(); got != 8 {
+		t.Errorf("uncached computations = %d, want 8 (4 parts x 2 actions)", got)
+	}
+
+	c := Map(Parallelize(ctx, intRange(100), 4), func(x int) int { return x + 1 }).Cache()
+	if _, err := Count(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Count(c); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Computations(); got != 4 {
+		t.Errorf("cached computations = %d, want 4", got)
+	}
+	c.Uncache()
+	if _, err := Count(c); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Computations(); got != 8 {
+		t.Errorf("after Uncache computations = %d, want 8", got)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	var pairs []Pair[string, int]
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, KV(fmt.Sprintf("k%d", i%7), i))
+	}
+	d := Parallelize(ctx, pairs, 5)
+	grouped, err := Collect(GroupByKey(d, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grouped) != 7 {
+		t.Fatalf("groups = %d, want 7", len(grouped))
+	}
+	total := 0
+	for _, g := range grouped {
+		total += len(g.Value)
+		for _, v := range g.Value {
+			if fmt.Sprintf("k%d", v%7) != g.Key {
+				t.Errorf("value %d landed under key %s", v, g.Key)
+			}
+		}
+	}
+	if total != 100 {
+		t.Errorf("total grouped values = %d", total)
+	}
+}
+
+func TestReduceByKeyMatchesGroupByKey(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	var pairs []Pair[int, int]
+	for i := 0; i < 500; i++ {
+		pairs = append(pairs, KV(i%13, 1))
+	}
+	d := Parallelize(ctx, pairs, 8)
+	counts, err := CountByKey(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 13 {
+		t.Fatalf("keys = %d", len(counts))
+	}
+	for k, c := range counts {
+		want := 500 / 13
+		if k < 500%13 {
+			want++
+		}
+		if c != want {
+			t.Errorf("key %d count = %d, want %d", k, c, want)
+		}
+	}
+}
+
+// TestReduceByKeyShufflesLessThanGroupByKey verifies map-side combining
+// reduces shuffle volume — the optimisation the paper's shuffle analysis
+// motivates.
+func TestReduceByKeyShufflesLessThanGroupByKey(t *testing.T) {
+	mk := func() []Pair[int, int] {
+		var pairs []Pair[int, int]
+		for i := 0; i < 2000; i++ {
+			pairs = append(pairs, KV(i%5, i))
+		}
+		return pairs
+	}
+	ctxG := NewContext(4)
+	defer ctxG.Close()
+	if _, err := Collect(GroupByKey(Parallelize(ctxG, mk(), 8), 4)); err != nil {
+		t.Fatal(err)
+	}
+	ctxR := NewContext(4)
+	defer ctxR.Close()
+	if _, err := Collect(ReduceByKey(Parallelize(ctxR, mk(), 8), func(a, b int) int { return a + b }, 4)); err != nil {
+		t.Fatal(err)
+	}
+	g := ctxG.Trace().ShuffleWriteBytes()
+	r := ctxR.Trace().ShuffleWriteBytes()
+	if r >= g/4 {
+		t.Errorf("reduceByKey shuffled %v vs groupByKey %v; combining should shrink it", r, g)
+	}
+}
+
+func TestSortByKeyGloballySorts(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	var pairs []Pair[int, string]
+	for i := 0; i < 997; i++ {
+		k := (i * 7919) % 1000 // scrambled
+		pairs = append(pairs, KV(k, fmt.Sprint(k)))
+	}
+	d := Parallelize(ctx, pairs, 6)
+	got, err := Collect(SortByKey(d, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 997 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key < got[i-1].Key {
+			t.Fatalf("not sorted at %d: %d < %d", i, got[i].Key, got[i-1].Key)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	users := Parallelize(ctx, []Pair[int, string]{
+		KV(1, "ada"), KV(2, "grace"), KV(3, "edsger"),
+	}, 2)
+	scores := Parallelize(ctx, []Pair[int, int]{
+		KV(1, 10), KV(1, 20), KV(3, 30), KV(4, 40),
+	}, 2)
+	joined, err := Collect(Join(users, scores, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(joined, func(i, j int) bool {
+		if joined[i].Key != joined[j].Key {
+			return joined[i].Key < joined[j].Key
+		}
+		return joined[i].Value.B < joined[j].Value.B
+	})
+	want := []Pair[int, Tuple2[string, int]]{
+		KV(1, Tuple2[string, int]{"ada", 10}),
+		KV(1, Tuple2[string, int]{"ada", 20}),
+		KV(3, Tuple2[string, int]{"edsger", 30}),
+	}
+	if !reflect.DeepEqual(joined, want) {
+		t.Errorf("join = %v", joined)
+	}
+}
+
+func TestKeysValues(t *testing.T) {
+	ctx := NewContext(2)
+	defer ctx.Close()
+	d := Parallelize(ctx, []Pair[string, int]{KV("a", 1), KV("b", 2)}, 1)
+	ks, err := Collect(Keys(d))
+	if err != nil || !reflect.DeepEqual(ks, []string{"a", "b"}) {
+		t.Errorf("keys = %v, %v", ks, err)
+	}
+	vs, err := Collect(Values(d))
+	if err != nil || !reflect.DeepEqual(vs, []int{1, 2}) {
+		t.Errorf("values = %v, %v", vs, err)
+	}
+}
+
+// TestShuffleRequestSizeMatchesMxRLayout checks the engine's shuffle
+// reproduces the paper's request-size arithmetic: reducer segment reads
+// average reducerBytes/M.
+func TestShuffleRequestSizeMatchesMxRLayout(t *testing.T) {
+	const mappers, reducers = 16, 4
+	ctx := NewContext(4)
+	defer ctx.Close()
+	var pairs []Pair[int, string]
+	payload := strings.Repeat("x", 100)
+	for i := 0; i < 8000; i++ {
+		pairs = append(pairs, KV(i, payload))
+	}
+	d := Parallelize(ctx, pairs, mappers)
+	if _, err := Count(GroupByKey(d, reducers)); err != nil {
+		t.Fatal(err)
+	}
+	tr := ctx.Trace()
+	if got, want := tr.ShuffleReadRequests(), int64(mappers*reducers); got != want {
+		t.Fatalf("segment reads = %d, want M*R = %d", got, want)
+	}
+	wrote, read := tr.ShuffleWriteBytes(), tr.ShuffleReadBytes()
+	if wrote != read {
+		t.Errorf("shuffle conservation broken: wrote %v, read %v", wrote, read)
+	}
+	wantReq := float64(read) / float64(mappers*reducers)
+	if got := float64(tr.AvgShuffleReadReqSize()); got < wantReq*0.99 || got > wantReq*1.01 {
+		t.Errorf("avg request size %v, want %.0f", tr.AvgShuffleReadReqSize(), wantReq)
+	}
+}
+
+// TestShuffleConservationProperty: any dataset grouped by any key
+// function preserves every element.
+func TestShuffleConservationProperty(t *testing.T) {
+	f := func(vals []uint8, mod uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		m := int(mod%7) + 1
+		ctx := NewContext(2)
+		defer ctx.Close()
+		var pairs []Pair[int, uint8]
+		for _, v := range vals {
+			pairs = append(pairs, KV(int(v)%m, v))
+		}
+		d := Parallelize(ctx, pairs, 3)
+		grouped, err := Collect(GroupByKey(d, 2))
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, g := range grouped {
+			n += len(g.Value)
+		}
+		return n == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	// The canonical example end-to-end.
+	ctx := NewContext(4)
+	defer ctx.Close()
+	lines := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	words := FlatMap(Parallelize(ctx, lines, 2), func(l string) []Pair[string, int] {
+		var out []Pair[string, int]
+		for _, w := range strings.Fields(l) {
+			out = append(out, KV(w, 1))
+		}
+		return out
+	})
+	counts, err := CountByKey(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"the": 3, "quick": 2, "dog": 2, "brown": 1, "fox": 1, "lazy": 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("wordcount = %v", counts)
+	}
+}
+
+func TestPartitionOutOfRange(t *testing.T) {
+	ctx := NewContext(1)
+	defer ctx.Close()
+	d := Parallelize(ctx, []int{1}, 1)
+	if _, err := d.partition(5); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package rdd
+
+import (
+	"math/rand"
+)
+
+// Repartition redistributes the dataset over the given partition count
+// through a full shuffle — the paper names repartition() alongside
+// groupByKey() as the shuffle-heavy operations whose I/O its model
+// prices (Section III-B1). Elements are spread round-robin by index, so
+// the result is balanced regardless of input skew.
+func Repartition[T any](d *Dataset[T], parts int) *Dataset[T] {
+	if parts <= 0 {
+		parts = d.parts
+	}
+	// Key each element by its local index (offset per source partition
+	// so boundaries do not align), shuffle round-robin, drop the key.
+	keyed := MapPartitions(d, func(part int, rows []T) ([]Pair[int, T], error) {
+		out := make([]Pair[int, T], len(rows))
+		for i, v := range rows {
+			out[i] = KV(part+i, v)
+		}
+		return out, nil
+	})
+	red := shuffled(keyed, d.name+".repartition", parts, func(k, r int) int {
+		return k % r
+	})
+	return Map(red, func(kv Pair[int, T]) T { return kv.Value })
+}
+
+// Coalesce reduces the partition count *without* a shuffle by folding
+// existing partitions together — Spark's cheap narrow alternative to
+// Repartition.
+func Coalesce[T any](d *Dataset[T], parts int) *Dataset[T] {
+	if parts <= 0 || parts >= d.parts {
+		return d
+	}
+	return newDataset(d.ctx, d.name+".coalesce", parts, func(part int) ([]T, error) {
+		var out []T
+		for p := part; p < d.parts; p += parts {
+			rows, err := d.partition(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
+		}
+		return out, nil
+	})
+}
+
+// Distinct removes duplicate elements via a shuffle on the element
+// itself.
+func Distinct[T comparable](d *Dataset[T], parts int) *Dataset[T] {
+	keyed := Map(d, func(v T) Pair[T, struct{}] { return KV(v, struct{}{}) })
+	red := shuffled(keyed, d.name+".distinct", parts, hashPartitioner[T])
+	return MapPartitions(red, func(_ int, rows []Pair[T, struct{}]) ([]T, error) {
+		seen := map[T]struct{}{}
+		var out []T
+		for _, kv := range rows {
+			if _, dup := seen[kv.Key]; dup {
+				continue
+			}
+			seen[kv.Key] = struct{}{}
+			out = append(out, kv.Key)
+		}
+		return out, nil
+	})
+}
+
+// Sample keeps each element with probability p (without replacement),
+// deterministically per (seed, partition).
+func Sample[T any](d *Dataset[T], p float64, seed int64) *Dataset[T] {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return MapPartitions(d, func(part int, rows []T) ([]T, error) {
+		rng := rand.New(rand.NewSource(seed + int64(part)*1_000_003))
+		var out []T
+		for _, v := range rows {
+			if rng.Float64() < p {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}

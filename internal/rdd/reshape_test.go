@@ -1,0 +1,116 @@
+package rdd
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestRepartitionBalancesAndPreservesElements(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	// Deliberately skewed input: partition 0 holds almost everything.
+	skewed := newDataset(ctx, "skewed", 4, func(part int) ([]int, error) {
+		if part == 0 {
+			return intRange(970), nil
+		}
+		return []int{1000 + part}, nil
+	})
+	re := Repartition(skewed, 8)
+	if re.NumPartitions() != 8 {
+		t.Fatalf("partitions = %d", re.NumPartitions())
+	}
+	got, err := Collect(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 973 {
+		t.Fatalf("elements = %d, want 973", len(got))
+	}
+	// Balance: no output partition should be wildly off 973/8.
+	for p := 0; p < 8; p++ {
+		rows, err := re.partition(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) < 973/8-30 || len(rows) > 973/8+30 {
+			t.Errorf("partition %d has %d rows", p, len(rows))
+		}
+	}
+	// Repartition is a shuffle: the trace must show it.
+	if ctx.Trace().ShuffleWriteBytes() == 0 {
+		t.Error("repartition produced no shuffle I/O")
+	}
+}
+
+func TestCoalesceNoShuffle(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	d := Parallelize(ctx, intRange(100), 10)
+	c := Coalesce(d, 3)
+	if c.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d", c.NumPartitions())
+	}
+	got, err := Collect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, intRange(100)) {
+		t.Error("coalesce lost or duplicated elements")
+	}
+	if ctx.Trace().ShuffleWriteBytes() != 0 {
+		t.Error("coalesce must not shuffle")
+	}
+	// Widening or no-op requests return the dataset unchanged.
+	if Coalesce(d, 20) != d || Coalesce(d, 0) != d {
+		t.Error("coalesce should be a no-op when not narrowing")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	var vals []int
+	for i := 0; i < 300; i++ {
+		vals = append(vals, i%37)
+	}
+	got, err := Collect(Distinct(Parallelize(ctx, vals, 6), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, intRange(37)) {
+		t.Errorf("distinct = %v", got)
+	}
+}
+
+func TestSample(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	d := Parallelize(ctx, intRange(10000), 8)
+	n, err := Count(Sample(d, 0.25, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2200 || n > 2800 {
+		t.Errorf("sampled %d of 10000 at p=0.25", n)
+	}
+	// Determinism.
+	n2, err := Count(Sample(d, 0.25, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != n2 {
+		t.Error("sampling not deterministic for a fixed seed")
+	}
+	// Edge probabilities clamp.
+	z, _ := Count(Sample(d, -1, 1))
+	if z != 0 {
+		t.Errorf("p<=0 sampled %d", z)
+	}
+	all, _ := Count(Sample(d, 2, 1))
+	if all != 10000 {
+		t.Errorf("p>=1 sampled %d", all)
+	}
+}

@@ -1,0 +1,237 @@
+package rdd
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// Trace accumulates the logical I/O a context performs: input bytes,
+// shuffle write/read volumes and the shuffle read request sizes. It is
+// the mini-engine's equivalent of the Spark event log + iostat, and the
+// bridge that lets a small real computation parameterise the cluster
+// simulator and the Doppio model.
+type Trace struct {
+	mu                  sync.Mutex
+	inputBytes          int64
+	shuffleWriteBytes   int64
+	shuffleReadBytes    int64
+	shuffleReadRequests int64
+	shuffles            []ShuffleStat
+}
+
+// ShuffleStat records one shuffle dependency's geometry and volumes —
+// the per-stage detail a multi-shuffle job needs to parameterise one
+// simulator stage per shuffle.
+type ShuffleStat struct {
+	// Name labels the operation that introduced the shuffle.
+	Name string
+	// Mappers and Reducers give the M×R layout.
+	Mappers, Reducers int
+	// WriteBytes is the materialised map-output volume.
+	WriteBytes units.ByteSize
+	// ReadBytes and ReadRequests accumulate as reducers pull segments.
+	ReadBytes    units.ByteSize
+	ReadRequests int64
+}
+
+// AvgReadReqSize returns the mean segment read size of this shuffle.
+func (s ShuffleStat) AvgReadReqSize() units.ByteSize {
+	if s.ReadRequests == 0 {
+		return 0
+	}
+	return s.ReadBytes / units.ByteSize(s.ReadRequests)
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (t *Trace) addInput(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.inputBytes += n
+}
+
+// registerShuffle adds a per-shuffle record and returns its id.
+func (t *Trace) registerShuffle(name string, mappers, reducers int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shuffles = append(t.shuffles, ShuffleStat{Name: name, Mappers: mappers, Reducers: reducers})
+	return len(t.shuffles) - 1
+}
+
+func (t *Trace) addShuffleWrite(id int, n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shuffleWriteBytes += n
+	if id >= 0 && id < len(t.shuffles) {
+		t.shuffles[id].WriteBytes += units.ByteSize(n)
+	}
+}
+
+func (t *Trace) addShuffleRead(id int, n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shuffleReadBytes += n
+	t.shuffleReadRequests++
+	if id >= 0 && id < len(t.shuffles) {
+		t.shuffles[id].ReadBytes += units.ByteSize(n)
+		t.shuffles[id].ReadRequests++
+	}
+}
+
+// Shuffles returns a snapshot of the per-shuffle records.
+func (t *Trace) Shuffles() []ShuffleStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ShuffleStat, len(t.shuffles))
+	copy(out, t.shuffles)
+	return out
+}
+
+// InputBytes returns the bytes read from input sources.
+func (t *Trace) InputBytes() units.ByteSize {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return units.ByteSize(t.inputBytes)
+}
+
+// ShuffleWriteBytes returns the bytes written to shuffle files.
+func (t *Trace) ShuffleWriteBytes() units.ByteSize {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return units.ByteSize(t.shuffleWriteBytes)
+}
+
+// ShuffleReadBytes returns the bytes read back from shuffle files.
+func (t *Trace) ShuffleReadBytes() units.ByteSize {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return units.ByteSize(t.shuffleReadBytes)
+}
+
+// ShuffleReadRequests returns the number of segment reads issued.
+func (t *Trace) ShuffleReadRequests() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shuffleReadRequests
+}
+
+// AvgShuffleReadReqSize returns the mean segment read size — the
+// request-size operating point the Doppio model prices.
+func (t *Trace) AvgShuffleReadReqSize() units.ByteSize {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.shuffleReadRequests == 0 {
+		return 0
+	}
+	return units.ByteSize(t.shuffleReadBytes / t.shuffleReadRequests)
+}
+
+// String summarises the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("input=%v shuffleWrite=%v shuffleRead=%v (%d reads, avg %v)",
+		t.InputBytes(), t.ShuffleWriteBytes(), t.ShuffleReadBytes(),
+		t.ShuffleReadRequests(), t.AvgShuffleReadReqSize())
+}
+
+// addShuffleDir registers a temp dir for cleanup.
+func (c *Context) addShuffleDir(dir string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shuffleDirs = append(c.shuffleDirs, dir)
+}
+
+// Close removes the context's shuffle spill files.
+func (c *Context) Close() error {
+	c.mu.Lock()
+	dirs := c.shuffleDirs
+	c.shuffleDirs = nil
+	c.mu.Unlock()
+	var first error
+	for _, d := range dirs {
+		if err := os.RemoveAll(d); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ScaleParams controls how a trace is turned into a simulator workload.
+type ScaleParams struct {
+	// Scale multiplies every traced volume (run 1 GB for real, model
+	// 1 TB).
+	Scale float64
+	// MapTasks and ReduceTasks are the task counts of the scaled
+	// application; zero keeps the traced partition counts.
+	MapTasks, ReduceTasks int
+	// THDFSRead, TShuffle are the per-core throughputs of the target
+	// cluster (measured there, or the paper's 32.5 / 60 MB/s).
+	THDFSRead, TShuffle units.Rate
+	// MapComputePerByte and ReduceComputePerByte convert data volume
+	// into CPU time on the target cluster (seconds per byte, measured
+	// from a profiling run of the real job).
+	MapComputePerByte, ReduceComputePerByte time.Duration
+}
+
+// ToSparkApp converts the traced I/O pattern into a two-stage
+// spark.App at the requested scale: a map stage reading the input and
+// writing the shuffle, and a reduce stage reading the shuffle with the
+// request size implied by the scaled M×R layout. This is the
+// "profile small, predict big" workflow the paper applies to GATK4.
+func (t *Trace) ToSparkApp(name string, p ScaleParams) (spark.App, error) {
+	if p.Scale <= 0 {
+		return spark.App{}, fmt.Errorf("rdd: scale must be positive")
+	}
+	if t.ShuffleWriteBytes() == 0 {
+		return spark.App{}, fmt.Errorf("rdd: trace has no shuffle to scale")
+	}
+	mapTasks := p.MapTasks
+	redTasks := p.ReduceTasks
+	if mapTasks <= 0 || redTasks <= 0 {
+		return spark.App{}, fmt.Errorf("rdd: MapTasks and ReduceTasks required")
+	}
+	input := units.ByteSize(float64(t.InputBytes()) * p.Scale)
+	shufW := units.ByteSize(float64(t.ShuffleWriteBytes()) * p.Scale)
+	shufR := units.ByteSize(float64(t.ShuffleReadBytes()) * p.Scale)
+
+	inPerMap := input / units.ByteSize(mapTasks)
+	wPerMap := shufW / units.ByteSize(mapTasks)
+	rPerRed := shufR / units.ByteSize(redTasks)
+	reqSize := spark.ShuffleReadReqSize(rPerRed, mapTasks)
+
+	mapCompute := time.Duration(float64(p.MapComputePerByte) * float64(inPerMap))
+	redCompute := time.Duration(float64(p.ReduceComputePerByte) * float64(rPerRed))
+
+	// Split the map computation between the read (parsing) and the spill
+	// write (partition + serialise), both interleaved at request
+	// granularity as Spark executes them.
+	app := spark.App{Name: name, Stages: []spark.Stage{
+		{
+			Name: "map",
+			Groups: []spark.TaskGroup{{
+				Name:  "map",
+				Count: mapTasks,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpHDFSRead, inPerMap, 0, p.THDFSRead, mapCompute/2),
+					spark.IOC(spark.OpShuffleWrite, wPerMap, wPerMap, p.TShuffle, mapCompute/2),
+				},
+			}},
+		},
+		{
+			Name: "reduce",
+			Groups: []spark.TaskGroup{{
+				Name:  "reduce",
+				Count: redTasks,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpShuffleRead, rPerRed, reqSize, p.TShuffle, redCompute),
+				},
+			}},
+		},
+	}}
+	return app, app.Validate()
+}

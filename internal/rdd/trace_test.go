@@ -1,0 +1,201 @@
+package rdd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// runMiniShuffleJob executes a real shuffle job and returns its context.
+func runMiniShuffleJob(t *testing.T) *Context {
+	t.Helper()
+	ctx := NewContext(4)
+	t.Cleanup(func() { ctx.Close() })
+	payload := strings.Repeat("g", 200)
+	var rows []Pair[int, string]
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, KV(i%64, payload))
+	}
+	in := InputFunc(ctx, "reads", 16, func(part int) ([]Pair[int, string], int64, error) {
+		lo, hi := part*len(rows)/16, (part+1)*len(rows)/16
+		var bytes int64
+		for _, r := range rows[lo:hi] {
+			bytes += int64(len(r.Value)) + 8
+		}
+		return rows[lo:hi], bytes, nil
+	})
+	if _, err := Count(GroupByKey(in, 8)); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestTraceString(t *testing.T) {
+	ctx := runMiniShuffleJob(t)
+	s := ctx.Trace().String()
+	for _, want := range []string{"input=", "shuffleWrite=", "reads, avg"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace string %q missing %q", s, want)
+		}
+	}
+}
+
+// TestToSparkApp bridges a real mini-run into the performance simulator
+// and the analytical model: profile at megabyte scale, predict at
+// terabyte scale.
+func TestToSparkApp(t *testing.T) {
+	ctx := runMiniShuffleJob(t)
+	tr := ctx.Trace()
+
+	const scale = 1 << 20 // ~1 MB-scale run -> ~1 TB-scale app
+	app, err := tr.ToSparkApp("scaled-groupby", ScaleParams{
+		Scale:                scale,
+		MapTasks:             2000,
+		ReduceTasks:          4000,
+		THDFSRead:            units.MBps(32.5),
+		TShuffle:             units.MBps(60),
+		MapComputePerByte:    time.Duration(20), // 20ns per byte
+		ReduceComputePerByte: time.Duration(40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Stages) != 2 {
+		t.Fatalf("stages = %d", len(app.Stages))
+	}
+	// Volume conservation through the bridge.
+	wantShuffle := units.ByteSize(float64(tr.ShuffleWriteBytes()) * scale)
+	gotW := app.Stages[0].TotalBytes(spark.OpShuffleWrite)
+	if ratio := float64(gotW) / float64(wantShuffle); ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("scaled shuffle write = %v, want %v", gotW, wantShuffle)
+	}
+
+	// The scaled app runs on the simulator and shows the HDD/SSD shuffle
+	// cliff, and the hand-free model tracks the simulator.
+	for _, dev := range []disk.Device{disk.NewSSD(), disk.NewHDD()} {
+		cfg := spark.DefaultTestbed(10, 16, dev, dev)
+		res, err := spark.Run(cfg, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total <= 0 {
+			t.Fatal("zero runtime")
+		}
+	}
+}
+
+func TestToSparkAppErrors(t *testing.T) {
+	tr := NewTrace()
+	if _, err := tr.ToSparkApp("x", ScaleParams{Scale: 1, MapTasks: 1, ReduceTasks: 1}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	tr.addShuffleWrite(tr.registerShuffle("x", 1, 1), 100)
+	if _, err := tr.ToSparkApp("x", ScaleParams{Scale: 0, MapTasks: 1, ReduceTasks: 1}); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := tr.ToSparkApp("x", ScaleParams{Scale: 1}); err == nil {
+		t.Error("missing task counts accepted")
+	}
+}
+
+// TestBridgePredictionConsistency: the scaled app's simulated HDD/SSD
+// gap should agree with what the Doppio model predicts from the same
+// trace-derived parameters.
+func TestBridgePredictionConsistency(t *testing.T) {
+	ctx := runMiniShuffleJob(t)
+	app, err := ctx.Trace().ToSparkApp("bridge", ScaleParams{
+		Scale:                1 << 18,
+		MapTasks:             1000,
+		ReduceTasks:          2000,
+		THDFSRead:            units.MBps(32.5),
+		TShuffle:             units.MBps(60),
+		MapComputePerByte:    time.Duration(30),
+		ReduceComputePerByte: time.Duration(60),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.AppModel{Name: app.Name}
+	for _, st := range app.Stages {
+		sm := core.StageModel{Name: st.Name}
+		for _, g := range st.Groups {
+			gm := core.GroupModel{Name: g.Name, Count: g.Count}
+			for _, op := range g.Ops {
+				gm.Ops = append(gm.Ops, core.OpModel{
+					Kind:         op.Kind,
+					BytesPerTask: op.Bytes,
+					ReqSize:      op.ReqSize,
+					T:            op.StreamLimit,
+					CoupledRate:  op.ComputeRate(),
+				})
+			}
+			sm.Groups = append(sm.Groups, gm)
+		}
+		model.Stages = append(model.Stages, sm)
+	}
+	for _, dev := range []disk.Device{disk.NewSSD(), disk.NewHDD()} {
+		cfg := spark.DefaultTestbed(10, 16, dev, dev)
+		res, err := spark.Run(cfg, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := core.ErrorRate(pred.Total, res.Total); e > 0.20 {
+			t.Errorf("%s: uncalibrated model err %.0f%% (>20%%): model %v vs sim %v",
+				dev.Name(), e*100, pred.Total, res.Total)
+		}
+	}
+}
+
+var _ = fmt.Sprint
+
+func TestPerShuffleStats(t *testing.T) {
+	ctx := NewContext(4)
+	defer ctx.Close()
+	var pairs []Pair[int, int]
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, KV(i%20, i))
+	}
+	d := Parallelize(ctx, pairs, 8)
+	// Two distinct shuffles: a groupByKey and a repartition.
+	if _, err := Count(GroupByKey(d, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Count(Repartition(d, 5)); err != nil {
+		t.Fatal(err)
+	}
+	shuffles := ctx.Trace().Shuffles()
+	if len(shuffles) != 2 {
+		t.Fatalf("shuffles = %d, want 2", len(shuffles))
+	}
+	g := shuffles[0]
+	if !strings.Contains(g.Name, "groupByKey") || g.Mappers != 8 || g.Reducers != 4 {
+		t.Errorf("first shuffle = %+v", g)
+	}
+	if g.WriteBytes == 0 || g.WriteBytes != g.ReadBytes {
+		t.Errorf("shuffle conservation per record: %+v", g)
+	}
+	if g.ReadRequests != int64(g.Mappers*g.Reducers) {
+		t.Errorf("requests = %d, want M*R = %d", g.ReadRequests, g.Mappers*g.Reducers)
+	}
+	if g.AvgReadReqSize() == 0 {
+		t.Error("zero request size")
+	}
+	r := shuffles[1]
+	if !strings.Contains(r.Name, "repartition") || r.Reducers != 5 {
+		t.Errorf("second shuffle = %+v", r)
+	}
+	// Aggregate counters equal the per-shuffle sums.
+	if ctx.Trace().ShuffleWriteBytes() != g.WriteBytes+r.WriteBytes {
+		t.Error("aggregate/per-shuffle mismatch")
+	}
+}

@@ -1,0 +1,169 @@
+// Package sched implements the paper's introduction use case for the
+// performance model: "in a shared cluster environment with a job
+// scheduler, our performance prediction model can allow the scheduler to
+// know ahead the approximating job execution time and thus enable better
+// job scheduling with less job waiting time."
+//
+// The scheduler space-shares the whole cluster one job at a time (Spark
+// standalone FIFO semantics) and chooses the next job by policy. True
+// job runtimes come from the cluster simulator; the model-driven policy
+// orders the queue by *predicted* runtimes, so model error shows up as
+// scheduling inversions the experiments can quantify.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Job is one queued application.
+type Job struct {
+	// Name labels the job.
+	Name string
+	// Arrival is when the job enters the queue.
+	Arrival time.Duration
+	// Runtime is the job's true execution time on the cluster (from the
+	// simulator).
+	Runtime time.Duration
+	// Predicted is the model's runtime estimate used by model-driven
+	// policies.
+	Predicted time.Duration
+}
+
+// Policy selects the next job from the ready queue.
+type Policy int
+
+const (
+	// FIFO runs jobs in arrival order.
+	FIFO Policy = iota
+	// SJF runs the job with the shortest *predicted* runtime first —
+	// the model-driven policy the paper proposes.
+	SJF
+	// SJFOracle sorts by true runtimes: the upper bound an exact model
+	// would reach.
+	SJFOracle
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "FIFO"
+	case SJF:
+		return "SJF(model)"
+	case SJFOracle:
+		return "SJF(oracle)"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// JobResult records one job's schedule.
+type JobResult struct {
+	Job    Job
+	Start  time.Duration
+	Finish time.Duration
+}
+
+// Wait is the queueing delay before the job starts.
+func (r JobResult) Wait() time.Duration { return r.Start - r.Job.Arrival }
+
+// Turnaround is arrival-to-finish.
+func (r JobResult) Turnaround() time.Duration { return r.Finish - r.Job.Arrival }
+
+// Outcome aggregates a schedule.
+type Outcome struct {
+	Policy  Policy
+	Results []JobResult
+}
+
+// AvgWait returns the mean queueing delay.
+func (o Outcome) AvgWait() time.Duration {
+	if len(o.Results) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, r := range o.Results {
+		total += r.Wait()
+	}
+	return total / time.Duration(len(o.Results))
+}
+
+// AvgTurnaround returns the mean arrival-to-finish time.
+func (o Outcome) AvgTurnaround() time.Duration {
+	if len(o.Results) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, r := range o.Results {
+		total += r.Turnaround()
+	}
+	return total / time.Duration(len(o.Results))
+}
+
+// Makespan returns the time the last job finishes.
+func (o Outcome) Makespan() time.Duration {
+	var end time.Duration
+	for _, r := range o.Results {
+		if r.Finish > end {
+			end = r.Finish
+		}
+	}
+	return end
+}
+
+// Run schedules the jobs under the policy.
+func Run(jobs []Job, policy Policy) (Outcome, error) {
+	for i, j := range jobs {
+		if j.Runtime <= 0 {
+			return Outcome{}, fmt.Errorf("sched: job %d (%s) has non-positive runtime", i, j.Name)
+		}
+		if j.Arrival < 0 {
+			return Outcome{}, fmt.Errorf("sched: job %d (%s) has negative arrival", i, j.Name)
+		}
+	}
+	pending := make([]Job, len(jobs))
+	copy(pending, jobs)
+	// Stable arrival order as the base sequence.
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+
+	out := Outcome{Policy: policy}
+	var clock time.Duration
+	for len(pending) > 0 {
+		// Ready set: everything that has arrived by the clock; if the
+		// cluster is idle before the next arrival, jump to it.
+		if pending[0].Arrival > clock {
+			clock = pending[0].Arrival
+		}
+		readyEnd := 0
+		for readyEnd < len(pending) && pending[readyEnd].Arrival <= clock {
+			readyEnd++
+		}
+		pick := 0
+		switch policy {
+		case FIFO:
+			// pending is arrival-ordered already.
+		case SJF:
+			for i := 1; i < readyEnd; i++ {
+				if pending[i].Predicted < pending[pick].Predicted {
+					pick = i
+				}
+			}
+		case SJFOracle:
+			for i := 1; i < readyEnd; i++ {
+				if pending[i].Runtime < pending[pick].Runtime {
+					pick = i
+				}
+			}
+		default:
+			return Outcome{}, fmt.Errorf("sched: unknown policy %v", policy)
+		}
+		job := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+		res := JobResult{Job: job, Start: clock, Finish: clock + job.Runtime}
+		clock = res.Finish
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}

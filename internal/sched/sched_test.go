@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mins(v int) time.Duration { return time.Duration(v) * time.Minute }
+
+func batch(runtimes ...int) []Job {
+	jobs := make([]Job, len(runtimes))
+	for i, r := range runtimes {
+		jobs[i] = Job{
+			Name:      string(rune('A' + i)),
+			Runtime:   mins(r),
+			Predicted: mins(r),
+		}
+	}
+	return jobs
+}
+
+func TestFIFOOrder(t *testing.T) {
+	out, err := Run(batch(30, 10, 20), FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waits: 0, 30, 40 -> avg 23.33 min.
+	if got := out.AvgWait(); got != mins(70)/3 {
+		t.Errorf("FIFO avg wait = %v", got)
+	}
+	if out.Results[0].Job.Name != "A" || out.Results[2].Job.Name != "C" {
+		t.Error("FIFO order broken")
+	}
+}
+
+func TestSJFMinimisesWait(t *testing.T) {
+	out, err := Run(batch(30, 10, 20), SJF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order B(10), C(20), A(30): waits 0, 10, 30 -> avg 13.33.
+	if got := out.AvgWait(); got != mins(40)/3 {
+		t.Errorf("SJF avg wait = %v", got)
+	}
+	fifo, _ := Run(batch(30, 10, 20), FIFO)
+	if out.AvgWait() >= fifo.AvgWait() {
+		t.Error("SJF should beat FIFO on a big-first queue")
+	}
+	// Makespan is policy-independent for a batch.
+	if out.Makespan() != fifo.Makespan() {
+		t.Error("makespan should not depend on ordering")
+	}
+}
+
+func TestMispredictionCausesInversions(t *testing.T) {
+	jobs := batch(30, 10)
+	jobs[0].Predicted = mins(5) // model badly underestimates the long job
+	out, err := Run(jobs, SJF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0].Job.Name != "A" {
+		t.Error("mispredicted SJF should pick the (wrongly) short-looking job")
+	}
+	oracle, _ := Run(jobs, SJFOracle)
+	if oracle.AvgWait() >= out.AvgWait() {
+		t.Error("oracle must not be worse than a mispredicting model")
+	}
+}
+
+func TestArrivalsRespected(t *testing.T) {
+	jobs := []Job{
+		{Name: "long", Arrival: 0, Runtime: mins(60), Predicted: mins(60)},
+		{Name: "short", Arrival: mins(5), Runtime: mins(5), Predicted: mins(5)},
+	}
+	out, err := Run(jobs, SJF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The short job arrives while long runs (non-preemptive): it waits.
+	if out.Results[0].Job.Name != "long" {
+		t.Error("job scheduled before arrival")
+	}
+	if got := out.Results[1].Wait(); got != mins(55) {
+		t.Errorf("short job wait = %v, want 55m", got)
+	}
+	// Idle gap: job arriving after the cluster drains starts on arrival.
+	jobs2 := []Job{
+		{Name: "a", Arrival: 0, Runtime: mins(10), Predicted: mins(10)},
+		{Name: "b", Arrival: mins(30), Runtime: mins(10), Predicted: mins(10)},
+	}
+	out2, err := Run(jobs2, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Results[1].Start != mins(30) {
+		t.Errorf("b started at %v, want 30m", out2.Results[1].Start)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run([]Job{{Name: "x", Runtime: 0}}, FIFO); err == nil {
+		t.Error("zero runtime accepted")
+	}
+	if _, err := Run([]Job{{Name: "x", Runtime: 1, Arrival: -1}}, FIFO); err == nil {
+		t.Error("negative arrival accepted")
+	}
+	if _, err := Run(batch(1), Policy(99)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range []Policy{FIFO, SJF, SJFOracle} {
+		if p.String() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+// Property: for batch arrivals with exact predictions, SJF never has a
+// higher average wait than FIFO, and the oracle equals SJF.
+func TestSJFNeverWorseProperty(t *testing.T) {
+	f := func(runtimes []uint8) bool {
+		if len(runtimes) == 0 {
+			return true
+		}
+		if len(runtimes) > 12 {
+			runtimes = runtimes[:12]
+		}
+		var jobs []Job
+		for i, r := range runtimes {
+			d := time.Duration(int(r)+1) * time.Second
+			jobs = append(jobs, Job{Name: string(rune('a' + i)), Runtime: d, Predicted: d})
+		}
+		fifo, err1 := Run(jobs, FIFO)
+		sjf, err2 := Run(jobs, SJF)
+		oracle, err3 := Run(jobs, SJFOracle)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return sjf.AvgWait() <= fifo.AvgWait() && sjf.AvgWait() == oracle.AvgWait()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sim provides a small discrete-event simulation engine plus the
+// flow-level shared-bandwidth resource used to model disks and network
+// links.
+//
+// The engine is deliberately minimal: a virtual clock and a time-ordered
+// event heap. Higher-level abstractions (CorePool for executor cores,
+// FlowResource for bandwidth water-filling) are built on top, and the
+// Spark cluster simulator in internal/spark composes those.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at        time.Duration
+	seq       uint64 // tie-breaker: FIFO among same-time events
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all callbacks run on the goroutine that calls Run.
+type Engine struct {
+	now     time.Duration
+	heap    eventHeap
+	seq     uint64
+	running bool
+	steps   uint64
+	// MaxSteps bounds the number of processed events; 0 means unlimited.
+	// It exists as a runaway-loop backstop for property tests.
+	MaxSteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps reports how many events have been processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it is always a logic error in a DES.
+func (e *Engine) At(t time.Duration, fn func()) Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return Timer{ev}
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run processes events until the heap is empty (or MaxSteps is hit).
+// It returns the final virtual time.
+func (e *Engine) Run() time.Duration {
+	return e.RunUntil(time.Duration(1<<63 - 1))
+}
+
+// RunUntil processes events with timestamps <= deadline and advances the
+// clock to min(deadline, time of last event). It returns the clock.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.heap.Len() > 0 {
+		ev := e.heap[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.heap)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d (runaway simulation?)", e.MaxSteps))
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending reports the number of not-yet-fired (and not cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3*time.Second, func() { got = append(got, 3) })
+	e.At(1*time.Second, func() { got = append(got, 1) })
+	e.At(2*time.Second, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3*time.Second {
+		t.Errorf("final time = %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.After(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.After(2*time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(time.Second, func() { fired = true })
+	tm.Cancel()
+	e.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.At(1*time.Second, func() { fired = append(fired, e.Now()) })
+	e.At(5*time.Second, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(2 * time.Second)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v, want only the 1s event", fired)
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v after full Run", fired)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-time.Second, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestMaxStepsBackstop(t *testing.T) {
+	e := NewEngine()
+	e.MaxSteps = 100
+	var loop func()
+	loop = func() { e.After(time.Millisecond, loop) }
+	e.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected MaxSteps panic")
+		}
+	}()
+	e.Run()
+}

@@ -1,0 +1,129 @@
+package spark
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func computeStage(name string, deps []string, count int, d time.Duration) Stage {
+	return Stage{
+		Name:      name,
+		DependsOn: deps,
+		Groups:    []TaskGroup{{Name: "g", Count: count, Ops: []Op{Compute(d)}}},
+	}
+}
+
+func TestDAGIndependentStagesOverlap(t *testing.T) {
+	dev := constDev{units.MBps(1000), units.MBps(1000)}
+	// Two independent 60s stages on 8 cores with 4 tasks each: together
+	// they fill the cores and finish in ~60s, where the linear chain
+	// needs 120s.
+	dag := App{Name: "dag", Stages: []Stage{
+		computeStage("a", nil, 4, 60*time.Second),
+		computeStage("b", []string{}, 4, 60*time.Second),
+		computeStage("join", []string{"a", "b"}, 1, time.Second),
+	}}
+	// Force DAG mode: "join" declares deps; a and b have none so they
+	// are roots.
+	res, err := Run(barebones(1, 8, dev), dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Total.Seconds(); math.Abs(got-61) > 0.5 {
+		t.Errorf("DAG total = %.1fs, want ~61 (a ∥ b, then join)", got)
+	}
+
+	linear := App{Name: "chain", Stages: []Stage{
+		computeStage("a", nil, 4, 60*time.Second),
+		computeStage("b", nil, 4, 60*time.Second),
+		computeStage("join", nil, 1, time.Second),
+	}}
+	lres, err := Run(barebones(1, 8, dev), linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lres.Total.Seconds(); math.Abs(got-121) > 0.5 {
+		t.Errorf("linear total = %.1fs, want ~121", got)
+	}
+}
+
+func TestDAGJoinWaitsForAllDeps(t *testing.T) {
+	dev := constDev{units.MBps(1000), units.MBps(1000)}
+	app := App{Name: "dag", Stages: []Stage{
+		computeStage("fast", nil, 1, time.Second),
+		computeStage("slow", nil, 1, 30*time.Second),
+		computeStage("join", []string{"fast", "slow"}, 1, time.Second),
+	}}
+	res, err := Run(barebones(1, 4, dev), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := res.MustStage("join")
+	slow := res.MustStage("slow")
+	if join.Start < slow.End {
+		t.Errorf("join started at %v before slow ended at %v", join.Start, slow.End)
+	}
+}
+
+func TestDAGValidation(t *testing.T) {
+	mk := func(stages ...Stage) App { return App{Name: "x", Stages: stages} }
+	// Unknown dependency.
+	if err := mk(
+		computeStage("a", []string{"ghost"}, 1, time.Second),
+	).Validate(); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	// Cycle.
+	if err := mk(
+		computeStage("a", []string{"b"}, 1, time.Second),
+		computeStage("b", []string{"a"}, 1, time.Second),
+	).Validate(); err == nil {
+		t.Error("dependency cycle accepted")
+	}
+	// Duplicate names in DAG mode.
+	if err := mk(
+		computeStage("a", nil, 1, time.Second),
+		computeStage("a", []string{"a"}, 1, time.Second),
+	).Validate(); err == nil {
+		t.Error("duplicate stage names accepted in DAG mode")
+	}
+	// Self-dependency is a cycle.
+	if err := mk(
+		computeStage("a", []string{"a"}, 1, time.Second),
+	).Validate(); err == nil {
+		t.Error("self-dependency accepted")
+	}
+	// Valid diamond.
+	if err := mk(
+		computeStage("src", nil, 1, time.Second),
+		computeStage("l", []string{"src"}, 1, time.Second),
+		computeStage("r", []string{"src"}, 1, time.Second),
+		computeStage("sink", []string{"l", "r"}, 1, time.Second),
+	).Validate(); err != nil {
+		t.Errorf("diamond rejected: %v", err)
+	}
+}
+
+func TestDAGDiamondExecutes(t *testing.T) {
+	dev := constDev{units.MBps(1000), units.MBps(1000)}
+	app := App{Name: "diamond", Stages: []Stage{
+		computeStage("src", nil, 2, 2*time.Second),
+		computeStage("l", []string{"src"}, 2, 5*time.Second),
+		computeStage("r", []string{"src"}, 2, 7*time.Second),
+		computeStage("sink", []string{"l", "r"}, 1, time.Second),
+	}}
+	res, err := Run(barebones(1, 8, dev), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 4 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	// src 2s, then l and r in parallel (7s), then sink 1s = ~10s.
+	if got := res.Total.Seconds(); math.Abs(got-10) > 0.5 {
+		t.Errorf("diamond total = %.1fs, want ~10", got)
+	}
+}

@@ -1,0 +1,223 @@
+package spark
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// randApp builds a small deterministic app from fuzz bytes.
+func randApp(stages, tasks, ioMB, computeSec uint8) App {
+	nStages := int(stages%3) + 1
+	app := App{Name: "fuzz"}
+	for s := 0; s < nStages; s++ {
+		count := int(tasks%40) + 1
+		bytes := units.ByteSize(int(ioMB%64)+1) * units.MB
+		comp := time.Duration(int(computeSec%8)) * time.Second
+		kind := []OpKind{OpHDFSRead, OpShuffleRead, OpPersistRead}[s%3]
+		app.Stages = append(app.Stages, Stage{
+			Name: string(rune('a' + s)),
+			Groups: []TaskGroup{{
+				Name:  "g",
+				Count: count,
+				Ops: []Op{
+					IOC(kind, bytes, bytes/4+1, units.MBps(50), comp),
+					IO(OpShuffleWrite, bytes/2, bytes/2, units.MBps(50)),
+				},
+			}},
+		})
+	}
+	return app
+}
+
+// TestRuntimeMonotoneInCores: adding executor cores never slows an app
+// down (no GC model in play).
+func TestRuntimeMonotoneInCores(t *testing.T) {
+	ssd := disk.NewSSD()
+	f := func(stages, tasks, ioMB, computeSec, pRaw uint8) bool {
+		app := randApp(stages, tasks, ioMB, computeSec)
+		p1 := int(pRaw%16) + 1
+		p2 := p1 * 2
+		cfg1 := barebones(2, p1, ssd)
+		cfg2 := barebones(2, p2, ssd)
+		r1, err1 := Run(cfg1, app)
+		r2, err2 := Run(cfg2, app)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Allow a sliver of slack for barrier rounding.
+		return r2.Total <= r1.Total+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRuntimeMonotoneInNodes: adding slave nodes never slows an app.
+func TestRuntimeMonotoneInNodes(t *testing.T) {
+	ssd := disk.NewSSD()
+	f := func(stages, tasks, ioMB, computeSec, nRaw uint8) bool {
+		app := randApp(stages, tasks, ioMB, computeSec)
+		n1 := int(nRaw%4) + 1
+		n2 := n1 * 2
+		r1, err1 := Run(barebones(n1, 8, ssd), app)
+		r2, err2 := Run(barebones(n2, 8, ssd), app)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.Total <= r1.Total+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFasterDiskNeverHurts: upgrading a device can only help.
+func TestFasterDiskNeverHurts(t *testing.T) {
+	f := func(stages, tasks, ioMB, computeSec uint8) bool {
+		app := randApp(stages, tasks, ioMB, computeSec)
+		slow, err1 := Run(barebones(2, 8, disk.NewHDD()), app)
+		fast, err2 := Run(barebones(2, 8, disk.NewSSD()), app)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return fast.Total <= slow.Total+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIOAccountingInvariantToHardware: the volumes a stage moves are a
+// property of the application, not of the disks or core count.
+func TestIOAccountingInvariantToHardware(t *testing.T) {
+	f := func(stages, tasks, ioMB, computeSec uint8) bool {
+		app := randApp(stages, tasks, ioMB, computeSec)
+		a, err1 := Run(barebones(1, 4, disk.NewHDD()), app)
+		b, err2 := Run(barebones(3, 16, disk.NewSSD()), app)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a.Stages {
+			for _, kind := range []OpKind{OpHDFSRead, OpShuffleRead, OpShuffleWrite, OpPersistRead} {
+				if a.Stages[i].IO[kind].Bytes != b.Stages[i].IO[kind].Bytes {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoreSecondsBounded: busy core-seconds never exceed N·P·wallclock
+// and are positive for non-empty apps.
+func TestCoreSecondsBounded(t *testing.T) {
+	f := func(stages, tasks, ioMB, computeSec uint8) bool {
+		app := randApp(stages, tasks, ioMB, computeSec)
+		const n, p = 2, 6
+		r, err := Run(barebones(n, p, disk.NewSSD()), app)
+		if err != nil {
+			return false
+		}
+		return r.CoreSeconds > 0 && r.CoreSeconds <= float64(n*p)*r.Total.Seconds()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStageTimesSumToTotal: stage durations (which own their setup
+// gaps) partition the application wallclock.
+func TestStageTimesSumToTotal(t *testing.T) {
+	f := func(stages, tasks, ioMB, computeSec uint8) bool {
+		app := randApp(stages, tasks, ioMB, computeSec)
+		cfg := DefaultTestbed(2, 8, disk.NewSSD(), disk.NewSSD())
+		r, err := Run(cfg, app)
+		if err != nil {
+			return false
+		}
+		var sum time.Duration
+		for _, s := range r.Stages {
+			sum += s.Duration()
+		}
+		diff := (sum - r.Total).Seconds()
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSeedChangesJitterNotVolume: different seeds perturb runtimes only
+// slightly and never the I/O accounting.
+func TestSeedChangesJitterNotVolume(t *testing.T) {
+	app := randApp(2, 30, 40, 5)
+	cfg := DefaultTestbed(2, 8, disk.NewSSD(), disk.NewSSD())
+	cfg.Seed = 1
+	a, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total == b.Total {
+		t.Error("different seeds produced identical runtimes; jitter inert")
+	}
+	rel := (a.Total - b.Total).Seconds() / a.Total.Seconds()
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.2 {
+		t.Errorf("seed changed runtime by %.0f%%; jitter too strong", rel*100)
+	}
+	for i := range a.Stages {
+		if a.Stages[i].IO[OpShuffleWrite].Bytes != b.Stages[i].IO[OpShuffleWrite].Bytes {
+			t.Error("seed changed I/O volumes")
+		}
+	}
+}
+
+// TestDeviceUtilisationExplainsBottlenecks: the BR-style shuffle stage
+// saturates the local HDD (~100% busy) but leaves an SSD mostly idle —
+// the utilisation view behind the paper's Fig. 3 analysis.
+func TestDeviceUtilisationExplainsBottlenecks(t *testing.T) {
+	app := App{Name: "br", Stages: []Stage{{
+		Name: "BR",
+		Groups: []TaskGroup{{
+			Name:  "recal",
+			Count: 2000,
+			Ops: []Op{
+				IOC(OpShuffleRead, 27*units.MB, 28*units.KB, units.MBps(60), 8550*time.Millisecond),
+			},
+		}},
+	}}}
+	hddRes, err := Run(DefaultTestbed(3, 36, disk.NewSSD(), disk.NewHDD()), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssdRes, err := Run(DefaultTestbed(3, 36, disk.NewSSD(), disk.NewSSD()), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hddUtil := hddRes.MustStage("BR").LocalUtil(3)
+	ssdUtil := ssdRes.MustStage("BR").LocalUtil(3)
+	if hddUtil < 0.9 {
+		t.Errorf("HDD local utilisation = %.0f%%, want saturated", hddUtil*100)
+	}
+	if ssdUtil > 0.5 {
+		t.Errorf("SSD local utilisation = %.0f%%, want well below saturation", ssdUtil*100)
+	}
+	// HDFS disks are untouched by this stage.
+	if u := hddRes.MustStage("BR").HDFSUtil(3); u != 0 {
+		t.Errorf("HDFS utilisation = %.2f, want 0", u)
+	}
+}

@@ -1,0 +1,193 @@
+package spark
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/units"
+)
+
+// IOStat aggregates one op kind's I/O over a stage, cluster-wide. It is
+// the simulator's equivalent of what the paper extracts from the Spark
+// event log plus iostat.
+type IOStat struct {
+	// Bytes is the total volume moved (including HDFS replication
+	// amplification on writes).
+	Bytes units.ByteSize
+	// Ops is the number of task-level operations executed.
+	Ops int
+	// Time is the summed per-task wall time spent in the op.
+	Time time.Duration
+	// Requests estimates the number of device-level requests,
+	// Σ bytes/reqSize; Bytes/Requests is the iostat-style average request
+	// size.
+	Requests float64
+}
+
+// AvgReqSize returns the average device request size for the op kind.
+func (s IOStat) AvgReqSize() units.ByteSize {
+	if s.Requests <= 0 {
+		return 0
+	}
+	return units.ByteSize(float64(s.Bytes) / s.Requests)
+}
+
+// AvgOpTime returns the mean per-task duration of the op.
+func (s IOStat) AvgOpTime() time.Duration {
+	if s.Ops == 0 {
+		return 0
+	}
+	return s.Time / time.Duration(s.Ops)
+}
+
+// OpStat records the execution of one op slot (by position) of a task
+// group: total time and bytes across the group's tasks.
+type OpStat struct {
+	Kind  OpKind
+	Time  time.Duration
+	Bytes units.ByteSize
+	// Coupled is the summed interleaved CPU time of the op (what real
+	// Spark reports as task time minus blocked time).
+	Coupled time.Duration
+	Count   int
+}
+
+// AvgCoupled returns the mean coupled compute per task.
+func (s OpStat) AvgCoupled() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Coupled / time.Duration(s.Count)
+}
+
+// AvgTime returns the mean duration of this op across the group's tasks.
+func (s OpStat) AvgTime() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Time / time.Duration(s.Count)
+}
+
+// GroupResult is the per-task-group accounting of a stage.
+type GroupResult struct {
+	Name          string
+	Count         int
+	TotalTaskTime time.Duration
+	// OpTimes has one entry per op in the group's op list, in order,
+	// plus a trailing entry for GC time when the group has a GC model.
+	OpTimes []OpStat
+}
+
+// AvgTaskTime returns the mean end-to-end task duration (the model's
+// t_avg when measured without I/O contention).
+func (g GroupResult) AvgTaskTime() time.Duration {
+	if g.Count == 0 {
+		return 0
+	}
+	return g.TotalTaskTime / time.Duration(g.Count)
+}
+
+// StageResult is the simulator's measurement of one stage.
+type StageResult struct {
+	Name     string
+	Start    time.Duration
+	End      time.Duration
+	Tasks    int
+	Groups   []GroupResult
+	IO       map[OpKind]IOStat
+	NetBytes units.ByteSize
+	// HDFSBusy and LocalBusy are the summed device busy times across
+	// nodes during the stage; divided by N·duration they give the
+	// utilisation that explains which stages are device-bound.
+	HDFSBusy  time.Duration
+	LocalBusy time.Duration
+}
+
+// HDFSUtil returns the stage's average HDFS-disk utilisation across
+// the cluster (0..1).
+func (s StageResult) HDFSUtil(slaves int) float64 {
+	return util(s.HDFSBusy, s.Duration(), slaves)
+}
+
+// LocalUtil returns the stage's average Spark-Local-disk utilisation.
+func (s StageResult) LocalUtil(slaves int) float64 {
+	return util(s.LocalBusy, s.Duration(), slaves)
+}
+
+func util(busy, dur time.Duration, slaves int) float64 {
+	if dur <= 0 || slaves <= 0 {
+		return 0
+	}
+	return busy.Seconds() / (dur.Seconds() * float64(slaves))
+}
+
+// Duration returns the stage wall-clock time.
+func (s StageResult) Duration() time.Duration { return s.End - s.Start }
+
+// Result is a full application run measurement.
+type Result struct {
+	App    string
+	Slaves int
+	Cores  int
+	Stages []StageResult
+	// Total is the application wall-clock time, Σ stage durations plus
+	// inter-stage gaps (none in this simulator beyond stage setup).
+	Total time.Duration
+	// CoreSeconds is the integral of busy cores over time, for cloud
+	// cost accounting.
+	CoreSeconds float64
+}
+
+// Stage returns the named stage's result, or false.
+func (r *Result) Stage(name string) (StageResult, bool) {
+	for _, s := range r.Stages {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StageResult{}, false
+}
+
+// MustStage is Stage for tests and benches; it panics when absent.
+func (r *Result) MustStage(name string) StageResult {
+	s, ok := r.Stage(name)
+	if !ok {
+		panic(fmt.Sprintf("spark: no stage %q in result for %s", name, r.App))
+	}
+	return s
+}
+
+// WriteTo renders a per-stage summary table.
+func (r *Result) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	tw := tabwriter.NewWriter(cw, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# %s: N=%d P=%d total=%s\n", r.App, r.Slaves, r.Cores, fmtMin(r.Total))
+	fmt.Fprintln(tw, "stage\ttime\ttasks\thdfsR\tshufW\tshufR\tpersR\tpersW\thdfsW\thdfs%\tlocal%")
+	for _, s := range r.Stages {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\t%.0f%%\t%.0f%%\n",
+			s.Name, fmtMin(s.Duration()), s.Tasks,
+			s.IO[OpHDFSRead].Bytes, s.IO[OpShuffleWrite].Bytes,
+			s.IO[OpShuffleRead].Bytes, s.IO[OpPersistRead].Bytes,
+			s.IO[OpPersistWrite].Bytes, s.IO[OpHDFSWrite].Bytes,
+			100*s.HDFSUtil(r.Slaves), 100*s.LocalUtil(r.Slaves))
+	}
+	err := tw.Flush()
+	return cw.n, err
+}
+
+func fmtMin(d time.Duration) string {
+	return fmt.Sprintf("%.1fmin", d.Minutes())
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,561 @@
+package spark
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Run simulates the application on the cluster and returns the measured
+// result. It is deterministic: same inputs, same output.
+//
+// Stages without explicit dependencies run as a linear chain (each
+// stage barriers on the previous one). When any stage declares
+// DependsOn, the DAG scheduler runs every stage whose dependencies have
+// completed, concurrently — Spark's actual stage semantics.
+func Run(cfg ClusterConfig, app App) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRunner(cfg, app)
+	return r.run()
+}
+
+// node is one simulated slave.
+type node struct {
+	cores *sim.CorePool
+	hdfs  *sim.FlowResource
+	local *sim.FlowResource
+	nic   *sim.FlowResource
+}
+
+// stageState tracks one stage through its execution.
+type stageState struct {
+	idx       int
+	stage     Stage
+	deps      []int
+	launched  bool
+	completed bool
+	res       *StageResult
+	groups    []GroupResult
+	remaining int
+	// device utilisation snapshots at the stage's barrier; with
+	// concurrent DAG stages the per-stage attribution is approximate
+	// (shared device time counts toward every overlapping stage).
+	hdfsBusy0, localBusy0 time.Duration
+	// speculation bookkeeping: completed task durations (sorted) and
+	// the in-flight attempts.
+	durations []time.Duration
+	running   map[*attempt]struct{}
+}
+
+// taskState is one logical task, possibly executed by several attempts.
+type taskState struct {
+	done       bool
+	attempts   int
+	speculated bool
+}
+
+// attempt is one execution of a task on one node.
+type attempt struct {
+	task    *taskState
+	nd      *node
+	gi      int
+	g       TaskGroup
+	taskIdx int
+	start   time.Duration
+}
+
+type runner struct {
+	cfg        cfgDerived
+	app        App
+	eng        *sim.Engine
+	ns         []*node
+	res        *Result
+	states     []*stageState
+	done       int
+	finishedAt time.Duration
+}
+
+// busySums totals the device utilisation seconds across nodes (iostat's
+// %util integral, not mere occupancy).
+func (r *runner) busySums() (hdfs, local time.Duration) {
+	for _, n := range r.ns {
+		hdfs += units.SecDuration(n.hdfs.Stats().UtilSeconds)
+		local += units.SecDuration(n.local.Stats().UtilSeconds)
+	}
+	return hdfs, local
+}
+
+// cfgDerived bundles the config with precomputed values.
+type cfgDerived struct {
+	ClusterConfig
+	remoteFrac float64 // fraction of shuffle-read bytes crossing the NIC
+}
+
+func newRunner(cfg ClusterConfig, app App) *runner {
+	d := cfgDerived{ClusterConfig: cfg}
+	if cfg.Slaves > 1 {
+		d.remoteFrac = float64(cfg.Slaves-1) / float64(cfg.Slaves)
+	}
+	eng := sim.NewEngine()
+	r := &runner{cfg: d, app: app, eng: eng}
+	for i := 0; i < cfg.Slaves; i++ {
+		n := &node{
+			cores: sim.NewCorePool(eng, cfg.ExecutorCores),
+			hdfs:  sim.NewFlowResource(eng, fmt.Sprintf("node%d/hdfs", i)),
+			local: sim.NewFlowResource(eng, fmt.Sprintf("node%d/local", i)),
+		}
+		if cfg.ModelNetwork {
+			n.nic = sim.NewFlowResource(eng, fmt.Sprintf("node%d/nic", i))
+		}
+		r.ns = append(r.ns, n)
+	}
+	r.res = &Result{App: app.Name, Slaves: cfg.Slaves, Cores: cfg.ExecutorCores}
+	r.states = buildStates(app)
+	return r
+}
+
+// buildStates resolves each stage's dependency indices: the declared
+// DAG when any stage names dependencies, otherwise the implicit linear
+// chain.
+func buildStates(app App) []*stageState {
+	useDAG := false
+	for _, s := range app.Stages {
+		if len(s.DependsOn) > 0 {
+			useDAG = true
+			break
+		}
+	}
+	byName := map[string]int{}
+	for i, s := range app.Stages {
+		byName[s.Name] = i
+	}
+	states := make([]*stageState, len(app.Stages))
+	for i, s := range app.Stages {
+		st := &stageState{idx: i, stage: s}
+		if useDAG {
+			for _, dep := range s.DependsOn {
+				st.deps = append(st.deps, byName[dep])
+			}
+		} else if i > 0 {
+			st.deps = []int{i - 1}
+		}
+		states[i] = st
+	}
+	return states
+}
+
+func (r *runner) run() (*Result, error) {
+	r.launchReady()
+	r.eng.Run()
+	if r.done < len(r.states) {
+		for _, st := range r.states {
+			if st.launched && !st.completed {
+				return nil, fmt.Errorf("spark: simulation of %q stalled in stage %s: %d tasks unfinished",
+					r.app.Name, st.stage.Name, st.remaining)
+			}
+		}
+		return nil, fmt.Errorf("spark: simulation of %q deadlocked: %d of %d stages never became ready",
+			r.app.Name, len(r.states)-r.done, len(r.states))
+	}
+	// The application ends when its last stage completes; the engine may
+	// drain a little further (cancelled speculative attempts finishing
+	// their in-flight op before standing down).
+	r.res.Total = r.finishedAt
+	for _, n := range r.ns {
+		r.res.CoreSeconds += n.cores.BusyCoreSeconds()
+	}
+	return r.res, nil
+}
+
+// launchReady schedules every unlaunched stage whose dependencies have
+// completed.
+func (r *runner) launchReady() {
+	for _, st := range r.states {
+		if st.launched {
+			continue
+		}
+		ready := true
+		for _, d := range st.deps {
+			if !r.states[d].completed {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		st.launched = true
+		// The stage owns its setup gap: its Start is the barrier time, so
+		// in linear mode stage durations sum to the application total and
+		// the driver overhead lands in the measurements δ_scale is fitted
+		// from.
+		barrier := r.eng.Now()
+		st.hdfsBusy0, st.localBusy0 = r.busySums()
+		st := st
+		r.eng.After(units.SecDuration(r.cfg.StageSetupOverhead.Seconds()), func() {
+			r.launchStage(st, barrier)
+		})
+	}
+}
+
+// completeStage records the finished stage and unlocks its dependents.
+func (r *runner) completeStage(st *stageState) {
+	st.res.End = r.eng.Now()
+	st.res.Groups = st.groups
+	hdfs, local := r.busySums()
+	st.res.HDFSBusy = hdfs - st.hdfsBusy0
+	st.res.LocalBusy = local - st.localBusy0
+	st.completed = true
+	r.done++
+	if st.res.End > r.finishedAt {
+		r.finishedAt = st.res.End
+	}
+	r.res.Stages = append(r.res.Stages, *st.res)
+	r.launchReady()
+}
+
+func (r *runner) launchStage(st *stageState, barrier time.Duration) {
+	stage := st.stage
+	st.res = &StageResult{
+		Name:  stage.Name,
+		Start: barrier,
+		Tasks: stage.Tasks(),
+		IO:    make(map[OpKind]IOStat),
+	}
+	st.groups = make([]GroupResult, len(stage.Groups))
+	st.remaining = stage.Tasks()
+	st.running = make(map[*attempt]struct{})
+	if r.cfg.Speculation {
+		// Spark re-evaluates speculation on a timer
+		// (spark.speculation.interval); completions alone would miss a
+		// straggler tail that outlives the last normal task.
+		var tick func()
+		tick = func() {
+			if st.completed {
+				return
+			}
+			r.maybeSpeculate(st)
+			r.eng.After(time.Second, tick)
+		}
+		r.eng.After(time.Second, tick)
+	}
+	taskIdx := 0
+	for gi, g := range stage.Groups {
+		nOps := len(g.Ops)
+		if g.GC != nil {
+			nOps++ // trailing GC accounting slot
+		}
+		st.groups[gi] = GroupResult{
+			Name:    g.Name,
+			Count:   g.Count,
+			OpTimes: make([]OpStat, nOps),
+		}
+		for t := 0; t < g.Count; t++ {
+			nd := r.ns[taskIdx%len(r.ns)]
+			gi, g, idx := gi, g, taskIdx
+			taskIdx++
+			task := &taskState{}
+			nd.cores.Acquire(func() { r.startAttempt(st, task, nd, gi, g, idx, false) })
+		}
+	}
+}
+
+// maybeSpeculate launches a second attempt for tasks that have run far
+// past the median completed duration (spark.speculation semantics).
+func (r *runner) maybeSpeculate(st *stageState) {
+	if !r.cfg.Speculation || len(st.durations) == 0 {
+		return
+	}
+	mult := r.cfg.SpeculationMultiplier
+	if mult <= 0 {
+		mult = 1.5
+	}
+	median := st.durations[len(st.durations)/2]
+	threshold := time.Duration(float64(median) * mult)
+	now := r.eng.Now()
+	for a := range st.running {
+		if a.task.done || a.task.speculated {
+			continue
+		}
+		if now-a.start < threshold {
+			continue
+		}
+		a.task.speculated = true
+		// Relaunch on the next node over; the copy is a fresh attempt
+		// (stragglers are machine-local, so the copy runs clean).
+		other := r.ns[(nodeIndex(r.ns, a.nd)+1)%len(r.ns)]
+		task, gi, g, idx := a.task, a.gi, a.g, a.taskIdx
+		other.cores.Acquire(func() { r.startAttempt(st, task, other, gi, g, idx+1_000_003, true) })
+	}
+}
+
+func nodeIndex(ns []*node, nd *node) int {
+	for i, n := range ns {
+		if n == nd {
+			return i
+		}
+	}
+	return 0
+}
+
+// startAttempt runs one attempt of a task on its node: launch overhead,
+// the op sequence, then GC, then releases the core and decrements the
+// stage barrier. The first attempt to finish wins; later ones notice at
+// the next op boundary and stand down (Spark kills the slower copy).
+func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int, g TaskGroup, taskIdx int, speculative bool) {
+	taskStart := r.eng.Now()
+	task.attempts++
+	a := &attempt{task: task, nd: nd, gi: gi, g: g, taskIdx: taskIdx, start: taskStart}
+	st.running[a] = struct{}{}
+	jitter := r.jitterFactor(st.idx, taskIdx)
+	// Speculative copies run clean: stragglers are machine-local and the
+	// scheduler relaunches on a healthy node.
+	if f := r.cfg.StragglerFraction; !speculative && f > 0 && r.hash01(st.idx, taskIdx, 0x5743) < f {
+		slow := r.cfg.StragglerSlowdown
+		if slow < 1 {
+			slow = 3
+		}
+		jitter *= slow
+	}
+
+	// JVM garbage collection pauses are spread through the task's
+	// execution, so GC time is distributed over the I/O ops as coupled
+	// compute (proportional to bytes); the device keeps serving other
+	// tasks during the pauses. Groups without I/O fall back to a
+	// trailing CPU block.
+	var gcTime time.Duration
+	var gcIOBytes units.ByteSize
+	if g.GC != nil {
+		gcTime = g.GC(r.cfg.ExecutorCores)
+		if gcTime < 0 {
+			gcTime = 0
+		}
+		for _, op := range g.Ops {
+			if op.Kind.IsIO() {
+				gcIOBytes += op.Bytes
+			}
+		}
+	}
+	var runOp func(i int)
+	finish := func() {
+		delete(st.running, a)
+		nd.cores.Release()
+		if task.done {
+			return // a speculative sibling won
+		}
+		task.done = true
+		dur := r.eng.Now() - taskStart
+		gr := &st.groups[gi]
+		gr.TotalTaskTime += dur
+		insertSorted(&st.durations, dur)
+		st.remaining--
+		if st.remaining == 0 {
+			r.completeStage(st)
+			return
+		}
+		r.maybeSpeculate(st)
+	}
+	runOp = func(i int) {
+		if task.done {
+			// A speculative sibling won: stand down at the op boundary
+			// (Spark kills the slower attempt).
+			delete(st.running, a)
+			nd.cores.Release()
+			return
+		}
+		if i >= len(g.Ops) {
+			// GC fallback for compute-only groups: a trailing pause.
+			if gcTime > 0 && gcIOBytes == 0 {
+				opStart := r.eng.Now()
+				r.eng.After(gcTime, func() {
+					s := &st.groups[gi].OpTimes[len(g.Ops)]
+					s.Kind = OpCompute
+					s.Time += r.eng.Now() - opStart
+					s.Count++
+					finish()
+				})
+				return
+			}
+			finish()
+			return
+		}
+		op := g.Ops[i]
+		if op.Kind == OpCompute {
+			op.Duration = time.Duration(float64(op.Duration) * jitter)
+		} else {
+			if gcTime > 0 && gcIOBytes > 0 && op.Bytes > 0 {
+				share := float64(op.Bytes) / float64(gcIOBytes)
+				op.CoupledCompute += time.Duration(share * float64(gcTime))
+			}
+			if op.CoupledCompute > 0 {
+				op.CoupledCompute = time.Duration(float64(op.CoupledCompute) * jitter)
+			}
+		}
+		opStart := r.eng.Now()
+		done := func() {
+			elapsed := r.eng.Now() - opStart
+			s := &st.groups[gi].OpTimes[i]
+			s.Kind = op.Kind
+			s.Time += elapsed
+			s.Bytes += op.Bytes
+			s.Coupled += op.CoupledCompute
+			s.Count++
+			r.accountIO(st, op, elapsed)
+			runOp(i + 1)
+		}
+		r.execOp(st, nd, op, done)
+	}
+	// Task launch overhead occupies the core before the first op.
+	r.eng.After(units.SecDuration(r.cfg.TaskLaunchOverhead.Seconds()), func() { runOp(0) })
+}
+
+// jitterFactor returns the deterministic per-task compute-time multiplier
+// in [1-j, 1+j], derived from a splitmix64 hash of (seed, stage, task).
+func (r *runner) jitterFactor(stageIdx, taskIdx int) float64 {
+	j := r.cfg.ComputeJitter
+	if j <= 0 {
+		return 1
+	}
+	u := r.hash01(stageIdx, taskIdx, 0)
+	return 1 - j + 2*j*u
+}
+
+// hash01 maps (seed, stage, task, salt) to a uniform [0,1) value via
+// splitmix64.
+func (r *runner) hash01(stageIdx, taskIdx int, salt uint64) float64 {
+	x := r.cfg.Seed ^ (uint64(stageIdx)<<32 + uint64(taskIdx)) ^ (salt << 48)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// insertSorted keeps the completed-duration slice ordered for median
+// lookup.
+func insertSorted(ds *[]time.Duration, d time.Duration) {
+	s := *ds
+	i := len(s)
+	s = append(s, d)
+	for i > 0 && s[i-1] > d {
+		s[i] = s[i-1]
+		i--
+	}
+	s[i] = d
+	*ds = s
+}
+
+// accountIO updates the stage-level iostat-style aggregation.
+func (r *runner) accountIO(st *stageState, op Op, elapsed time.Duration) {
+	if !op.Kind.IsIO() || op.Bytes <= 0 {
+		return
+	}
+	s := st.res.IO[op.Kind]
+	s.Time += elapsed
+	bytes := op.Bytes
+	if op.Kind == OpHDFSWrite {
+		bytes *= units.ByteSize(r.cfg.HDFSReplication)
+	}
+	s.Bytes += bytes
+	s.Ops++
+	rs := op.DefaultReqSize(r.cfg.HDFSBlockSize)
+	if rs > 0 {
+		s.Requests += float64(bytes) / float64(rs)
+	}
+	st.res.IO[op.Kind] = s
+}
+
+// execOp performs one op and calls done when it completes.
+func (r *runner) execOp(st *stageState, nd *node, op Op, done func()) {
+	switch op.Kind {
+	case OpCompute:
+		d := op.Duration
+		if d < 0 {
+			d = 0
+		}
+		r.eng.After(d, func() { done() })
+		return
+	default:
+	}
+
+	if op.Bytes <= 0 {
+		r.eng.After(0, done)
+		return
+	}
+
+	reqSize := op.DefaultReqSize(r.cfg.HDFSBlockSize)
+	var res *sim.FlowResource
+	var full units.Rate
+	diskBytes := op.Bytes
+	var netBytes units.ByteSize
+
+	dev := r.cfg.HDFSDisk
+	if op.Kind.OnLocal() {
+		dev = r.cfg.LocalDisk
+	}
+	if op.Kind.IsRead() {
+		full = dev.ReadBandwidth(reqSize)
+	} else {
+		full = dev.WriteBandwidth(reqSize)
+	}
+	if op.Kind.OnLocal() {
+		res = nd.local
+	} else {
+		res = nd.hdfs
+	}
+
+	switch op.Kind {
+	case OpHDFSWrite:
+		// dfs.replication copies: one local, the rest remote. The disk
+		// load is symmetric across nodes, so we charge the full
+		// replicated volume to this node's HDFS disk and the remote
+		// copies to the NIC.
+		diskBytes = op.Bytes * units.ByteSize(r.cfg.HDFSReplication)
+		netBytes = op.Bytes * units.ByteSize(r.cfg.HDFSReplication-1)
+	case OpShuffleRead:
+		// A reducer pulls (N-1)/N of its input from remote mapper disks.
+		// Disk load is symmetric; network carries the remote fraction.
+		netBytes = units.ByteSize(float64(op.Bytes) * r.cfg.remoteFrac)
+	}
+
+	pending := 1
+	if r.cfg.ModelNetwork && netBytes > 0 {
+		pending = 2
+	}
+	complete := func() {
+		pending--
+		if pending == 0 {
+			done()
+		}
+	}
+
+	var computeRate units.Rate
+	if op.CoupledCompute > 0 {
+		computeRate = units.Over(diskBytes, op.CoupledCompute)
+	}
+	res.Start(&sim.Flow{
+		Name:        op.Kind.String(),
+		Bytes:       diskBytes,
+		FullRate:    full,
+		Cap:         op.StreamLimit,
+		ComputeRate: computeRate,
+		OnComplete:  complete,
+	})
+	if r.cfg.ModelNetwork && netBytes > 0 {
+		st.res.NetBytes += netBytes
+		nd.nic.Start(&sim.Flow{
+			Name:       op.Kind.String() + "/net",
+			Bytes:      netBytes,
+			FullRate:   r.cfg.NICRate,
+			Cap:        op.StreamLimit,
+			OnComplete: complete,
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package spark
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+func stragglerConfig(frac, slowdown float64, speculate bool) ClusterConfig {
+	cfg := DefaultTestbed(4, 8, disk.NewSSD(), disk.NewSSD())
+	cfg.StragglerFraction = frac
+	cfg.StragglerSlowdown = slowdown
+	cfg.Speculation = speculate
+	cfg.SpeculationMultiplier = 1.5
+	return cfg
+}
+
+func computeApp(tasks int, d time.Duration) App {
+	return App{Name: "straggle", Stages: []Stage{{
+		Name:   "s",
+		Groups: []TaskGroup{{Name: "g", Count: tasks, Ops: []Op{Compute(d)}}},
+	}}}
+}
+
+func TestStragglersSlowTheTail(t *testing.T) {
+	app := computeApp(256, 10*time.Second)
+	clean, err := Run(stragglerConfig(0, 0, false), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggly, err := Run(stragglerConfig(0.03, 5, false), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if straggly.Total.Seconds() < clean.Total.Seconds()*1.2 {
+		t.Errorf("3%% of 5x stragglers only moved %.1fs -> %.1fs; tail should hurt",
+			clean.Total.Seconds(), straggly.Total.Seconds())
+	}
+}
+
+func TestSpeculationRecoversStragglerTail(t *testing.T) {
+	app := computeApp(256, 10*time.Second)
+	without, err := Run(stragglerConfig(0.03, 5, false), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Run(stragglerConfig(0.03, 5, true), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Total >= without.Total {
+		t.Errorf("speculation did not help: %v vs %v", with.Total, without.Total)
+	}
+	// Speculation should claw back most of the tail: the stage is
+	// compute-bound, so the re-run copy finishes near the median.
+	clean, err := Run(stragglerConfig(0, 0, false), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	excessWithout := without.Total - clean.Total
+	excessWith := with.Total - clean.Total
+	if excessWith.Seconds() > 0.6*excessWithout.Seconds() {
+		t.Errorf("speculation recovered too little: excess %v -> %v", excessWithout, excessWith)
+	}
+}
+
+func TestSpeculationConservesWork(t *testing.T) {
+	// Every logical task completes exactly once even when copies race.
+	app := computeApp(100, 5*time.Second)
+	res, err := Run(stragglerConfig(0.1, 4, true), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.MustStage("s")
+	if s.Tasks != 100 {
+		t.Errorf("tasks = %d", s.Tasks)
+	}
+	// Group task-time accounting covers exactly the winners.
+	if got := s.Groups[0].Count; got != 100 {
+		t.Errorf("group count = %d", got)
+	}
+}
+
+func TestSpeculationOffByDefault(t *testing.T) {
+	cfg := DefaultTestbed(2, 4, disk.NewSSD(), disk.NewSSD())
+	if cfg.Speculation || cfg.StragglerFraction != 0 {
+		t.Error("stragglers/speculation must be opt-in")
+	}
+}
+
+func TestStragglerValidation(t *testing.T) {
+	cfg := DefaultTestbed(2, 4, disk.NewSSD(), disk.NewSSD())
+	cfg.StragglerFraction = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	cfg.StragglerFraction = 0.1
+	cfg.StragglerSlowdown = 0.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("slowdown < 1 accepted")
+	}
+	cfg.StragglerSlowdown = 3
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid straggler config rejected: %v", err)
+	}
+}
+
+// TestSpeculationWithIO: racing attempts that include disk flows must
+// not corrupt the simulation (the loser's flow completes harmlessly).
+func TestSpeculationWithIO(t *testing.T) {
+	app := App{Name: "io", Stages: []Stage{{
+		Name: "s",
+		Groups: []TaskGroup{{
+			Name: "g", Count: 64,
+			Ops: []Op{
+				IOC(OpShuffleRead, 27*units.MB, 30*units.KB, units.MBps(60), 4*time.Second),
+			},
+		}},
+	}}}
+	cfg := stragglerConfig(0.05, 5, true)
+	res, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 {
+		t.Fatal("no progress")
+	}
+}

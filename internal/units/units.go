@@ -1,0 +1,187 @@
+// Package units provides byte-size and data-rate quantities used across
+// the Doppio simulator and analytical model.
+//
+// All byte counts are int64 numbers of bytes; all rates are float64 bytes
+// per second. The package exists so that code reads as the paper does
+// ("480 MB/s at 30 KB requests") rather than as raw powers of two.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ByteSize is a number of bytes. The paper (and Spark/HDFS configuration)
+// uses binary units: 1 KB = 1024 B, 1 MB = 1024 KB, and so on.
+type ByteSize int64
+
+// Binary byte-size units.
+const (
+	Byte ByteSize = 1
+	KB            = 1024 * Byte
+	MB            = 1024 * KB
+	GB            = 1024 * MB
+	TB            = 1024 * GB
+	PB            = 1024 * TB
+)
+
+// Bytes returns the size as a plain int64 byte count.
+func (b ByteSize) Bytes() int64 { return int64(b) }
+
+// MBytes returns the size in (binary) megabytes as a float.
+func (b ByteSize) MBytes() float64 { return float64(b) / float64(MB) }
+
+// GBytes returns the size in (binary) gigabytes as a float.
+func (b ByteSize) GBytes() float64 { return float64(b) / float64(GB) }
+
+// String renders the size with the largest unit that keeps the mantissa
+// at or above one, e.g. "30.0KB", "128MB", "3.2TB".
+func (b ByteSize) String() string {
+	neg := b < 0
+	v := float64(b)
+	if neg {
+		v = -v
+	}
+	var s string
+	switch {
+	case v >= float64(PB):
+		s = trimZeros(v/float64(PB)) + "PB"
+	case v >= float64(TB):
+		s = trimZeros(v/float64(TB)) + "TB"
+	case v >= float64(GB):
+		s = trimZeros(v/float64(GB)) + "GB"
+	case v >= float64(MB):
+		s = trimZeros(v/float64(MB)) + "MB"
+	case v >= float64(KB):
+		s = trimZeros(v/float64(KB)) + "KB"
+	default:
+		s = strconv.FormatInt(int64(v), 10) + "B"
+	}
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+func trimZeros(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// ParseByteSize parses strings like "128MB", "27 MB", "512kb", "30KiB",
+// "4096" (bytes). It accepts both "MB" and "MiB" spellings; both are
+// binary, matching Hadoop/Spark convention.
+func ParseByteSize(s string) (ByteSize, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if t == "" {
+		return 0, fmt.Errorf("units: empty byte size")
+	}
+	mult := Byte
+	suffixes := []struct {
+		suffix string
+		unit   ByteSize
+	}{
+		{"PIB", PB}, {"TIB", TB}, {"GIB", GB}, {"MIB", MB}, {"KIB", KB},
+		{"PB", PB}, {"TB", TB}, {"GB", GB}, {"MB", MB}, {"KB", KB},
+		{"B", Byte},
+	}
+	for _, sf := range suffixes {
+		if strings.HasSuffix(t, sf.suffix) {
+			mult = sf.unit
+			t = strings.TrimSpace(strings.TrimSuffix(t, sf.suffix))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad byte size %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative byte size %q", s)
+	}
+	return ByteSize(math.Round(v * float64(mult))), nil
+}
+
+// Rate is a data rate in bytes per second.
+type Rate float64
+
+// Common data-rate units.
+const (
+	BytePerSec Rate = 1
+	KBPerSec        = 1024 * BytePerSec
+	MBPerSec        = 1024 * KBPerSec
+	GBPerSec        = 1024 * MBPerSec
+)
+
+// MBps constructs a Rate from a value in MB/s, matching the paper's units.
+func MBps(v float64) Rate { return Rate(v) * MBPerSec }
+
+// PerSecMB returns the rate in MB/s as a float.
+func (r Rate) PerSecMB() float64 { return float64(r) / float64(MBPerSec) }
+
+// String renders the rate in the most natural unit, e.g. "480MB/s".
+func (r Rate) String() string {
+	v := float64(r)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var s string
+	switch {
+	case v >= float64(GBPerSec):
+		s = trimZeros(v/float64(GBPerSec)) + "GB/s"
+	case v >= float64(MBPerSec):
+		s = trimZeros(v/float64(MBPerSec)) + "MB/s"
+	case v >= float64(KBPerSec):
+		s = trimZeros(v/float64(KBPerSec)) + "KB/s"
+	default:
+		s = trimZeros(v) + "B/s"
+	}
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// TimeFor returns how long moving size bytes takes at rate r.
+// A non-positive rate yields an infinite duration conceptually; we return
+// the maximum representable duration to keep arithmetic total.
+func (r Rate) TimeFor(size ByteSize) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	sec := float64(size) / float64(r)
+	return SecDuration(sec)
+}
+
+// Over returns the rate achieved moving size bytes in d.
+func Over(size ByteSize, d time.Duration) Rate {
+	if d <= 0 {
+		return 0
+	}
+	return Rate(float64(size) / d.Seconds())
+}
+
+// SecDuration converts seconds (float) to a time.Duration, saturating at
+// the representable range instead of overflowing.
+func SecDuration(sec float64) time.Duration {
+	if math.IsInf(sec, 1) || sec >= float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	if sec <= 0 {
+		return 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Minutes is a convenience for building durations in the paper's favourite
+// unit.
+func Minutes(v float64) time.Duration { return SecDuration(v * 60) }

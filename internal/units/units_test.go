@@ -1,0 +1,161 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1KB"},
+		{30 * KB, "30KB"},
+		{128 * MB, "128MB"},
+		{122 * GB, "122GB"},
+		{3328 * GB, "3.25TB"},
+		{-2 * MB, "-2MB"},
+		{27 * MB, "27MB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ByteSize
+	}{
+		{"128MB", 128 * MB},
+		{"128 MiB", 128 * MB},
+		{"30kb", 30 * KB},
+		{"4096", 4096},
+		{"1.5GB", ByteSize(1.5*1024) * MB},
+		{"2TB", 2 * TB},
+		{"0B", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if err != nil {
+			t.Fatalf("ParseByteSize(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseByteSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "-1MB", "12XB", "MB"} {
+		if _, err := ParseByteSize(in); err == nil {
+			t.Errorf("ParseByteSize(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// String() of sub-GB whole-MB values formats exactly, so it must
+	// parse back to the same value. (Above a unit boundary String()
+	// rounds to two decimals and is deliberately lossy.)
+	f := func(n uint16) bool {
+		b := ByteSize(n%1023+1) * MB
+		got, err := ParseByteSize(b.String())
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		in   Rate
+		want string
+	}{
+		{MBps(480), "480MB/s"},
+		{MBps(15), "15MB/s"},
+		{MBps(0.5), "512KB/s"},
+		{MBps(1536), "1.5GB/s"},
+		{0, "0B/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Rate.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTimeFor(t *testing.T) {
+	// 334 GB at 15 MB/s/disk over 3 disks = the paper's 126 min shuffle.
+	d := MBps(15 * 3).TimeFor(334 * GB)
+	if min := d.Minutes(); min < 125 || min > 128 {
+		t.Errorf("shuffle time = %.1f min, want ~126", min)
+	}
+	if MBps(100).TimeFor(0) != 0 {
+		t.Error("TimeFor(0) should be 0")
+	}
+	if Rate(0).TimeFor(MB) != time.Duration(math.MaxInt64) {
+		t.Error("TimeFor at zero rate should saturate")
+	}
+}
+
+func TestOver(t *testing.T) {
+	r := Over(100*MB, 2*time.Second)
+	if got := r.PerSecMB(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Over = %.3f MB/s, want 50", got)
+	}
+	if Over(MB, 0) != 0 {
+		t.Error("Over with zero duration should be 0")
+	}
+}
+
+func TestTimeForOverInverse(t *testing.T) {
+	// Over(size, r.TimeFor(size)) ≈ r for positive inputs.
+	f := func(szMB uint8, rateMB uint8) bool {
+		size := ByteSize(int64(szMB)+1) * MB
+		r := MBps(float64(rateMB) + 1)
+		got := Over(size, r.TimeFor(size))
+		return math.Abs(float64(got)-float64(r))/float64(r) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecDuration(t *testing.T) {
+	if SecDuration(-1) != 0 {
+		t.Error("negative seconds should clamp to 0")
+	}
+	if SecDuration(math.Inf(1)) != time.Duration(math.MaxInt64) {
+		t.Error("infinite seconds should saturate")
+	}
+	if got := SecDuration(1.5); got != 1500*time.Millisecond {
+		t.Errorf("SecDuration(1.5) = %v", got)
+	}
+}
+
+func TestMinutes(t *testing.T) {
+	if got := Minutes(2.5); got != 150*time.Second {
+		t.Errorf("Minutes(2.5) = %v", got)
+	}
+}
+
+func TestUnitArithmetic(t *testing.T) {
+	if 1024*KB != MB || 1024*MB != GB || 1024*GB != TB {
+		t.Fatal("unit ladder broken")
+	}
+	if (122 * GB).GBytes() != 122 {
+		t.Errorf("GBytes = %v", (122 * GB).GBytes())
+	}
+	if (30*KB).MBytes() <= 0.029 || (30*KB).MBytes() >= 0.030 {
+		t.Errorf("MBytes = %v", (30 * KB).MBytes())
+	}
+}

@@ -1,0 +1,193 @@
+package workloads
+
+import (
+	"time"
+
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// GATK4Params are the published characteristics of the Spark-based
+// Genome Analysis ToolKit processing one 30x whole human genome with
+// 500 million read pairs (paper Sections II-C, III and V-A).
+type GATK4Params struct {
+	// InputBAM is the compressed input genome (122 GB).
+	InputBAM units.ByteSize
+	// ShuffleBytes is the intermediate volume written by MarkDuplicate
+	// and read back by BaseRecalibrator and SaveAsNewAPIHadoopFile
+	// (Table IV: 334 GB each).
+	ShuffleBytes units.ByteSize
+	// OutputBAM is the analysis-ready output (166 GB).
+	OutputBAM units.ByteSize
+	// ReducerBytes is the tuned per-reducer shuffle volume (27 MB),
+	// which together with the mapper count determines the ~30 KB shuffle
+	// read request size.
+	ReducerBytes units.ByteSize
+	// THDFSRead is the per-core HDFS read+parse throughput. The paper
+	// gives the break points b=4.3 (HDD) and b=16 (SSD) for HDFS read in
+	// MD, both of which imply T ≈ 140/4.3 ≈ 520/16 ≈ 32.5 MB/s.
+	THDFSRead units.Rate
+	// TShuffle is the per-core shuffle read/write throughput including
+	// (de)serialisation and (de)compression: the paper's T = 60 MB/s.
+	TShuffle units.Rate
+	// LambdaMD is MD's task-time to HDFS-read-time ratio (paper: 12).
+	LambdaMD float64
+	// LambdaBRFilter is the ratio for BR's nonPrimaryReads HDFS-read
+	// tasks (paper: 1.3).
+	LambdaBRFilter float64
+	// LambdaBR is the ratio for BR's shuffle-read recalibration tasks
+	// (paper: 20).
+	LambdaBR float64
+	// LambdaSF is the ratio for SF's tasks. The paper states only that it
+	// is smaller than BR's; 14 reproduces the ~9.5x SF local-disk gain.
+	LambdaSF float64
+	// GCPerCore and GCFreeCores shape the MarkDuplicate garbage
+	// collection model: extra per-task time GCPerCore·(P-GCFreeCores)
+	// for P above GCFreeCores. The paper observes GC makes MD flat in P
+	// on SSDs (Section V-A1) while keeping it below BR at P=36.
+	GCPerCore   time.Duration
+	GCFreeCores int
+	// HDFSWriteReqSize is the effective request size of SF's output
+	// writes. The BAM writer emits ~1 MB compressed blocks, which is
+	// what makes SF the most HDFS-disk-sensitive stage (the paper's "up
+	// to 90%" gain from an SSD HDFS).
+	HDFSWriteReqSize units.ByteSize
+}
+
+// DefaultGATK4Params returns the paper's whole-genome run.
+func DefaultGATK4Params() GATK4Params {
+	return GATK4Params{
+		InputBAM:         122 * units.GB,
+		ShuffleBytes:     334 * units.GB,
+		OutputBAM:        166 * units.GB,
+		ReducerBytes:     27 * units.MB,
+		THDFSRead:        units.MBps(32.5),
+		TShuffle:         units.MBps(60),
+		LambdaMD:         12,
+		LambdaBRFilter:   1.3,
+		LambdaBR:         20,
+		LambdaSF:         14,
+		GCPerCore:        2500 * time.Millisecond,
+		GCFreeCores:      12,
+		HDFSWriteReqSize: units.MB,
+	}
+}
+
+// Build constructs the three-stage GATK4 pipeline (Fig. 1):
+// MarkDuplicate (MD), BaseRecalibrator (BR), SaveAsNewAPIHadoopFile (SF).
+func (p GATK4Params) Build(cfg spark.ClusterConfig) spark.App {
+	mappers := spark.HDFSTasks(p.InputBAM, cfg.HDFSBlockSize)
+	reducers := int(p.ShuffleBytes / p.ReducerBytes)
+
+	hdfsPerMap := perTask(p.InputBAM, mappers)
+	shufPerMap := perTask(p.ShuffleBytes, mappers)
+	shufPerRed := perTask(p.ShuffleBytes, reducers)
+	outPerRed := perTask(p.OutputBAM, reducers)
+	shufReq := spark.ShuffleReadReqSize(shufPerRed, mappers)
+
+	// MD: read a block with the dedup computation interleaved, then
+	// spill one large sorted chunk (~365 MB in the paper — here the
+	// whole per-mapper shuffle output). λ_MD=12 is the ratio of the
+	// whole task to the HDFS read I/O.
+	hdfsReadT := ioTime(hdfsPerMap, p.THDFSRead)
+	shufWriteT := ioTime(shufPerMap, p.TShuffle)
+	mdCompute := computeFor(p.LambdaMD, hdfsReadT) - shufWriteT
+	if mdCompute < 0 {
+		mdCompute = 0
+	}
+	var gc func(int) time.Duration
+	if p.GCPerCore > 0 {
+		gc = func(pp int) time.Duration {
+			extra := pp - p.GCFreeCores
+			if extra <= 0 {
+				return 0
+			}
+			return time.Duration(extra) * p.GCPerCore
+		}
+	}
+	// The dedup computation interleaves with the block read; the sort
+	// computation interleaves with the spill write (Spark spills sorted
+	// runs while the map task is still processing).
+	dedupCompute := time.Duration(float64(mdCompute) * 0.6)
+	sortCompute := mdCompute - dedupCompute
+	md := spark.Stage{
+		Name: "MD",
+		Groups: []spark.TaskGroup{{
+			Name:  "dedup-map",
+			Count: mappers,
+			Ops: []spark.Op{
+				spark.IOC(spark.OpHDFSRead, hdfsPerMap, 0, p.THDFSRead, dedupCompute),
+				spark.IOC(spark.OpShuffleWrite, shufPerMap, shufPerMap, p.TShuffle, sortCompute),
+			},
+			GC: gc,
+		}},
+	}
+
+	// BR: a small population of HDFS-read filter tasks (nonPrimaryReads,
+	// mostly filtered out) plus the dominant shuffle-read recalibration
+	// tasks.
+	shufReadT := ioTime(shufPerRed, p.TShuffle)
+	br := spark.Stage{
+		Name: "BR",
+		Groups: []spark.TaskGroup{
+			{
+				Name:  "filter",
+				Count: mappers,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpHDFSRead, hdfsPerMap, 0, p.THDFSRead,
+						computeFor(p.LambdaBRFilter, hdfsReadT)),
+				},
+			},
+			{
+				Name:  "recal",
+				Count: reducers,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpShuffleRead, shufPerRed, shufReq, p.TShuffle,
+						computeFor(p.LambdaBR, shufReadT)),
+				},
+			},
+		},
+	}
+
+	// SF: re-read the shuffle (markedReads is too large to cache,
+	// Section III-B2), apply recalibrated scores, write the output BAM.
+	outWriteT := ioTime(outPerRed, p.TShuffle)
+	sfCompute := computeFor(p.LambdaSF, shufReadT) - outWriteT
+	if sfCompute < 0 {
+		sfCompute = 0
+	}
+	// SF re-reads the input from HDFS as well (Table IV): markedReads is
+	// a union of the shuffled primary reads and the nonPrimaryReads
+	// recomputed from the BAM, exactly as in BR.
+	sf := spark.Stage{
+		Name: "SF",
+		Groups: []spark.TaskGroup{
+			{
+				Name:  "recompute",
+				Count: mappers,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpHDFSRead, hdfsPerMap, 0, p.THDFSRead,
+						computeFor(p.LambdaBRFilter, hdfsReadT)),
+				},
+			},
+			{
+				Name:  "save",
+				Count: reducers,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpShuffleRead, shufPerRed, shufReq, p.TShuffle, sfCompute),
+					spark.IO(spark.OpHDFSWrite, outPerRed, p.HDFSWriteReqSize, p.TShuffle),
+				},
+			},
+		},
+	}
+
+	return spark.App{Name: "GATK4", Stages: []spark.Stage{md, br, sf}}
+}
+
+func init() {
+	Register(Workload{
+		Name:        "gatk4",
+		Description: "GATK4 genome pipeline: MarkDuplicate, BaseRecalibrator, SaveAsNewAPIHadoopFile (500M read pairs)",
+		Build:       DefaultGATK4Params().Build,
+	})
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// GATK4FullParams extends the three-stage pipeline with the two stages
+// the paper's conclusion defers to future work: the Burrows-Wheeler
+// Aligner (BWA) in front and HaplotypeCaller (HC) behind — both present
+// in the January 2018 GATK4 release. Both are strongly compute-bound
+// (alignment and local haplotype assembly), so the extension
+// demonstrates the model's prediction that adding them dilutes, but
+// does not remove, the pipeline's storage sensitivity.
+type GATK4FullParams struct {
+	// Base is the MD/BR/SF core.
+	Base GATK4Params
+	// FastqBytes is the unaligned input consumed by BWA (~107 GB of
+	// compressed FASTQ for the 500M read-pair genome).
+	FastqBytes units.ByteSize
+	// LambdaBWA is BWA's task-to-HDFS-read ratio. Alignment dominates:
+	// tens of CPU-minutes per 128 MB chunk.
+	LambdaBWA float64
+	// VcfBytes is HaplotypeCaller's variant output (~1 GB).
+	VcfBytes units.ByteSize
+	// LambdaHC is HC's task-to-HDFS-read ratio over the analysis-ready
+	// BAM.
+	LambdaHC float64
+}
+
+// DefaultGATK4FullParams returns the six-stage pipeline.
+func DefaultGATK4FullParams() GATK4FullParams {
+	return GATK4FullParams{
+		Base:       DefaultGATK4Params(),
+		FastqBytes: 107 * units.GB,
+		LambdaBWA:  45,
+		VcfBytes:   units.GB,
+		LambdaHC:   30,
+	}
+}
+
+// Build constructs BWA → MD → BR → SF → HC.
+func (p GATK4FullParams) Build(cfg spark.ClusterConfig) spark.App {
+	base := p.Base.Build(cfg)
+
+	// BWA: read FASTQ chunks, align (heavily compute-coupled), emit the
+	// aligned BAM the MD stage consumes.
+	bwaTasks := spark.HDFSTasks(p.FastqBytes, cfg.HDFSBlockSize)
+	fastqPerTask := perTask(p.FastqBytes, bwaTasks)
+	bamPerTask := perTask(p.Base.InputBAM, bwaTasks)
+	readT := ioTime(fastqPerTask, p.Base.THDFSRead)
+	bwaWrite := ioTime(bamPerTask, p.Base.TShuffle)
+	bwaCompute := computeFor(p.LambdaBWA, readT) - bwaWrite
+	if bwaCompute < 0 {
+		bwaCompute = 0
+	}
+	bwa := spark.Stage{
+		Name: "BWA",
+		Groups: []spark.TaskGroup{{
+			Name:  "align",
+			Count: bwaTasks,
+			Ops: []spark.Op{
+				spark.IOC(spark.OpHDFSRead, fastqPerTask, 0, p.Base.THDFSRead, bwaCompute),
+				spark.IO(spark.OpHDFSWrite, bamPerTask, 0, p.Base.TShuffle),
+			},
+		}},
+	}
+
+	// HC: read the analysis-ready BAM, assemble haplotypes
+	// (compute-bound), write the VCF.
+	hcTasks := spark.HDFSTasks(p.Base.OutputBAM, cfg.HDFSBlockSize)
+	bamInPerTask := perTask(p.Base.OutputBAM, hcTasks)
+	vcfPerTask := perTask(p.VcfBytes, hcTasks)
+	hcRead := ioTime(bamInPerTask, p.Base.THDFSRead)
+	hc := spark.Stage{
+		Name: "HC",
+		Groups: []spark.TaskGroup{{
+			Name:  "call",
+			Count: hcTasks,
+			Ops: []spark.Op{
+				spark.IOC(spark.OpHDFSRead, bamInPerTask, 0, p.Base.THDFSRead,
+					computeFor(p.LambdaHC, hcRead)),
+				spark.IO(spark.OpHDFSWrite, vcfPerTask, 0, p.Base.TShuffle),
+			},
+		}},
+	}
+
+	stages := append([]spark.Stage{bwa}, base.Stages...)
+	stages = append(stages, hc)
+	return spark.App{Name: "GATK4-full", Stages: stages}
+}
+
+func init() {
+	Register(Workload{
+		Name:        "gatk4-full",
+		Description: "Extended GATK4: BWA alignment + MD/BR/SF + HaplotypeCaller (paper's future work, Jan 2018 release)",
+		Build:       DefaultGATK4FullParams().Build,
+	})
+}

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+)
+
+func TestGATK4FullStructure(t *testing.T) {
+	cfg := testbed(3, 36, disk.NewSSD(), disk.NewSSD())
+	app := DefaultGATK4FullParams().Build(cfg)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BWA", "MD", "BR", "SF", "HC"}
+	if len(app.Stages) != len(want) {
+		t.Fatalf("stages = %d, want %d", len(app.Stages), len(want))
+	}
+	for i, n := range want {
+		if app.Stages[i].Name != n {
+			t.Errorf("stage %d = %s, want %s", i, app.Stages[i].Name, n)
+		}
+	}
+	// BWA hands the MD stage its input volume.
+	bwaOut := app.Stages[0].TotalBytes(spark.OpHDFSWrite)
+	mdIn := app.Stages[1].TotalBytes(spark.OpHDFSRead)
+	if r := float64(bwaOut) / float64(mdIn); r < 0.95 || r > 1.05 {
+		t.Errorf("BWA output %v vs MD input %v", bwaOut, mdIn)
+	}
+}
+
+// TestGATK4FullComputeStagesInsensitiveToLocalDisk: BWA and HC never
+// touch Spark Local, so a local HDD must not slow them while it still
+// cripples BR and SF — the model's prediction for the extended pipeline.
+func TestGATK4FullComputeStagesInsensitiveToLocalDisk(t *testing.T) {
+	hdd, ssd := disk.NewHDD(), disk.NewSSD()
+	run := func(local disk.Device) *spark.Result {
+		cfg := testbed(3, 36, ssd, local)
+		return runOn(t, "gatk4-full", cfg)
+	}
+	fast, slow := run(ssd), run(hdd)
+	for _, stage := range []string{"BWA", "HC"} {
+		f := fast.MustStage(stage).Duration().Seconds()
+		s := slow.MustStage(stage).Duration().Seconds()
+		if ratio := s / f; ratio > 1.05 {
+			t.Errorf("%s slowed %.2fx by local HDD; it does no local I/O", stage, ratio)
+		}
+	}
+	for _, stage := range []string{"BR", "SF"} {
+		f := fast.MustStage(stage).Duration().Seconds()
+		s := slow.MustStage(stage).Duration().Seconds()
+		if ratio := s / f; ratio < 3 {
+			t.Errorf("%s only %.1fx slower on local HDD; expected severe", stage, ratio)
+		}
+	}
+	// The extension dilutes the whole-pipeline sensitivity below the
+	// three-stage pipeline's.
+	threeFast := runOn(t, "gatk4", testbed(3, 36, ssd, ssd))
+	threeSlow := runOn(t, "gatk4", testbed(3, 36, ssd, hdd))
+	threeGap := threeSlow.Total.Seconds() / threeFast.Total.Seconds()
+	fullGap := slow.Total.Seconds() / fast.Total.Seconds()
+	if fullGap >= threeGap {
+		t.Errorf("full pipeline gap %.1fx should be below the core pipeline's %.1fx", fullGap, threeGap)
+	}
+	if fullGap < 1.5 {
+		t.Errorf("full pipeline gap %.1fx; storage should still matter", fullGap)
+	}
+}

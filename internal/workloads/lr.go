@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// LRParams describes SparkBench Logistic Regression (paper Section
+// V-B1): a dataValidator stage that parses the input into the parsedData
+// RDD, then 50 gradient-descent iterations over it.
+//
+// Two datasets are evaluated: 1,200M examples (parsedData = 280 GB,
+// fully cacheable on the ten-slave cluster) and 4,000M examples
+// (parsedData = 990 GB, spilling to Spark Local), which is what makes
+// LR's I/O behaviour config-dependent.
+type LRParams struct {
+	// InputBytes is the HDFS text input consumed by dataValidator.
+	InputBytes units.ByteSize
+	// RDDBytes is the parsedData RDD footprint (serialized-on-disk size;
+	// 280 GB small, 990 GB large).
+	RDDBytes units.ByteSize
+	// Iterations is the gradient-descent count (paper: 50).
+	Iterations int
+	// THDFSRead is the per-core read+parse throughput of dataValidator.
+	THDFSRead units.Rate
+	// LambdaValidate: dataValidator task-to-I/O ratio. 4.2 reproduces the
+	// ~2x HDD/SSD gap the paper reports for the small dataset at P=36.
+	LambdaValidate float64
+	// TPersist is the per-core persist read/write throughput
+	// (deserialisation-bound, ~200 MB/s).
+	TPersist units.Rate
+	// PersistReqSize is the request size of Spark disk-store accesses
+	// (~256 KB buffered reads). At 256 KB the HDD/SSD bandwidth ratio is
+	// ~7x, the gap the paper reports for the large dataset's iterations.
+	PersistReqSize units.ByteSize
+	// TMemory is the per-core rate at which an iteration consumes
+	// memory-cached partitions.
+	TMemory units.Rate
+	// LambdaIter is the iteration task-to-disk-I/O ratio for spilled
+	// RDDs (9 keeps the SSD case near its read floor, yielding the ~7x
+	// iteration gap the paper reports for the large dataset).
+	LambdaIter float64
+}
+
+// DefaultLRSmallParams is the 1,200M-example dataset.
+func DefaultLRSmallParams() LRParams {
+	return LRParams{
+		InputBytes:     240 * units.GB,
+		RDDBytes:       280 * units.GB,
+		Iterations:     50,
+		THDFSRead:      units.MBps(32.5),
+		LambdaValidate: 4.2,
+		TPersist:       units.MBps(200),
+		PersistReqSize: 256 * units.KB,
+		TMemory:        units.MBps(400),
+		LambdaIter:     9,
+	}
+}
+
+// DefaultLRLargeParams is the 4,000M-example dataset.
+func DefaultLRLargeParams() LRParams {
+	p := DefaultLRSmallParams()
+	p.InputBytes = 800 * units.GB
+	p.RDDBytes = 990 * units.GB
+	return p
+}
+
+// Build constructs the LR application for the cluster. The spilled
+// fraction of parsedData (if any) is persisted by dataValidator and
+// re-read from Spark Local every iteration; the cached remainder is
+// consumed at memory speed.
+func (p LRParams) Build(cfg spark.ClusterConfig) spark.App {
+	m := spark.HDFSTasks(p.InputBytes, cfg.HDFSBlockSize)
+	spill := spillToLocal(cfg, p.RDDBytes)
+
+	inPerTask := perTask(p.InputBytes, m)
+	rddPerTask := perTask(p.RDDBytes, m)
+	spillPerTask := perTask(spill, m)
+	cachedPerTask := rddPerTask - spillPerTask
+
+	// dataValidator: read+parse (interleaved at block granularity),
+	// persist whatever does not fit.
+	readT := ioTime(inPerTask, p.THDFSRead)
+	dvOps := []spark.Op{
+		spark.IOC(spark.OpHDFSRead, inPerTask, 0, p.THDFSRead,
+			computeFor(p.LambdaValidate, readT)),
+	}
+	if spill > 0 {
+		dvOps = append(dvOps,
+			spark.IO(spark.OpPersistWrite, spillPerTask, p.PersistReqSize, p.TPersist))
+	}
+	stages := []spark.Stage{{
+		Name:   "dataValidator",
+		Groups: []spark.TaskGroup{{Name: "parse", Count: m, Ops: dvOps}},
+	}}
+
+	// Iterations: gradient over cached portion (memory-speed compute)
+	// plus persist read of the spilled portion.
+	memTime := ioTime(cachedPerTask, p.TMemory)
+	iterOps := []spark.Op{spark.Compute(memTime)}
+	if spill > 0 {
+		diskT := ioTime(spillPerTask, p.TPersist)
+		iterOps = []spark.Op{
+			spark.IOC(spark.OpPersistRead, spillPerTask, p.PersistReqSize, p.TPersist,
+				memTime+computeFor(p.LambdaIter, diskT)),
+		}
+	}
+	for i := 1; i <= p.Iterations; i++ {
+		stages = append(stages, spark.Stage{
+			Name:   fmt.Sprintf("iter-%02d", i),
+			Groups: []spark.TaskGroup{{Name: "gradient", Count: m, Ops: iterOps}},
+		})
+	}
+	return spark.App{Name: "LogisticRegression", Stages: stages}
+}
+
+func init() {
+	Register(Workload{
+		Name:        "lr-small",
+		Description: "Logistic Regression, 1200M examples, parsedData 280GB (memory-cached)",
+		Build:       DefaultLRSmallParams().Build,
+	})
+	Register(Workload{
+		Name:        "lr-large",
+		Description: "Logistic Regression, 4000M examples, parsedData 990GB (spills to Spark Local)",
+		Build:       DefaultLRLargeParams().Build,
+	})
+}

@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// SVMParams describes SparkBench Support Vector Machine (paper Section
+// V-B2): dataValidator, ten in-memory training iterations over an 82 GB
+// cached RDD, then a shuffle-heavy subtract phase moving 170 GB.
+type SVMParams struct {
+	// InputBytes is the HDFS input (12M samples × 1000 features).
+	InputBytes units.ByteSize
+	// CachedRDD is the per-iteration training RDD (82 GB; fits in
+	// memory on the evaluation cluster).
+	CachedRDD units.ByteSize
+	// Partitions is the dataset partition count (paper: 1200).
+	Partitions int
+	// Iterations is the training iteration count (paper: 10).
+	Iterations int
+	// ShuffleBytes is the subtract phase's total shuffle volume (170 GB).
+	ShuffleBytes units.ByteSize
+	// THDFSRead, TShuffle, TMemory are per-core throughputs as in the
+	// other workloads.
+	THDFSRead units.Rate
+	TShuffle  units.Rate
+	TMemory   units.Rate
+	// LambdaValidate is dataValidator's task-to-I/O ratio.
+	LambdaValidate float64
+	// LambdaSubtract is the subtract task-to-shuffle-read ratio; 3.5
+	// reproduces the paper's 6.2x HDD/SSD subtract gap at P=36.
+	LambdaSubtract float64
+}
+
+// DefaultSVMParams returns the paper's dataset.
+func DefaultSVMParams() SVMParams {
+	return SVMParams{
+		InputBytes:     96 * units.GB,
+		CachedRDD:      82 * units.GB,
+		Partitions:     1200,
+		Iterations:     10,
+		ShuffleBytes:   170 * units.GB,
+		THDFSRead:      units.MBps(32.5),
+		TShuffle:       units.MBps(60),
+		TMemory:        units.MBps(400),
+		LambdaValidate: 3,
+		LambdaSubtract: 3.5,
+	}
+}
+
+// Build constructs the three-phase SVM application.
+func (p SVMParams) Build(cfg spark.ClusterConfig) spark.App {
+	m := p.Partitions
+	inPerTask := perTask(p.InputBytes, m)
+	readT := ioTime(inPerTask, p.THDFSRead)
+	stages := []spark.Stage{{
+		Name: "dataValidator",
+		Groups: []spark.TaskGroup{{
+			Name:  "parse",
+			Count: m,
+			Ops: []spark.Op{
+				spark.IOC(spark.OpHDFSRead, inPerTask, 0, p.THDFSRead,
+					computeFor(p.LambdaValidate, readT)),
+			},
+		}},
+	}}
+
+	// In-memory training iterations: pure computation over the cached
+	// RDD (82 GB fits in storage memory on the evaluation cluster; if it
+	// doesn't fit here, the spill is re-read like LR-large).
+	spill := spillToLocal(cfg, p.CachedRDD)
+	cachedPerTask := perTask(p.CachedRDD-spill, m)
+	iterOps := []spark.Op{spark.Compute(ioTime(cachedPerTask, p.TMemory))}
+	if spill > 0 {
+		iterOps = append([]spark.Op{
+			spark.IO(spark.OpPersistRead, perTask(spill, m), 256*units.KB, p.TMemory),
+		}, iterOps...)
+	}
+	for i := 1; i <= p.Iterations; i++ {
+		stages = append(stages, spark.Stage{
+			Name:   fmt.Sprintf("iter-%02d", i),
+			Groups: []spark.TaskGroup{{Name: "train", Count: m, Ops: iterOps}},
+		})
+	}
+
+	// subtract: groupByKey-style shuffle of 170 GB over the same
+	// partitioning: per-reducer 145 MB pulled from 1200 map outputs
+	// (~124 KB requests).
+	shufPerRed := perTask(p.ShuffleBytes, m)
+	shufReq := spark.ShuffleReadReqSize(shufPerRed, m)
+	shufReadT := ioTime(shufPerRed, p.TShuffle)
+	stages = append(stages,
+		spark.Stage{
+			Name: "subtract-map",
+			Groups: []spark.TaskGroup{{
+				Name:  "map",
+				Count: m,
+				Ops: []spark.Op{
+					spark.Compute(ioTime(cachedPerTask, p.TMemory)),
+					spark.IO(spark.OpShuffleWrite, shufPerRed, shufPerRed, p.TShuffle),
+				},
+			}},
+		},
+		spark.Stage{
+			Name: "subtract",
+			Groups: []spark.TaskGroup{{
+				Name:  "reduce",
+				Count: m,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpShuffleRead, shufPerRed, shufReq, p.TShuffle,
+						computeFor(p.LambdaSubtract, shufReadT)),
+				},
+			}},
+		})
+	return spark.App{Name: "SVM", Stages: stages}
+}
+
+func init() {
+	Register(Workload{
+		Name:        "svm",
+		Description: "Support Vector Machine: 82GB cached RDD, 10 iterations, 170GB subtract shuffle",
+		Build:       DefaultSVMParams().Build,
+	})
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// TriangleCountParams describes Spark GraphX Triangle Count (paper
+// Section V-B4): graphLoader then computeTriangleCount, which first
+// repartitions/canonicalises the graph (a 396 GB shuffle) and then
+// counts triangles over a 49 GB cached RDD.
+type TriangleCountParams struct {
+	// InputBytes is the edge list input.
+	InputBytes units.ByteSize
+	// CachedRDD is the canonical graph RDD (49 GB; cacheable).
+	CachedRDD units.ByteSize
+	// ShuffleBytes is the canonicalisation shuffle volume (396 GB).
+	ShuffleBytes units.ByteSize
+	// Partitions is the graph partition count (paper: 2400).
+	Partitions int
+	// Throughputs as elsewhere.
+	THDFSRead units.Rate
+	TShuffle  units.Rate
+	TMemory   units.Rate
+	// LambdaLoad is graphLoader's task-to-I/O ratio.
+	LambdaLoad float64
+	// LambdaCount is the shuffle-read-to-task ratio of
+	// computeTriangleCount; 10 reproduces the paper's 6.5x HDD/SSD gap
+	// at P=36.
+	LambdaCount float64
+}
+
+// DefaultTriangleCountParams returns the paper's 1M-vertex dataset.
+func DefaultTriangleCountParams() TriangleCountParams {
+	return TriangleCountParams{
+		InputBytes:   60 * units.GB,
+		CachedRDD:    49 * units.GB,
+		ShuffleBytes: 396 * units.GB,
+		Partitions:   2400,
+		THDFSRead:    units.MBps(32.5),
+		TShuffle:     units.MBps(60),
+		TMemory:      units.MBps(400),
+		LambdaLoad:   4,
+		LambdaCount:  10,
+	}
+}
+
+// Build constructs the two-phase Triangle Count application. The
+// canonicalisation shuffle is split into its map (shuffle write) and
+// reduce (shuffle read + count) halves, as GraphX executes it.
+func (p TriangleCountParams) Build(cfg spark.ClusterConfig) spark.App {
+	m := p.Partitions
+	loaders := spark.HDFSTasks(p.InputBytes, cfg.HDFSBlockSize)
+	inPerTask := perTask(p.InputBytes, loaders)
+	readT := ioTime(inPerTask, p.THDFSRead)
+
+	shufPerTask := perTask(p.ShuffleBytes, m)
+	shufReq := spark.ShuffleReadReqSize(shufPerTask, m)
+	shufReadT := ioTime(shufPerTask, p.TShuffle)
+	cachedPerTask := perTask(p.CachedRDD, m)
+
+	return spark.App{Name: "TriangleCount", Stages: []spark.Stage{
+		{
+			Name: "graphLoader",
+			Groups: []spark.TaskGroup{{
+				Name:  "load",
+				Count: loaders,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpHDFSRead, inPerTask, 0, p.THDFSRead,
+						computeFor(p.LambdaLoad, readT)),
+				},
+			}},
+		},
+		{
+			Name: "canonicalize",
+			Groups: []spark.TaskGroup{{
+				Name:  "repartition-map",
+				Count: m,
+				Ops: []spark.Op{
+					spark.Compute(ioTime(cachedPerTask, p.TMemory)),
+					spark.IO(spark.OpShuffleWrite, shufPerTask, shufPerTask, p.TShuffle),
+				},
+			}},
+		},
+		{
+			Name: "computeTriangleCount",
+			Groups: []spark.TaskGroup{{
+				Name:  "count",
+				Count: m,
+				Ops: []spark.Op{
+					spark.IOC(spark.OpShuffleRead, shufPerTask, shufReq, p.TShuffle,
+						computeFor(p.LambdaCount, shufReadT)),
+				},
+			}},
+		},
+	}}
+}
+
+func init() {
+	Register(Workload{
+		Name:        "trianglecount",
+		Description: "GraphX Triangle Count: 396GB canonicalisation shuffle, 49GB cached RDD",
+		Build:       DefaultTriangleCountParams().Build,
+	})
+}

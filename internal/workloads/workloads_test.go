@@ -1,0 +1,325 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+func testbed(slaves, cores int, hdfs, local disk.Device) spark.ClusterConfig {
+	return spark.DefaultTestbed(slaves, cores, hdfs, local)
+}
+
+func runOn(t *testing.T, name string, cfg spark.ClusterConfig) *spark.Result {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := w.Build(cfg)
+	if err := app.Validate(); err != nil {
+		t.Fatalf("%s: invalid app: %v", name, err)
+	}
+	res, err := spark.Run(cfg, app)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+// phaseSum aggregates stage durations by name prefix (e.g. all "iter-*"
+// stages of an iterative workload).
+func phaseSum(res *spark.Result, prefix string) time.Duration {
+	var total time.Duration
+	for _, s := range res.Stages {
+		if strings.HasPrefix(s.Name, prefix) {
+			total += s.Duration()
+		}
+	}
+	return total
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"gatk4", "gatk4-full", "lr-large", "lr-small", "pagerank", "sql", "svm", "terasort", "trianglecount"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered %v, want %v", got, want)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) should fail")
+	}
+	for _, n := range want {
+		w, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Description == "" {
+			t.Errorf("%s: empty description", n)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Register(Workload{Name: "gatk4"})
+}
+
+func TestAllWorkloadsBuildValidApps(t *testing.T) {
+	ssd := disk.NewSSD()
+	for _, n := range Names() {
+		w, _ := Get(n)
+		for _, slaves := range []int{1, 3, 10} {
+			cfg := testbed(slaves, 8, ssd, ssd)
+			app := w.Build(cfg)
+			if err := app.Validate(); err != nil {
+				t.Errorf("%s on %d slaves: %v", n, slaves, err)
+			}
+		}
+	}
+}
+
+// TestGATK4TableIV verifies the simulator's I/O accounting reproduces
+// the paper's Table IV: per-stage HDFS read / shuffle write / shuffle
+// read / HDFS write volumes.
+func TestGATK4TableIV(t *testing.T) {
+	ssd := disk.NewSSD()
+	cfg := testbed(3, 36, ssd, ssd)
+	res := runOn(t, "gatk4", cfg)
+
+	within := func(got, want units.ByteSize, what string) {
+		t.Helper()
+		lo, hi := float64(want)*0.97, float64(want)*1.03
+		if f := float64(got); f < lo || f > hi {
+			t.Errorf("%s = %v, want ≈%v", what, got, want)
+		}
+	}
+	md := res.MustStage("MD")
+	within(md.IO[spark.OpHDFSRead].Bytes, 122*units.GB, "MD hdfs read")
+	within(md.IO[spark.OpShuffleWrite].Bytes, 334*units.GB, "MD shuffle write")
+	if md.IO[spark.OpShuffleRead].Bytes != 0 || md.IO[spark.OpHDFSWrite].Bytes != 0 {
+		t.Error("MD should have no shuffle read / hdfs write")
+	}
+
+	br := res.MustStage("BR")
+	within(br.IO[spark.OpHDFSRead].Bytes, 122*units.GB, "BR hdfs read")
+	within(br.IO[spark.OpShuffleRead].Bytes, 334*units.GB, "BR shuffle read")
+	if br.IO[spark.OpShuffleWrite].Bytes != 0 || br.IO[spark.OpHDFSWrite].Bytes != 0 {
+		t.Error("BR should have no shuffle write / hdfs write")
+	}
+
+	sf := res.MustStage("SF")
+	within(sf.IO[spark.OpShuffleRead].Bytes, 334*units.GB, "SF shuffle read")
+	// HDFS write is replication-amplified on the device (166 GB × 2).
+	within(sf.IO[spark.OpHDFSWrite].Bytes, 332*units.GB, "SF hdfs write (replicated)")
+
+	// Shuffle read request size ≈ 30 KB (Section III-C2).
+	rs := br.IO[spark.OpShuffleRead].AvgReqSize()
+	if rs < 26*units.KB || rs > 32*units.KB {
+		t.Errorf("BR shuffle read request size = %v, paper says ~30KB", rs)
+	}
+}
+
+// TestGATK4Fig2Shape checks the qualitative claims of Fig. 2 / Section
+// III-A on the four hybrid disk configurations (Table III).
+func TestGATK4Fig2Shape(t *testing.T) {
+	hdd, ssd := disk.NewHDD(), disk.NewSSD()
+	stage := func(hdfs, local disk.Device, name string) time.Duration {
+		return runOn(t, "gatk4", testbed(3, 36, hdfs, local)).MustStage(name).Duration()
+	}
+
+	// Observation 1: HDFS HDD→SSD gives no gain for MD...
+	mdSS, mdHS := stage(ssd, ssd, "MD"), stage(hdd, ssd, "MD")
+	if gain := mdHS.Seconds() / mdSS.Seconds(); gain > 1.10 {
+		t.Errorf("MD gained %.2fx from HDFS SSD; paper says none", gain)
+	}
+	// ...but BR and SF do gain (up to 30% and 90%).
+	brSS, brHS := stage(ssd, ssd, "BR"), stage(hdd, ssd, "BR")
+	if gain := brHS.Seconds()/brSS.Seconds() - 1; gain < 0.08 || gain > 0.45 {
+		t.Errorf("BR HDFS-SSD gain = %.0f%%, paper says up to 30%%", gain*100)
+	}
+	sfSS, sfHS := stage(ssd, ssd, "SF"), stage(hdd, ssd, "SF")
+	if gain := sfHS.Seconds()/sfSS.Seconds() - 1; gain < 0.40 || gain > 1.2 {
+		t.Errorf("SF HDFS-SSD gain = %.0f%%, paper says up to 90%%", gain*100)
+	}
+
+	// Observation 3: Spark Local is much more I/O-sensitive than HDFS.
+	brSH := stage(ssd, hdd, "BR")
+	sfSH := stage(ssd, hdd, "SF")
+	if ratio := brSH.Seconds() / brSS.Seconds(); ratio < 3 {
+		t.Errorf("BR local HDD penalty only %.1fx; expected severe", ratio)
+	}
+	if ratio := sfSH.Seconds() / sfSS.Seconds(); ratio < 5 {
+		t.Errorf("SF local HDD penalty only %.1fx; expected severe (paper ~9.5x)", ratio)
+	}
+
+	// Section III-C3: with an HDD as Spark Local, BR and SF each take
+	// ~126 minutes (334 GB / 3 nodes / 15 MB/s).
+	for name, d := range map[string]time.Duration{"BR": brSH, "SF": sfSH} {
+		if min := d.Minutes(); min < 115 || min > 150 {
+			t.Errorf("%s with HDD local = %.0f min, paper computes ~126", name, min)
+		}
+	}
+}
+
+// TestGATK4Fig3Scaling checks the core-count behaviour of Fig. 3:
+// BR/SF scale with P on SSDs but are flat on HDDs; MD is flat on both.
+func TestGATK4Fig3Scaling(t *testing.T) {
+	hdd, ssd := disk.NewHDD(), disk.NewSSD()
+	times := func(dev disk.Device, stage string) (p12, p24, p36 float64) {
+		get := func(p int) float64 {
+			return runOn(t, "gatk4", testbed(3, p, dev, dev)).MustStage(stage).Duration().Minutes()
+		}
+		return get(12), get(24), get(36)
+	}
+
+	// BR on SSDs: decreasing in P (b=8, B=160 per the paper).
+	b12, b24, b36 := times(ssd, "BR")
+	if !(b12 > b24*1.5 && b24 > b36*1.2) {
+		t.Errorf("BR SSD not scaling: %.1f, %.1f, %.1f min", b12, b24, b36)
+	}
+	// BR on HDDs: flat (B=5 < 12).
+	h12, h24, h36 := times(hdd, "BR")
+	if spread(h12, h24, h36) > 0.10 {
+		t.Errorf("BR HDD should be flat: %.1f, %.1f, %.1f min", h12, h24, h36)
+	}
+	// MD: roughly flat on both (GC on SSDs, shuffle-write bound on HDDs).
+	m12, m24, m36 := times(ssd, "MD")
+	if spread(m12, m24, m36) > 0.30 {
+		t.Errorf("MD SSD should be near flat: %.1f, %.1f, %.1f min", m12, m24, m36)
+	}
+	hm12, hm24, hm36 := times(hdd, "MD")
+	if spread(hm12, hm24, hm36) > 0.20 {
+		t.Errorf("MD HDD should be near flat: %.1f, %.1f, %.1f min", hm12, hm24, hm36)
+	}
+}
+
+// spread is (max-min)/max over three values.
+func spread(a, b, c float64) float64 {
+	max, min := a, a
+	for _, v := range []float64{b, c} {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	return (max - min) / max
+}
+
+// TestSectionVBGaps verifies the HDD/SSD runtime ratios the paper's
+// Section V-B summary reports for the five benchmark workloads.
+func TestSectionVBGaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-workload sweep")
+	}
+	hdd, ssd := disk.NewHDD(), disk.NewSSD()
+	gap := func(name, phase string, hdfs bool) float64 {
+		// hdfs=true switches both disks; false switches only Spark Local.
+		hCfg := testbed(10, 36, ssd, hdd)
+		if hdfs {
+			hCfg = testbed(10, 36, hdd, hdd)
+		}
+		sCfg := testbed(10, 36, ssd, ssd)
+		h := phaseSum(runOn(t, name, hCfg), phase)
+		s := phaseSum(runOn(t, name, sCfg), phase)
+		return h.Seconds() / s.Seconds()
+	}
+	cases := []struct {
+		name, phase string
+		hdfs        bool
+		want        float64 // paper's reported ratio
+		tol         float64
+	}{
+		{"lr-small", "dataValidator", true, 2.0, 0.25},              // "2x in LR (Fig 8a)"
+		{"lr-large", "iter", true, 7.0, 0.25},                       // "7.0x in Fig 8b"
+		{"pagerank", "iter", true, 2.2, 0.25},                       // "2.2x in Fig 10"
+		{"svm", "subtract", false, 6.2, 0.25},                       // "6.2x in Fig 9"
+		{"trianglecount", "computeTriangleCount", false, 6.5, 0.25}, // "6.5x in Fig 11"
+		{"terasort", "", false, 2.6, 0.25},                          // "2.6x in Fig 12" (whole app)
+	}
+	for _, c := range cases {
+		got := gap(c.name, c.phase, c.hdfs)
+		if got < c.want*(1-c.tol) || got > c.want*(1+c.tol) {
+			t.Errorf("%s/%s gap = %.2fx, paper reports %.1fx", c.name, c.phase, got, c.want)
+		}
+	}
+}
+
+func TestLRCachingDependsOnCluster(t *testing.T) {
+	ssd := disk.NewSSD()
+	p := DefaultLRSmallParams()
+	// Ten slaves: 360 GB storage >= 280 GB, fully cached -> no persist I/O.
+	big := p.Build(testbed(10, 36, ssd, ssd))
+	for _, s := range big.Stages[1:] {
+		if s.TotalBytes(spark.OpPersistRead) != 0 {
+			t.Fatal("small dataset on 10 slaves should be fully cached")
+		}
+	}
+	// Three slaves: 108 GB storage < 280 GB -> iterations hit Spark Local.
+	small := p.Build(testbed(3, 36, ssd, ssd))
+	iter := small.Stages[1]
+	if iter.TotalBytes(spark.OpPersistRead) == 0 {
+		t.Fatal("small dataset on 3 slaves should spill")
+	}
+	// Spill size = RDD - storage memory.
+	want := 280*units.GB - 108*units.GB
+	got := iter.TotalBytes(spark.OpPersistRead)
+	if f := float64(got) / float64(want); f < 0.95 || f > 1.05 {
+		t.Errorf("spill = %v, want ≈%v", got, want)
+	}
+}
+
+func TestSVMShuffleRequestSize(t *testing.T) {
+	// 170 GB over 1200 reducers from 1200 mappers ≈ 124 KB requests.
+	cfg := testbed(10, 36, disk.NewSSD(), disk.NewSSD())
+	app := DefaultSVMParams().Build(cfg)
+	sub := app.Stages[len(app.Stages)-1]
+	op := sub.Groups[0].Ops[0]
+	if op.Kind != spark.OpShuffleRead {
+		t.Fatalf("unexpected first op %v", op.Kind)
+	}
+	if op.ReqSize < 110*units.KB || op.ReqSize > 135*units.KB {
+		t.Errorf("subtract request size = %v, want ~124KB", op.ReqSize)
+	}
+}
+
+func TestTerasortStageStructure(t *testing.T) {
+	cfg := testbed(10, 36, disk.NewSSD(), disk.NewSSD())
+	app := DefaultTerasortParams().Build(cfg)
+	if len(app.Stages) != 2 || app.Stages[0].Name != "NF" || app.Stages[1].Name != "SF" {
+		t.Fatalf("unexpected stages: %+v", app.Stages)
+	}
+	// Conservation: NF shuffle write volume == SF shuffle read volume.
+	w := app.Stages[0].TotalBytes(spark.OpShuffleWrite)
+	r := app.Stages[1].TotalBytes(spark.OpShuffleRead)
+	if d := float64(w-r) / float64(w); d > 0.01 || d < -0.01 {
+		t.Errorf("shuffle write %v != shuffle read %v", w, r)
+	}
+}
+
+func TestGATK4ShuffleConservation(t *testing.T) {
+	cfg := testbed(3, 36, disk.NewSSD(), disk.NewSSD())
+	app := DefaultGATK4Params().Build(cfg)
+	w := app.Stages[0].TotalBytes(spark.OpShuffleWrite)
+	rBR := app.Stages[1].TotalBytes(spark.OpShuffleRead)
+	rSF := app.Stages[2].TotalBytes(spark.OpShuffleRead)
+	for _, r := range []units.ByteSize{rBR, rSF} {
+		if d := float64(w-r) / float64(w); d > 0.01 || d < -0.01 {
+			t.Errorf("shuffle volumes disagree: write %v, read %v", w, r)
+		}
+	}
+}
