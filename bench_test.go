@@ -14,9 +14,37 @@ package repro_test
 import (
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 )
+
+// BenchmarkAllArtifacts regenerates the entire registry through the
+// parallel worker-pool executor (experiments.RunAll) — the bench-smoke
+// CI gate: it fails if any artifact errors, and reports the pool's
+// speedup (total artifact time / wall time) alongside the artifact
+// count.
+func BenchmarkAllArtifacts(b *testing.B) {
+	var artifacts int
+	var wall, artifactTime time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		reports := experiments.RunAll(0)
+		wall = time.Since(start)
+		artifacts = len(reports)
+		artifactTime = 0
+		for _, r := range reports {
+			artifactTime += r.Runtime
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.ID, r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(artifacts), "artifacts")
+	if wall > 0 {
+		b.ReportMetric(artifactTime.Seconds()/wall.Seconds(), "xpool")
+	}
+}
 
 // benchArtifact runs one registered experiment per iteration, printing
 // the table once and attaching its metrics to the benchmark result.

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	doppio experiments                 list reproducible paper artifacts
-//	doppio run [-format text|csv|md] <id>|all
+//	doppio run [-format text|csv|md] [-parallel N] <id>|all
 //	doppio workloads                   list workloads
 //	doppio sim [flags] <workload>      simulate a workload, print stages + iostat
 //	doppio predict [flags] <workload>  calibrate, predict, compare with sim

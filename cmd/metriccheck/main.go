@@ -1,0 +1,101 @@
+// Command metriccheck is the CI bench-smoke metric gate: it regenerates
+// the experiments named in a tolerance file (docs/tolerances.json by
+// default) through the parallel harness and fails when any headline
+// Table.Metrics value — average model error, HDD/SSD gap ratios, cloud
+// savings — leaves its committed window. This catches model regressions
+// that still compile and still produce tables; see docs/CI.md for how
+// to update the tolerances when the model legitimately changes.
+//
+// Usage:
+//
+//	go run ./cmd/metriccheck [-tolerances docs/tolerances.json] [-parallel N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+)
+
+// window is one committed [min, max] tolerance for a metric.
+type window struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+func main() {
+	tolPath := flag.String("tolerances", "docs/tolerances.json", "tolerance file (artifact -> metric -> {min,max})")
+	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+	if err := run(*tolPath, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "metriccheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tolPath string, parallel int) error {
+	data, err := os.ReadFile(tolPath)
+	if err != nil {
+		return err
+	}
+	var tol map[string]map[string]window
+	if err := json.Unmarshal(data, &tol); err != nil {
+		return fmt.Errorf("parsing %s: %w", tolPath, err)
+	}
+	if len(tol) == 0 {
+		return fmt.Errorf("%s names no artifacts", tolPath)
+	}
+	ids := make([]string, 0, len(tol))
+	for id := range tol {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	reports, err := experiments.RunSet(ids, parallel)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "artifact\tmetric\tvalue\twindow\tstatus")
+	var bad int
+	for _, r := range reports {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\t—\t—\t—\tERROR: %v\n", r.ID, r.Err)
+			bad++
+			continue
+		}
+		metrics := make([]string, 0, len(tol[r.ID]))
+		for m := range tol[r.ID] {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			w := tol[r.ID][m]
+			v, ok := r.Table.Metrics[m]
+			switch {
+			case !ok:
+				fmt.Fprintf(tw, "%s\t%s\t—\t[%g, %g]\tMISSING\n", r.ID, m, w.Min, w.Max)
+				bad++
+			case v < w.Min || v > w.Max:
+				fmt.Fprintf(tw, "%s\t%s\t%g\t[%g, %g]\tOUT OF TOLERANCE\n", r.ID, m, v, w.Min, w.Max)
+				bad++
+			default:
+				fmt.Fprintf(tw, "%s\t%s\t%g\t[%g, %g]\tok\n", r.ID, m, v, w.Min, w.Max)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d metric(s) outside committed tolerances (see docs/CI.md)", bad)
+	}
+	fmt.Println("all headline metrics within committed tolerances")
+	return nil
+}

@@ -74,7 +74,7 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `doppio — I/O-aware performance analysis, modeling and optimization
 
   doppio experiments                 list reproducible paper artifacts
-  doppio run <id>|all                regenerate a table/figure (e.g. fig7)
+  doppio run [-parallel N] <id>|all  regenerate tables/figures (e.g. fig7)
   doppio workloads                   list workloads
   doppio sim [flags] <workload>      simulate a workload on a cluster
   doppio predict [flags] <workload>  calibrated model vs simulator
@@ -95,9 +95,14 @@ func (a *app) cmdExperiments() error {
 	return nil
 }
 
+// cmdRun regenerates artifacts through the experiments worker pool:
+// independent artifacts run concurrently (-parallel N workers), tables
+// are rendered in the requested order regardless of completion order,
+// and one failing artifact is reported without cancelling its siblings.
 func (a *app) cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	format := fs.String("format", "text", "output format: text, csv, md")
+	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,23 +113,36 @@ func (a *app) cmdRun(args []string) error {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		e, err := experiments.Get(id)
-		if err != nil {
-			return err
+	start := time.Now()
+	reports, err := experiments.RunSet(ids, *parallel)
+	if err != nil {
+		return err
+	}
+	var artifactTime time.Duration
+	for _, r := range reports {
+		artifactTime += r.Runtime
+		if r.Err != nil {
+			fmt.Fprintf(a.out, "# FAILED %s: %v\n\n", r.ID, r.Err)
+			continue
 		}
-		start := time.Now()
-		tab, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		if err := tab.Render(a.out, *format); err != nil {
+		if err := r.Table.Render(a.out, *format); err != nil {
 			return err
 		}
 		if *format == "text" {
-			fmt.Fprintf(a.out, "# regenerated in %.1fs\n", time.Since(start).Seconds())
+			fmt.Fprintf(a.out, "# regenerated in %.1fs\n", r.Runtime.Seconds())
 		}
 		fmt.Fprintln(a.out)
+	}
+	if len(reports) > 1 && *format == "text" {
+		wall := time.Since(start).Seconds()
+		if wall <= 0 {
+			wall = 1e-9
+		}
+		fmt.Fprintf(a.out, "# total: %d artifacts in %.1fs wall, %.1fs artifact time (%.1fx pool speedup)\n",
+			len(reports), wall, artifactTime.Seconds(), artifactTime.Seconds()/wall)
+	}
+	if failed := experiments.Failed(reports); len(failed) > 0 {
+		return fmt.Errorf("run: %d of %d artifacts failed", len(failed), len(reports))
 	}
 	return nil
 }

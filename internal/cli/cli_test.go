@@ -88,6 +88,49 @@ func TestRunExperimentFormats(t *testing.T) {
 	}
 }
 
+// TestRunParallelOrderedOutput asserts that pool execution keeps tables
+// in the requested order, prints per-artifact timings and closes a
+// multi-artifact run with the summary footer.
+func TestRunParallelOrderedOutput(t *testing.T) {
+	out, _, code := run(t, "run", "-parallel", "4", "tab4", "tab5", "fig5", "fig6")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	prev := -1
+	for _, id := range []string{"## tab4", "## tab5", "## fig5", "## fig6"} {
+		i := strings.Index(out, id)
+		if i < 0 {
+			t.Fatalf("output missing %q", id)
+		}
+		if i < prev {
+			t.Errorf("%q rendered out of order", id)
+		}
+		prev = i
+	}
+	if n := strings.Count(out, "# regenerated in"); n != 4 {
+		t.Errorf("%d per-artifact timing lines, want 4", n)
+	}
+	if !strings.Contains(out, "# total: 4 artifacts in") || !strings.Contains(out, "pool speedup") {
+		t.Errorf("summary footer missing:\n%s", out)
+	}
+}
+
+// TestRunParallelMatchesSerialOutput asserts byte-identical rendering
+// (CSV has no timing lines) between serial and pooled runs.
+func TestRunParallelMatchesSerialOutput(t *testing.T) {
+	serial, _, code := run(t, "run", "-format", "csv", "-parallel", "1", "tab4", "fig5", "tab5")
+	if code != 0 {
+		t.Fatalf("serial exit = %d", code)
+	}
+	parallel, _, code := run(t, "run", "-format", "csv", "-parallel", "3", "tab4", "fig5", "tab5")
+	if code != 0 {
+		t.Fatalf("parallel exit = %d", code)
+	}
+	if serial != parallel {
+		t.Errorf("serial and parallel CSV output differ:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+	}
+}
+
 func TestFio(t *testing.T) {
 	out, _, code := run(t, "fio")
 	if code != 0 {

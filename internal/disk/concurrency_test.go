@@ -1,0 +1,57 @@
+package disk
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCurveAndDeviceLookups pins down the immutability
+// contract the parallel experiment harness relies on: Curve lookup
+// tables and Device bandwidth models are read-only after construction,
+// so any number of concurrent artifact runs may share them. Run under
+// -race in CI.
+func TestConcurrentCurveAndDeviceLookups(t *testing.T) {
+	hdd, ssd := NewHDD(), NewSSD()
+	curve := ProfileRead(hdd, nil)
+	arr := NewArray(NewHDD(), 4)
+	sizes := DefaultSweepSizes()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for _, s := range sizes {
+					if curve.Lookup(s) <= 0 {
+						t.Errorf("curve lookup at %v returned non-positive bandwidth", s)
+						return
+					}
+					if hdd.ReadBandwidth(s) <= 0 || ssd.WriteBandwidth(s) <= 0 {
+						t.Error("device bandwidth non-positive")
+						return
+					}
+					if arr.ReadBandwidth(s) < hdd.ReadBandwidth(s) {
+						t.Error("array slower than single disk")
+						return
+					}
+				}
+				// Profiling builds fresh curves; concurrent profiling of a
+				// shared device must also be safe.
+				if ProfileWrite(ssd, sizes[:4]) == nil {
+					t.Error("profile returned nil curve")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The sweep grid itself must be a fresh slice per call: a caller
+	// mutating its copy must not poison later profiling runs.
+	a, b := DefaultSweepSizes(), DefaultSweepSizes()
+	a[0] = 0
+	if b[0] == 0 {
+		t.Error("DefaultSweepSizes returns a shared backing array")
+	}
+}

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/experiments/sweep"
 	"repro/internal/optimizer"
 	"repro/internal/units"
 )
@@ -38,8 +40,15 @@ func cloudEval() (optimizer.Evaluator, error) {
 	return optimizer.ModelEvaluator(cal.Model), nil
 }
 
+// fig13Point is one (labelled) configuration of the Fig. 13 sweep.
+type fig13Point struct {
+	sweep, label string
+	spec         cloud.ClusterSpec
+}
+
 // fig13 sweeps HDD sizes for both disks around the HDD optimum and
-// prints the resulting cost curves plus the R1/R2 reference points.
+// prints the resulting cost curves plus the R1/R2 reference points. The
+// points fan out through the sweep engine; rows keep sweep order.
 func fig13() (*Table, error) {
 	eval, err := cloudEval()
 	if err != nil {
@@ -50,38 +59,37 @@ func fig13() (*Table, error) {
 		ID: "fig13", Title: "Cost for different sizes of HDDs, GATK4, 10 slaves, 16 vCPU",
 		Columns: []string{"sweep", "size", "time (min)", "cost"},
 	}
+	var points []fig13Point
 	// 13a: HDFS size sweep at Local = 2 TB.
 	for _, hs := range []units.ByteSize{500 * units.GB, units.TB, 2 * units.TB, 4 * units.TB, 8 * units.TB} {
-		spec := cloud.ClusterSpec{
+		points = append(points, fig13Point{"a: HDFS (local=2TB)", fmtSize(hs), cloud.ClusterSpec{
 			Slaves: 10, VCPUs: 16,
 			HDFSType: cloud.PDStandard, HDFSSize: hs,
 			LocalType: cloud.PDStandard, LocalSize: 2 * units.TB,
-		}
-		d, err := eval(spec)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("a: HDFS (local=2TB)", fmtSize(hs), fmtMin(d), fmtUSD(spec.Cost(d, pricing)))
+		}})
 	}
 	// 13b: Local size sweep at HDFS = 1 TB.
 	for _, ls := range []units.ByteSize{200 * units.GB, 500 * units.GB, units.TB, 2 * units.TB, optimizer.ByteTB(3.2), 8 * units.TB} {
-		spec := cloud.ClusterSpec{
+		points = append(points, fig13Point{"b: Local (hdfs=1TB)", fmtSize(ls), cloud.ClusterSpec{
 			Slaves: 10, VCPUs: 16,
 			HDFSType: cloud.PDStandard, HDFSSize: units.TB,
 			LocalType: cloud.PDStandard, LocalSize: ls,
-		}
-		d, err := eval(spec)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("b: Local (hdfs=1TB)", fmtSize(ls), fmtMin(d), fmtUSD(spec.Cost(d, pricing)))
+		}})
 	}
-	for name, spec := range map[string]cloud.ClusterSpec{"R1 (8TB)": cloud.R1(10, 16), "R2 (16TB)": cloud.R2(10, 16)} {
-		d, err := eval(spec)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("reference", name, fmtMin(d), fmtUSD(spec.Cost(d, pricing)))
+	points = append(points,
+		fig13Point{"reference", "R1 (8TB)", cloud.R1(10, 16)},
+		fig13Point{"reference", "R2 (16TB)", cloud.R2(10, 16)},
+	)
+	outcomes := sweep.Map(points, 0, func(p fig13Point) (time.Duration, error) {
+		return eval(p.spec)
+	})
+	durations, err := sweep.Values(outcomes)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		d := durations[i]
+		t.AddRow(p.sweep, p.label, fmtMin(d), fmtUSD(p.spec.Cost(d, pricing)))
 	}
 	t.Note("paper: HDD optimum at HDFS=1TB, Local=2TB ($4.12); R1 $6.06, R2 $8.65 — our absolute dollars differ (faster simulated pipeline) but the optimum location and ordering reproduce")
 	return t, nil
@@ -100,9 +108,9 @@ func fig14() (*Table, error) {
 		ID: "fig14", Title: "GATK4 runtime vs HDD local size, 16 vCPU, 10 slaves, HDFS=1TB HDD",
 		Columns: []string{"local size", "exp (min)", "model (min)", "err"},
 	}
-	var sumErr float64
-	var n int
-	for _, ls := range []units.ByteSize{200 * units.GB, 500 * units.GB, units.TB, 2 * units.TB, optimizer.ByteTB(3.2)} {
+	sizes := []units.ByteSize{200 * units.GB, 500 * units.GB, units.TB, 2 * units.TB, optimizer.ByteTB(3.2)}
+	type pair struct{ sim, model time.Duration }
+	outcomes := sweep.Map(sizes, 0, func(ls units.ByteSize) (pair, error) {
 		spec := cloud.ClusterSpec{
 			Slaves: 10, VCPUs: 16,
 			HDFSType: cloud.PDStandard, HDFSSize: units.TB,
@@ -110,12 +118,22 @@ func fig14() (*Table, error) {
 		}
 		st, err := sim(spec)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		mt, err := eval(spec)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
+		return pair{st, mt}, nil
+	})
+	pairs, err := sweep.Values(outcomes)
+	if err != nil {
+		return nil, err
+	}
+	var sumErr float64
+	var n int
+	for i, ls := range sizes {
+		st, mt := pairs[i].sim, pairs[i].model
 		e := core.ErrorRate(mt, st)
 		sumErr += e
 		n++
@@ -137,20 +155,25 @@ func fig15() (*Table, error) {
 		ID: "fig15", Title: "Cost and runtime using different sizes SSD as local (HDFS = 1TB HDD)",
 		Columns: []string{"P", "SSD size", "time (min)", "cost"},
 	}
+	var specs []cloud.ClusterSpec
 	for _, p := range []int{8, 16, 32} {
 		for _, ls := range []units.ByteSize{20 * units.GB, 50 * units.GB, 100 * units.GB,
 			200 * units.GB, 500 * units.GB, units.TB, optimizer.ByteTB(3.2)} {
-			spec := cloud.ClusterSpec{
+			specs = append(specs, cloud.ClusterSpec{
 				Slaves: 10, VCPUs: p,
 				HDFSType: cloud.PDStandard, HDFSSize: units.TB,
 				LocalType: cloud.PDSSD, LocalSize: ls,
-			}
-			d, err := eval(spec)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprint(p), fmtSize(ls), fmtMin(d), fmtUSD(spec.Cost(d, pricing)))
+			})
 		}
+	}
+	outcomes := sweep.Map(specs, 0, eval)
+	durations, err := sweep.Values(outcomes)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		d := durations[i]
+		t.AddRow(fmt.Sprint(spec.VCPUs), fmtSize(spec.LocalSize), fmtMin(d), fmtUSD(spec.Cost(d, pricing)))
 	}
 	t.Note("paper: optimum at a small SSD (200GB, $3.75) — cost rises steeply below it (runtime explodes) and linearly above it (provisioned-space price)")
 	return t, nil

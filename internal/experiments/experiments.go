@@ -172,11 +172,21 @@ func phasePrediction(pred core.AppPrediction, prefix string) time.Duration {
 // --- calibration caches ----------------------------------------------
 //
 // Calibration performs four full simulator runs; experiments and benches
-// reuse the fitted models.
+// reuse the fitted models. The cache has singleflight semantics: the
+// map lock is only held to install an entry, and the calibration itself
+// runs under the entry's own sync.Once — two artifacts asking for
+// *different* workloads calibrate concurrently, while two asking for
+// the *same* workload share one build instead of duplicating it.
+
+type calEntry struct {
+	once sync.Once
+	cal  *core.Calibration
+	err  error
+}
 
 var (
 	calMu    sync.Mutex
-	calCache = map[string]*core.Calibration{}
+	calCache = map[string]*calEntry{}
 )
 
 // calibratedTestbed calibrates a workload on the paper's physical
@@ -208,14 +218,26 @@ func calibratedCloud(workload string) (*core.Calibration, error) {
 
 func calibrated(key string, build func() (*core.Calibration, error)) (*core.Calibration, error) {
 	calMu.Lock()
-	defer calMu.Unlock()
-	if c, ok := calCache[key]; ok {
-		return c, nil
+	e, ok := calCache[key]
+	if !ok {
+		e = &calEntry{}
+		calCache[key] = e
 	}
-	c, err := build()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: calibrating %s: %w", key, err)
+	calMu.Unlock()
+	e.once.Do(func() {
+		e.cal, e.err = build()
+		if e.err != nil {
+			e.err = fmt.Errorf("experiments: calibrating %s: %w", key, e.err)
+		}
+	})
+	if e.err != nil {
+		// Do not cache failures: drop the entry so a later caller can
+		// retry (the pre-singleflight behaviour).
+		calMu.Lock()
+		if calCache[key] == e {
+			delete(calCache, key)
+		}
+		calMu.Unlock()
 	}
-	calCache[key] = c
-	return c, nil
+	return e.cal, e.err
 }

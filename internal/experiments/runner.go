@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Report is the outcome of one experiment executed through the pool:
+// either a Table or an error, plus the artifact's wall-clock runtime.
+// Reports preserve the order the ids were requested in, regardless of
+// which worker finished first.
+type Report struct {
+	ID    string
+	Title string
+	// Table is the regenerated artifact; nil when Err is set.
+	Table *Table
+	// Err is the artifact's own failure. One failing artifact never
+	// cancels its siblings; callers inspect each report.
+	Err error
+	// Runtime is the artifact's wall-clock regeneration time. It is
+	// also recorded in Table.Metrics["runtime_seconds"].
+	Runtime time.Duration
+}
+
+// RuntimeMetric is the Table.Metrics key carrying the per-artifact
+// wall-clock seconds. Comparisons between runs (serial vs parallel,
+// tolerance checks) must ignore it: it is the one metric that is not a
+// deterministic function of the model.
+const RuntimeMetric = "runtime_seconds"
+
+// RunAll regenerates every registered artifact through a worker pool of
+// the given size (<=0 means GOMAXPROCS). See RunSet.
+func RunAll(parallel int) []Report {
+	reports, err := RunSet(IDs(), parallel)
+	if err != nil {
+		// IDs() only returns registered ids; resolution cannot fail.
+		panic(err)
+	}
+	return reports
+}
+
+// RunSet regenerates the named artifacts concurrently on a worker pool
+// of the given size (<=0 means GOMAXPROCS). The returned reports are in
+// the order of ids. Unknown ids fail upfront, before any work starts;
+// individual artifact failures (including panics) are isolated into
+// their own Report and do not stop the remaining artifacts.
+func RunSet(ids []string, parallel int) ([]Report, error) {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, err := Get(id)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = e
+	}
+	return runExperiments(exps, parallel), nil
+}
+
+// runExperiments is the pool itself, factored out so tests can inject
+// experiments (e.g. deliberately failing ones) without touching the
+// global registry.
+func runExperiments(exps []Experiment, parallel int) []Report {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	reports := make([]Report, len(exps))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				reports[i] = runOne(exps[i])
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return reports
+}
+
+// runOne executes a single experiment, capturing panics as errors so a
+// broken artifact cannot take down a whole sweep.
+func runOne(e Experiment) (rep Report) {
+	rep.ID = e.ID
+	rep.Title = e.Title
+	start := time.Now()
+	defer func() {
+		rep.Runtime = time.Since(start)
+		if r := recover(); r != nil {
+			rep.Table = nil
+			rep.Err = fmt.Errorf("experiments: %s panicked: %v", e.ID, r)
+		}
+		if rep.Table != nil {
+			rep.Table.SetMetric(RuntimeMetric, rep.Runtime.Seconds())
+		}
+	}()
+	rep.Table, rep.Err = e.Run()
+	if rep.Err == nil && rep.Table == nil {
+		rep.Err = fmt.Errorf("experiments: %s returned no table", e.ID)
+	}
+	return rep
+}
+
+// Failed filters the reports down to the failing ones.
+func Failed(reports []Report) []Report {
+	var out []Report
+	for _, r := range reports {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

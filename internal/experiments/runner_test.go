@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// parallelTestIDs are cheap artifacts (no calibration) used to exercise
+// the pool; the CI race job runs these tests with -count=3.
+var parallelTestIDs = []string{"tab4", "tab5", "fig5", "fig6"}
+
+// stripRuntime removes the wall-clock metric, the one table field that
+// legitimately differs between runs.
+func stripRuntime(m map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range m {
+		if k == RuntimeMetric {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TestRegistryParallelMatchesSerial asserts the acceptance criterion:
+// every artifact's Rows and Metrics are identical whether regenerated
+// serially or through a four-worker pool.
+func TestRegistryParallelMatchesSerial(t *testing.T) {
+	ids := parallelTestIDs
+	if !testing.Short() {
+		ids = append(append([]string{}, ids...), "fig2", "errorbars")
+	}
+	serial, err := RunSet(ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSet(ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("report counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		s, p := serial[i], par[i]
+		if s.ID != ids[i] || p.ID != ids[i] {
+			t.Fatalf("report %d out of order: serial=%s parallel=%s want %s", i, s.ID, p.ID, ids[i])
+		}
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s: serial err=%v parallel err=%v", ids[i], s.Err, p.Err)
+		}
+		if !reflect.DeepEqual(s.Table.Columns, p.Table.Columns) {
+			t.Errorf("%s: columns differ", ids[i])
+		}
+		if !reflect.DeepEqual(s.Table.Rows, p.Table.Rows) {
+			t.Errorf("%s: rows differ\nserial:   %v\nparallel: %v", ids[i], s.Table.Rows, p.Table.Rows)
+		}
+		if !reflect.DeepEqual(s.Table.Notes, p.Table.Notes) {
+			t.Errorf("%s: notes differ", ids[i])
+		}
+		sm, pm := stripRuntime(s.Table.Metrics), stripRuntime(p.Table.Metrics)
+		if !reflect.DeepEqual(sm, pm) {
+			t.Errorf("%s: metrics differ\nserial:   %v\nparallel: %v", ids[i], sm, pm)
+		}
+		if s.Table.Metrics[RuntimeMetric] <= 0 || p.Table.Metrics[RuntimeMetric] <= 0 {
+			t.Errorf("%s: missing %s metric", ids[i], RuntimeMetric)
+		}
+	}
+}
+
+// TestRegistryParallelIsolatesFailure asserts that one failing (or
+// panicking) artifact is reported in place without cancelling its
+// siblings.
+func TestRegistryParallelIsolatesFailure(t *testing.T) {
+	boom := fmt.Errorf("deliberate failure")
+	exps := []Experiment{
+		{ID: "ok-1", Title: "ok", Run: func() (*Table, error) {
+			tab := &Table{ID: "ok-1", Columns: []string{"a"}}
+			tab.AddRow("1")
+			return tab, nil
+		}},
+		{ID: "fails", Title: "fails", Run: func() (*Table, error) { return nil, boom }},
+		{ID: "panics", Title: "panics", Run: func() (*Table, error) { panic("deliberate panic") }},
+		{ID: "ok-2", Title: "ok", Run: func() (*Table, error) {
+			tab := &Table{ID: "ok-2", Columns: []string{"a"}}
+			tab.AddRow("2")
+			return tab, nil
+		}},
+	}
+	for _, parallel := range []int{1, 4} {
+		reports := runExperiments(exps, parallel)
+		if len(reports) != 4 {
+			t.Fatalf("parallel=%d: %d reports", parallel, len(reports))
+		}
+		for i, e := range exps {
+			if reports[i].ID != e.ID {
+				t.Fatalf("parallel=%d: report %d is %s, want %s", parallel, i, reports[i].ID, e.ID)
+			}
+		}
+		if reports[0].Err != nil || reports[3].Err != nil {
+			t.Errorf("parallel=%d: healthy siblings failed: %v, %v", parallel, reports[0].Err, reports[3].Err)
+		}
+		if reports[1].Err == nil || reports[2].Err == nil {
+			t.Errorf("parallel=%d: failures not reported: %v, %v", parallel, reports[1].Err, reports[2].Err)
+		}
+		if got := Failed(reports); len(got) != 2 {
+			t.Errorf("parallel=%d: Failed() = %d reports, want 2", parallel, len(got))
+		}
+	}
+}
+
+// TestRegistryParallelUnknownID asserts upfront resolution: no work
+// starts when any id is unknown.
+func TestRegistryParallelUnknownID(t *testing.T) {
+	if _, err := RunSet([]string{"tab4", "no-such-artifact"}, 2); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestRegistryParallelStress hammers the pool from several goroutines at
+// once — the race detector's view of the registry, the calibration
+// cache and the table builders. CI runs it with -count=3 under -race.
+func TestRegistryParallelStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports, err := RunSet(parallelTestIDs, len(parallelTestIDs))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, r := range reports {
+				if r.Err != nil {
+					t.Errorf("%s: %v", r.ID, r.Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRegistryParallelCalibrationSingleflight checks the calibration
+// cache's singleflight semantics directly: concurrent requests for the
+// same key share one build, different keys build concurrently, and
+// failed builds are retried rather than cached.
+func TestRegistryParallelCalibrationSingleflight(t *testing.T) {
+	keys := []string{"test/singleflight-a", "test/singleflight-b", "test/singleflight-c"}
+	defer func() {
+		calMu.Lock()
+		for _, k := range keys {
+			delete(calCache, k)
+		}
+		calMu.Unlock()
+	}()
+
+	var builds atomic.Int64
+	build := func() (*core.Calibration, error) {
+		builds.Add(1)
+		time.Sleep(time.Millisecond)
+		return &core.Calibration{}, nil
+	}
+	var wg sync.WaitGroup
+	got := make([]*core.Calibration, 32*len(keys))
+	for i := 0; i < 32; i++ {
+		for j, k := range keys {
+			wg.Add(1)
+			go func(slot int, key string) {
+				defer wg.Done()
+				c, err := calibrated(key, build)
+				if err != nil {
+					t.Error(err)
+				}
+				got[slot] = c
+			}(i*len(keys)+j, k)
+		}
+	}
+	wg.Wait()
+	if n := builds.Load(); n != int64(len(keys)) {
+		t.Errorf("builds = %d, want one per key (%d)", n, len(keys))
+	}
+	for i := 1; i < 32; i++ {
+		for j := range keys {
+			if got[i*len(keys)+j] != got[j] {
+				t.Errorf("key %s: callers saw different calibrations", keys[j])
+			}
+		}
+	}
+
+	// Failure path: the entry must be dropped so the next call retries.
+	failKey := "test/singleflight-fail"
+	calls := 0
+	failing := func() (*core.Calibration, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return &core.Calibration{}, nil
+	}
+	if _, err := calibrated(failKey, failing); err == nil {
+		t.Fatal("expected first build to fail")
+	}
+	c, err := calibrated(failKey, failing)
+	if err != nil || c == nil {
+		t.Fatalf("retry after failure: c=%v err=%v", c, err)
+	}
+	calMu.Lock()
+	delete(calCache, failKey)
+	calMu.Unlock()
+}
+
+// TestRegistryParallelSpeedup asserts the pool actually buys wall-clock
+// time on sim-heavy artifacts: a four-worker RunSet must finish faster
+// than the same set run serially (acceptance criterion on >=4 cores).
+func TestRegistryParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison needs the sim-heavy artifacts")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skip("needs >=4 cores for a meaningful comparison")
+	}
+	ids := []string{"fig2", "fig3", "errorbars", "fig6"}
+	start := time.Now()
+	if _, err := RunSet(ids, 1); err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Since(start)
+	start = time.Now()
+	if _, err := RunSet(ids, 4); err != nil {
+		t.Fatal(err)
+	}
+	parallel := time.Since(start)
+	t.Logf("serial %v, parallel %v (%.2fx)", serial, parallel, serial.Seconds()/parallel.Seconds())
+	if parallel >= serial {
+		t.Errorf("parallel RunSet (%v) not faster than serial (%v)", parallel, serial)
+	}
+}

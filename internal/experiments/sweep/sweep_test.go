@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	out := Map(points, 8, func(p int) (int, error) { return p * p, nil })
+	if len(out) != len(points) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, o := range out {
+		if o.Point != i || o.Value != i*i || o.Err != nil {
+			t.Fatalf("outcome %d = %+v", i, o)
+		}
+	}
+	vals, err := Values(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[7] != 49 {
+		t.Fatalf("vals[7] = %d", vals[7])
+	}
+}
+
+func TestMapIsolatesErrors(t *testing.T) {
+	out := Map([]int{1, 2, 3, 4}, 2, func(p int) (int, error) {
+		if p%2 == 0 {
+			return 0, fmt.Errorf("point %d failed", p)
+		}
+		return p, nil
+	})
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Errorf("odd points failed: %v %v", out[0].Err, out[2].Err)
+	}
+	if out[1].Err == nil || out[3].Err == nil {
+		t.Errorf("even points should fail")
+	}
+	// Values surfaces the first error in input order, as a serial loop
+	// would.
+	if _, err := Values(out); err == nil || err.Error() != "point 2 failed" {
+		t.Errorf("Values err = %v", err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	points := make([]int, 64)
+	Map(points, 4, func(int) (int, error) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return 0, nil
+	})
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak concurrency %d > 4 workers", p)
+	}
+}
+
+func TestMapEmptyAndSerial(t *testing.T) {
+	if out := Map(nil, 4, func(int) (int, error) { return 0, nil }); len(out) != 0 {
+		t.Errorf("empty points produced %d outcomes", len(out))
+	}
+	out := Map([]int{1, 2}, 1, func(p int) (int, error) { return p + 1, nil })
+	if out[0].Value != 2 || out[1].Value != 3 {
+		t.Errorf("serial map wrong: %+v", out)
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	g := Grid{
+		Nodes: []int{3, 10},
+		Cores: []int{16, 36},
+		Devices: []DevicePair{
+			{Name: "SSD/SSD", HDFS: func() disk.Device { return disk.NewSSD() }, Local: func() disk.Device { return disk.NewSSD() }},
+			{Name: "SSD/HDD", HDFS: func() disk.Device { return disk.NewSSD() }, Local: func() disk.Device { return disk.NewHDD() }},
+		},
+		Workloads: []string{"gatk4", "terasort"},
+	}
+	pts := g.Points()
+	if len(pts) != 16 || g.Size() != 16 {
+		t.Fatalf("points = %d, size = %d, want 16", len(pts), g.Size())
+	}
+	// Row-major: nodes vary slowest, workloads fastest.
+	if pts[0].Nodes != 3 || pts[0].Cores != 16 || pts[0].Devices.Name != "SSD/SSD" || pts[0].Workload != "gatk4" {
+		t.Errorf("pts[0] = %+v", pts[0])
+	}
+	if pts[1].Workload != "terasort" {
+		t.Errorf("pts[1] = %+v", pts[1])
+	}
+	if pts[15].Nodes != 10 || pts[15].Cores != 36 || pts[15].Devices.Name != "SSD/HDD" || pts[15].Workload != "terasort" {
+		t.Errorf("pts[15] = %+v", pts[15])
+	}
+	// Device constructors hand out fresh instances per call.
+	if pts[0].Devices.HDFS() == pts[0].Devices.HDFS() {
+		t.Error("device constructor returned a shared instance")
+	}
+}
+
+func TestGridEmptyAxes(t *testing.T) {
+	g := Grid{Cores: []int{1, 2, 4}}
+	pts := g.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[2].Cores != 4 || pts[2].Nodes != 0 || pts[2].Workload != "" {
+		t.Errorf("pts[2] = %+v", pts[2])
+	}
+}

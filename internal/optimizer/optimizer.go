@@ -12,12 +12,14 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/experiments/sweep"
 	"repro/internal/spark"
 	"repro/internal/units"
 )
 
 // Evaluator predicts the application runtime on a candidate
-// configuration.
+// configuration. Evaluators must be safe for concurrent use: GridSearch
+// fans evaluations out over a worker pool.
 type Evaluator func(spec cloud.ClusterSpec) (time.Duration, error)
 
 // ModelEvaluator builds an Evaluator from a calibrated Doppio model:
@@ -97,34 +99,50 @@ func (s Space) Size() int {
 	return len(s.VCPUs) * len(s.HDFSTypes) * len(s.HDFSSizes) * len(s.LocalTypes) * len(s.LocalSizes)
 }
 
-// GridSearch evaluates the full space and returns candidates sorted by
-// cost (cheapest first).
-func GridSearch(space Space, eval Evaluator, pricing cloud.Pricing) ([]Candidate, error) {
-	if space.Size() == 0 {
-		return nil, fmt.Errorf("optimizer: empty search space")
-	}
-	var out []Candidate
-	for _, v := range space.VCPUs {
-		for _, ht := range space.HDFSTypes {
-			for _, hs := range space.HDFSSizes {
-				for _, lt := range space.LocalTypes {
-					for _, ls := range space.LocalSizes {
-						spec := cloud.ClusterSpec{
-							Slaves: space.Slaves, VCPUs: v,
+// Specs enumerates the space's candidate configurations in
+// deterministic row-major order.
+func (s Space) Specs() []cloud.ClusterSpec {
+	out := make([]cloud.ClusterSpec, 0, s.Size())
+	for _, v := range s.VCPUs {
+		for _, ht := range s.HDFSTypes {
+			for _, hs := range s.HDFSSizes {
+				for _, lt := range s.LocalTypes {
+					for _, ls := range s.LocalSizes {
+						out = append(out, cloud.ClusterSpec{
+							Slaves: s.Slaves, VCPUs: v,
 							HDFSType: ht, HDFSSize: hs,
 							LocalType: lt, LocalSize: ls,
-						}
-						d, err := eval(spec)
-						if err != nil {
-							return nil, fmt.Errorf("optimizer: evaluating %v: %w", spec, err)
-						}
-						out = append(out, Candidate{Spec: spec, Time: d, Cost: spec.Cost(d, pricing)})
+						})
 					}
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}
+
+// GridSearch evaluates the full space and returns candidates sorted by
+// cost (cheapest first; ties keep the deterministic enumeration order).
+// Evaluations fan out over a GOMAXPROCS-sized worker pool — the model
+// evaluator makes each point cheap, but the simulator-backed evaluator
+// used for verification gains the full core count.
+func GridSearch(space Space, eval Evaluator, pricing cloud.Pricing) ([]Candidate, error) {
+	specs := space.Specs()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("optimizer: empty search space")
+	}
+	outcomes := sweep.Map(specs, 0, func(spec cloud.ClusterSpec) (Candidate, error) {
+		d, err := eval(spec)
+		if err != nil {
+			return Candidate{}, fmt.Errorf("optimizer: evaluating %v: %w", spec, err)
+		}
+		return Candidate{Spec: spec, Time: d, Cost: spec.Cost(d, pricing)}, nil
+	})
+	out, err := sweep.Values(outcomes)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
 	return out, nil
 }
 

@@ -1,0 +1,76 @@
+package spark
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// shuffleApp is a small two-stage app with shuffle write/read, enough to
+// exercise CorePool, FlowResource and the DAG barrier.
+func shuffleApp() App {
+	return App{Name: "conc", Stages: []Stage{
+		{Name: "map", Groups: []TaskGroup{{
+			Name: "m", Count: 64,
+			Ops: []Op{
+				IO(OpHDFSRead, 128*units.MB, 128*units.MB, 0),
+				Compute(2 * time.Second),
+				IO(OpShuffleWrite, 32*units.MB, 32*units.MB, 0),
+			},
+		}}},
+		{Name: "reduce", Groups: []TaskGroup{{
+			Name: "r", Count: 32,
+			Ops: []Op{
+				IO(OpShuffleRead, 64*units.MB, 30*units.KB, units.MBps(60)),
+				Compute(time.Second),
+			},
+		}}},
+	}}
+}
+
+// TestConcurrentRunsAreDeterministic runs many simulations concurrently
+// — the regime the parallel experiment harness puts the simulator in —
+// and asserts every run owns its engine, CorePool and FlowResource
+// instances: all concurrent results must equal the serial reference
+// exactly. Run under -race in CI, this is the simulator's
+// shared-mutable-state audit.
+func TestConcurrentRunsAreDeterministic(t *testing.T) {
+	dev := constDev{units.MBps(400), units.MBps(300)}
+	cfg := barebones(4, 8, dev)
+	ref, err := Run(cfg, shuffleApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const runs = 8
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(cfg, shuffleApp())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if results[i].Total != ref.Total {
+			t.Errorf("run %d: total %v != serial reference %v", i, results[i].Total, ref.Total)
+		}
+		if len(results[i].Stages) != len(ref.Stages) {
+			t.Fatalf("run %d: %d stages, want %d", i, len(results[i].Stages), len(ref.Stages))
+		}
+		for si := range ref.Stages {
+			if results[i].Stages[si].Duration() != ref.Stages[si].Duration() {
+				t.Errorf("run %d stage %s: %v != %v", i, ref.Stages[si].Name,
+					results[i].Stages[si].Duration(), ref.Stages[si].Duration())
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+)
+
+// TestConcurrentBuildsAreIndependent asserts the registered workload
+// builders are safe to invoke concurrently and return independent Apps
+// — required by the parallel experiment harness and the grid sweeps,
+// which call Build(cfg) from pool workers. Run under -race in CI.
+func TestConcurrentBuildsAreIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent full workload sims")
+	}
+	for _, name := range []string{"gatk4", "terasort"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testbed(3, 8, disk.NewSSD(), disk.NewSSD())
+		ref, err := spark.Run(cfg, w.Build(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const runs = 4
+		var wg sync.WaitGroup
+		for i := 0; i < runs; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := spark.Run(cfg, w.Build(cfg))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Total != ref.Total {
+					t.Errorf("concurrent %s run total %v != %v", name, res.Total, ref.Total)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
