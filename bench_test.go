@@ -12,6 +12,7 @@ package repro_test
 //	go test -bench=BenchmarkFig7 -benchtime=1x -v
 
 import (
+	"context"
 	"os"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func BenchmarkAllArtifacts(b *testing.B) {
 	var wall, artifactTime time.Duration
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		reports := experiments.RunAll(0)
+		reports := experiments.RunAll(context.Background(), experiments.Options{})
 		wall = time.Since(start)
 		artifacts = len(reports)
 		artifactTime = 0
@@ -56,7 +57,7 @@ func benchArtifact(b *testing.B, id string) {
 	}
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := e.Run()
+		tab, err := e.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,12 +6,18 @@
 // Usage:
 //
 //	doppio experiments                 list reproducible paper artifacts
-//	doppio run [-format text|csv|md] [-parallel N] <id>|all
+//	doppio run [-format text|csv|md] [-parallel N] [-timeout D] <id>|all
 //	doppio workloads                   list workloads
 //	doppio sim [flags] <workload>      simulate a workload, print stages + iostat
 //	doppio predict [flags] <workload>  calibrate, predict, compare with sim
 //	doppio optimize [flags]            search the cloud configuration space
 //	doppio fio                         fio-like sweep of the device models
+//
+// `doppio run` bounds each artifact with -timeout and cancels cleanly
+// on Ctrl-C, flushing the reports that already completed. `doppio sim`
+// takes fault-injection flags (-fail-prob, -fetch-fail-prob,
+// -max-task-failures, -retry-backoff, -fault-seed); see
+// docs/RESILIENCE.md for the failure-recovery model behind them.
 //
 // The implementation lives in internal/cli.
 package main

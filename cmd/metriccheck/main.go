@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"text/tabwriter"
 
@@ -56,7 +58,9 @@ func run(tolPath string, parallel int) error {
 	}
 	sort.Strings(ids)
 
-	reports, err := experiments.RunSet(ids, parallel)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	reports, err := experiments.RunSet(ctx, ids, experiments.Options{Parallel: parallel})
 	if err != nil {
 		return err
 	}

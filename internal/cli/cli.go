@@ -7,10 +7,12 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -29,6 +31,19 @@ import (
 // program name) and returns a process exit code. All output goes to the
 // supplied writers, which makes every subcommand testable.
 func Main(args []string, stdout, stderr io.Writer) int {
+	// Ctrl-C cancels the context instead of killing the process: long
+	// artifact sweeps stop feeding their worker pool and flush whatever
+	// reports already completed before exiting. A second SIGINT kills the
+	// process the usual way (signal.NotifyContext restores the default
+	// handler once the context is cancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return runMain(ctx, args, stdout, stderr)
+}
+
+// runMain is Main with an injectable context, so tests can exercise
+// cancellation without delivering real signals.
+func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
 		usage(stderr)
 		return 2
@@ -39,7 +54,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	case "experiments":
 		err = a.cmdExperiments()
 	case "run":
-		err = a.cmdRun(args[1:])
+		err = a.cmdRun(ctx, args[1:])
 	case "workloads":
 		err = a.cmdWorkloads()
 	case "sim":
@@ -74,7 +89,9 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `doppio — I/O-aware performance analysis, modeling and optimization
 
   doppio experiments                 list reproducible paper artifacts
-  doppio run [-parallel N] <id>|all  regenerate tables/figures (e.g. fig7)
+  doppio run [-parallel N] [-timeout D] <id>|all
+                                     regenerate tables/figures (e.g. fig7);
+                                     Ctrl-C flushes completed artifacts
   doppio workloads                   list workloads
   doppio sim [flags] <workload>      simulate a workload on a cluster
   doppio predict [flags] <workload>  calibrated model vs simulator
@@ -99,10 +116,14 @@ func (a *app) cmdExperiments() error {
 // independent artifacts run concurrently (-parallel N workers), tables
 // are rendered in the requested order regardless of completion order,
 // and one failing artifact is reported without cancelling its siblings.
-func (a *app) cmdRun(args []string) error {
+// -timeout bounds each artifact with its own deadline; SIGINT cancels
+// the whole set. Either way the reports that did complete are rendered
+// before the command returns.
+func (a *app) cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	format := fs.String("format", "text", "output format: text, csv, md")
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "per-artifact deadline (0 = none); timed-out artifacts fail, siblings continue")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,7 +135,10 @@ func (a *app) cmdRun(args []string) error {
 		ids = experiments.IDs()
 	}
 	start := time.Now()
-	reports, err := experiments.RunSet(ids, *parallel)
+	reports, err := experiments.RunSet(ctx, ids, experiments.Options{
+		Parallel:        *parallel,
+		ArtifactTimeout: *timeout,
+	})
 	if err != nil {
 		return err
 	}
@@ -167,6 +191,11 @@ type clusterFlags struct {
 	seed       *uint64
 	stragglers *float64
 	speculate  *bool
+	failProb   *float64
+	fetchProb  *float64
+	maxFail    *int
+	backoff    *float64
+	faultSeed  *uint64
 }
 
 func addClusterFlags(fs *flag.FlagSet) clusterFlags {
@@ -178,6 +207,11 @@ func addClusterFlags(fs *flag.FlagSet) clusterFlags {
 		seed:       fs.Uint64("seed", 0, "task-time jitter seed (repeat-run error bars)"),
 		stragglers: fs.Float64("stragglers", 0, "fraction of tasks running 5x slower"),
 		speculate:  fs.Bool("speculate", false, "enable Spark-style speculative execution"),
+		failProb:   fs.Float64("fail-prob", 0, "per-attempt task failure probability (fault injection)"),
+		fetchProb:  fs.Float64("fetch-fail-prob", 0, "per-attempt shuffle-fetch failure probability"),
+		maxFail:    fs.Int("max-task-failures", 0, "attempt budget before the app aborts (0 = Spark default 4)"),
+		backoff:    fs.Float64("retry-backoff", 0, "base retry delay in seconds (0 = 1s default)"),
+		faultSeed:  fs.Uint64("fault-seed", 0, "fault-injection seed (mixed with -seed)"),
 	}
 }
 
@@ -197,6 +231,18 @@ func (c clusterFlags) config() (spark.ClusterConfig, error) {
 		cfg.StragglerSlowdown = 5
 	}
 	cfg.Speculation = *c.speculate
+	cfg.Faults = spark.FaultConfig{
+		TaskFailureProb:         *c.failProb,
+		ShuffleFetchFailureProb: *c.fetchProb,
+		MaxTaskFailures:         *c.maxFail,
+		RetryBackoff:            spark.DurationParam(*c.backoff),
+		Seed:                    *c.faultSeed,
+	}
+	// Surface bad flag combinations here, with flag vocabulary, instead
+	// of letting spark.Run fail later with config vocabulary.
+	if err := cfg.Validate(); err != nil {
+		return spark.ClusterConfig{}, err
+	}
 	return cfg, nil
 }
 
@@ -215,6 +261,9 @@ func parseDevice(s string) (disk.Device, error) {
 	size, err := units.ParseByteSize(sizeStr)
 	if err != nil {
 		return nil, fmt.Errorf("device %q: %v", s, err)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("device %q: size must be positive, got %v", s, size)
 	}
 	switch name {
 	case "pd-standard":

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -243,6 +244,73 @@ func TestPredictSaveLoad(t *testing.T) {
 	_, _, code = run(t, "predict", "-load", "/nonexistent.json", "svm")
 	if code != 1 {
 		t.Errorf("missing model file exit = %d", code)
+	}
+}
+
+// TestRunArtifactTimeout is the acceptance check: an absurdly small
+// per-artifact deadline must produce per-artifact failure reports and a
+// clean (non-panicking) nonzero exit, not a hang or a crash.
+func TestRunArtifactTimeout(t *testing.T) {
+	// tab4 regenerates simulator runs (hundreds of ms); tab5 is a static
+	// price table that normally beats even a 1ms deadline — together they
+	// show a timed-out artifact failing in place while the run continues.
+	out, errOut, code := run(t, "run", "-timeout", "1ms", "tab4", "tab5")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "# FAILED tab4") || !strings.Contains(out, "deadline exceeded") {
+		t.Errorf("tab4 should fail with a deadline error:\n%s", out)
+	}
+	if !strings.Contains(errOut, "artifacts failed") {
+		t.Errorf("summary error missing: %q", errOut)
+	}
+}
+
+// TestRunCancelledContext drives runMain with an already-cancelled
+// context — the SIGINT path without delivering a signal. Artifacts
+// never started must be reported, and the command must still exit in
+// an orderly way.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errW strings.Builder
+	code := runMain(ctx, []string{"run", "tab4", "tab5"}, &out, &errW)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "context canceled") {
+		t.Errorf("cancelled artifacts not reported:\n%s", out.String())
+	}
+}
+
+// TestSimFaultFlags exercises the fault-injection flags end to end: a
+// faulty run must carry the faults summary line, and out-of-range
+// probabilities must be rejected at flag-validation time.
+func TestSimFaultFlags(t *testing.T) {
+	out, _, code := run(t, "sim", "-slaves", "3", "-cores", "8",
+		"-fail-prob", "0.02", "-fetch-fail-prob", "0.05", "-fault-seed", "7", "svm")
+	if code != 0 {
+		t.Fatalf("faulty sim exit = %d", code)
+	}
+	if !strings.Contains(out, "# faults:") {
+		t.Errorf("faulty sim output missing the faults summary:\n%s", out)
+	}
+	_, errOut, code := run(t, "sim", "-fail-prob", "1.5", "svm")
+	if code != 1 || !strings.Contains(errOut, "TaskFailureProb") {
+		t.Errorf("bad -fail-prob: code=%d err=%q", code, errOut)
+	}
+	_, errOut, code = run(t, "sim", "-retry-backoff", "-1", "svm")
+	if code != 1 || !strings.Contains(errOut, "RetryBackoff") {
+		t.Errorf("bad -retry-backoff: code=%d err=%q", code, errOut)
+	}
+}
+
+// TestDeviceZeroSizeRejected: a zero-sized virtual disk must fail flag
+// parsing instead of producing a zero-bandwidth device.
+func TestDeviceZeroSizeRejected(t *testing.T) {
+	_, errOut, code := run(t, "sim", "-local", "pd-ssd:0GB", "svm")
+	if code != 1 || !strings.Contains(errOut, "size must be positive") {
+		t.Errorf("zero-sized device: code=%d err=%q", code, errOut)
 	}
 }
 

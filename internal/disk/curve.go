@@ -38,8 +38,8 @@ func NewCurve(points []CurvePoint) (*Curve, error) {
 		if p.ReqSize <= 0 {
 			return nil, fmt.Errorf("disk: curve point %d has non-positive request size", i)
 		}
-		if p.Bandwidth <= 0 {
-			return nil, fmt.Errorf("disk: curve point %d has non-positive bandwidth", i)
+		if p.Bandwidth <= 0 || math.IsNaN(float64(p.Bandwidth)) || math.IsInf(float64(p.Bandwidth), 0) {
+			return nil, fmt.Errorf("disk: curve point %d has non-positive or non-finite bandwidth", i)
 		}
 		if i > 0 && ps[i-1].ReqSize == p.ReqSize {
 			return nil, fmt.Errorf("disk: duplicate request size %v", p.ReqSize)

@@ -1,0 +1,50 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// FuzzCurveInterp asserts the interpolation invariants over arbitrary
+// three-point curves and request sizes: a curve NewCurve accepts never
+// produces a NaN, infinite, or out-of-range bandwidth — the lookup is
+// bounded by the sampled bandwidths, and non-positive request sizes
+// yield zero. The committed corpus pins the paper's HDD shape.
+func FuzzCurveInterp(f *testing.F) {
+	f.Add(int64(30*units.KB), int64(4*units.KB), 11.0, int64(units.MB), 80.0, int64(128*units.MB), 140.0)
+	f.Add(int64(-1), int64(1), 1.0, int64(2), 2.0, int64(3), 3.0)
+	f.Add(int64(64*units.KB), int64(64*units.KB), 33.0, int64(64*units.KB), 34.0, int64(units.MB), 90.0)
+	f.Add(int64(math.MaxInt64), int64(1), 1e-3, int64(math.MaxInt64), 1e6, int64(units.GB), 500.0)
+	f.Fuzz(func(t *testing.T, req, s1 int64, b1 float64, s2 int64, b2 float64, s3 int64, b3 float64) {
+		c, err := NewCurve([]CurvePoint{
+			{ReqSize: units.ByteSize(s1), Bandwidth: units.MBps(b1)},
+			{ReqSize: units.ByteSize(s2), Bandwidth: units.MBps(b2)},
+			{ReqSize: units.ByteSize(s3), Bandwidth: units.MBps(b3)},
+		})
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		got := float64(c.Lookup(units.ByteSize(req)))
+		if req <= 0 {
+			if got != 0 {
+				t.Fatalf("Lookup(%d) = %v, want 0 for non-positive request", req, got)
+			}
+			return
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("Lookup(%d) = %v on curve %v", req, got, c)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range c.Points() {
+			lo = math.Min(lo, float64(p.Bandwidth))
+			hi = math.Max(hi, float64(p.Bandwidth))
+		}
+		// Log-linear interpolation stays between its bracketing samples;
+		// allow a hair of float slack at the boundaries.
+		if got < lo*(1-1e-9) || got > hi*(1+1e-9) {
+			t.Fatalf("Lookup(%d) = %v outside sampled range [%v, %v] on curve %v", req, got, lo, hi, c)
+		}
+	})
+}

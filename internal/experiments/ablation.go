@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -17,7 +18,7 @@ func init() {
 // ablationModel quantifies why the paper's two I/O-aware ingredients
 // matter: the request-size-aware bandwidth lookup (vs Ernest-style peak
 // bandwidth) and the CPU/I/O overlap max() composition (vs additive).
-func ablationModel() (*Table, error) {
+func ablationModel(context.Context) (*Table, error) {
 	cal, err := calibratedTestbed("gatk4")
 	if err != nil {
 		return nil, err
@@ -51,7 +52,7 @@ func ablationModel() (*Table, error) {
 }
 
 // ablationGC isolates the GC model behind the MD flatness observation.
-func ablationGC() (*Table, error) {
+func ablationGC(context.Context) (*Table, error) {
 	withGC := workloads.DefaultGATK4Params()
 	noGC := withGC
 	noGC.GCPerCore = 0

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,7 +40,7 @@ var appFigures = []appFigure{
 func init() {
 	for _, f := range appFigures {
 		f := f
-		register(Experiment{ID: f.id, Title: f.title, Run: func() (*Table, error) { return runAppFigure(f) }})
+		register(Experiment{ID: f.id, Title: f.title, Run: func(context.Context) (*Table, error) { return runAppFigure(f) }})
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,7 +20,7 @@ func init() {
 	register(Experiment{ID: "headline", Title: "Section VI-4: optimal configuration and savings vs R1/R2", Run: headline})
 }
 
-func tableV() (*Table, error) {
+func tableV(context.Context) (*Table, error) {
 	p := cloud.DefaultPricing()
 	t := &Table{
 		ID: "tab5", Title: "Disk price in Google Cloud platform",
@@ -49,7 +50,7 @@ type fig13Point struct {
 // fig13 sweeps HDD sizes for both disks around the HDD optimum and
 // prints the resulting cost curves plus the R1/R2 reference points. The
 // points fan out through the sweep engine; rows keep sweep order.
-func fig13() (*Table, error) {
+func fig13(context.Context) (*Table, error) {
 	eval, err := cloudEval()
 	if err != nil {
 		return nil, err
@@ -97,7 +98,7 @@ func fig13() (*Table, error) {
 
 // fig14 verifies the model against the simulator while sweeping the
 // HDD local size (Section VI-2).
-func fig14() (*Table, error) {
+func fig14(context.Context) (*Table, error) {
 	eval, err := cloudEval()
 	if err != nil {
 		return nil, err
@@ -145,7 +146,7 @@ func fig14() (*Table, error) {
 }
 
 // fig15 sweeps SSD local sizes and core counts.
-func fig15() (*Table, error) {
+func fig15(context.Context) (*Table, error) {
 	eval, err := cloudEval()
 	if err != nil {
 		return nil, err
@@ -182,7 +183,7 @@ func fig15() (*Table, error) {
 // headline runs the full optimisation and reports the Section VI-4
 // summary: optimal configuration and savings vs the R1/R2 provisioning
 // guides.
-func headline() (*Table, error) {
+func headline(context.Context) (*Table, error) {
 	eval, err := cloudEval()
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -87,11 +88,14 @@ func (c *countWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Experiment is one reproducible paper artifact.
+// Experiment is one reproducible paper artifact. Run receives the
+// runner's context (already carrying the per-artifact deadline, if
+// any); long multi-point artifacts should check it between points so
+// cancellation and timeouts take effect promptly.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() (*Table, error)
+	Run   func(context.Context) (*Table, error)
 }
 
 var registry = map[string]Experiment{}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,8 +14,8 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-gc", "ablation-model", "errorbars",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig2", "fig3", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
-		"gatk4-full", "headline", "multidisk", "ousterhout", "scheduler",
-		"speculation", "tab4", "tab5",
+		"gatk4-full", "headline", "multidisk", "ousterhout", "resilience",
+		"scheduler", "speculation", "tab4", "tab5",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -53,7 +54,7 @@ func runExperiment(t *testing.T, id string) *Table {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := e.Run()
+	tab, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +21,7 @@ func init() {
 // errorBars repeats the Fig. 2 measurement with five jitter seeds and
 // reports mean, min and max per stage — the error bars the paper draws
 // on every figure.
-func errorBars() (*Table, error) {
+func errorBars(context.Context) (*Table, error) {
 	w := mustWorkload("gatk4")
 	t := &Table{
 		ID: "errorbars", Title: "GATK4 over five seeds (min), 3 slaves, P=36, 2SSD",
@@ -68,7 +69,7 @@ func errorBars() (*Table, error) {
 // gatk4Full measures the extended pipeline across the disk configs and
 // checks the model tracks it without recalibration tricks (a fresh
 // calibration on the extended app).
-func gatk4Full() (*Table, error) {
+func gatk4Full(context.Context) (*Table, error) {
 	cal, err := calibratedTestbed("gatk4-full")
 	if err != nil {
 		return nil, err
@@ -109,7 +110,7 @@ func gatk4Full() (*Table, error) {
 // multiDisk verifies the paper's Section IV-C claim: the model "relates
 // to disk bandwidth rather than disk number", so a striped array enters
 // through its bandwidth curve and nothing else.
-func multiDisk() (*Table, error) {
+func multiDisk(context.Context) (*Table, error) {
 	cal, err := calibratedTestbed("gatk4")
 	if err != nil {
 		return nil, err
@@ -149,7 +150,7 @@ func multiDisk() (*Table, error) {
 // scheduler quantifies the introduction's use case: a shared cluster
 // running a batch of jobs, FIFO vs shortest-predicted-job-first with
 // Doppio runtime estimates.
-func scheduler() (*Table, error) {
+func scheduler(context.Context) (*Table, error) {
 	specs := []struct {
 		workload string
 	}{

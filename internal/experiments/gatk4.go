@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -31,7 +32,7 @@ func init() {
 }
 
 // tableIV regenerates Table IV from the simulator's own I/O accounting.
-func tableIV() (*Table, error) {
+func tableIV(context.Context) (*Table, error) {
 	w := mustWorkload("gatk4")
 	ssd := disk.NewSSD()
 	res, err := runSim(w, spark.DefaultTestbed(3, 36, ssd, ssd))
@@ -56,7 +57,7 @@ func tableIV() (*Table, error) {
 
 // fig2 measures the four Table III configurations at P=36 on three
 // slaves.
-func fig2() (*Table, error) {
+func fig2(context.Context) (*Table, error) {
 	w := mustWorkload("gatk4")
 	t := &Table{
 		ID: "fig2", Title: "GATK4 stage runtime (min), 500M read pairs, 3 slaves, P=36",
@@ -78,7 +79,7 @@ func fig2() (*Table, error) {
 }
 
 // fig3 sweeps P for the 2SSD and 2HDD configurations.
-func fig3() (*Table, error) {
+func fig3(context.Context) (*Table, error) {
 	w := mustWorkload("gatk4")
 	t := &Table{
 		ID: "fig3", Title: "GATK4 stage runtime (min) vs per-node cores P, 3 slaves",
@@ -105,7 +106,7 @@ func fig3() (*Table, error) {
 
 // fig7 compares the simulator against the four-sample-run calibrated
 // model on ten slaves, P ∈ {6,12,24}, all four disk configurations.
-func fig7() (*Table, error) {
+func fig7(context.Context) (*Table, error) {
 	cal, err := calibratedTestbed("gatk4")
 	if err != nil {
 		return nil, err

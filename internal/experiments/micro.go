@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,7 +17,7 @@ func init() {
 }
 
 // fig5 sweeps both devices with the fio-like microbenchmark.
-func fig5() (*Table, error) {
+func fig5(context.Context) (*Table, error) {
 	hdd, ssd := disk.NewHDD(), disk.NewSSD()
 	t := &Table{
 		ID: "fig5", Title: "Read IOPS and effective bandwidth vs request size",
@@ -38,7 +39,7 @@ func fig5() (*Table, error) {
 // fig6 simulates the paper's illustration workload and classifies each
 // core count into the three phases, comparing the simulator against the
 // analytic phase formulas.
-func fig6() (*Table, error) {
+func fig6(context.Context) (*Table, error) {
 	const (
 		tIO  = time.Second     // per-task I/O time at T
 		tCPU = 3 * time.Second // λ = 4

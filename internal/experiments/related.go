@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/disk"
@@ -19,7 +20,7 @@ func init() {
 // ousterhout runs the low-I/O-intensity SQL workload on [5]'s 4:1
 // CPU:disk shape and on the paper's core-rich 18:1 shape, measuring the
 // HDD→SSD improvement and the blocked-time fraction in both.
-func ousterhout() (*Table, error) {
+func ousterhout(context.Context) (*Table, error) {
 	w := mustWorkload("sql")
 	t := &Table{
 		ID:    "ousterhout",

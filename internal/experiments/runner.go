@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,7 +18,9 @@ type Report struct {
 	// Table is the regenerated artifact; nil when Err is set.
 	Table *Table
 	// Err is the artifact's own failure. One failing artifact never
-	// cancels its siblings; callers inspect each report.
+	// cancels its siblings; callers inspect each report. Cancellation
+	// and per-artifact deadlines surface here too, wrapping
+	// context.Canceled / context.DeadlineExceeded.
 	Err error
 	// Runtime is the artifact's wall-clock regeneration time. It is
 	// also recorded in Table.Metrics["runtime_seconds"].
@@ -30,23 +33,32 @@ type Report struct {
 // deterministic function of the model.
 const RuntimeMetric = "runtime_seconds"
 
-// RunAll regenerates every registered artifact through a worker pool of
-// the given size (<=0 means GOMAXPROCS). See RunSet.
-func RunAll(parallel int) []Report {
-	reports, err := RunSet(IDs(), parallel)
-	if err != nil {
-		// IDs() only returns registered ids; resolution cannot fail.
-		panic(err)
-	}
+// Options tunes a RunSet/RunAll invocation.
+type Options struct {
+	// Parallel is the worker-pool size; <=0 means GOMAXPROCS.
+	Parallel int
+	// ArtifactTimeout bounds each artifact's regeneration; an artifact
+	// exceeding it gets a context.DeadlineExceeded report while its
+	// siblings continue. Zero means no per-artifact deadline.
+	ArtifactTimeout time.Duration
+}
+
+// RunAll regenerates every registered artifact through a worker pool.
+// See RunSet.
+func RunAll(ctx context.Context, opts Options) []Report {
+	reports, _ := RunSet(ctx, IDs(), opts) // IDs() only returns registered ids
 	return reports
 }
 
-// RunSet regenerates the named artifacts concurrently on a worker pool
-// of the given size (<=0 means GOMAXPROCS). The returned reports are in
-// the order of ids. Unknown ids fail upfront, before any work starts;
-// individual artifact failures (including panics) are isolated into
-// their own Report and do not stop the remaining artifacts.
-func RunSet(ids []string, parallel int) ([]Report, error) {
+// RunSet regenerates the named artifacts concurrently on a worker pool.
+// The returned reports are in the order of ids. Unknown ids fail
+// upfront, before any work starts; individual artifact failures
+// (including panics and blown deadlines) are isolated into their own
+// Report and do not stop the remaining artifacts. Cancelling ctx stops
+// feeding the pool: artifacts not yet started report ctx's error, and
+// the call returns once in-flight artifacts finish, so partial results
+// are always available for flushing.
+func RunSet(ctx context.Context, ids []string, opts Options) ([]Report, error) {
 	exps := make([]Experiment, len(ids))
 	for i, id := range ids {
 		e, err := Get(id)
@@ -55,13 +67,17 @@ func RunSet(ids []string, parallel int) ([]Report, error) {
 		}
 		exps[i] = e
 	}
-	return runExperiments(exps, parallel), nil
+	return runExperiments(ctx, exps, opts), nil
 }
 
 // runExperiments is the pool itself, factored out so tests can inject
 // experiments (e.g. deliberately failing ones) without touching the
 // global registry.
-func runExperiments(exps []Experiment, parallel int) []Report {
+func runExperiments(ctx context.Context, exps []Experiment, opts Options) []Report {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parallel := opts.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -79,21 +95,39 @@ func runExperiments(exps []Experiment, parallel int) []Report {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				reports[i] = runOne(exps[i])
+				reports[i] = runOne(ctx, exps[i], opts.ArtifactTimeout)
 			}
 		}()
 	}
+feed:
 	for i := range exps {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	// Artifacts the cancelled feed never dispatched still owe a report.
+	for i := range reports {
+		if reports[i].ID == "" {
+			reports[i] = Report{
+				ID:    exps[i].ID,
+				Title: exps[i].Title,
+				Err:   fmt.Errorf("experiments: %s not started: %w", exps[i].ID, context.Cause(ctx)),
+			}
+		}
+	}
 	return reports
 }
 
 // runOne executes a single experiment, capturing panics as errors so a
-// broken artifact cannot take down a whole sweep.
-func runOne(e Experiment) (rep Report) {
+// broken artifact cannot take down a whole sweep. A positive timeout
+// bounds the artifact with its own deadline; an artifact that outlives
+// it is abandoned (its goroutine drains in the background) and reported
+// as context.DeadlineExceeded.
+func runOne(ctx context.Context, e Experiment, timeout time.Duration) (rep Report) {
 	rep.ID = e.ID
 	rep.Title = e.Title
 	start := time.Now()
@@ -107,7 +141,37 @@ func runOne(e Experiment) (rep Report) {
 			rep.Table.SetMetric(RuntimeMetric, rep.Runtime.Seconds())
 		}
 	}()
-	rep.Table, rep.Err = e.Run()
+	if err := ctx.Err(); err != nil {
+		rep.Err = fmt.Errorf("experiments: %s not started: %w", e.ID, err)
+		return rep
+	}
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		table *Table
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("experiments: %s panicked: %v", e.ID, r)}
+			}
+		}()
+		t, err := e.Run(actx)
+		ch <- outcome{table: t, err: err}
+	}()
+	select {
+	case o := <-ch:
+		rep.Table, rep.Err = o.table, o.err
+	case <-actx.Done():
+		rep.Err = fmt.Errorf("experiments: %s: %w", e.ID, actx.Err())
+		return rep
+	}
 	if rep.Err == nil && rep.Table == nil {
 		rep.Err = fmt.Errorf("experiments: %s returned no table", e.ID)
 	}

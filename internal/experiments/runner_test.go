@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -37,11 +39,11 @@ func TestRegistryParallelMatchesSerial(t *testing.T) {
 	if !testing.Short() {
 		ids = append(append([]string{}, ids...), "fig2", "errorbars")
 	}
-	serial, err := RunSet(ids, 1)
+	serial, err := RunSet(context.Background(), ids, Options{Parallel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunSet(ids, 4)
+	par, err := RunSet(context.Background(), ids, Options{Parallel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,21 +83,21 @@ func TestRegistryParallelMatchesSerial(t *testing.T) {
 func TestRegistryParallelIsolatesFailure(t *testing.T) {
 	boom := fmt.Errorf("deliberate failure")
 	exps := []Experiment{
-		{ID: "ok-1", Title: "ok", Run: func() (*Table, error) {
+		{ID: "ok-1", Title: "ok", Run: func(context.Context) (*Table, error) {
 			tab := &Table{ID: "ok-1", Columns: []string{"a"}}
 			tab.AddRow("1")
 			return tab, nil
 		}},
-		{ID: "fails", Title: "fails", Run: func() (*Table, error) { return nil, boom }},
-		{ID: "panics", Title: "panics", Run: func() (*Table, error) { panic("deliberate panic") }},
-		{ID: "ok-2", Title: "ok", Run: func() (*Table, error) {
+		{ID: "fails", Title: "fails", Run: func(context.Context) (*Table, error) { return nil, boom }},
+		{ID: "panics", Title: "panics", Run: func(context.Context) (*Table, error) { panic("deliberate panic") }},
+		{ID: "ok-2", Title: "ok", Run: func(context.Context) (*Table, error) {
 			tab := &Table{ID: "ok-2", Columns: []string{"a"}}
 			tab.AddRow("2")
 			return tab, nil
 		}},
 	}
 	for _, parallel := range []int{1, 4} {
-		reports := runExperiments(exps, parallel)
+		reports := runExperiments(context.Background(), exps, Options{Parallel: parallel})
 		if len(reports) != 4 {
 			t.Fatalf("parallel=%d: %d reports", parallel, len(reports))
 		}
@@ -119,8 +121,100 @@ func TestRegistryParallelIsolatesFailure(t *testing.T) {
 // TestRegistryParallelUnknownID asserts upfront resolution: no work
 // starts when any id is unknown.
 func TestRegistryParallelUnknownID(t *testing.T) {
-	if _, err := RunSet([]string{"tab4", "no-such-artifact"}, 2); err == nil {
+	if _, err := RunSet(context.Background(), []string{"tab4", "no-such-artifact"}, Options{Parallel: 2}); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestRunnerArtifactTimeout asserts the per-artifact deadline: a slow
+// artifact is abandoned with context.DeadlineExceeded while fast
+// siblings complete and keep their tables.
+func TestRunnerArtifactTimeout(t *testing.T) {
+	exps := []Experiment{
+		{ID: "fast", Title: "fast", Run: func(context.Context) (*Table, error) {
+			tab := &Table{ID: "fast", Columns: []string{"a"}}
+			tab.AddRow("1")
+			return tab, nil
+		}},
+		{ID: "slow", Title: "slow", Run: func(ctx context.Context) (*Table, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(30 * time.Second):
+				return &Table{ID: "slow"}, nil
+			}
+		}},
+		{ID: "stuck", Title: "ignores its context", Run: func(context.Context) (*Table, error) {
+			time.Sleep(200 * time.Millisecond) // long past the deadline, never checks ctx
+			return &Table{ID: "stuck"}, nil
+		}},
+	}
+	reports := runExperiments(context.Background(), exps, Options{Parallel: 3, ArtifactTimeout: 20 * time.Millisecond})
+	if reports[0].Err != nil || reports[0].Table == nil {
+		t.Errorf("fast artifact should survive the deadline: %v", reports[0].Err)
+	}
+	for _, i := range []int{1, 2} {
+		if !errors.Is(reports[i].Err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want DeadlineExceeded", reports[i].ID, reports[i].Err)
+		}
+		if reports[i].Table != nil {
+			t.Errorf("%s: timed-out artifact still returned a table", reports[i].ID)
+		}
+	}
+}
+
+// TestRunnerCancellation asserts partial-result semantics: cancelling
+// the parent context mid-run stops feeding the pool, artifacts that
+// already completed keep their reports, and never-started ones report
+// the cancellation cause.
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mk := func(id string) Experiment {
+		return Experiment{ID: id, Title: id, Run: func(context.Context) (*Table, error) {
+			tab := &Table{ID: id, Columns: []string{"a"}}
+			tab.AddRow("1")
+			return tab, nil
+		}}
+	}
+	// "second" cancels the set mid-run, then lingers long enough for the
+	// feed loop to observe the cancellation before the worker frees up.
+	second := Experiment{ID: "second", Title: "second", Run: func(context.Context) (*Table, error) {
+		cancel()
+		time.Sleep(50 * time.Millisecond)
+		return &Table{ID: "second", Columns: []string{"a"}, Rows: [][]string{{"1"}}}, nil
+	}}
+	exps := []Experiment{mk("first"), second, mk("third")}
+	reports := runExperiments(ctx, exps, Options{Parallel: 1})
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	// "first" completed before the cancellation and keeps its table.
+	if reports[0].Err != nil || reports[0].Table == nil {
+		t.Errorf("completed artifact lost: err=%v", reports[0].Err)
+	}
+	// "third" was never dispatched and reports the cancellation.
+	if !errors.Is(reports[2].Err, context.Canceled) {
+		t.Errorf("third: err = %v, want Canceled", reports[2].Err)
+	}
+}
+
+// TestRunnerPreCancelled: a context cancelled before the call yields a
+// full slate of not-started reports and returns promptly.
+func TestRunnerPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reports, err := RunSet(ctx, parallelTestIDs, Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(parallelTestIDs) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(parallelTestIDs))
+	}
+	for _, r := range reports {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want Canceled", r.ID, r.Err)
+		}
 	}
 }
 
@@ -133,7 +227,7 @@ func TestRegistryParallelStress(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reports, err := RunSet(parallelTestIDs, len(parallelTestIDs))
+			reports, err := RunSet(context.Background(), parallelTestIDs, Options{Parallel: len(parallelTestIDs)})
 			if err != nil {
 				t.Error(err)
 				return
@@ -229,12 +323,12 @@ func TestRegistryParallelSpeedup(t *testing.T) {
 	}
 	ids := []string{"fig2", "fig3", "errorbars", "fig6"}
 	start := time.Now()
-	if _, err := RunSet(ids, 1); err != nil {
+	if _, err := RunSet(context.Background(), ids, Options{Parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	serial := time.Since(start)
 	start = time.Now()
-	if _, err := RunSet(ids, 4); err != nil {
+	if _, err := RunSet(context.Background(), ids, Options{Parallel: 4}); err != nil {
 		t.Fatal(err)
 	}
 	parallel := time.Since(start)

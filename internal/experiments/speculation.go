@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/disk"
@@ -20,7 +21,7 @@ func init() {
 // with and without speculative re-execution — the mitigation behind the
 // straggler factor Ousterhout et al. decompose alongside disk and
 // network.
-func speculation() (*Table, error) {
+func speculation(context.Context) (*Table, error) {
 	app := spark.App{Name: "spec", Stages: []spark.Stage{{
 		Name: "recal",
 		Groups: []spark.TaskGroup{{

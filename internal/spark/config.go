@@ -79,6 +79,10 @@ type ClusterConfig struct {
 	// SpeculationMultiplier is spark.speculation.multiplier (default
 	// 1.5).
 	SpeculationMultiplier float64
+	// Faults injects deterministic task failures, node crashes and
+	// shuffle-fetch failures with Spark-faithful recovery (see
+	// FaultConfig). The zero value disables the fault layer entirely.
+	Faults FaultConfig
 }
 
 // DurationParam is a plain duration in seconds used in configs so zero
@@ -136,7 +140,23 @@ func (c ClusterConfig) Validate() error {
 	case c.StragglerFraction > 0 && c.StragglerSlowdown < 1:
 		return fmt.Errorf("spark: StragglerSlowdown %v must be >= 1", c.StragglerSlowdown)
 	}
-	return nil
+	// Device sanity: a device reporting non-positive bandwidth (e.g. a
+	// zero-sized virtual disk) would later trip the DES invariant panic
+	// inside internal/sim. Surface it here as an input error instead.
+	for _, d := range []struct {
+		name string
+		dev  disk.Device
+	}{{"HDFSDisk", c.HDFSDisk}, {"LocalDisk", c.LocalDisk}} {
+		for _, rs := range []units.ByteSize{units.KB, c.HDFSBlockSize} {
+			if d.dev.ReadBandwidth(rs) <= 0 {
+				return fmt.Errorf("spark: %s delivers no read bandwidth at %v requests (zero-sized or misconfigured device?)", d.name, rs)
+			}
+			if d.dev.WriteBandwidth(rs) <= 0 {
+				return fmt.Errorf("spark: %s delivers no write bandwidth at %v requests (zero-sized or misconfigured device?)", d.name, rs)
+			}
+		}
+	}
+	return c.Faults.Validate(c.Slaves)
 }
 
 // StorageMemory returns the cluster-wide memory available for cached

@@ -1,0 +1,229 @@
+package spark
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// FaultConfig injects failures into a simulated run, modeling the
+// adversity a real Spark cluster survives: task attempts that die
+// mid-flight, executors lost to node crashes, and shuffle-fetch failures
+// that force partial recomputation of the parent stage. Injection is
+// deterministic: the same (ClusterConfig.Seed, FaultConfig) always
+// produces the same failures, so degraded runs are as reproducible as
+// clean ones.
+//
+// The zero value disables every fault path; a zero-valued FaultConfig
+// run is event-for-event identical to a run without the fault layer.
+//
+// Recovery follows Spark's semantics:
+//
+//   - a failed attempt is retried on another healthy executor, up to
+//     MaxTaskFailures attempts per task (spark.task.maxFailures), with
+//     exponential backoff between retries;
+//   - executors accumulating BlacklistThreshold task failures stop
+//     receiving new tasks (spark.blacklist.maxFailedTasksPerExecutor);
+//   - a shuffle-fetch failure first recomputes the lost parent map
+//     output (re-running one parent task's op sequence, re-reading its
+//     HDFS input at block-size requests and re-writing its shuffle
+//     output) before the reducer retries — the recovery cost the paper's
+//     request-size-aware bandwidth curves make visible: cheap at HDFS
+//     block sizes, brutal at ~30 KB shuffle request sizes on HDD.
+type FaultConfig struct {
+	// TaskFailureProb is the per-attempt probability that a task attempt
+	// fails partway through its op sequence (the failure point is
+	// uniform over the op boundaries, so on average half an attempt's
+	// work is wasted). Zero disables.
+	TaskFailureProb float64
+	// ShuffleFetchFailureProb is the per-attempt probability that a
+	// shuffle-read op suffers a fetch failure. On stages with a parent,
+	// recovery recomputes one parent map task before the retry; on
+	// parentless stages it degrades to a plain task failure. Zero
+	// disables.
+	ShuffleFetchFailureProb float64
+	// MaxTaskFailures is spark.task.maxFailures: the attempt budget per
+	// task. When the budget is exhausted the application fails with a
+	// *TaskFailedError. Zero means the Spark default of 4.
+	MaxTaskFailures int
+	// RetryBackoff is the base delay before relaunching a failed
+	// attempt; the n-th retry of a task waits base·2^(n-1), capped at
+	// one minute. Zero means the default of one second.
+	RetryBackoff DurationParam
+	// BlacklistThreshold is the number of injected task failures on one
+	// executor node before it is blacklisted (no new task dispatch;
+	// in-flight work finishes). Zero disables blacklisting. Node-loss
+	// failures do not count — the node is already gone. The last healthy
+	// node is never blacklisted, so the cluster degrades instead of
+	// scheduling itself to death.
+	BlacklistThreshold int
+	// NodeCrashes schedules executor loss: at each entry's time the node
+	// stops, its in-flight attempts fail at their next op boundary, and
+	// its tasks are rescheduled on the surviving nodes. Crashes are
+	// permanent for the run.
+	NodeCrashes []NodeCrash
+	// Seed adds fault-specific entropy on top of ClusterConfig.Seed, so
+	// repeated degraded measurements can vary the failure pattern while
+	// keeping the jitter pattern fixed.
+	Seed uint64
+}
+
+// NodeCrash is one scheduled executor loss.
+type NodeCrash struct {
+	// Node is the slave index in [0, Slaves).
+	Node int
+	// At is the crash time in seconds of simulated run time.
+	At DurationParam
+}
+
+// Enabled reports whether any fault source is configured. The zero
+// value is disabled, which keeps the fault layer strictly additive.
+func (f FaultConfig) Enabled() bool {
+	return f.TaskFailureProb > 0 || f.ShuffleFetchFailureProb > 0 || len(f.NodeCrashes) > 0
+}
+
+// Validate checks the fault configuration against the cluster shape.
+func (f FaultConfig) Validate(slaves int) error {
+	switch {
+	case f.TaskFailureProb < 0 || f.TaskFailureProb >= 1:
+		return fmt.Errorf("spark: TaskFailureProb %v outside [0,1)", f.TaskFailureProb)
+	case f.ShuffleFetchFailureProb < 0 || f.ShuffleFetchFailureProb >= 1:
+		return fmt.Errorf("spark: ShuffleFetchFailureProb %v outside [0,1)", f.ShuffleFetchFailureProb)
+	case f.MaxTaskFailures < 0:
+		return fmt.Errorf("spark: negative MaxTaskFailures")
+	case f.RetryBackoff < 0:
+		return fmt.Errorf("spark: negative RetryBackoff")
+	case f.BlacklistThreshold < 0:
+		return fmt.Errorf("spark: negative BlacklistThreshold")
+	}
+	for i, c := range f.NodeCrashes {
+		if c.Node < 0 || c.Node >= slaves {
+			return fmt.Errorf("spark: NodeCrashes[%d] targets node %d outside [0,%d)", i, c.Node, slaves)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("spark: NodeCrashes[%d] has negative time", i)
+		}
+	}
+	if f.Enabled() && len(f.NodeCrashes) >= slaves && slaves > 0 {
+		// Losing every node can only end in NoHealthyNodesError; reject
+		// upfront with a readable message.
+		crashed := map[int]bool{}
+		for _, c := range f.NodeCrashes {
+			crashed[c.Node] = true
+		}
+		if len(crashed) >= slaves {
+			return fmt.Errorf("spark: NodeCrashes loses all %d nodes", slaves)
+		}
+	}
+	return nil
+}
+
+// maxTaskFailures resolves the attempt budget (Spark default 4).
+func (f FaultConfig) maxTaskFailures() int {
+	if f.MaxTaskFailures > 0 {
+		return f.MaxTaskFailures
+	}
+	return 4
+}
+
+// backoff returns the delay before the n-th retry of a task
+// (1-indexed): base·2^(n-1), capped at one minute.
+func (f FaultConfig) backoff(retry int) time.Duration {
+	base := units.SecDuration(f.RetryBackoff.Seconds())
+	if base <= 0 {
+		base = time.Second
+	}
+	const limit = time.Minute
+	d := base
+	for i := 1; i < retry && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
+}
+
+// FailureKind classifies an injected failure.
+type FailureKind int
+
+// Failure kinds.
+const (
+	// FailInjected is a plain per-attempt task failure.
+	FailInjected FailureKind = iota
+	// FailNodeLost is an attempt killed by its executor's crash.
+	FailNodeLost
+	// FailFetch is a shuffle-fetch failure.
+	FailFetch
+)
+
+// String names the failure kind.
+func (k FailureKind) String() string {
+	switch k {
+	case FailInjected:
+		return "task-failure"
+	case FailNodeLost:
+		return "node-lost"
+	case FailFetch:
+		return "fetch-failure"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// TaskFailedError reports a task that exhausted its attempt budget,
+// failing the application — Spark's "Task failed 4 times; aborting job".
+type TaskFailedError struct {
+	App      string
+	Stage    string
+	Task     int
+	Failures int
+	Kind     FailureKind
+}
+
+// Error implements error.
+func (e *TaskFailedError) Error() string {
+	return fmt.Sprintf("spark: %s/%s task %d failed %d times (last: %s); aborting application",
+		e.App, e.Stage, e.Task, e.Failures, e.Kind)
+}
+
+// NoHealthyNodesError reports that every executor node is crashed or
+// blacklisted, leaving nowhere to schedule work.
+type NoHealthyNodesError struct {
+	App         string
+	Lost        int
+	Blacklisted int
+}
+
+// Error implements error.
+func (e *NoHealthyNodesError) Error() string {
+	return fmt.Sprintf("spark: %s has no healthy nodes left (%d crashed, %d blacklisted); aborting application",
+		e.App, e.Lost, e.Blacklisted)
+}
+
+// FaultStats aggregates the failures and recoveries observed during a
+// run (or one stage of it).
+type FaultStats struct {
+	// TaskFailures counts failed attempts of every kind, including
+	// node-loss kills and fetch failures.
+	TaskFailures int
+	// LostAttempts counts the attempts killed by node crashes.
+	LostAttempts int
+	// FetchFailures counts shuffle-fetch failures.
+	FetchFailures int
+	// Recomputes counts parent map-task recomputations triggered by
+	// fetch failures.
+	Recomputes int
+	// Retries counts attempt relaunches (excludes speculative copies).
+	Retries int
+	// NodesLost and NodesBlacklisted count executor-level losses
+	// (Result-level only; zero in per-stage stats).
+	NodesLost        int
+	NodesBlacklisted int
+}
+
+// Any reports whether any fault activity was recorded.
+func (s FaultStats) Any() bool {
+	return s != FaultStats{}
+}

@@ -1,0 +1,308 @@
+package spark
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// faultyConfig is the shared cluster for fault tests: small enough to be
+// fast, with jitter off so timing assertions are crisp.
+func faultyConfig(f FaultConfig) ClusterConfig {
+	cfg := DefaultTestbed(4, 4, disk.NewSSD(), disk.NewSSD())
+	cfg.ComputeJitter = 0
+	cfg.Faults = f
+	return cfg
+}
+
+// shuffleApp is a two-stage map/reduce workload whose reduce stage pulls
+// shuffle data — the shape fetch failures need.
+func faultShuffleApp(mapTasks, reduceTasks int) App {
+	const perMap = 16 * units.MB
+	shuffled := units.ByteSize(mapTasks) * perMap
+	perRed := shuffled / units.ByteSize(reduceTasks)
+	return App{Name: "mr", Stages: []Stage{
+		{
+			Name: "map",
+			Groups: []TaskGroup{{Name: "m", Count: mapTasks, Ops: []Op{
+				IO(OpHDFSRead, 128*units.MB, 128*units.MB, 0),
+				Compute(2 * time.Second),
+				IO(OpShuffleWrite, perMap, 256*units.KB, 0),
+			}}},
+		},
+		{
+			Name: "reduce",
+			Groups: []TaskGroup{{Name: "r", Count: reduceTasks, Ops: []Op{
+				IO(OpShuffleRead, perRed, ShuffleReadReqSize(perRed, mapTasks), 0),
+				Compute(time.Second),
+			}}},
+		},
+	}}
+}
+
+func renderResult(t *testing.T, cfg ClusterConfig, app App) (string, *Result) {
+	t.Helper()
+	res, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), res
+}
+
+func TestFaultsOffByDefault(t *testing.T) {
+	cfg := DefaultTestbed(2, 4, disk.NewSSD(), disk.NewSSD())
+	if cfg.Faults.Enabled() {
+		t.Error("fault layer must be opt-in")
+	}
+	out, res := renderResult(t, cfg, faultShuffleApp(16, 16))
+	if res.Faults.Any() {
+		t.Errorf("fault stats recorded without faults: %+v", res.Faults)
+	}
+	if bytes.Contains([]byte(out), []byte("faults")) {
+		t.Errorf("fault line rendered for clean run:\n%s", out)
+	}
+}
+
+// TestFaultDeterminism: same seed, byte-identical tables; different
+// fault seed, a different (but still self-consistent) degraded run.
+func TestFaultDeterminism(t *testing.T) {
+	f := FaultConfig{TaskFailureProb: 0.08, ShuffleFetchFailureProb: 0.05, Seed: 7}
+	app := faultShuffleApp(32, 32)
+	a, resA := renderResult(t, faultyConfig(f), app)
+	b, resB := renderResult(t, faultyConfig(f), app)
+	if a != b {
+		t.Fatalf("same seed produced different tables:\n--- A ---\n%s--- B ---\n%s", a, b)
+	}
+	if !resA.Faults.Any() {
+		t.Fatal("8% failure rate injected nothing across 64 tasks")
+	}
+	if resA.Faults != resB.Faults {
+		t.Errorf("fault stats diverged: %+v vs %+v", resA.Faults, resB.Faults)
+	}
+	f.Seed = 8
+	c, _ := renderResult(t, faultyConfig(f), app)
+	if c == a {
+		t.Error("changing FaultConfig.Seed changed nothing (entropy not mixed in)")
+	}
+}
+
+// TestFaultsInflateRuntime: a degraded run must cost more than a clean
+// one — failures waste work and retries wait out backoff.
+func TestFaultsInflateRuntime(t *testing.T) {
+	app := faultShuffleApp(32, 32)
+	clean, err := Run(faultyConfig(FaultConfig{}), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Run(faultyConfig(FaultConfig{TaskFailureProb: 0.15}), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Total <= clean.Total {
+		t.Errorf("15%% failures did not inflate runtime: %v vs %v", faulty.Total, clean.Total)
+	}
+	if faulty.Faults.Retries == 0 {
+		t.Error("no retries recorded")
+	}
+}
+
+// TestRetryExhaustion: TaskFailureProb ~1 burns the whole attempt
+// budget and must surface the typed error, not hang or panic.
+func TestRetryExhaustion(t *testing.T) {
+	f := FaultConfig{TaskFailureProb: 0.999, MaxTaskFailures: 3}
+	_, err := Run(faultyConfig(f), faultShuffleApp(8, 8))
+	if err == nil {
+		t.Fatal("near-certain failure completed successfully")
+	}
+	var tf *TaskFailedError
+	if !errors.As(err, &tf) {
+		t.Fatalf("want *TaskFailedError, got %T: %v", err, err)
+	}
+	if tf.Failures != 3 {
+		t.Errorf("failed %d times, budget was 3", tf.Failures)
+	}
+}
+
+func TestFetchFailureRecomputesParent(t *testing.T) {
+	f := FaultConfig{ShuffleFetchFailureProb: 0.3, Seed: 1}
+	out, res := renderResult(t, faultyConfig(f), faultShuffleApp(16, 32))
+	if res.Faults.FetchFailures == 0 {
+		t.Fatal("30% fetch-failure rate injected nothing across 32 reducers")
+	}
+	if res.Faults.Recomputes == 0 {
+		t.Error("fetch failures triggered no parent recomputes")
+	}
+	// Recompute I/O is charged to the consumer (reduce) stage.
+	red := res.MustStage("reduce")
+	if red.Faults.FetchFailures != res.Faults.FetchFailures {
+		t.Errorf("stage-level fetch failures %d != run-level %d",
+			red.Faults.FetchFailures, res.Faults.FetchFailures)
+	}
+	if !bytes.Contains([]byte(out), []byte("faults")) {
+		t.Errorf("fault summary missing from table:\n%s", out)
+	}
+}
+
+func TestNodeCrashRecovery(t *testing.T) {
+	app := faultShuffleApp(32, 32)
+	clean, err := Run(faultyConfig(FaultConfig{}), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FaultConfig{NodeCrashes: []NodeCrash{{Node: 1, At: 5}}}
+	res, err := Run(faultyConfig(f), app)
+	if err != nil {
+		t.Fatalf("losing 1 of 4 nodes must be survivable: %v", err)
+	}
+	if res.Faults.NodesLost != 1 {
+		t.Errorf("NodesLost = %d", res.Faults.NodesLost)
+	}
+	if res.Faults.LostAttempts == 0 {
+		t.Error("crash at t=5s killed no in-flight attempts")
+	}
+	if res.Total <= clean.Total {
+		t.Errorf("losing a quarter of the cluster did not slow the run: %v vs %v", res.Total, clean.Total)
+	}
+	// Work is conserved: every task still completes exactly once.
+	for _, s := range res.Stages {
+		if got := s.Groups[0].Count; got != s.Tasks {
+			t.Errorf("stage %s completed %d of %d tasks", s.Name, got, s.Tasks)
+		}
+	}
+}
+
+func TestCrashAllNodesRejected(t *testing.T) {
+	f := FaultConfig{NodeCrashes: []NodeCrash{{Node: 0, At: 1}, {Node: 1, At: 1}, {Node: 2, At: 1}, {Node: 3, At: 1}}}
+	if _, err := Run(faultyConfig(f), faultShuffleApp(8, 8)); err == nil {
+		t.Error("crashing every node accepted")
+	}
+}
+
+func TestBlacklisting(t *testing.T) {
+	f := FaultConfig{TaskFailureProb: 0.25, BlacklistThreshold: 2, MaxTaskFailures: 10}
+	res, err := Run(faultyConfig(f), faultShuffleApp(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.NodesBlacklisted == 0 {
+		t.Error("25% failures with threshold 2 blacklisted nothing")
+	}
+}
+
+// TestSpeculationFaultInterplay: both subsystems on at once — racing
+// copies where one is fated to fail must neither deadlock nor
+// double-complete tasks.
+func TestSpeculationFaultInterplay(t *testing.T) {
+	cfg := faultyConfig(FaultConfig{TaskFailureProb: 0.15, Seed: 3})
+	cfg.StragglerFraction = 0.1
+	cfg.StragglerSlowdown = 5
+	cfg.Speculation = true
+	app := faultShuffleApp(32, 32)
+	res, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Stages {
+		if got := s.Groups[0].Count; got != s.Tasks {
+			t.Errorf("stage %s completed %d of %d tasks", s.Name, got, s.Tasks)
+		}
+	}
+	if !res.Faults.Any() {
+		t.Error("no faults recorded")
+	}
+}
+
+// TestConcurrentFaultyRuns exercises parallel degraded simulations for
+// the race detector: runs must not share mutable state.
+func TestConcurrentFaultyRuns(t *testing.T) {
+	app := faultShuffleApp(16, 16)
+	var wg sync.WaitGroup
+	outs := make([]string, 8)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := FaultConfig{TaskFailureProb: 0.1, ShuffleFetchFailureProb: 0.05, Seed: 42}
+			res, err := Run(faultyConfig(f), app)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			var buf bytes.Buffer
+			if _, err := res.WriteTo(&buf); err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			outs[i] = buf.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(outs); i++ {
+		if outs[i] != outs[0] {
+			t.Errorf("concurrent run %d diverged from run 0", i)
+		}
+	}
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	bad := []FaultConfig{
+		{TaskFailureProb: -0.1},
+		{TaskFailureProb: 1},
+		{ShuffleFetchFailureProb: 2},
+		{MaxTaskFailures: -1},
+		{RetryBackoff: -1},
+		{BlacklistThreshold: -2},
+		{NodeCrashes: []NodeCrash{{Node: 9, At: 1}}},
+		{NodeCrashes: []NodeCrash{{Node: 0, At: -1}}},
+	}
+	for i, f := range bad {
+		if err := faultyConfig(f).Validate(); err == nil {
+			t.Errorf("bad fault config %d accepted", i)
+		}
+	}
+	good := FaultConfig{TaskFailureProb: 0.1, ShuffleFetchFailureProb: 0.1,
+		MaxTaskFailures: 6, RetryBackoff: 0.5, BlacklistThreshold: 3,
+		NodeCrashes: []NodeCrash{{Node: 1, At: 30}}}
+	if err := faultyConfig(good).Validate(); err != nil {
+		t.Errorf("good fault config rejected: %v", err)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	var f FaultConfig
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second} {
+		if got := f.backoff(i + 1); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	if got := f.backoff(100); got != time.Minute {
+		t.Errorf("backoff uncapped: %v", got)
+	}
+	f.RetryBackoff = 0.25
+	if got := f.backoff(2); got != 500*time.Millisecond {
+		t.Errorf("custom base: backoff(2) = %v", got)
+	}
+}
+
+func TestZeroSizedDeviceRejected(t *testing.T) {
+	// A zero-sized virtual disk yields zero bandwidth at every request
+	// size; the old behavior was a DES-internal panic ("non-positive
+	// FullRate") mid-simulation. Validate must catch it as input error.
+	cfg := DefaultTestbed(2, 4, disk.NewSSD(), constDev{0, 0})
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero-bandwidth LocalDisk accepted")
+	}
+	cfg = DefaultTestbed(2, 4, constDev{0, units.MBps(100)}, disk.NewSSD())
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero-read-bandwidth HDFSDisk accepted")
+	}
+}

@@ -103,6 +103,10 @@ type StageResult struct {
 	// utilisation that explains which stages are device-bound.
 	HDFSBusy  time.Duration
 	LocalBusy time.Duration
+	// Faults records the failures injected while the stage was active
+	// and their recoveries. Recompute I/O performed on behalf of a fetch
+	// failure is charged to this (consumer) stage's IO stats.
+	Faults FaultStats
 }
 
 // HDFSUtil returns the stage's average HDFS-disk utilisation across
@@ -138,6 +142,9 @@ type Result struct {
 	// CoreSeconds is the integral of busy cores over time, for cloud
 	// cost accounting.
 	CoreSeconds float64
+	// Faults aggregates fault activity across the whole run. All fields
+	// are zero when the fault layer is disabled.
+	Faults FaultStats
 }
 
 // Stage returns the named stage's result, or false.
@@ -173,8 +180,15 @@ func (r *Result) WriteTo(w io.Writer) (int64, error) {
 			s.IO[OpPersistWrite].Bytes, s.IO[OpHDFSWrite].Bytes,
 			100*s.HDFSUtil(r.Slaves), 100*s.LocalUtil(r.Slaves))
 	}
-	err := tw.Flush()
-	return cw.n, err
+	if err := tw.Flush(); err != nil {
+		return cw.n, err
+	}
+	if f := r.Faults; f.Any() {
+		fmt.Fprintf(cw, "# faults: %d failed attempts (%d node-lost, %d fetch), %d retries, %d recomputes, %d nodes lost, %d blacklisted\n",
+			f.TaskFailures, f.LostAttempts, f.FetchFailures, f.Retries,
+			f.Recomputes, f.NodesLost, f.NodesBlacklisted)
+	}
+	return cw.n, nil
 }
 
 func fmtMin(d time.Duration) string {

@@ -2,6 +2,7 @@ package spark
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -28,10 +29,18 @@ func Run(cfg ClusterConfig, app App) (*Result, error) {
 
 // node is one simulated slave.
 type node struct {
+	id    int
 	cores *sim.CorePool
 	hdfs  *sim.FlowResource
 	local *sim.FlowResource
 	nic   *sim.FlowResource
+	// fault state: a crashed node is gone for the rest of the run; a
+	// blacklisted one finishes its in-flight work but receives no new
+	// dispatches. taskFailures counts injected failures for the
+	// blacklist threshold.
+	crashed      bool
+	blacklisted  bool
+	taskFailures int
 }
 
 // stageState tracks one stage through its execution.
@@ -59,6 +68,12 @@ type taskState struct {
 	done       bool
 	attempts   int
 	speculated bool
+	// fault bookkeeping: counted failures against the attempt budget,
+	// fetch failures (Spark tracks these separately from task failures),
+	// and the number of attempts currently in flight.
+	failures      int
+	fetchFailures int
+	inflight      int
 }
 
 // attempt is one execution of a task on one node.
@@ -69,6 +84,12 @@ type attempt struct {
 	g       TaskGroup
 	taskIdx int
 	start   time.Duration
+	// failAt / fetchFailAt are the op indices at which this attempt is
+	// fated to fail (-1: never). lost marks the attempt killed by its
+	// node's crash; it dies at the next op boundary.
+	failAt      int
+	fetchFailAt int
+	lost        bool
 }
 
 type runner struct {
@@ -80,6 +101,10 @@ type runner struct {
 	states     []*stageState
 	done       int
 	finishedAt time.Duration
+	// err is the first fatal failure (attempt budget exhausted, no
+	// healthy nodes left). Once set, no new work launches and the
+	// engine drains its in-flight events.
+	err error
 }
 
 // busySums totals the device utilisation seconds across nodes (iostat's
@@ -107,6 +132,7 @@ func newRunner(cfg ClusterConfig, app App) *runner {
 	r := &runner{cfg: d, app: app, eng: eng}
 	for i := 0; i < cfg.Slaves; i++ {
 		n := &node{
+			id:    i,
 			cores: sim.NewCorePool(eng, cfg.ExecutorCores),
 			hdfs:  sim.NewFlowResource(eng, fmt.Sprintf("node%d/hdfs", i)),
 			local: sim.NewFlowResource(eng, fmt.Sprintf("node%d/local", i)),
@@ -152,8 +178,17 @@ func buildStates(app App) []*stageState {
 }
 
 func (r *runner) run() (*Result, error) {
+	if f := r.cfg.Faults; f.Enabled() {
+		for _, c := range f.NodeCrashes {
+			nd := r.ns[c.Node]
+			r.eng.At(units.SecDuration(c.At.Seconds()), func() { r.crashNode(nd) })
+		}
+	}
 	r.launchReady()
 	r.eng.Run()
+	if r.err != nil {
+		return nil, r.err
+	}
 	if r.done < len(r.states) {
 		for _, st := range r.states {
 			if st.launched && !st.completed {
@@ -177,6 +212,9 @@ func (r *runner) run() (*Result, error) {
 // launchReady schedules every unlaunched stage whose dependencies have
 // completed.
 func (r *runner) launchReady() {
+	if r.err != nil {
+		return
+	}
 	for _, st := range r.states {
 		if st.launched {
 			continue
@@ -222,6 +260,9 @@ func (r *runner) completeStage(st *stageState) {
 }
 
 func (r *runner) launchStage(st *stageState, barrier time.Duration) {
+	if r.err != nil {
+		return
+	}
 	stage := st.stage
 	st.res = &StageResult{
 		Name:  stage.Name,
@@ -238,7 +279,7 @@ func (r *runner) launchStage(st *stageState, barrier time.Duration) {
 		// straggler tail that outlives the last normal task.
 		var tick func()
 		tick = func() {
-			if st.completed {
+			if st.completed || r.err != nil {
 				return
 			}
 			r.maybeSpeculate(st)
@@ -259,6 +300,13 @@ func (r *runner) launchStage(st *stageState, barrier time.Duration) {
 		}
 		for t := 0; t < g.Count; t++ {
 			nd := r.ns[taskIdx%len(r.ns)]
+			if r.faultsOn() {
+				nd = r.pickHealthy(taskIdx%len(r.ns), nil)
+				if nd == nil {
+					r.failApp(r.noHealthyNodes())
+					return
+				}
+			}
 			gi, g, idx := gi, g, taskIdx
 			taskIdx++
 			task := &taskState{}
@@ -270,7 +318,7 @@ func (r *runner) launchStage(st *stageState, barrier time.Duration) {
 // maybeSpeculate launches a second attempt for tasks that have run far
 // past the median completed duration (spark.speculation semantics).
 func (r *runner) maybeSpeculate(st *stageState) {
-	if !r.cfg.Speculation || len(st.durations) == 0 {
+	if !r.cfg.Speculation || len(st.durations) == 0 || r.err != nil {
 		return
 	}
 	mult := r.cfg.SpeculationMultiplier
@@ -280,6 +328,7 @@ func (r *runner) maybeSpeculate(st *stageState) {
 	median := st.durations[len(st.durations)/2]
 	threshold := time.Duration(float64(median) * mult)
 	now := r.eng.Now()
+	var cands []*attempt
 	for a := range st.running {
 		if a.task.done || a.task.speculated {
 			continue
@@ -287,10 +336,25 @@ func (r *runner) maybeSpeculate(st *stageState) {
 		if now-a.start < threshold {
 			continue
 		}
+		cands = append(cands, a)
+	}
+	// Map iteration order varies between runs and speculative launches
+	// schedule engine events, so launch in task order to keep the whole
+	// simulation a deterministic function of its inputs.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].taskIdx < cands[j].taskIdx })
+	for _, a := range cands {
 		a.task.speculated = true
 		// Relaunch on the next node over; the copy is a fresh attempt
 		// (stragglers are machine-local, so the copy runs clean).
 		other := r.ns[(nodeIndex(r.ns, a.nd)+1)%len(r.ns)]
+		if r.faultsOn() {
+			other = r.pickHealthy(a.nd.id+1, a.nd)
+			if other == nil {
+				// Nowhere to speculate; the original attempt may still
+				// finish on its own.
+				continue
+			}
+		}
 		task, gi, g, idx := a.task, a.gi, a.g, a.taskIdx
 		other.cores.Acquire(func() { r.startAttempt(st, task, other, gi, g, idx+1_000_003, true) })
 	}
@@ -310,10 +374,50 @@ func nodeIndex(ns []*node, nd *node) int {
 // stage barrier. The first attempt to finish wins; later ones notice at
 // the next op boundary and stand down (Spark kills the slower copy).
 func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int, g TaskGroup, taskIdx int, speculative bool) {
+	if r.faultsOn() {
+		if task.done || r.err != nil {
+			// The task finished (or the app failed) while this dispatch
+			// waited in the core queue.
+			nd.cores.Release()
+			return
+		}
+		if nd.crashed || nd.blacklisted {
+			// The node went away while the dispatch queued; bounce the
+			// task to a healthy executor.
+			nd.cores.Release()
+			target := r.pickHealthy(nd.id+1, nil)
+			if target == nil {
+				r.failApp(r.noHealthyNodes())
+				return
+			}
+			target.cores.Acquire(func() { r.startAttempt(st, task, target, gi, g, taskIdx, speculative) })
+			return
+		}
+	}
 	taskStart := r.eng.Now()
 	task.attempts++
-	a := &attempt{task: task, nd: nd, gi: gi, g: g, taskIdx: taskIdx, start: taskStart}
+	task.inflight++
+	a := &attempt{task: task, nd: nd, gi: gi, g: g, taskIdx: taskIdx, start: taskStart, failAt: -1, fetchFailAt: -1}
 	st.running[a] = struct{}{}
+	if f := r.cfg.Faults; f.Enabled() {
+		// Decide this attempt's fate up front, deterministically from
+		// (seed, stage, task, attempt). The failure point is uniform over
+		// the op boundaries, including the final one.
+		if p := f.TaskFailureProb; p > 0 && r.faultHash01(st.idx, taskIdx, task.attempts, saltFailProb) < p {
+			a.failAt = int(r.faultHash01(st.idx, taskIdx, task.attempts, saltFailAt) * float64(len(g.Ops)+1))
+		}
+		if q := f.ShuffleFetchFailureProb; q > 0 {
+			for i, op := range g.Ops {
+				if op.Kind != OpShuffleRead {
+					continue
+				}
+				if r.faultHash01(st.idx, taskIdx, task.attempts, saltFetch+uint64(i)<<8) < q {
+					a.fetchFailAt = i
+					break
+				}
+			}
+		}
+	}
 	jitter := r.jitterFactor(st.idx, taskIdx)
 	// Speculative copies run clean: stragglers are machine-local and the
 	// scheduler relaunches on a healthy node.
@@ -346,6 +450,7 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 	var runOp func(i int)
 	finish := func() {
 		delete(st.running, a)
+		task.inflight--
 		nd.cores.Release()
 		if task.done {
 			return // a speculative sibling won
@@ -367,8 +472,30 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 			// A speculative sibling won: stand down at the op boundary
 			// (Spark kills the slower attempt).
 			delete(st.running, a)
+			task.inflight--
 			nd.cores.Release()
 			return
+		}
+		if r.faultsOn() {
+			if r.err != nil {
+				// The application already failed; drain quietly.
+				delete(st.running, a)
+				task.inflight--
+				nd.cores.Release()
+				return
+			}
+			if a.lost {
+				r.failAttempt(st, a, FailNodeLost)
+				return
+			}
+			if i == a.fetchFailAt {
+				r.fetchFail(st, a)
+				return
+			}
+			if i == a.failAt {
+				r.failAttempt(st, a, FailInjected)
+				return
+			}
 		}
 		if i >= len(g.Ops) {
 			// GC fallback for compute-only groups: a trailing pause.
@@ -436,6 +563,239 @@ func (r *runner) hash01(stageIdx, taskIdx int, salt uint64) float64 {
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	x ^= x >> 31
 	return float64(x>>11) / float64(1<<53)
+}
+
+// faultsOn reports whether the fault layer is active. Every fault-path
+// behavior is gated on it so a zero-valued FaultConfig run is
+// event-for-event identical to a run without the fault layer.
+func (r *runner) faultsOn() bool { return r.cfg.Faults.Enabled() }
+
+// Salts separating the independent fault decisions drawn per attempt.
+const (
+	saltFailProb uint64 = 0xFA11
+	saltFailAt   uint64 = 0xFA12
+	saltFetch    uint64 = 0xFA13
+)
+
+// faultHash01 maps (seeds, stage, task, attempt, salt) to a uniform
+// [0,1) value. Unlike hash01 it mixes in the attempt number, so a
+// retried attempt draws fresh fates, and FaultConfig.Seed, so the
+// failure pattern can vary independently of the jitter pattern.
+func (r *runner) faultHash01(stageIdx, taskIdx, attempt int, salt uint64) float64 {
+	x := r.cfg.Seed ^ (r.cfg.Faults.Seed * 0x9e3779b97f4a7c15)
+	x ^= uint64(stageIdx)<<40 ^ uint64(taskIdx)<<16 ^ uint64(attempt)<<56 ^ salt
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// pickHealthy returns the first non-crashed, non-blacklisted node at or
+// after index start (wrapping), preferring any node other than avoid;
+// avoid itself is returned only when it is the sole healthy node. Nil
+// means no healthy node exists.
+func (r *runner) pickHealthy(start int, avoid *node) *node {
+	n := len(r.ns)
+	var fallback *node
+	for k := 0; k < n; k++ {
+		nd := r.ns[(start+k)%n]
+		if nd.crashed || nd.blacklisted {
+			continue
+		}
+		if nd == avoid {
+			if fallback == nil {
+				fallback = nd
+			}
+			continue
+		}
+		return nd
+	}
+	return fallback
+}
+
+// noHealthyNodes builds the fatal everything-is-gone error.
+func (r *runner) noHealthyNodes() error {
+	var lost, black int
+	for _, n := range r.ns {
+		if n.crashed {
+			lost++
+		} else if n.blacklisted {
+			black++
+		}
+	}
+	return &NoHealthyNodesError{App: r.app.Name, Lost: lost, Blacklisted: black}
+}
+
+// failApp records the first fatal error; the engine then drains its
+// in-flight events while every launch path stands down.
+func (r *runner) failApp(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// crashNode executes a scheduled node loss: in-flight attempts on the
+// node die at their next op boundary; queued dispatches bounce to
+// healthy nodes when they reach startAttempt.
+func (r *runner) crashNode(nd *node) {
+	if nd.crashed || r.done == len(r.states) || r.err != nil {
+		return
+	}
+	nd.crashed = true
+	r.res.Faults.NodesLost++
+	for _, st := range r.states {
+		if !st.launched || st.completed || st.running == nil {
+			continue
+		}
+		for a := range st.running {
+			if a.nd == nd {
+				a.lost = true
+			}
+		}
+	}
+}
+
+// noteNodeFailure counts an injected failure against the node's
+// blacklist budget (spark.blacklist.maxFailedTasksPerExecutor). The
+// last healthy node is never blacklisted: with uniformly injected
+// failures every node eventually trips the threshold, and a scheduler
+// with zero executors can only abort.
+func (r *runner) noteNodeFailure(nd *node) {
+	nd.taskFailures++
+	t := r.cfg.Faults.BlacklistThreshold
+	if t <= 0 || nd.blacklisted || nd.taskFailures < t {
+		return
+	}
+	healthy := 0
+	for _, n := range r.ns {
+		if !n.crashed && !n.blacklisted {
+			healthy++
+		}
+	}
+	if healthy <= 1 {
+		return
+	}
+	nd.blacklisted = true
+	r.res.Faults.NodesBlacklisted++
+}
+
+// failAttempt kills one attempt: the core frees, the failure counts
+// against the task's budget, and — unless a sibling attempt is still
+// running — the task retries after exponential backoff.
+func (r *runner) failAttempt(st *stageState, a *attempt, kind FailureKind) {
+	delete(st.running, a)
+	a.task.inflight--
+	a.nd.cores.Release()
+	task := a.task
+	if task.done || r.err != nil {
+		return
+	}
+	task.failures++
+	st.res.Faults.TaskFailures++
+	r.res.Faults.TaskFailures++
+	if kind == FailNodeLost {
+		st.res.Faults.LostAttempts++
+		r.res.Faults.LostAttempts++
+	} else {
+		r.noteNodeFailure(a.nd)
+	}
+	f := r.cfg.Faults
+	if task.failures >= f.maxTaskFailures() {
+		r.failApp(&TaskFailedError{App: r.app.Name, Stage: st.stage.Name, Task: a.taskIdx, Failures: task.failures, Kind: kind})
+		return
+	}
+	if task.inflight > 0 {
+		return // a speculative sibling may still win
+	}
+	r.retryTask(st, a, f.backoff(task.failures))
+}
+
+// retryTask relaunches a task on a healthy node after the backoff.
+func (r *runner) retryTask(st *stageState, a *attempt, delay time.Duration) {
+	task := a.task
+	st.res.Faults.Retries++
+	r.res.Faults.Retries++
+	r.eng.After(delay, func() {
+		if task.done || r.err != nil {
+			return
+		}
+		target := r.pickHealthy(a.nd.id+1, a.nd)
+		if target == nil {
+			r.failApp(r.noHealthyNodes())
+			return
+		}
+		target.cores.Acquire(func() { r.startAttempt(st, task, target, a.gi, a.g, a.taskIdx, false) })
+	})
+}
+
+// fetchFail handles a shuffle-fetch failure: the reducer attempt dies,
+// and on stages with a parent one lost map output is recomputed before
+// the retry — re-running the parent op sequence (HDFS re-read at block
+// sizes, shuffle re-write) on a healthy node. This is the recovery cost
+// the request-size-aware bandwidth curves make device-dependent.
+func (r *runner) fetchFail(st *stageState, a *attempt) {
+	delete(st.running, a)
+	a.task.inflight--
+	a.nd.cores.Release()
+	task := a.task
+	if task.done || r.err != nil {
+		return
+	}
+	task.fetchFailures++
+	st.res.Faults.TaskFailures++
+	st.res.Faults.FetchFailures++
+	r.res.Faults.TaskFailures++
+	r.res.Faults.FetchFailures++
+	f := r.cfg.Faults
+	if task.fetchFailures >= f.maxTaskFailures() {
+		r.failApp(&TaskFailedError{App: r.app.Name, Stage: st.stage.Name, Task: a.taskIdx, Failures: task.fetchFailures, Kind: FailFetch})
+		return
+	}
+	if task.inflight > 0 {
+		return
+	}
+	if len(st.deps) == 0 {
+		// No parent stage to recompute; degrade to a plain retry.
+		r.retryTask(st, a, f.backoff(task.fetchFailures))
+		return
+	}
+	parent := r.states[st.deps[0]]
+	r.recomputeParent(st, parent, a, func() { r.retryTask(st, a, f.backoff(task.fetchFailures)) })
+}
+
+// recomputeParent re-runs one parent map task's op sequence on a
+// healthy node, holding a core for the duration. The recompute I/O is
+// charged to the consumer stage st, where the recovery cost shows up in
+// the degraded measurements.
+func (r *runner) recomputeParent(st *stageState, parent *stageState, a *attempt, then func()) {
+	st.res.Faults.Recomputes++
+	r.res.Faults.Recomputes++
+	target := r.pickHealthy(a.nd.id, nil)
+	if target == nil {
+		r.failApp(r.noHealthyNodes())
+		return
+	}
+	g := parent.stage.Groups[0]
+	target.cores.Acquire(func() {
+		var run func(i int)
+		run = func(i int) {
+			if r.err != nil || i >= len(g.Ops) {
+				target.cores.Release()
+				if r.err == nil {
+					then()
+				}
+				return
+			}
+			op := g.Ops[i]
+			opStart := r.eng.Now()
+			r.execOp(st, target, op, func() {
+				r.accountIO(st, op, r.eng.Now()-opStart)
+				run(i + 1)
+			})
+		}
+		r.eng.After(units.SecDuration(r.cfg.TaskLaunchOverhead.Seconds()), func() { run(0) })
+	})
 }
 
 // insertSorted keeps the completed-duration slice ordered for median

@@ -1,0 +1,38 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseByteSize asserts the parser's total-function contract: any
+// input either errors or yields a non-negative in-range size whose
+// rendering parses back to (almost) the same value. The committed
+// corpus pins the int64-overflow and NaN regressions.
+func FuzzParseByteSize(f *testing.F) {
+	for _, s := range []string{
+		"128MB", "27 MB", "512kb", "30KiB", "4096", "1.5GB", "0.25TB",
+		"", "abc", "-1MB", "9999999PB", "1e300GB", "NaN", "InfMB", "8191PB",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseByteSize(s)
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			t.Fatalf("ParseByteSize(%q) = %d: negative without error", s, v)
+		}
+		// Round trip: String() rounds its mantissa to two decimals, so
+		// reparsing must succeed and land within 1%.
+		back, err := ParseByteSize(v.String())
+		if err != nil {
+			t.Fatalf("ParseByteSize(%q) = %v, but reparsing %q failed: %v", s, v, v.String(), err)
+		}
+		diff := math.Abs(float64(back - v))
+		if diff > 0.01*float64(v)+1 {
+			t.Fatalf("round trip %q -> %v -> %q -> %v drifted", s, v, v.String(), back)
+		}
+	})
+}

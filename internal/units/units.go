@@ -101,10 +101,20 @@ func ParseByteSize(s string) (ByteSize, error) {
 	if err != nil {
 		return 0, fmt.Errorf("units: bad byte size %q: %v", s, err)
 	}
+	// ParseFloat accepts "NaN" and "Inf" spellings; neither is a size.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: bad byte size %q", s)
+	}
 	if v < 0 {
 		return 0, fmt.Errorf("units: negative byte size %q", s)
 	}
-	return ByteSize(math.Round(v * float64(mult))), nil
+	bytes := math.Round(v * float64(mult))
+	// Conversion of an out-of-range float to int64 is implementation
+	// defined; "9999999PB" must be an error, not a negative size.
+	if bytes >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("units: byte size %q overflows int64", s)
+	}
+	return ByteSize(bytes), nil
 }
 
 // Rate is a data rate in bytes per second.

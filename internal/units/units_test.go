@@ -54,7 +54,8 @@ func TestParseByteSize(t *testing.T) {
 }
 
 func TestParseByteSizeErrors(t *testing.T) {
-	for _, in := range []string{"", "abc", "-1MB", "12XB", "MB"} {
+	for _, in := range []string{"", "abc", "-1MB", "12XB", "MB",
+		"9999999PB", "1e300GB", "NaN", "Inf", "-InfKB"} {
 		if _, err := ParseByteSize(in); err == nil {
 			t.Errorf("ParseByteSize(%q): expected error", in)
 		}
