@@ -1,0 +1,195 @@
+// Command benchgate is the perf-regression gate for the simulation
+// core. It parses `go test -bench -benchmem` output and either records
+// a baseline (-write) or compares the run against a committed baseline
+// (-baseline), failing when ns/op or allocs/op regress beyond the
+// tolerance — benchstat-style, but dependency-free and scriptable in CI.
+//
+//	go test -bench ... -benchmem -run '^$' ./... | benchgate -write docs/BENCH_simcore.json
+//	go test -bench ... -benchmem -run '^$' ./... | benchgate -baseline docs/BENCH_simcore.json
+//
+// allocs/op is deterministic and gated strictly; ns/op is machine-
+// dependent, so the gate compares against the committed baseline with a
+// relative tolerance (default 15%). See docs/PERF.md for when and how
+// to refresh the baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark reference.
+type Baseline struct {
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's recorded cost.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, in io.Reader, out, errW io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	write := fs.String("write", "", "record the parsed benchmarks as the new baseline at this path")
+	baseline := fs.String("baseline", "", "compare against the baseline at this path")
+	tolerance := fs.Float64("tolerance", 0.15, "maximum allowed relative regression in ns/op and allocs/op")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*write == "") == (*baseline == "") {
+		fmt.Fprintln(errW, "benchgate: need exactly one of -write or -baseline")
+		return 2
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(errW, "benchgate:", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(errW, "benchgate: no benchmark lines found on stdin (did you pass -benchmem?)")
+		return 2
+	}
+	if *write != "" {
+		b := Baseline{
+			Note:       "Committed perf baseline for the simulation core. Refresh per docs/PERF.md.",
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(errW, "benchgate:", err)
+			return 2
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(errW, "benchgate:", err)
+			return 2
+		}
+		fmt.Fprintf(out, "benchgate: wrote %d benchmarks to %s\n", len(got), *write)
+		return 0
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(errW, "benchgate:", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(errW, "benchgate: %s: %v\n", *baseline, err)
+		return 2
+	}
+	return compare(base, got, *tolerance, out, errW)
+}
+
+// compare gates every baseline benchmark against the current run.
+func compare(base Baseline, got map[string]Entry, tol float64, out, errW io.Writer) int {
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		cur, ok := got[name]
+		if !ok {
+			fmt.Fprintf(errW, "FAIL %s: in baseline but missing from this run\n", name)
+			failed++
+			continue
+		}
+		nsOK := gate(cur.NsPerOp, want.NsPerOp, tol)
+		allocOK := gate(cur.AllocsPerOp, want.AllocsPerOp, tol)
+		status := "ok  "
+		if !nsOK || !allocOK {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(out, "%s %-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
+			status, name,
+			want.NsPerOp, cur.NsPerOp, delta(cur.NsPerOp, want.NsPerOp),
+			want.AllocsPerOp, cur.AllocsPerOp, delta(cur.AllocsPerOp, want.AllocsPerOp))
+	}
+	if failed > 0 {
+		fmt.Fprintf(errW, "benchgate: %d of %d gated benchmarks regressed beyond %.0f%%\n",
+			failed, len(names), tol*100)
+		return 1
+	}
+	fmt.Fprintf(out, "benchgate: %d benchmarks within %.0f%% of baseline\n", len(names), tol*100)
+	return 0
+}
+
+// gate reports whether cur is within the relative tolerance of want.
+// Improvements always pass; a zero baseline admits only zero.
+func gate(cur, want, tol float64) bool {
+	if cur <= want {
+		return true
+	}
+	if want == 0 {
+		return false
+	}
+	return (cur-want)/want <= tol
+}
+
+func delta(cur, want float64) float64 {
+	if want == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (cur - want) / want * 100
+}
+
+// parseBench extracts Benchmark lines from `go test -bench` output. The
+// trailing -N GOMAXPROCS suffix is stripped so baselines survive CPU-
+// count changes; duplicate names keep the last occurrence.
+func parseBench(r io.Reader) (map[string]Entry, error) {
+	got := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var e Entry
+		var haveNs, haveAllocs bool
+		for i := 2; i+1 < len(f); i++ {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsPerOp, haveNs = v, true
+			case "allocs/op":
+				e.AllocsPerOp, haveAllocs = v, true
+			}
+		}
+		if haveNs && haveAllocs {
+			got[name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return got, nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: some cpu
+BenchmarkEngineEventLoop-8   	41940980	        28.55 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFlowChurn-8         	 3075902	       382.9 ns/op	     322 B/op	       2 allocs/op
+BenchmarkNoMem-8             	 1000000	      1000 ns/op
+PASS
+ok  	repro/internal/sim	5.1s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (no-benchmem lines skipped): %v", len(got), got)
+	}
+	e := got["BenchmarkEngineEventLoop"]
+	if e.NsPerOp != 28.55 || e.AllocsPerOp != 0 {
+		t.Errorf("EngineEventLoop = %+v", e)
+	}
+	e = got["BenchmarkFlowChurn"]
+	if e.NsPerOp != 382.9 || e.AllocsPerOp != 2 {
+		t.Errorf("FlowChurn = %+v", e)
+	}
+}
+
+func TestWriteThenCheckRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out, errW bytes.Buffer
+	if code := run([]string{"-write", path}, strings.NewReader(benchOut), &out, &errW); code != 0 {
+		t.Fatalf("write exited %d: %s", code, errW.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 2 {
+		t.Fatalf("baseline has %d benchmarks", len(b.Benchmarks))
+	}
+	out.Reset()
+	if code := run([]string{"-baseline", path}, strings.NewReader(benchOut), &out, &errW); code != 0 {
+		t.Fatalf("identical run failed the gate (%d): %s", code, errW.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out, errW bytes.Buffer
+	if code := run([]string{"-write", path}, strings.NewReader(benchOut), &out, &errW); code != 0 {
+		t.Fatalf("write exited %d", code)
+	}
+	// 382.9 -> 500 ns/op is a ~31% regression; 2 -> 9 allocs is worse still.
+	regressed := strings.Replace(benchOut, "382.9 ns/op	     322 B/op	       2 allocs/op",
+		"500.0 ns/op	     322 B/op	       9 allocs/op", 1)
+	if code := run([]string{"-baseline", path}, strings.NewReader(regressed), &out, &errW); code != 1 {
+		t.Fatalf("regressed run exited %d, want 1\n%s%s", code, out.String(), errW.String())
+	}
+	// A generous tolerance lets the ns/op slip through but allocs still fail.
+	errW.Reset()
+	if code := run([]string{"-baseline", path, "-tolerance", "0.5"}, strings.NewReader(regressed), &out, &errW); code != 1 {
+		t.Fatalf("alloc regression passed at 50%% tolerance (exit %d)", code)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out, errW bytes.Buffer
+	if code := run([]string{"-write", path}, strings.NewReader(benchOut), &out, &errW); code != 0 {
+		t.Fatalf("write exited %d", code)
+	}
+	partial := strings.Replace(benchOut, "BenchmarkFlowChurn", "BenchmarkRenamed", 1)
+	if code := run([]string{"-baseline", path}, strings.NewReader(partial), &out, &errW); code != 1 {
+		t.Fatalf("run missing a gated benchmark exited %d, want 1", code)
+	}
+}
+
+func TestImprovementAlwaysPasses(t *testing.T) {
+	if !gate(10, 100, 0.15) {
+		t.Error("10x improvement should pass")
+	}
+	if !gate(100, 100, 0.15) {
+		t.Error("flat should pass")
+	}
+	if gate(1, 0, 0.15) {
+		t.Error("zero-alloc baseline must reject any alloc")
+	}
+	if !gate(0, 0, 0.15) {
+		t.Error("zero vs zero should pass")
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out, errW bytes.Buffer
+	if code := run(nil, strings.NewReader(benchOut), &out, &errW); code != 2 {
+		t.Errorf("no mode flag exited %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", "nope.json", "-write", "x.json"}, strings.NewReader(benchOut), &out, &errW); code != 2 {
+		t.Errorf("both modes exited %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", filepath.Join(t.TempDir(), "absent.json")}, strings.NewReader(benchOut), &out, &errW); code != 2 {
+		t.Errorf("missing baseline exited %d, want 2", code)
+	}
+}

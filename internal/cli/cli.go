@@ -13,6 +13,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -89,9 +91,10 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `doppio — I/O-aware performance analysis, modeling and optimization
 
   doppio experiments                 list reproducible paper artifacts
-  doppio run [-parallel N] [-timeout D] <id>|all
+  doppio run [-parallel N] [-timeout D] [-cpuprofile F] [-memprofile F] <id>|all
                                      regenerate tables/figures (e.g. fig7);
-                                     Ctrl-C flushes completed artifacts
+                                     Ctrl-C flushes completed artifacts;
+                                     -cpuprofile/-memprofile write pprof data
   doppio workloads                   list workloads
   doppio sim [flags] <workload>      simulate a workload on a cluster
   doppio predict [flags] <workload>  calibrated model vs simulator
@@ -124,11 +127,38 @@ func (a *app) cmdRun(ctx context.Context, args []string) error {
 	format := fs.String("format", "text", "output format: text, csv, md")
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	timeout := fs.Duration("timeout", 0, "per-artifact deadline (0 = none); timed-out artifacts fail, siblings continue")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the artifact run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("run: need an experiment id or 'all'")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("run: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("run: start CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(a.out, "# memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(a.out, "# memprofile: %v\n", err)
+			}
+		}()
 	}
 	ids := fs.Args()
 	if len(ids) == 1 && ids[0] == "all" {

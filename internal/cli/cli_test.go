@@ -2,6 +2,8 @@ package cli
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -319,5 +321,32 @@ func TestSimStragglersAndSpeculation(t *testing.T) {
 		"-stragglers", "0.05", "-speculate", "-seed", "7", "svm")
 	if code != 0 || !strings.Contains(out, "subtract") {
 		t.Fatalf("straggler sim: code=%d", code)
+	}
+}
+
+// TestRunWritesProfiles checks the pprof hooks: -cpuprofile and
+// -memprofile must leave non-empty profile files behind a successful
+// artifact run.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	_, _, code := run(t, "run", "-cpuprofile", cpu, "-memprofile", mem, "tab5")
+	if code != 0 {
+		t.Fatalf("run exit = %d", code)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	// An unwritable profile path must fail up front, not mid-run.
+	_, _, code = run(t, "run", "-cpuprofile", filepath.Join(dir, "no-such-dir", "x"), "tab5")
+	if code != 1 {
+		t.Errorf("bad cpuprofile path exit = %d", code)
 	}
 }

@@ -6,6 +6,12 @@
 // event heap. Higher-level abstractions (CorePool for executor cores,
 // FlowResource for bandwidth water-filling) are built on top, and the
 // Spark cluster simulator in internal/spark composes those.
+//
+// The event loop is allocation-free in steady state: fired and cancelled
+// events return to a free-list and are recycled by later At/After calls,
+// so a simulation's event-struct footprint is its peak concurrency, not
+// its event count. Timers carry a generation number so a stale Timer for
+// a recycled event is a safe no-op.
 package sim
 
 import (
@@ -16,11 +22,14 @@ import (
 
 // event is a scheduled callback.
 type event struct {
-	at        time.Duration
-	seq       uint64 // tie-breaker: FIFO among same-time events
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 when popped
+	at  time.Duration
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+	// gen increments every time the event struct is recycled through the
+	// free-list; Timers snapshot it so cancelling a stale handle cannot
+	// touch an unrelated reused event.
+	gen   uint64
+	index int // heap index, -1 when popped
 }
 
 type eventHeap []*event
@@ -57,6 +66,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     time.Duration
 	heap    eventHeap
+	free    []*event // recycled event structs
 	seq     uint64
 	running bool
 	steps   uint64
@@ -68,21 +78,66 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// NewEngineSized returns an engine whose event heap and free-list are
+// pre-sized for roughly hint concurrently pending events, avoiding
+// re-growth in large simulations. The hint is only a capacity; the
+// engine grows past it transparently.
+func NewEngineSized(hint int) *Engine {
+	if hint < 0 {
+		hint = 0
+	}
+	return &Engine{
+		heap: make(eventHeap, 0, hint),
+		free: make([]*event, 0, hint),
+	}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
 // Steps reports how many events have been processed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
-// Timer identifies a scheduled event so it can be cancelled.
-type Timer struct{ ev *event }
+// Timer identifies a scheduled event so it can be cancelled. The zero
+// Timer is valid and cancels nothing.
+type Timer struct {
+	ev  *event
+	gen uint64
+	eng *Engine
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled timer is a no-op.
+// Cancel prevents the event from firing and immediately returns its
+// storage to the engine's free-list. Cancelling an already-fired,
+// already-cancelled or zero timer is a no-op.
 func (t Timer) Cancel() {
-	if t.ev != nil {
-		t.ev.cancelled = true
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen {
+		return // already fired (and possibly recycled), or zero Timer
 	}
+	if ev.index >= 0 {
+		heap.Remove(&t.eng.heap, ev.index)
+	}
+	t.eng.recycle(ev)
+}
+
+// recycle wipes an event and pushes it onto the free-list. Bumping gen
+// invalidates every outstanding Timer for the old incarnation.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// alloc returns a fresh or recycled event struct.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
@@ -91,10 +146,13 @@ func (e *Engine) At(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.heap, ev)
-	return Timer{ev}
+	return Timer{ev: ev, gen: ev.gen, eng: e}
 }
 
 // After schedules fn to run d after the current time. Negative d is
@@ -120,32 +178,29 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.heap.Len() > 0 {
+	for len(e.heap) > 0 {
 		ev := e.heap[0]
 		if ev.at > deadline {
 			break
 		}
 		heap.Pop(&e.heap)
-		if ev.cancelled {
-			continue
-		}
 		e.now = ev.at
 		e.steps++
 		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
 			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d (runaway simulation?)", e.MaxSteps))
 		}
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running fn: the callback commonly schedules a
+		// follow-up event, which then reuses this struct instead of
+		// allocating. The Timer generation check keeps this safe.
+		e.recycle(ev)
+		fn()
 	}
 	return e.now
 }
 
-// Pending reports the number of not-yet-fired (and not cancelled) events.
+// Pending reports the number of not-yet-fired events. Cancelled events
+// leave the heap eagerly, so this is the live heap size — O(1).
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
+	return len(e.heap)
 }

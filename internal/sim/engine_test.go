@@ -118,3 +118,90 @@ func TestMaxStepsBackstop(t *testing.T) {
 	}()
 	e.Run()
 }
+
+func TestTimerDoubleCancel(t *testing.T) {
+	e := NewEngine()
+	tm := e.After(time.Second, func() {})
+	tm.Cancel()
+	tm.Cancel() // second cancel must be a no-op
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.Run()
+}
+
+func TestZeroTimerCancel(t *testing.T) {
+	var tm Timer
+	tm.Cancel() // must not panic
+}
+
+func TestStaleTimerDoesNotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	var stale Timer
+	fired := false
+	e.After(time.Second, func() {
+		// The event struct backing `stale` has fired; the next After is
+		// expected to reuse it from the free-list.
+		e.After(time.Second, func() { fired = true })
+		stale.Cancel()
+	})
+	stale = e.After(500*time.Millisecond, func() {})
+	e.Run()
+	if !fired {
+		t.Error("stale Cancel killed a recycled event")
+	}
+}
+
+func TestCancelledEventLeavesHeapEagerly(t *testing.T) {
+	e := NewEngine()
+	tms := make([]Timer, 10)
+	for i := range tms {
+		tms[i] = e.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	for _, tm := range tms[2:7] {
+		tm.Cancel()
+	}
+	if got := e.Pending(); got != 5 {
+		t.Errorf("pending = %d, want 5", got)
+	}
+	if got := e.Run(); got != 10*time.Second {
+		t.Errorf("final time = %v", got)
+	}
+}
+
+func TestFreeListRecyclesEvents(t *testing.T) {
+	e := NewEngine()
+	var chain func(n int)
+	chain = func(n int) {
+		if n == 0 {
+			return
+		}
+		e.After(time.Millisecond, func() { chain(n - 1) })
+	}
+	chain(1000)
+	e.Run()
+	// A sequential chain of events needs exactly one struct: the fired
+	// event is recycled before its callback schedules the next.
+	if len(e.free) != 1 {
+		t.Errorf("free list has %d events, want 1", len(e.free))
+	}
+	if e.Steps() != 1000 {
+		t.Errorf("steps = %d", e.Steps())
+	}
+}
+
+func TestNewEngineSized(t *testing.T) {
+	e := NewEngineSized(64)
+	if cap(e.heap) < 64 || cap(e.free) < 64 {
+		t.Errorf("caps = %d/%d, want >= 64", cap(e.heap), cap(e.free))
+	}
+	NewEngineSized(-1) // negative hint must not panic
+	fired := 0
+	for i := 0; i < 100; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() { fired++ })
+	}
+	e.Run()
+	if fired != 100 {
+		t.Errorf("fired = %d", fired)
+	}
+}

@@ -39,9 +39,14 @@ type Flow struct {
 	rate      float64 // current allocated bytes/sec
 	last      time.Duration
 	res       *FlowResource
-	idx       int // index in res.flows, -1 when done
+	idx       int // index in res.sorted, -1 when done
 	started   time.Duration
 	done      bool
+	// umax is the flow's maximum useful device utilisation,
+	// soloRate/FullRate. It depends only on the flow's static fields, so
+	// it is computed once at Start and drives the resource's
+	// incrementally-maintained demand order.
+	umax float64
 }
 
 // Rate returns the currently allocated throughput of the flow.
@@ -94,7 +99,12 @@ type FlowStats struct {
 type FlowResource struct {
 	eng   *Engine
 	name  string
-	flows []*Flow
+	flows []*Flow // arrival order: completion callbacks preserve it
+	// sorted holds the active flows ordered by ascending umax (ties in
+	// arrival order). It is maintained incrementally — binary insertion
+	// on Start, compaction on completion — so reallocate is a single
+	// allocation-free pass instead of a per-event sort.
+	sorted []*Flow
 
 	timer     Timer
 	timerSet  bool
@@ -157,11 +167,12 @@ func (r *FlowResource) Start(f *Flow) {
 	f.remaining = float64(f.Bytes)
 	f.last = r.eng.Now()
 	f.started = f.last
-	f.idx = len(r.flows)
+	f.umax = f.soloRate() / float64(f.FullRate)
 	if len(r.flows) == 0 {
 		r.lastBusy = r.eng.Now()
 	}
 	r.flows = append(r.flows, f)
+	r.insertSorted(f)
 	if r.Observer != nil {
 		r.Observer(FlowEvent{Time: r.eng.Now(), Flow: f, Started: true})
 	}
@@ -202,27 +213,14 @@ func (r *FlowResource) reallocate() {
 	// time; Σ u_i <= 1. A flow's standalone progress rate is the
 	// harmonic combination of its media rate m = min(Cap, FullRate) and
 	// its coupled compute rate; only the I/O part occupies the device,
-	// so its maximum useful utilisation is r_solo / FullRate. Sort by
-	// that max and fill.
-	type ent struct {
-		f    *Flow
-		umax float64
-	}
-	ents := make([]ent, n)
-	for i, f := range r.flows {
-		ents[i] = ent{f, f.soloRate() / float64(f.FullRate)}
-	}
-	// insertion sort (n is small: at most cores-per-node flows).
-	for i := 1; i < n; i++ {
-		for j := i; j > 0 && ents[j].umax < ents[j-1].umax; j-- {
-			ents[j], ents[j-1] = ents[j-1], ents[j]
-		}
-	}
+	// so its maximum useful utilisation is r_solo / FullRate. The active
+	// flows are kept sorted by that max (r.sorted), so filling is one
+	// pass with no per-event sort or scratch allocation.
 	remainU := 1.0
-	for i, e := range ents {
+	for i, f := range r.sorted {
 		share := remainU / float64(n-i)
-		u := math.Min(e.umax, share)
-		e.f.rate = u * float64(e.f.FullRate)
+		u := math.Min(f.umax, share)
+		f.rate = u * float64(f.FullRate)
 		remainU -= u
 	}
 
@@ -247,6 +245,40 @@ func (r *FlowResource) reallocate() {
 	r.timerSet = true
 }
 
+// insertSorted places a newly started flow into the demand order:
+// ascending umax, new flow after existing equals (the stable tie-break a
+// full re-sort of the arrival list would produce).
+func (r *FlowResource) insertSorted(f *Flow) {
+	lo, hi := 0, len(r.sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.sorted[mid].umax <= f.umax {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.sorted = append(r.sorted, nil)
+	copy(r.sorted[lo+1:], r.sorted[lo:])
+	r.sorted[lo] = f
+	for i := lo; i < len(r.sorted); i++ {
+		r.sorted[i].idx = i
+	}
+}
+
+// removeSorted drops a completed flow from the demand order, preserving
+// the relative order of the survivors.
+func (r *FlowResource) removeSorted(f *Flow) {
+	i := f.idx
+	copy(r.sorted[i:], r.sorted[i+1:])
+	r.sorted[len(r.sorted)-1] = nil
+	r.sorted = r.sorted[:len(r.sorted)-1]
+	for ; i < len(r.sorted); i++ {
+		r.sorted[i].idx = i
+	}
+	f.idx = -1
+}
+
 // finishReady completes every flow whose remaining volume has drained.
 func (r *FlowResource) finishReady() {
 	r.timerSet = false
@@ -269,7 +301,7 @@ func (r *FlowResource) finishReady() {
 	for _, f := range done {
 		f.done = true
 		f.res = nil
-		f.idx = -1
+		r.removeSorted(f)
 		r.stats.Flows++
 		r.stats.Bytes += f.Bytes
 		r.stats.WeightedBytes += float64(f.Bytes)

@@ -264,3 +264,148 @@ func TestUtilSecondsAccounting(t *testing.T) {
 		t.Errorf("BusyTime (occupancy) = %v, want 4s", st.BusyTime)
 	}
 }
+
+// --- incremental-allocator edge cases ---
+
+// TestZeroByteFlowAmongActiveFlows checks that a zero-byte flow dropped
+// onto a busy device completes without joining (or disturbing) the
+// incremental demand set.
+func TestZeroByteFlowAmongActiveFlows(t *testing.T) {
+	e := NewEngine()
+	r := NewFlowResource(e, "disk")
+	var order []string
+	r.Start(&Flow{Name: "bulk", Bytes: 100 * units.MB, FullRate: units.MBps(100),
+		OnComplete: func() { order = append(order, "bulk") }})
+	r.Start(&Flow{Name: "empty", Bytes: 0, FullRate: units.MBps(100),
+		OnComplete: func() { order = append(order, "empty") }})
+	if r.Active() != 1 {
+		t.Fatalf("active = %d, want 1 (zero-byte flow must not register)", r.Active())
+	}
+	e.Run()
+	if len(order) != 2 || order[0] != "empty" || order[1] != "bulk" {
+		t.Fatalf("completion order = %v", order)
+	}
+	if got := r.Stats().Flows; got != 1 {
+		t.Errorf("completed flows = %d, want 1 (zero-byte flows are not device work)", got)
+	}
+}
+
+// TestSimultaneousArrivalAndDeparture starts a new flow from inside the
+// completion callback of another — arrival and departure at the same
+// virtual instant. The allocator must hand the full device to the new
+// flow with no residue from the finished one.
+func TestSimultaneousArrivalAndDeparture(t *testing.T) {
+	e := NewEngine()
+	r := NewFlowResource(e, "disk")
+	var second *Flow
+	first := &Flow{Name: "first", Bytes: 50 * units.MB, FullRate: units.MBps(100)}
+	first.OnComplete = func() {
+		second = &Flow{Name: "second", Bytes: 50 * units.MB, FullRate: units.MBps(100)}
+		r.Start(second)
+		if got := second.Rate(); !close2(float64(got), float64(units.MBps(100)), 1e-6) {
+			t.Errorf("second flow rate at arrival = %v, want full device", got)
+		}
+	}
+	r.Start(first)
+	e.Run()
+	if !first.Done() || !second.Done() {
+		t.Fatal("flows did not complete")
+	}
+	// 50 MB + 50 MB at 100 MB/s = 1s, plus the two 1ns completion ticks.
+	if got := e.Now(); got < time.Second || got > time.Second+10*time.Nanosecond {
+		t.Errorf("end time = %v, want ~1s", got)
+	}
+	if got := r.Stats().Flows; got != 2 {
+		t.Errorf("completed flows = %d", got)
+	}
+}
+
+// TestSameInstantCompletionsCoalesce runs identical flows that drain at
+// the same instant: one completion event must finish all of them.
+func TestSameInstantCompletionsCoalesce(t *testing.T) {
+	e := NewEngine()
+	r := NewFlowResource(e, "disk")
+	done := 0
+	for i := 0; i < 8; i++ {
+		r.Start(&Flow{Name: "f", Bytes: 10 * units.MB, FullRate: units.MBps(100),
+			OnComplete: func() { done++ }})
+	}
+	var completionInstants []time.Duration
+	r.Observer = func(ev FlowEvent) {
+		if !ev.Started {
+			completionInstants = append(completionInstants, ev.Time)
+		}
+	}
+	e.Run()
+	if done != 8 {
+		t.Fatalf("done = %d", done)
+	}
+	for _, at := range completionInstants {
+		if at != completionInstants[0] {
+			t.Fatalf("completions not coalesced to one instant: %v", completionInstants)
+		}
+	}
+	// 8 × 10 MB sharing 100 MB/s: all finish together at 0.8s.
+	if got := completionInstants[0]; !close2(got.Seconds(), 0.8, 1e-6) {
+		t.Errorf("completion at %v, want 0.8s", got)
+	}
+}
+
+// TestDemandSetOrderMaintained churns flows with distinct caps through
+// the resource and checks the incremental sort invariant directly.
+func TestDemandSetOrderMaintained(t *testing.T) {
+	e := NewEngine()
+	r := NewFlowResource(e, "disk")
+	caps := []units.Rate{units.MBps(80), units.MBps(10), units.MBps(40), units.MBps(20), units.MBps(160)}
+	for i, c := range caps {
+		r.Start(&Flow{Name: "f", Bytes: units.ByteSize(i+1) * 5 * units.MB, FullRate: units.MBps(200), Cap: c})
+		for j := 1; j < len(r.sorted); j++ {
+			if r.sorted[j-1].umax > r.sorted[j].umax {
+				t.Fatalf("after start %d: demand set out of order", i)
+			}
+			if r.sorted[j].idx != j || r.sorted[j-1].idx != j-1 {
+				t.Fatalf("after start %d: stale sorted indices", i)
+			}
+		}
+	}
+	e.Run()
+	if len(r.sorted) != 0 || r.Active() != 0 {
+		t.Fatalf("demand set not drained: %d sorted, %d active", len(r.sorted), r.Active())
+	}
+}
+
+// TestCorePoolCapacityChangeMidFlow shrinks and regrows the pool while
+// tasks stream through flows — the SetCapacity interaction the what-if
+// sweeps depend on.
+func TestCorePoolCapacityChangeMidFlow(t *testing.T) {
+	e := NewEngine()
+	p := NewCorePool(e, 4)
+	r := NewFlowResource(e, "disk")
+	finished := 0
+	task := func() {
+		r.Start(&Flow{Name: "t", Bytes: 10 * units.MB, FullRate: units.MBps(100),
+			OnComplete: func() { finished++; p.Release() }})
+	}
+	for i := 0; i < 12; i++ {
+		p.Acquire(task)
+	}
+	// Shrink while the first wave's flows are mid-transfer, then regrow
+	// once the queue has mostly drained.
+	e.After(100*time.Millisecond, func() { p.SetCapacity(1) })
+	e.After(2*time.Second, func() { p.SetCapacity(8) })
+	e.Run()
+	if finished != 12 {
+		t.Fatalf("finished = %d of 12", finished)
+	}
+	if p.InUse() != 0 || p.Queued() != 0 {
+		t.Fatalf("pool not drained: inUse=%d queued=%d", p.InUse(), p.Queued())
+	}
+}
+
+func close2(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*want
+}

@@ -83,6 +83,11 @@ type ClusterConfig struct {
 	// shuffle-fetch failures with Spark-faithful recovery (see
 	// FaultConfig). The zero value disables the fault layer entirely.
 	Faults FaultConfig
+	// DisableCoalescing forces the per-task simulation path even when a
+	// run qualifies for wave coalescing (see docs/PERF.md). Coalescing
+	// is output-preserving, so this knob exists only for A/B equivalence
+	// tests and performance debugging.
+	DisableCoalescing bool
 }
 
 // DurationParam is a plain duration in seconds used in configs so zero

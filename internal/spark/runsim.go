@@ -61,6 +61,18 @@ type stageState struct {
 	// the in-flight attempts.
 	durations []time.Duration
 	running   map[*attempt]struct{}
+	// reqTrace records, on the coalesced path only, every increment to
+	// the cluster-shared IOStat.Requests accumulators in event order, so
+	// completeStage can replay the additions the replicated nodes would
+	// have made (float addition is order-sensitive; see scaleResult).
+	reqTrace map[OpKind][]reqIncr
+}
+
+// reqIncr is one recorded IOStat.Requests increment: its virtual instant
+// and value.
+type reqIncr struct {
+	at time.Duration
+	v  float64
 }
 
 // taskState is one logical task, possibly executed by several attempts.
@@ -101,6 +113,12 @@ type runner struct {
 	states     []*stageState
 	done       int
 	finishedAt time.Duration
+	// scale is the wave-coalescing replication factor: 1 on the
+	// per-task path; cfg.Slaves when the run is provably node-symmetric
+	// and a single representative node is simulated in place of the
+	// cluster (see coalescable and docs/PERF.md). Every aggregate is
+	// scaled back so the Result is byte-identical to the per-task path.
+	scale int
 	// err is the first fatal failure (attempt budget exhausted, no
 	// healthy nodes left). Once set, no new work launches and the
 	// engine drains its in-flight events.
@@ -108,11 +126,19 @@ type runner struct {
 }
 
 // busySums totals the device utilisation seconds across nodes (iostat's
-// %util integral, not mere occupancy).
+// %util integral, not mere occupancy). Under coalescing each simulated
+// node stands for scale identical nodes; the replicated nodes would
+// accumulate bit-identical UtilSeconds, so adding the representative's
+// converted value scale times reproduces the per-task sum exactly
+// (Duration addition is integer arithmetic).
 func (r *runner) busySums() (hdfs, local time.Duration) {
 	for _, n := range r.ns {
-		hdfs += units.SecDuration(n.hdfs.Stats().UtilSeconds)
-		local += units.SecDuration(n.local.Stats().UtilSeconds)
+		h := units.SecDuration(n.hdfs.Stats().UtilSeconds)
+		l := units.SecDuration(n.local.Stats().UtilSeconds)
+		for s := 0; s < r.scale; s++ {
+			hdfs += h
+			local += l
+		}
 	}
 	return hdfs, local
 }
@@ -126,11 +152,19 @@ type cfgDerived struct {
 func newRunner(cfg ClusterConfig, app App) *runner {
 	d := cfgDerived{ClusterConfig: cfg}
 	if cfg.Slaves > 1 {
+		// remoteFrac always reflects the full cluster size, even when
+		// coalescing simulates a single representative node.
 		d.remoteFrac = float64(cfg.Slaves-1) / float64(cfg.Slaves)
 	}
-	eng := sim.NewEngine()
-	r := &runner{cfg: d, app: app, eng: eng}
-	for i := 0; i < cfg.Slaves; i++ {
+	scale := 1
+	simNodes := cfg.Slaves
+	if coalescable(cfg, app) {
+		scale = cfg.Slaves
+		simNodes = 1
+	}
+	eng := sim.NewEngineSized(simNodes*(cfg.ExecutorCores+4) + 16)
+	r := &runner{cfg: d, app: app, eng: eng, scale: scale}
+	for i := 0; i < simNodes; i++ {
 		n := &node{
 			id:    i,
 			cores: sim.NewCorePool(eng, cfg.ExecutorCores),
@@ -177,6 +211,36 @@ func buildStates(app App) []*stageState {
 	return states
 }
 
+// coalescable reports whether the run qualifies for wave coalescing:
+// simulating one representative node in place of cfg.Slaves identical
+// ones and replicating its timings and metrics. That is exact only when
+// every node provably executes the same event sequence, which requires
+//
+//   - no fault injection, speculation, stragglers or compute jitter
+//     (each makes tasks or nodes heterogeneous), and
+//   - every task group's count divisible by the node count, so the
+//     round-robin assignment gives all nodes identical task schedules.
+//
+// Anything else falls back to the per-task path automatically. The
+// fallback and the coalesced path produce byte-identical Results — the
+// registry-wide golden test in internal/workloads enforces it.
+func coalescable(cfg ClusterConfig, app App) bool {
+	if cfg.DisableCoalescing || cfg.Slaves <= 1 {
+		return false
+	}
+	if cfg.Faults.Enabled() || cfg.Speculation || cfg.StragglerFraction > 0 || cfg.ComputeJitter > 0 {
+		return false
+	}
+	for _, s := range app.Stages {
+		for _, g := range s.Groups {
+			if g.Count%cfg.Slaves != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func (r *runner) run() (*Result, error) {
 	if f := r.cfg.Faults; f.Enabled() {
 		for _, c := range f.NodeCrashes {
@@ -203,8 +267,15 @@ func (r *runner) run() (*Result, error) {
 	// drain a little further (cancelled speculative attempts finishing
 	// their in-flight op before standing down).
 	r.res.Total = r.finishedAt
+	// Under coalescing every replicated node's pool would report the
+	// same float, and the per-task path sums them node by node — so add
+	// the representative's value scale times rather than multiplying, to
+	// reproduce the identical float accumulation sequence.
 	for _, n := range r.ns {
-		r.res.CoreSeconds += n.cores.BusyCoreSeconds()
+		v := n.cores.BusyCoreSeconds()
+		for s := 0; s < r.scale; s++ {
+			r.res.CoreSeconds += v
+		}
 	}
 	return r.res, nil
 }
@@ -250,6 +321,9 @@ func (r *runner) completeStage(st *stageState) {
 	hdfs, local := r.busySums()
 	st.res.HDFSBusy = hdfs - st.hdfsBusy0
 	st.res.LocalBusy = local - st.localBusy0
+	if r.scale > 1 {
+		r.scaleStage(st)
+	}
 	st.completed = true
 	r.done++
 	if st.res.End > r.finishedAt {
@@ -257,6 +331,58 @@ func (r *runner) completeStage(st *stageState) {
 	}
 	r.res.Stages = append(r.res.Stages, *st.res)
 	r.launchReady()
+}
+
+// scaleStage converts a representative-node stage measurement into the
+// full-cluster one. Integer aggregates (durations, bytes, counts) scale
+// exactly by multiplication; the one cluster-shared float accumulator —
+// IOStat.Requests — is rebuilt by replaying the recorded increment
+// sequence once per replicated node, reproducing the per-task path's
+// float additions bit for bit. (Within a virtual instant the per-task
+// path interleaves nodes in node-major order: each node's resource
+// completes its flows in one cascade before the next node's fires.)
+func (r *runner) scaleStage(st *stageState) {
+	k := time.Duration(r.scale)
+	b := units.ByteSize(r.scale)
+	for gi := range st.groups {
+		g := &st.groups[gi]
+		g.TotalTaskTime *= k
+		for oi := range g.OpTimes {
+			o := &g.OpTimes[oi]
+			o.Time *= k
+			o.Bytes *= b
+			o.Coupled *= k
+			o.Count *= r.scale
+		}
+	}
+	st.res.NetBytes *= b
+	for kind, s := range st.res.IO {
+		s.Bytes *= b
+		s.Ops *= r.scale
+		s.Time *= k
+		s.Requests = replayRequests(st.reqTrace[kind], r.scale)
+		st.res.IO[kind] = s
+	}
+}
+
+// replayRequests folds one op kind's recorded Requests increments as the
+// whole cluster would have: per virtual instant, each of the scale
+// identical nodes contributes the representative's increments in turn.
+func replayRequests(trace []reqIncr, scale int) float64 {
+	var sum float64
+	for i := 0; i < len(trace); {
+		j := i
+		for j < len(trace) && trace[j].at == trace[i].at {
+			j++
+		}
+		for n := 0; n < scale; n++ {
+			for t := i; t < j; t++ {
+				sum += trace[t].v
+			}
+		}
+		i = j
+	}
+	return sum
 }
 
 func (r *runner) launchStage(st *stageState, barrier time.Duration) {
@@ -271,8 +397,11 @@ func (r *runner) launchStage(st *stageState, barrier time.Duration) {
 		IO:    make(map[OpKind]IOStat),
 	}
 	st.groups = make([]GroupResult, len(stage.Groups))
-	st.remaining = stage.Tasks()
+	st.remaining = stage.Tasks() / r.scale
 	st.running = make(map[*attempt]struct{})
+	if r.scale > 1 {
+		st.reqTrace = make(map[OpKind][]reqIncr)
+	}
 	if r.cfg.Speculation {
 		// Spark re-evaluates speculation on a timer
 		// (spark.speculation.interval); completions alone would miss a
@@ -298,7 +427,10 @@ func (r *runner) launchStage(st *stageState, barrier time.Duration) {
 			Count:   g.Count,
 			OpTimes: make([]OpStat, nOps),
 		}
-		for t := 0; t < g.Count; t++ {
+		// On the coalesced path the representative node runs its 1/scale
+		// share of the group — exactly the tasks round-robin would give
+		// each node (coalescable guarantees divisibility).
+		for t := 0; t < g.Count/r.scale; t++ {
 			nd := r.ns[taskIdx%len(r.ns)]
 			if r.faultsOn() {
 				nd = r.pickHealthy(taskIdx%len(r.ns), nil)
@@ -827,7 +959,11 @@ func (r *runner) accountIO(st *stageState, op Op, elapsed time.Duration) {
 	s.Ops++
 	rs := op.DefaultReqSize(r.cfg.HDFSBlockSize)
 	if rs > 0 {
-		s.Requests += float64(bytes) / float64(rs)
+		v := float64(bytes) / float64(rs)
+		s.Requests += v
+		if st.reqTrace != nil {
+			st.reqTrace[op.Kind] = append(st.reqTrace[op.Kind], reqIncr{at: r.eng.Now(), v: v})
+		}
 	}
 	st.res.IO[op.Kind] = s
 }

@@ -1,0 +1,131 @@
+package spark
+
+// Scale benchmarks: the production-size input the ROADMAP aims at
+// (64 nodes × 32 cores, >100k tasks), measured with wave coalescing on
+// and off. The coalesced/pertask pair is what docs/BENCH_simcore.json
+// gates — refreshing the baseline is described in docs/PERF.md.
+//
+//	go test -bench BenchmarkSimScale -benchmem ./internal/spark
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// scaleApp is a synthetic two-stage map/reduce application sized like a
+// production batch job: scaleTasks map tasks reading HDFS blocks and
+// writing shuffle output, and one reduce wave pulling it back in.
+func scaleApp(slaves, cores int) App {
+	mapTasks := scaleTasks
+	reduceTasks := slaves * cores
+	perMap := 32 * units.MB
+	perReduce := units.ByteSize(int64(mapTasks) * int64(perMap) / int64(reduceTasks))
+	return App{
+		Name: "scale",
+		Stages: []Stage{
+			{Name: "map", Groups: []TaskGroup{{
+				Name:  "map",
+				Count: mapTasks,
+				Ops: []Op{
+					IOC(OpHDFSRead, perMap, 0, 0, 40*time.Millisecond),
+					Compute(120 * time.Millisecond),
+					IO(OpShuffleWrite, perMap/2, 0, 0),
+				},
+			}}},
+			{Name: "reduce", Groups: []TaskGroup{{
+				Name:  "reduce",
+				Count: reduceTasks,
+				Ops: []Op{
+					IOC(OpShuffleRead, perReduce/2, ShuffleReadReqSize(perReduce/2, mapTasks), units.MBps(60), 200*time.Millisecond),
+					Compute(500 * time.Millisecond),
+					IO(OpHDFSWrite, perReduce/4, 0, 0),
+				},
+			}}},
+		},
+	}
+}
+
+const (
+	scaleSlaves = 64
+	scaleCores  = 32
+	scaleTasks  = 102_400 // 64 nodes × 32 cores × 50 full waves
+)
+
+func benchSimScale(b *testing.B, disableCoalescing bool) {
+	ssd := disk.NewSSD()
+	cfg := DefaultTestbed(scaleSlaves, scaleCores, ssd, ssd)
+	cfg.ComputeJitter = 0 // homogeneous: the coalescing-eligible regime
+	cfg.DisableCoalescing = disableCoalescing
+	app := scaleApp(scaleSlaves, scaleCores)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stages[0].Tasks != scaleTasks {
+			b.Fatalf("map stage ran %d tasks", res.Stages[0].Tasks)
+		}
+	}
+}
+
+// BenchmarkSimScale is the headline scale benchmark (coalesced path).
+func BenchmarkSimScale(b *testing.B) { benchSimScale(b, false) }
+
+// BenchmarkSimScalePerTask is the same input forced down the per-task
+// path — the pre-optimisation cost, kept runnable so the coalescing
+// speedup stays measurable instead of historical.
+func BenchmarkSimScalePerTask(b *testing.B) { benchSimScale(b, true) }
+
+// BenchmarkSimMedium is a mid-size fallback-path benchmark (jittered,
+// so never coalesced): it tracks the per-task path's own regressions,
+// which the scale benchmark would hide behind coalescing.
+func BenchmarkSimMedium(b *testing.B) {
+	ssd := disk.NewSSD()
+	cfg := DefaultTestbed(8, 8, ssd, ssd) // default jitter 0.15
+	app := scaleAppSized(8, 8, 6400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// scaleAppSized is scaleApp with an explicit map-task count.
+func scaleAppSized(slaves, cores, mapTasks int) App {
+	app := scaleApp(slaves, cores)
+	app.Stages[0].Groups[0].Count = mapTasks
+	return app
+}
+
+// TestScaleAppCoalesces pins the benchmark's premise: the scale config
+// qualifies for coalescing, and both paths produce identical Results
+// even at the 64×32×100k production size.
+func TestScaleAppCoalesces(t *testing.T) {
+	ssd := disk.NewSSD()
+	cfg := DefaultTestbed(scaleSlaves, scaleCores, ssd, ssd)
+	cfg.ComputeJitter = 0
+	app := scaleApp(scaleSlaves, scaleCores)
+	if !coalescable(cfg, app) {
+		t.Fatal("scale benchmark config must be coalescable")
+	}
+	a, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableCoalescing = true
+	b, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("paths disagree at production scale:\ncoalesced: %+v\nper-task:  %+v", a, b)
+	}
+}
