@@ -7,6 +7,12 @@
 //	go test -bench ... -benchmem -run '^$' ./... | benchgate -write docs/BENCH_simcore.json
 //	go test -bench ... -benchmem -run '^$' ./... | benchgate -baseline docs/BENCH_simcore.json
 //
+// -baseline repeats: one gated run can cover several committed baseline
+// files (the sim core and the serve hot path), as long as no benchmark
+// name appears in more than one of them:
+//
+//	... | benchgate -baseline docs/BENCH_simcore.json -baseline docs/BENCH_serve.json
+//
 // allocs/op is deterministic and gated strictly; ns/op is machine-
 // dependent, so the gate compares against the committed baseline with a
 // relative tolerance (default 15%). See docs/PERF.md for when and how
@@ -45,12 +51,18 @@ func run(args []string, in io.Reader, out, errW io.Writer) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(errW)
 	write := fs.String("write", "", "record the parsed benchmarks as the new baseline at this path")
-	baseline := fs.String("baseline", "", "compare against the baseline at this path")
+	var baselines []string
+	fs.Func("baseline", "compare against the baseline at this path (repeatable)", func(s string) error {
+		baselines = append(baselines, s)
+		return nil
+	})
 	tolerance := fs.Float64("tolerance", 0.15, "maximum allowed relative regression in ns/op and allocs/op")
+	note := fs.String("note", "Committed perf baseline. Refresh per docs/PERF.md.",
+		"note stored in the baseline file written by -write")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if (*write == "") == (*baseline == "") {
+	if (*write == "") == (len(baselines) == 0) {
 		fmt.Fprintln(errW, "benchgate: need exactly one of -write or -baseline")
 		return 2
 	}
@@ -65,7 +77,7 @@ func run(args []string, in io.Reader, out, errW io.Writer) int {
 	}
 	if *write != "" {
 		b := Baseline{
-			Note:       "Committed perf baseline for the simulation core. Refresh per docs/PERF.md.",
+			Note:       *note,
 			Benchmarks: got,
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
@@ -81,17 +93,42 @@ func run(args []string, in io.Reader, out, errW io.Writer) int {
 		return 0
 	}
 
-	data, err := os.ReadFile(*baseline)
+	base, err := loadBaselines(baselines)
 	if err != nil {
 		fmt.Fprintln(errW, "benchgate:", err)
 		return 2
 	}
-	var base Baseline
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(errW, "benchgate: %s: %v\n", *baseline, err)
-		return 2
-	}
 	return compare(base, got, *tolerance, out, errW)
+}
+
+// loadBaselines merges the committed baseline files into one gate. A
+// benchmark name appearing in two files is an authorship error (which
+// file would own its refresh?), so it fails loudly instead of silently
+// letting the later file win.
+func loadBaselines(paths []string) (Baseline, error) {
+	merged := Baseline{Benchmarks: map[string]Entry{}}
+	owner := map[string]string{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return Baseline{}, err
+		}
+		var b Baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			return Baseline{}, fmt.Errorf("%s: %v", path, err)
+		}
+		if len(b.Benchmarks) == 0 {
+			return Baseline{}, fmt.Errorf("%s: no benchmarks", path)
+		}
+		for name, e := range b.Benchmarks {
+			if prev, dup := owner[name]; dup {
+				return Baseline{}, fmt.Errorf("benchmark %s appears in both %s and %s", name, prev, path)
+			}
+			owner[name] = path
+			merged.Benchmarks[name] = e
+		}
+	}
+	return merged, nil
 }
 
 // compare gates every baseline benchmark against the current run.

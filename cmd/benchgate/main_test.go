@@ -119,3 +119,64 @@ func TestBadUsage(t *testing.T) {
 		t.Errorf("missing baseline exited %d, want 2", code)
 	}
 }
+
+// TestMultipleBaselines checks one gated run can cover several committed
+// baseline files, and that a benchmark owned by two files is rejected.
+func TestMultipleBaselines(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b Baseline) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	simBase := write("sim.json", Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkEngineEventLoop": {NsPerOp: 30, AllocsPerOp: 0},
+	}})
+	serveBase := write("serve.json", Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkFlowChurn": {NsPerOp: 400, AllocsPerOp: 2},
+	}})
+
+	var out, errW bytes.Buffer
+	code := run([]string{"-baseline", simBase, "-baseline", serveBase},
+		strings.NewReader(benchOut), &out, &errW)
+	if code != 0 {
+		t.Fatalf("merged gate exited %d: %s", code, errW.String())
+	}
+	if !strings.Contains(out.String(), "2 benchmarks within") {
+		t.Errorf("output: %s", out.String())
+	}
+
+	// A regression in the second file's benchmark fails the merged gate.
+	out.Reset()
+	errW.Reset()
+	strict := write("serve-strict.json", Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkFlowChurn": {NsPerOp: 100, AllocsPerOp: 2},
+	}})
+	code = run([]string{"-baseline", simBase, "-baseline", strict},
+		strings.NewReader(benchOut), &out, &errW)
+	if code != 1 {
+		t.Fatalf("regressed merged gate exited %d, want 1: %s", code, errW.String())
+	}
+
+	// Duplicate ownership is an authorship error, not last-wins.
+	out.Reset()
+	errW.Reset()
+	dup := write("dup.json", Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkEngineEventLoop": {NsPerOp: 10, AllocsPerOp: 0},
+	}})
+	code = run([]string{"-baseline", simBase, "-baseline", dup},
+		strings.NewReader(benchOut), &out, &errW)
+	if code != 2 {
+		t.Fatalf("duplicate baseline exited %d, want 2: %s", code, errW.String())
+	}
+	if !strings.Contains(errW.String(), "appears in both") {
+		t.Errorf("stderr: %s", errW.String())
+	}
+}

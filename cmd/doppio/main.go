@@ -11,6 +11,8 @@
 //	doppio sim [flags] <workload>      simulate a workload, print stages + iostat
 //	doppio predict [flags] <workload>  calibrate, predict, compare with sim
 //	doppio optimize [flags]            search the cloud configuration space
+//	doppio whatif [flags] <workload>   sweep core counts with the calibrated model
+//	doppio serve [flags]               HTTP prediction service (docs/SERVING.md)
 //	doppio fio                         fio-like sweep of the device models
 //
 // `doppio run` bounds each artifact with -timeout and cancels cleanly
@@ -18,6 +20,10 @@
 // takes fault-injection flags (-fail-prob, -fetch-fail-prob,
 // -max-task-failures, -retry-backoff, -fault-seed); see
 // docs/RESILIENCE.md for the failure-recovery model behind them.
+// `doppio serve` exposes predict/simulate/whatif/recommend/sweep as
+// cached JSON endpoints with /healthz, /readyz and Prometheus-text
+// /metrics, and drains gracefully on SIGTERM; cmd/loadgen drives it for
+// the CI service gate.
 //
 // The implementation lives in internal/cli.
 package main

@@ -1,0 +1,367 @@
+// Command loadgen is a closed-loop load driver for `doppio serve`,
+// patterned after the pilot-load phase of the paper's methodology: drive
+// a known request mix at a target rate, measure the latency
+// distribution, and assert the service-level objectives the CI
+// service-e2e job gates on (zero 5xx, a p99 budget, a warm cache).
+//
+// Each worker runs a closed loop — issue a request, wait for the
+// response, take the next token — so concurrency is bounded by -workers
+// and the offered rate by -qps. The default mix covers every API
+// endpoint with the cheap calibration workloads (lr-small, sql at three
+// slaves), so a full run is fast enough for CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// request is one entry in the driven mix.
+type request struct {
+	Name   string
+	Method string
+	Path   string
+	Body   string
+	Weight int
+}
+
+// defaultMix exercises every serve endpoint. Weights favour the cached
+// hot path (predict/simulate) the way a planning UI would.
+func defaultMix() []request {
+	return []request{
+		{"workloads", "GET", "/api/v1/workloads", "", 2},
+		{"predict", "POST", "/api/v1/predict", `{"workload":"lr-small","slaves":3,"cores":8}`, 6},
+		{"predict-faulty", "POST", "/api/v1/predict", `{"workload":"lr-small","slaves":3,"cores":8,"faults":{"task_failure_prob":0.05}}`, 2},
+		{"simulate", "POST", "/api/v1/simulate", `{"workload":"sql","slaves":3,"cores":8}`, 6},
+		{"whatif", "POST", "/api/v1/whatif", `{"workload":"lr-small","slaves":3,"max_cores":16}`, 3},
+		{"recommend", "POST", "/api/v1/recommend", `{"workload":"lr-small","slaves":3,"top":3}`, 1},
+		{"sweep", "POST", "/api/v1/sweep", `{"workloads":["sql"],"nodes":[3],"cores":[4,8]}`, 2},
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	name    string
+	status  int
+	latency time.Duration
+	err     error
+}
+
+// summary aggregates a run for the JSON report.
+type summary struct {
+	Requests      int                `json:"requests"`
+	Errors        int                `json:"errors"`
+	Status        map[string]int     `json:"status"`
+	P50Ms         float64            `json:"p50_ms"`
+	P90Ms         float64            `json:"p90_ms"`
+	P99Ms         float64            `json:"p99_ms"`
+	MaxMs         float64            `json:"max_ms"`
+	AchievedQPS   float64            `json:"achieved_qps"`
+	ByRoute       map[string]float64 `json:"p99_by_route_ms"`
+	CacheHits     float64            `json:"cache_hits,omitempty"`
+	CacheMisses   float64            `json:"cache_misses,omitempty"`
+	CacheHitRatio float64            `json:"cache_hit_ratio,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		base         = fs.String("base", "http://127.0.0.1:8080", "base URL of the doppio serve instance")
+		qps          = fs.Float64("qps", 50, "target aggregate request rate (0 = unpaced)")
+		workers      = fs.Int("workers", 8, "closed-loop worker count")
+		duration     = fs.Duration("duration", 10*time.Second, "measured run length")
+		warmup       = fs.Duration("warmup", 0, "unmeasured warm-up period before the run")
+		timeout      = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		readyWait    = fs.Duration("ready-timeout", 30*time.Second, "how long to wait for /readyz before giving up")
+		maxP99       = fs.Duration("max-p99", 0, "fail if measured p99 exceeds this (0 = no budget)")
+		failOn5xx    = fs.Bool("fail-on-5xx", false, "fail if any request returns a 5xx")
+		minHitRatio  = fs.Float64("min-cache-hit-ratio", 0, "fail if the server's cache hit ratio (from /metrics) is below this")
+		checkMetrics = fs.Bool("check-metrics", false, "scrape and validate /metrics after the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *qps < 0 || *duration <= 0 {
+		fmt.Fprintln(stderr, "loadgen: need workers >= 1, qps >= 0, duration > 0")
+		return 2
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if err := waitReady(client, *base, *readyWait); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	mix := expandMix(defaultMix())
+	if *warmup > 0 {
+		drive(client, *base, mix, *workers, *qps, *warmup, nil)
+	}
+	samples := make(chan sample, 4096)
+	collected := make([]sample, 0, 4096)
+	var collectWG sync.WaitGroup
+	collectWG.Add(1)
+	go func() {
+		defer collectWG.Done()
+		for s := range samples {
+			collected = append(collected, s)
+		}
+	}()
+	start := time.Now()
+	drive(client, *base, mix, *workers, *qps, *duration, samples)
+	elapsed := time.Since(start)
+	close(samples)
+	collectWG.Wait()
+
+	sum := summarize(collected, elapsed)
+	failures := assess(&sum, *maxP99, *failOn5xx)
+
+	if *checkMetrics || *minHitRatio > 0 {
+		hits, misses, err := scrapeCache(client, *base)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("metrics scrape: %v", err))
+		} else {
+			sum.CacheHits, sum.CacheMisses = hits, misses
+			if total := hits + misses; total > 0 {
+				sum.CacheHitRatio = hits / total
+			}
+			if sum.CacheHitRatio < *minHitRatio {
+				failures = append(failures,
+					fmt.Sprintf("cache hit ratio %.3f below required %.3f", sum.CacheHitRatio, *minHitRatio))
+			}
+		}
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(sum)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "loadgen: FAIL: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Fprintln(stderr, "loadgen: all checks passed")
+	return 0
+}
+
+// waitReady polls /readyz until the service accepts traffic.
+func waitReady(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("service never became ready: %v", err)
+			}
+			return fmt.Errorf("service never became ready")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// expandMix unrolls weights into a request schedule.
+func expandMix(mix []request) []request {
+	var out []request
+	for _, r := range mix {
+		for i := 0; i < r.Weight; i++ {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// drive runs the closed loop: workers pull tokens (paced by qps) and
+// issue the next request from the shared schedule. samples may be nil
+// (warm-up).
+func drive(client *http.Client, base string, mix []request, workers int, qps float64, d time.Duration, samples chan<- sample) {
+	stop := time.After(d)
+	tokens := make(chan struct{}, workers)
+	var pacer *time.Ticker
+	if qps > 0 {
+		pacer = time.NewTicker(time.Duration(float64(time.Second) / qps))
+		defer pacer.Stop()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if pacer != nil {
+				select {
+				case <-stop:
+					return
+				case <-pacer.C:
+				}
+			}
+			select {
+			case <-stop:
+				return
+			case tokens <- struct{}{}:
+			}
+		}
+	}()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tokens:
+				}
+				req := mix[int(next.Add(1)-1)%len(mix)]
+				s := issue(client, base, req)
+				if samples != nil {
+					samples <- s
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func issue(client *http.Client, base string, r request) sample {
+	start := time.Now()
+	var resp *http.Response
+	var err error
+	if r.Method == "GET" {
+		resp, err = client.Get(base + r.Path)
+	} else {
+		resp, err = client.Post(base+r.Path, "application/json", strings.NewReader(r.Body))
+	}
+	s := sample{name: r.Name, latency: time.Since(start), err: err}
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		s.status = resp.StatusCode
+		s.latency = time.Since(start)
+	}
+	return s
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func summarize(collected []sample, elapsed time.Duration) summary {
+	sum := summary{
+		Requests: len(collected),
+		Status:   map[string]int{},
+		ByRoute:  map[string]float64{},
+	}
+	all := make([]time.Duration, 0, len(collected))
+	byRoute := map[string][]time.Duration{}
+	for _, s := range collected {
+		if s.err != nil {
+			sum.Errors++
+			continue
+		}
+		sum.Status[strconv.Itoa(s.status)]++
+		all = append(all, s.latency)
+		byRoute[s.name] = append(byRoute[s.name], s.latency)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sum.P50Ms = ms(percentile(all, 0.50))
+	sum.P90Ms = ms(percentile(all, 0.90))
+	sum.P99Ms = ms(percentile(all, 0.99))
+	if len(all) > 0 {
+		sum.MaxMs = ms(all[len(all)-1])
+	}
+	if elapsed > 0 {
+		sum.AchievedQPS = float64(len(collected)) / elapsed.Seconds()
+	}
+	for name, lats := range byRoute {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		sum.ByRoute[name] = ms(percentile(lats, 0.99))
+	}
+	return sum
+}
+
+// assess applies the SLO gates and returns human-readable failures.
+func assess(sum *summary, maxP99 time.Duration, failOn5xx bool) []string {
+	var failures []string
+	if sum.Requests == 0 {
+		failures = append(failures, "no requests completed")
+	}
+	if sum.Errors > 0 {
+		failures = append(failures, fmt.Sprintf("%d transport errors", sum.Errors))
+	}
+	if failOn5xx {
+		for code, n := range sum.Status {
+			if strings.HasPrefix(code, "5") && n > 0 {
+				failures = append(failures, fmt.Sprintf("%d responses with status %s", n, code))
+			}
+		}
+	}
+	if maxP99 > 0 && sum.P99Ms > ms(maxP99) {
+		failures = append(failures, fmt.Sprintf("p99 %.1fms exceeds budget %v", sum.P99Ms, maxP99))
+	}
+	return failures
+}
+
+// scrapeCache pulls doppio_cache_hits_total / doppio_cache_misses_total
+// off /metrics, validating the exposition line format along the way.
+func scrapeCache(client *http.Client, base string) (hits, misses float64, err error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("/metrics returned %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			return 0, 0, fmt.Errorf("unparseable metrics line %q", line)
+		}
+		v, perr := strconv.ParseFloat(value, 64)
+		if perr != nil && value != "+Inf" && value != "NaN" {
+			return 0, 0, fmt.Errorf("unparseable metrics value in %q", line)
+		}
+		switch name {
+		case "doppio_cache_hits_total":
+			hits = v
+		case "doppio_cache_misses_total":
+			misses = v
+		}
+	}
+	return hits, misses, sc.Err()
+}

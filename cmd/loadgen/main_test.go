@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startServer boots a real serve instance on a loopback port and returns
+// its base URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	s, err := serve.New(serve.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	select {
+	case <-s.Started():
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started")
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serve.Run: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("server never drained")
+		}
+	})
+	return "http://" + s.Addr()
+}
+
+// TestLoadgenAgainstLiveServer is the in-repo rehearsal of the CI
+// service-e2e job: drive the full mix briefly, require zero 5xx and a
+// warm cache.
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live server for several seconds")
+	}
+	base := startServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-base", base,
+		"-qps", "30",
+		"-workers", "4",
+		"-duration", "3s",
+		"-warmup", "500ms",
+		"-fail-on-5xx",
+		"-check-metrics",
+		"-min-cache-hit-ratio", "0.05",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("loadgen exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	var sum summary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, stdout.String())
+	}
+	if sum.Requests == 0 {
+		t.Error("no requests recorded")
+	}
+	if sum.Status["200"] == 0 {
+		t.Errorf("no 200s in %v", sum.Status)
+	}
+	if sum.P99Ms <= 0 {
+		t.Errorf("p99 = %v", sum.P99Ms)
+	}
+	if sum.CacheHitRatio <= 0 {
+		t.Errorf("cache hit ratio = %v, want > 0", sum.CacheHitRatio)
+	}
+	if !strings.Contains(stderr.String(), "all checks passed") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workers", "0"}, &stdout, &stderr); code != 2 {
+		t.Errorf("workers=0 exited %d, want 2", code)
+	}
+	if code := run([]string{"-qps", "-1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("qps=-1 exited %d, want 2", code)
+	}
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+}
+
+func TestLoadgenUnreachableServer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-base", "http://127.0.0.1:1", "-duration", "1s", "-ready-timeout", "1s"}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("unreachable server exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "never became ready") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	var collected []sample
+	for i := 1; i <= 100; i++ {
+		collected = append(collected, sample{name: "r", status: 200, latency: time.Duration(i) * time.Millisecond})
+	}
+	sum := summarize(collected, 10*time.Second)
+	if sum.Requests != 100 || sum.Errors != 0 {
+		t.Errorf("requests = %d, errors = %d", sum.Requests, sum.Errors)
+	}
+	if sum.P50Ms < 45 || sum.P50Ms > 55 {
+		t.Errorf("p50 = %v, want ~50", sum.P50Ms)
+	}
+	if sum.P99Ms < 95 || sum.P99Ms > 100 {
+		t.Errorf("p99 = %v, want ~99", sum.P99Ms)
+	}
+	if sum.MaxMs != 100 {
+		t.Errorf("max = %v, want 100", sum.MaxMs)
+	}
+	if sum.AchievedQPS != 10 {
+		t.Errorf("qps = %v, want 10", sum.AchievedQPS)
+	}
+}
+
+func TestAssessGates(t *testing.T) {
+	sum := summary{Requests: 10, Status: map[string]int{"200": 8, "500": 2}, P99Ms: 250}
+	fails := assess(&sum, 100*time.Millisecond, true)
+	if len(fails) != 2 {
+		t.Errorf("failures = %v, want 5xx + p99 budget", fails)
+	}
+	ok := summary{Requests: 10, Status: map[string]int{"200": 10}, P99Ms: 50}
+	if fails := assess(&ok, 100*time.Millisecond, true); len(fails) != 0 {
+		t.Errorf("unexpected failures: %v", fails)
+	}
+	empty := summary{Status: map[string]int{}}
+	if fails := assess(&empty, 0, false); len(fails) != 1 {
+		t.Errorf("empty run failures = %v, want 1", fails)
+	}
+}
+
+func TestExpandMixCoversEveryEndpoint(t *testing.T) {
+	mix := expandMix(defaultMix())
+	paths := map[string]bool{}
+	for _, r := range mix {
+		paths[r.Path] = true
+	}
+	for _, want := range []string{
+		"/api/v1/workloads", "/api/v1/predict", "/api/v1/simulate",
+		"/api/v1/whatif", "/api/v1/recommend", "/api/v1/sweep",
+	} {
+		if !paths[want] {
+			t.Errorf("default mix misses %s", want)
+		}
+	}
+}

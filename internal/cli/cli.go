@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cloud"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/optimizer"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/spark"
 	"repro/internal/units"
 	"repro/internal/workloads"
@@ -33,12 +35,13 @@ import (
 // program name) and returns a process exit code. All output goes to the
 // supplied writers, which makes every subcommand testable.
 func Main(args []string, stdout, stderr io.Writer) int {
-	// Ctrl-C cancels the context instead of killing the process: long
-	// artifact sweeps stop feeding their worker pool and flush whatever
-	// reports already completed before exiting. A second SIGINT kills the
-	// process the usual way (signal.NotifyContext restores the default
-	// handler once the context is cancelled).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C (or SIGTERM from an orchestrator) cancels the context instead
+	// of killing the process: long artifact sweeps stop feeding their
+	// worker pool and flush whatever reports already completed, and
+	// `doppio serve` drains in-flight requests before exiting. A second
+	// signal kills the process the usual way (signal.NotifyContext
+	// restores the default handler once the context is cancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return runMain(ctx, args, stdout, stderr)
 }
@@ -67,6 +70,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = a.cmdOptimize(args[1:])
 	case "whatif":
 		err = a.cmdWhatif(args[1:])
+	case "serve":
+		err = a.cmdServe(ctx, args[1:])
 	case "fio":
 		err = a.cmdFio()
 	case "help", "-h", "--help":
@@ -100,6 +105,8 @@ func usage(w io.Writer) {
   doppio predict [flags] <workload>  calibrated model vs simulator
   doppio optimize [flags]            search cloud configurations for min cost
   doppio whatif [flags] <workload>   sweep core counts with the calibrated model
+  doppio serve [flags]               HTTP prediction service (see docs/SERVING.md);
+                                     SIGTERM drains in-flight requests
   doppio fio                         effective-bandwidth sweep of HDD/SSD models
 `)
 }
@@ -134,6 +141,12 @@ func (a *app) cmdRun(ctx context.Context, args []string) error {
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("run: need an experiment id or 'all'")
+	}
+	if err := firstError(
+		checkNonNegativeInt("parallel", *parallel),
+		checkNonNegativeDuration("timeout", *timeout),
+	); err != nil {
+		return fmt.Errorf("run: %v", err)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -173,8 +186,11 @@ func (a *app) cmdRun(ctx context.Context, args []string) error {
 		return err
 	}
 	var artifactTime time.Duration
+	var calHits, calLookups int
 	for _, r := range reports {
 		artifactTime += r.Runtime
+		calHits += r.CacheHits
+		calLookups += r.CacheHits + r.CacheMisses
 		if r.Err != nil {
 			fmt.Fprintf(a.out, "# FAILED %s: %v\n\n", r.ID, r.Err)
 			continue
@@ -194,6 +210,10 @@ func (a *app) cmdRun(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintf(a.out, "# total: %d artifacts in %.1fs wall, %.1fs artifact time (%.1fx pool speedup)\n",
 			len(reports), wall, artifactTime.Seconds(), artifactTime.Seconds()/wall)
+		if calLookups > 0 {
+			fmt.Fprintf(a.out, "# calibration cache: %d lookups, %d hits (each miss costs 4 sample runs)\n",
+				calLookups, calHits)
+		}
 	}
 	if failed := experiments.Failed(reports); len(failed) > 0 {
 		return fmt.Errorf("run: %d of %d artifacts failed", len(failed), len(reports))
@@ -277,32 +297,9 @@ func (c clusterFlags) config() (spark.ClusterConfig, error) {
 }
 
 // parseDevice understands "hdd", "ssd", "pd-standard:2TB", "pd-ssd:200GB".
+// The vocabulary lives in cloud.ParseDevice so the serve API shares it.
 func parseDevice(s string) (disk.Device, error) {
-	switch s {
-	case "hdd":
-		return disk.NewHDD(), nil
-	case "ssd":
-		return disk.NewSSD(), nil
-	}
-	name, sizeStr, ok := strings.Cut(s, ":")
-	if !ok {
-		return nil, fmt.Errorf("unknown device %q", s)
-	}
-	size, err := units.ParseByteSize(sizeStr)
-	if err != nil {
-		return nil, fmt.Errorf("device %q: %v", s, err)
-	}
-	if size <= 0 {
-		return nil, fmt.Errorf("device %q: size must be positive, got %v", s, size)
-	}
-	switch name {
-	case "pd-standard":
-		return cloud.NewDisk(cloud.PDStandard, size), nil
-	case "pd-ssd":
-		return cloud.NewDisk(cloud.PDSSD, size), nil
-	default:
-		return nil, fmt.Errorf("unknown device type %q", name)
-	}
+	return cloud.ParseDevice(s)
 }
 
 func (a *app) cmdSim(args []string) error {
@@ -505,6 +502,64 @@ func (a *app) cmdFio() error {
 		fmt.Fprintln(a.out)
 	}
 	return nil
+}
+
+// cmdServe runs the HTTP prediction service until the context is
+// cancelled (SIGINT/SIGTERM), then drains: in-flight requests finish
+// within -drain-timeout and readiness flips off first so load balancers
+// stop routing here.
+func (a *app) cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxInflight := fs.Int("max-inflight", 64, "concurrent API request bound; excess sheds with 429")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request computation deadline (503 on expiry)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on shutdown")
+	cacheSize := fs.Int("cache-size", 512, "bounded result/calibration cache entries")
+	accessLog := fs.String("access-log", "", `JSON access log destination: a file path, or "-" for stdout (empty = off)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+	if err := firstError(
+		checkListenAddr("addr", *addr),
+		checkPositiveInt("max-inflight", *maxInflight),
+		checkNonNegativeDuration("request-timeout", *reqTimeout),
+		checkNonNegativeDuration("drain-timeout", *drainTimeout),
+		checkPositiveInt("cache-size", *cacheSize),
+	); err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	var logW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logW = a.out
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: %v", err)
+		}
+		defer f.Close()
+		logW = f
+	}
+	srv, err := serve.New(serve.Config{
+		Addr:           *addr,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+		CacheEntries:   *cacheSize,
+		AccessLog:      logW,
+	})
+	if err != nil {
+		return err
+	}
+	go func() {
+		<-srv.Started()
+		fmt.Fprintf(a.out, "# doppio serve listening on %s (Ctrl-C or SIGTERM drains)\n", srv.Addr())
+	}()
+	return srv.Run(ctx)
 }
 
 // cmdWhatif calibrates once, then sweeps the per-node core count with

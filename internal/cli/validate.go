@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Flag validation shared by the subcommands: `doppio run` and `doppio
+// serve` accept numerically-shaped knobs (pool sizes, deadlines, listen
+// addresses) whose bad values should fail at the flag layer with flag
+// vocabulary, not surface later as a confusing runtime error from the
+// worker pool or the listener.
+
+// checkPositiveInt rejects zero and negative values for flags that size
+// something (a concurrency limit, a cache).
+func checkPositiveInt(name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("-%s must be at least 1, got %d", name, v)
+	}
+	return nil
+}
+
+// checkNonNegativeInt rejects negative values for flags where zero means
+// "use the default" (worker pool size).
+func checkNonNegativeInt(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must not be negative, got %d", name, v)
+	}
+	return nil
+}
+
+// checkNonNegativeDuration rejects negative durations for deadline flags
+// where zero means "no deadline" or "use the default".
+func checkNonNegativeDuration(name string, v time.Duration) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must not be negative, got %v", name, v)
+	}
+	return nil
+}
+
+// checkListenAddr rejects addresses net.Listen would refuse: a missing
+// port, or a port outside [0, 65535] (0 asks the kernel to pick).
+func checkListenAddr(name, addr string) error {
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-%s %q: %v", name, addr, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("-%s %q: port must be a number in [0, 65535]", name, addr)
+	}
+	return nil
+}
+
+// firstError returns the first non-nil error, so a subcommand can state
+// all its flag invariants in one place.
+func firstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

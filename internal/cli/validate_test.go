@@ -1,0 +1,145 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a writer the test can read while the server goroutine
+// writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestFlagValidators is the table-driven audit of the shared validation
+// helpers used by `doppio run` and `doppio serve`.
+func TestFlagValidators(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		ok   bool
+	}{
+		{"positive ok", checkPositiveInt("max-inflight", 1), true},
+		{"positive zero", checkPositiveInt("max-inflight", 0), false},
+		{"positive negative", checkPositiveInt("cache-size", -3), false},
+		{"nonneg ok", checkNonNegativeInt("parallel", 0), true},
+		{"nonneg negative", checkNonNegativeInt("parallel", -1), false},
+		{"duration ok", checkNonNegativeDuration("timeout", 0), true},
+		{"duration positive", checkNonNegativeDuration("timeout", time.Second), true},
+		{"duration negative", checkNonNegativeDuration("timeout", -time.Second), false},
+		{"addr ok", checkListenAddr("addr", ":8080"), true},
+		{"addr host ok", checkListenAddr("addr", "127.0.0.1:0"), true},
+		{"addr no port", checkListenAddr("addr", "localhost"), false},
+		{"addr bad port", checkListenAddr("addr", "localhost:http"), false},
+		{"addr port too big", checkListenAddr("addr", "localhost:70000"), false},
+	}
+	for _, tc := range cases {
+		if tc.ok && tc.err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, tc.err)
+		}
+		if !tc.ok && tc.err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+		if tc.err != nil && !strings.HasPrefix(tc.err.Error(), "-") {
+			t.Errorf("%s: error should lead with the flag name: %v", tc.name, tc.err)
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := firstError(nil, nil); err != nil {
+		t.Errorf("firstError(nil, nil) = %v", err)
+	}
+	want := errors.New("boom")
+	if err := firstError(nil, want, errors.New("later")); err != want {
+		t.Errorf("firstError = %v, want the first non-nil", err)
+	}
+}
+
+// TestRunRejectsBadFlags checks `doppio run` fails fast, at the flag
+// layer, before touching the worker pool.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"run", "-parallel", "-2", "tab4"},
+		{"run", "-timeout", "-5s", "tab4"},
+	} {
+		_, errOut, code := run(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit = %d, want 1", args, code)
+		}
+		if !strings.Contains(errOut, "must not be negative") {
+			t.Errorf("%v: stderr = %q", args, errOut)
+		}
+	}
+}
+
+// TestServeRejectsBadFlags checks `doppio serve` fails fast on the bad
+// shapes the issue names: bad port, negative timeout, zero concurrency.
+func TestServeRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"serve", "-addr", "nonsense"}, "-addr"},
+		{[]string{"serve", "-addr", "localhost:99999"}, "-addr"},
+		{[]string{"serve", "-request-timeout", "-1s"}, "-request-timeout"},
+		{[]string{"serve", "-drain-timeout", "-1s"}, "-drain-timeout"},
+		{[]string{"serve", "-max-inflight", "0"}, "-max-inflight"},
+		{[]string{"serve", "-cache-size", "0"}, "-cache-size"},
+		{[]string{"serve", "stray-arg"}, "unexpected argument"},
+	}
+	for _, tc := range cases {
+		_, errOut, code := run(t, tc.args...)
+		if code != 1 {
+			t.Errorf("%v: exit = %d, want 1", tc.args, code)
+		}
+		if !strings.Contains(errOut, tc.want) {
+			t.Errorf("%v: stderr = %q, want mention of %q", tc.args, errOut, tc.want)
+		}
+	}
+}
+
+// TestServeStartsAndDrains boots the real service through the CLI path
+// with an injected context standing in for SIGTERM.
+func TestServeStartsAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errOut syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- runMain(ctx, []string{"serve", "-addr", "127.0.0.1:0"}, &out, &errOut)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "listening on") {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced itself; stderr: %s", errOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit = %d, want 0; stderr: %s", code, errOut.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not drain after cancellation")
+	}
+}

@@ -1,0 +1,41 @@
+package cloud
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// ParseDevice resolves the device vocabulary shared by the CLI flags and
+// the serve API: "hdd" and "ssd" are the paper's physical testbed
+// devices, "pd-standard:SIZE" and "pd-ssd:SIZE" are Google Cloud
+// persistent disks at a provisioned size ("pd-ssd:500GB").
+func ParseDevice(s string) (disk.Device, error) {
+	switch s {
+	case "hdd":
+		return disk.NewHDD(), nil
+	case "ssd":
+		return disk.NewSSD(), nil
+	}
+	name, sizeStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("unknown device %q (want hdd, ssd, pd-standard:SIZE or pd-ssd:SIZE)", s)
+	}
+	size, err := units.ParseByteSize(sizeStr)
+	if err != nil {
+		return nil, fmt.Errorf("device %q: %v", s, err)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("device %q: size must be positive, got %v", s, size)
+	}
+	switch name {
+	case "pd-standard":
+		return NewDisk(PDStandard, size), nil
+	case "pd-ssd":
+		return NewDisk(PDSSD, size), nil
+	default:
+		return nil, fmt.Errorf("unknown device type %q", name)
+	}
+}

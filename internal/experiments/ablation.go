@@ -18,8 +18,8 @@ func init() {
 // ablationModel quantifies why the paper's two I/O-aware ingredients
 // matter: the request-size-aware bandwidth lookup (vs Ernest-style peak
 // bandwidth) and the CPU/I/O overlap max() composition (vs additive).
-func ablationModel(context.Context) (*Table, error) {
-	cal, err := calibratedTestbed("gatk4")
+func ablationModel(ctx context.Context) (*Table, error) {
+	cal, err := calibratedTestbed(ctx, "gatk4")
 	if err != nil {
 		return nil, err
 	}

@@ -40,14 +40,14 @@ var appFigures = []appFigure{
 func init() {
 	for _, f := range appFigures {
 		f := f
-		register(Experiment{ID: f.id, Title: f.title, Run: func(context.Context) (*Table, error) { return runAppFigure(f) }})
+		register(Experiment{ID: f.id, Title: f.title, Run: func(ctx context.Context) (*Table, error) { return runAppFigure(ctx, f) }})
 	}
 }
 
 // runAppFigure produces the exp-vs-model comparison for one workload on
 // the ten-slave cluster under the HDD and SSD configurations.
-func runAppFigure(f appFigure) (*Table, error) {
-	cal, err := calibratedTestbed(f.workload)
+func runAppFigure(ctx context.Context, f appFigure) (*Table, error) {
+	cal, err := calibratedTestbed(ctx, f.workload)
 	if err != nil {
 		return nil, err
 	}

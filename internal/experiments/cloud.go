@@ -33,8 +33,8 @@ func tableV(context.Context) (*Table, error) {
 }
 
 // cloudEval builds the model evaluator from the cloud calibration.
-func cloudEval() (optimizer.Evaluator, error) {
-	cal, err := calibratedCloud("gatk4")
+func cloudEval(ctx context.Context) (optimizer.Evaluator, error) {
+	cal, err := calibratedCloud(ctx, "gatk4")
 	if err != nil {
 		return nil, err
 	}
@@ -50,8 +50,8 @@ type fig13Point struct {
 // fig13 sweeps HDD sizes for both disks around the HDD optimum and
 // prints the resulting cost curves plus the R1/R2 reference points. The
 // points fan out through the sweep engine; rows keep sweep order.
-func fig13(context.Context) (*Table, error) {
-	eval, err := cloudEval()
+func fig13(ctx context.Context) (*Table, error) {
+	eval, err := cloudEval(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -98,8 +98,8 @@ func fig13(context.Context) (*Table, error) {
 
 // fig14 verifies the model against the simulator while sweeping the
 // HDD local size (Section VI-2).
-func fig14(context.Context) (*Table, error) {
-	eval, err := cloudEval()
+func fig14(ctx context.Context) (*Table, error) {
+	eval, err := cloudEval(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -146,8 +146,8 @@ func fig14(context.Context) (*Table, error) {
 }
 
 // fig15 sweeps SSD local sizes and core counts.
-func fig15(context.Context) (*Table, error) {
-	eval, err := cloudEval()
+func fig15(ctx context.Context) (*Table, error) {
+	eval, err := cloudEval(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -183,8 +183,8 @@ func fig15(context.Context) (*Table, error) {
 // headline runs the full optimisation and reports the Section VI-4
 // summary: optimal configuration and savings vs the R1/R2 provisioning
 // guides.
-func headline(context.Context) (*Table, error) {
-	eval, err := cloudEval()
+func headline(ctx context.Context) (*Table, error) {
+	eval, err := cloudEval(ctx)
 	if err != nil {
 		return nil, err
 	}

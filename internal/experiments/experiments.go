@@ -193,13 +193,62 @@ var (
 	calCache = map[string]*calEntry{}
 )
 
+// calStats counts one artifact's calibration-cache activity. The runner
+// installs a collector in the artifact's context; the report and the
+// table metrics surface the counts so CI can watch cache effectiveness
+// (a regression that stops sharing calibrations shows up as a lookup or
+// miss count shift, long before it shows up as wall-clock time).
+type calStats struct {
+	mu           sync.Mutex
+	hits, misses int
+}
+
+func (s *calStats) record(hit bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.hits++
+	} else {
+		s.misses++
+	}
+}
+
+// counts snapshots (hits, misses).
+func (s *calStats) counts() (int, int) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+type calStatsKey struct{}
+
+// withCalStats returns a context carrying a fresh collector plus the
+// collector itself.
+func withCalStats(ctx context.Context) (context.Context, *calStats) {
+	s := &calStats{}
+	return context.WithValue(ctx, calStatsKey{}, s), s
+}
+
+// calStatsFrom extracts the collector; nil (a no-op recorder) when the
+// caller did not install one.
+func calStatsFrom(ctx context.Context) *calStats {
+	s, _ := ctx.Value(calStatsKey{}).(*calStats)
+	return s
+}
+
 // calibratedTestbed calibrates a workload on the paper's physical
 // testbed devices. Section V profiles on the evaluation cluster itself
 // (ten slaves) and varies P and the disks, so the sample runs use the
 // same slave count: RDD cache-or-persist decisions depend on cluster
 // memory, and the fitted δ constants must live at the target scale.
-func calibratedTestbed(workload string) (*core.Calibration, error) {
-	return calibrated("testbed/"+workload, func() (*core.Calibration, error) {
+func calibratedTestbed(ctx context.Context, workload string) (*core.Calibration, error) {
+	return calibrated(ctx, "testbed/"+workload, func() (*core.Calibration, error) {
 		w := mustWorkload(workload)
 		ssd, hdd := disk.NewSSD(), disk.NewHDD()
 		base := spark.DefaultTestbed(10, 1, ssd, ssd)
@@ -210,8 +259,8 @@ func calibratedTestbed(workload string) (*core.Calibration, error) {
 // calibratedCloud calibrates a workload on Google Cloud virtual disks
 // per Section VI-1: 500 GB pd-ssd for the SSD runs, 200 GB pd-standard
 // for the probes.
-func calibratedCloud(workload string) (*core.Calibration, error) {
-	return calibrated("cloud/"+workload, func() (*core.Calibration, error) {
+func calibratedCloud(ctx context.Context, workload string) (*core.Calibration, error) {
+	return calibrated(ctx, "cloud/"+workload, func() (*core.Calibration, error) {
 		w := mustWorkload(workload)
 		ssd := cloud.NewDisk(cloud.PDSSD, 500*units.GB)
 		hdd := cloud.NewDisk(cloud.PDStandard, 200*units.GB)
@@ -220,7 +269,7 @@ func calibratedCloud(workload string) (*core.Calibration, error) {
 	})
 }
 
-func calibrated(key string, build func() (*core.Calibration, error)) (*core.Calibration, error) {
+func calibrated(ctx context.Context, key string, build func() (*core.Calibration, error)) (*core.Calibration, error) {
 	calMu.Lock()
 	e, ok := calCache[key]
 	if !ok {
@@ -228,6 +277,9 @@ func calibrated(key string, build func() (*core.Calibration, error)) (*core.Cali
 		calCache[key] = e
 	}
 	calMu.Unlock()
+	// A lookup that found an installed entry is a hit even if the build is
+	// still in flight — this caller spends no calibration work of its own.
+	calStatsFrom(ctx).record(ok)
 	e.once.Do(func() {
 		e.cal, e.err = build()
 		if e.err != nil {

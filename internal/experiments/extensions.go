@@ -69,8 +69,8 @@ func errorBars(context.Context) (*Table, error) {
 // gatk4Full measures the extended pipeline across the disk configs and
 // checks the model tracks it without recalibration tricks (a fresh
 // calibration on the extended app).
-func gatk4Full(context.Context) (*Table, error) {
-	cal, err := calibratedTestbed("gatk4-full")
+func gatk4Full(ctx context.Context) (*Table, error) {
+	cal, err := calibratedTestbed(ctx, "gatk4-full")
 	if err != nil {
 		return nil, err
 	}
@@ -110,8 +110,8 @@ func gatk4Full(context.Context) (*Table, error) {
 // multiDisk verifies the paper's Section IV-C claim: the model "relates
 // to disk bandwidth rather than disk number", so a striped array enters
 // through its bandwidth curve and nothing else.
-func multiDisk(context.Context) (*Table, error) {
-	cal, err := calibratedTestbed("gatk4")
+func multiDisk(ctx context.Context) (*Table, error) {
+	cal, err := calibratedTestbed(ctx, "gatk4")
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +150,7 @@ func multiDisk(context.Context) (*Table, error) {
 // scheduler quantifies the introduction's use case: a shared cluster
 // running a batch of jobs, FIFO vs shortest-predicted-job-first with
 // Doppio runtime estimates.
-func scheduler(context.Context) (*Table, error) {
+func scheduler(ctx context.Context) (*Table, error) {
 	specs := []struct {
 		workload string
 	}{
@@ -164,7 +164,7 @@ func scheduler(context.Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cal, err := calibratedTestbed(s.workload)
+		cal, err := calibratedTestbed(ctx, s.workload)
 		if err != nil {
 			return nil, err
 		}

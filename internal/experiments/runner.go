@@ -25,13 +25,41 @@ type Report struct {
 	// Runtime is the artifact's wall-clock regeneration time. It is
 	// also recorded in Table.Metrics["runtime_seconds"].
 	Runtime time.Duration
+	// CacheHits / CacheMisses count the artifact's calibration-cache
+	// lookups: a hit reused a fitted model (or joined an in-flight
+	// build); a miss paid the four sample runs. Both are also recorded
+	// in Table.Metrics when the artifact calibrates at all.
+	CacheHits, CacheMisses int
 }
 
 // RuntimeMetric is the Table.Metrics key carrying the per-artifact
 // wall-clock seconds. Comparisons between runs (serial vs parallel,
-// tolerance checks) must ignore it: it is the one metric that is not a
-// deterministic function of the model.
+// tolerance checks) must ignore it: it is not a deterministic function
+// of the model (see NondeterministicMetric).
 const RuntimeMetric = "runtime_seconds"
+
+// Calibration-cache metrics keys. Lookups (hits+misses) is a
+// deterministic function of the artifact's code path, so the metrics CI
+// job can pin it to an exact window; the hit/miss split depends on which
+// sibling artifact calibrated first and is excluded from determinism
+// comparisons.
+const (
+	CacheHitsMetric    = "calibration_cache_hits"
+	CacheMissesMetric  = "calibration_cache_misses"
+	CacheLookupsMetric = "calibration_cache_lookups"
+)
+
+// NondeterministicMetric reports whether a Table.Metrics key is allowed
+// to differ between two runs of the same artifact (wall-clock time, and
+// the scheduling-dependent hit/miss split). Tests comparing serial vs
+// parallel output strip exactly these keys.
+func NondeterministicMetric(name string) bool {
+	switch name {
+	case RuntimeMetric, CacheHitsMetric, CacheMissesMetric:
+		return true
+	}
+	return false
+}
 
 // Options tunes a RunSet/RunAll invocation.
 type Options struct {
@@ -131,14 +159,21 @@ func runOne(ctx context.Context, e Experiment, timeout time.Duration) (rep Repor
 	rep.ID = e.ID
 	rep.Title = e.Title
 	start := time.Now()
+	ctx, stats := withCalStats(ctx)
 	defer func() {
 		rep.Runtime = time.Since(start)
 		if r := recover(); r != nil {
 			rep.Table = nil
 			rep.Err = fmt.Errorf("experiments: %s panicked: %v", e.ID, r)
 		}
+		rep.CacheHits, rep.CacheMisses = stats.counts()
 		if rep.Table != nil {
 			rep.Table.SetMetric(RuntimeMetric, rep.Runtime.Seconds())
+			if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
+				rep.Table.SetMetric(CacheHitsMetric, float64(rep.CacheHits))
+				rep.Table.SetMetric(CacheMissesMetric, float64(rep.CacheMisses))
+				rep.Table.SetMetric(CacheLookupsMetric, float64(lookups))
+			}
 		}
 	}()
 	if err := ctx.Err(); err != nil {

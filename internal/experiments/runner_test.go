@@ -18,12 +18,13 @@ import (
 // the pool; the CI race job runs these tests with -count=3.
 var parallelTestIDs = []string{"tab4", "tab5", "fig5", "fig6"}
 
-// stripRuntime removes the wall-clock metric, the one table field that
-// legitimately differs between runs.
+// stripRuntime removes the metrics that legitimately differ between
+// runs (wall-clock time, the scheduling-dependent cache hit/miss
+// split), using the same predicate production comparisons use.
 func stripRuntime(m map[string]float64) map[string]float64 {
 	out := map[string]float64{}
 	for k, v := range m {
-		if k == RuntimeMetric {
+		if NondeterministicMetric(k) {
 			continue
 		}
 		out[k] = v
@@ -269,7 +270,7 @@ func TestRegistryParallelCalibrationSingleflight(t *testing.T) {
 			wg.Add(1)
 			go func(slot int, key string) {
 				defer wg.Done()
-				c, err := calibrated(key, build)
+				c, err := calibrated(context.Background(), key, build)
 				if err != nil {
 					t.Error(err)
 				}
@@ -299,10 +300,10 @@ func TestRegistryParallelCalibrationSingleflight(t *testing.T) {
 		}
 		return &core.Calibration{}, nil
 	}
-	if _, err := calibrated(failKey, failing); err == nil {
+	if _, err := calibrated(context.Background(), failKey, failing); err == nil {
 		t.Fatal("expected first build to fail")
 	}
-	c, err := calibrated(failKey, failing)
+	c, err := calibrated(context.Background(), failKey, failing)
 	if err != nil || c == nil {
 		t.Fatalf("retry after failure: c=%v err=%v", c, err)
 	}
@@ -335,5 +336,78 @@ func TestRegistryParallelSpeedup(t *testing.T) {
 	t.Logf("serial %v, parallel %v (%.2fx)", serial, parallel, serial.Seconds()/parallel.Seconds())
 	if parallel >= serial {
 		t.Errorf("parallel RunSet (%v) not faster than serial (%v)", parallel, serial)
+	}
+}
+
+// TestRunReportsCalibrationCacheStats checks the runner threads the
+// calibration-cache counters into the report and the table metrics: an
+// artifact that asks for the same calibration three times pays one miss
+// and two hits, and an artifact that never calibrates carries no cache
+// metrics at all.
+func TestRunReportsCalibrationCacheStats(t *testing.T) {
+	key := "test/cache-stats"
+	defer func() {
+		calMu.Lock()
+		delete(calCache, key)
+		calMu.Unlock()
+	}()
+	calibrating := Experiment{ID: "cache-stats", Title: "calibrating artifact",
+		Run: func(ctx context.Context) (*Table, error) {
+			for i := 0; i < 3; i++ {
+				if _, err := calibrated(ctx, key, func() (*core.Calibration, error) {
+					return &core.Calibration{}, nil
+				}); err != nil {
+					return nil, err
+				}
+			}
+			return &Table{ID: "cache-stats", Title: "t"}, nil
+		}}
+	plain := Experiment{ID: "plain", Title: "no calibration",
+		Run: func(context.Context) (*Table, error) {
+			return &Table{ID: "plain", Title: "t"}, nil
+		}}
+	reports := runExperiments(context.Background(), []Experiment{calibrating, plain}, Options{Parallel: 1})
+
+	r := reports[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.CacheMisses != 1 || r.CacheHits != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", r.CacheHits, r.CacheMisses)
+	}
+	if got := r.Table.Metrics[CacheLookupsMetric]; got != 3 {
+		t.Errorf("%s = %v, want 3", CacheLookupsMetric, got)
+	}
+	if got := r.Table.Metrics[CacheHitsMetric]; got != 2 {
+		t.Errorf("%s = %v, want 2", CacheHitsMetric, got)
+	}
+	if got := r.Table.Metrics[CacheMissesMetric]; got != 1 {
+		t.Errorf("%s = %v, want 1", CacheMissesMetric, got)
+	}
+
+	p := reports[1]
+	if p.Err != nil {
+		t.Fatal(p.Err)
+	}
+	if p.CacheHits != 0 || p.CacheMisses != 0 {
+		t.Errorf("plain artifact counted cache traffic: %d/%d", p.CacheHits, p.CacheMisses)
+	}
+	for _, k := range []string{CacheHitsMetric, CacheMissesMetric, CacheLookupsMetric} {
+		if _, ok := p.Table.Metrics[k]; ok {
+			t.Errorf("plain artifact has %s metric", k)
+		}
+	}
+}
+
+func TestNondeterministicMetricPredicate(t *testing.T) {
+	for _, k := range []string{RuntimeMetric, CacheHitsMetric, CacheMissesMetric} {
+		if !NondeterministicMetric(k) {
+			t.Errorf("%s should be nondeterministic", k)
+		}
+	}
+	for _, k := range []string{CacheLookupsMetric, "avg_error"} {
+		if NondeterministicMetric(k) {
+			t.Errorf("%s should be deterministic", k)
+		}
 	}
 }

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health tracks the process's readiness for the two standard probe
+// endpoints. Liveness (/healthz) is true for as long as the process can
+// serve HTTP at all; readiness (/readyz) flips off first thing during
+// graceful drain so load balancers stop routing new work while in-flight
+// requests finish.
+type Health struct {
+	ready atomic.Bool
+}
+
+// NewHealth returns a Health that starts not-ready; the server marks it
+// ready once its listener is accepting.
+func NewHealth() *Health { return &Health{} }
+
+// SetReady flips readiness.
+func (h *Health) SetReady(v bool) { h.ready.Store(v) }
+
+// Ready reports current readiness.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// HealthzHandler always answers 200: reaching the handler is the
+// liveness proof.
+func (h *Health) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyzHandler answers 200 while ready and 503 otherwise (startup and
+// drain).
+func (h *Health) ReadyzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h.Ready() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ready\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+	})
+}

@@ -1,0 +1,353 @@
+// Package obs is the dependency-free observability layer behind
+// `doppio serve`: a metric registry (counters, gauges, histograms, with
+// optional labels) that renders itself in the Prometheus text exposition
+// format, plus liveness/readiness handlers. It is deliberately
+// stdlib-only — the service must not drag a metrics dependency into a
+// paper reproduction — and deterministic: families render in
+// registration order and series in sorted-label order, so /metrics
+// output is stable and diffable in tests.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// service's range from cache hits (tens of microseconds) to cold
+// calibrations (seconds).
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05,
+	.1, .25, .5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram accumulates observations into cumulative buckets, Prometheus
+// style: counts per upper bound, plus sum and total count.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []uint64  // len(bounds)+1
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Quantile returns an upper bound on the q-quantile (0..1) of the
+// observations: the smallest bucket bound whose cumulative count covers
+// q. It is the same estimate Prometheus's histogram_quantile gives and
+// is what the service tests assert latency budgets against.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// metric is one renderable series body (everything after the labels).
+type metric interface {
+	writeSeries(w io.Writer, name, labels string)
+}
+
+func (c *Counter) writeSeries(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+}
+
+func (g *Gauge) writeSeries(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, g.Value())
+}
+
+func (h *Histogram) writeSeries(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+}
+
+// funcMetric renders a value computed at scrape time (e.g. a hit ratio
+// derived from two counters owned by another subsystem).
+type funcMetric struct {
+	fn func() float64
+}
+
+func (f *funcMetric) writeSeries(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(f.fn()))
+}
+
+// formatFloat renders floats the way Prometheus expects: the shortest
+// representation that round-trips ("1", "0.25", "5.605").
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// family is one named metric with its series (one per label-value
+// combination; a single unlabeled series is the common case).
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]metric // key: canonical rendered label string
+	order  []string
+}
+
+func (f *family) get(values []string, build func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := build()
+	f.series[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu    sync.Mutex
+	fams  []*family
+	names map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) family(name, help, typ string, labels ...string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic("obs: duplicate metric " + name)
+	}
+	r.names[name] = true
+	f := &family{name: name, help: help, typ: typ, labels: labels, series: map[string]metric{}}
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.family(name, help, "counter")
+	return f.get(nil, func() metric { return &Counter{} }).(*Counter)
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge")
+	return f.get(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "gauge")
+	f.get(nil, func() metric { return &funcMetric{fn: fn} })
+}
+
+// NewCounterFunc registers a counter whose value is computed at scrape
+// time — for monotonic totals owned by another subsystem (cache hit
+// counts, for example), so they need not be double-counted.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "counter")
+	f.get(nil, func() metric { return &funcMetric{fn: fn} })
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, "counter", labels...)}
+}
+
+// With returns (creating if needed) the counter for the label values.
+// Callers on hot paths should resolve once and reuse the returned
+// counter: the lookup takes the family lock, the counter itself is
+// a single atomic.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// NewHistogramVec registers a labeled histogram family with the given
+// bucket upper bounds (nil means DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	return &HistogramVec{f: r.family(name, help, "histogram", labels...), bounds: b}
+}
+
+// With returns (creating if needed) the histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values, func() metric {
+		return &Histogram{bounds: v.bounds, counts: make([]uint64, len(v.bounds)+1)}
+	}).(*Histogram)
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families in registration order,
+// series in creation order (which handlers keep deterministic by
+// resolving their series at mux-build time).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		series := make([]metric, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(keys) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		sorted := make([]int, len(keys))
+		for i := range sorted {
+			sorted[i] = i
+		}
+		sort.Slice(sorted, func(a, b int) bool { return keys[sorted[a]] < keys[sorted[b]] })
+		for _, i := range sorted {
+			series[i].writeSeries(w, f.name, keys[i])
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// renderLabels builds the canonical `{k="v",...}` string ("" when
+// unlabeled).
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels appends one more label pair to an already-rendered label
+// string (used for the histogram `le` label).
+func mergeLabels(labels, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}

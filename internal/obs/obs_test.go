@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "a counter")
+	g := r.NewGauge("test_gauge", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestCounterVecSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("requests_total", "requests", "route", "code")
+	v.With("/a", "200").Add(3)
+	v.With("/a", "500").Inc()
+	v.With("/b", "200").Inc()
+	// Same labels must resolve to the same counter.
+	v.With("/a", "200").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`requests_total{route="/a",code="200"} 4`,
+		`requests_total{route="/a",code="500"} 1`,
+		`requests_total{route="/b",code="200"} 1`,
+		"# TYPE requests_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("latency_seconds", "latency", []float64{0.01, 0.1, 1}, "route")
+	h := v.With("/a")
+	for _, obs := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(obs)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if q := h.Quantile(0.5); q != 0.1 {
+		t.Errorf("p50 = %v, want 0.1", q)
+	}
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Errorf("p99 = %v, want +Inf", q)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{route="/a",le="0.01"} 1`,
+		`latency_seconds_bucket{route="/a",le="0.1"} 3`,
+		`latency_seconds_bucket{route="/a",le="1"} 4`,
+		`latency_seconds_bucket{route="/a",le="+Inf"} 5`,
+		`latency_seconds_count{route="/a"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeFunc("ratio", "computed at scrape", func() float64 { return 0.25 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ratio 0.25") {
+		t.Errorf("output missing computed gauge:\n%s", b.String())
+	}
+}
+
+func TestDuplicateMetricPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate metric name")
+		}
+	}()
+	r.NewCounter("dup_total", "second")
+}
+
+// promLine matches one sample of the text exposition format:
+// name{labels} value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.e+]+|\+Inf|NaN)$`)
+
+// ValidatePrometheusText is shared by the service tests: every
+// non-comment, non-blank line must parse as a sample.
+func validatePrometheusText(t *testing.T, out string) {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line does not parse as Prometheus text: %q", line)
+		}
+	}
+}
+
+func TestPrometheusTextFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("fmt_requests_total", "requests", "route")
+	c.With(`/weird"route\n`).Inc()
+	h := r.NewHistogramVec("fmt_latency_seconds", "latency", nil, "route")
+	h.With("/a").Observe(0.0042)
+	r.NewGauge("fmt_inflight", "gauge").Set(2)
+	r.NewGaugeFunc("fmt_ratio", "func gauge", func() float64 { return 1.0 / 3.0 })
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	validatePrometheusText(t, rec.Body.String())
+}
+
+func TestHealth(t *testing.T) {
+	h := NewHealth()
+	rec := httptest.NewRecorder()
+	h.ReadyzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Errorf("readyz before SetReady = %d, want 503", rec.Code)
+	}
+	h.SetReady(true)
+	rec = httptest.NewRecorder()
+	h.ReadyzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Errorf("readyz after SetReady = %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.HealthzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("healthz = %d, want 200", rec.Code)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("conc_total", "concurrent", "route")
+	hv := r.NewHistogramVec("conc_seconds", "concurrent", nil, "route")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			routes := []string{"/a", "/b", "/c"}
+			for j := 0; j < 200; j++ {
+				route := routes[j%len(routes)]
+				v.With(route).Inc()
+				hv.With(route).Observe(float64(j) / 1000)
+				if j%50 == 0 {
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := v.With("/a").Value() + v.With("/b").Value() + v.With("/c").Value()
+	if total != 8*200 {
+		t.Errorf("total = %d, want %d", total, 8*200)
+	}
+}

@@ -1,0 +1,561 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden response files")
+
+// newTestServer builds a Server with test-friendly defaults; mutate cfg
+// via fn before construction.
+func newTestServer(t *testing.T, fn func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		Addr:           "127.0.0.1:0",
+		MaxInFlight:    16,
+		RequestTimeout: 30 * time.Second,
+		CacheEntries:   128,
+	}
+	if fn != nil {
+		fn(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func post(t *testing.T, h http.Handler, route, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", route, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, route string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", route, nil))
+	return rec
+}
+
+// checkGolden compares a response body against testdata/<name>.golden,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/serve -run %s -update`): %v", t.Name(), err)
+	}
+	if !bytes.Equal(want, body) {
+		t.Errorf("response differs from %s\ngot:  %s\nwant: %s", path, body, want)
+	}
+}
+
+func TestWorkloadsRoute(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := get(t, s.Handler(), "/api/v1/workloads")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp WorkloadsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Workloads) < 5 {
+		t.Errorf("only %d workloads listed", len(resp.Workloads))
+	}
+	checkGolden(t, "workloads", rec.Body.Bytes())
+}
+
+func TestPredictRoute(t *testing.T) {
+	s := newTestServer(t, nil)
+	body := `{"workload":"lr-small","slaves":3,"cores":8,"hdfs":"ssd","local":"hdd"}`
+	rec := post(t, s.Handler(), "/api/v1/predict", body)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalSeconds <= 0 || len(resp.Stages) == 0 {
+		t.Errorf("implausible prediction: %+v", resp)
+	}
+	if resp.Mode != "doppio" || resp.Slaves != 3 || resp.Cores != 8 {
+		t.Errorf("canonical echo wrong: %+v", resp)
+	}
+	checkGolden(t, "predict_lr_small", rec.Body.Bytes())
+}
+
+func TestPredictSingleStage(t *testing.T) {
+	s := newTestServer(t, nil)
+	full := post(t, s.Handler(), "/api/v1/predict", `{"workload":"sql","slaves":3,"cores":8}`)
+	if full.Code != 200 {
+		t.Fatalf("status = %d: %s", full.Code, full.Body)
+	}
+	var fullResp PredictResponse
+	if err := json.Unmarshal(full.Body.Bytes(), &fullResp); err != nil {
+		t.Fatal(err)
+	}
+	stage := fullResp.Stages[0].Name
+	rec := post(t, s.Handler(), "/api/v1/predict",
+		fmt.Sprintf(`{"workload":"sql","slaves":3,"cores":8,"stage":%q}`, stage))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Stages) != 1 || resp.Stages[0].Name != stage {
+		t.Errorf("stage filter returned %+v, want only %q", resp.Stages, stage)
+	}
+	if resp.TotalSeconds != resp.Stages[0].Seconds {
+		t.Errorf("single-stage total %v != stage seconds %v", resp.TotalSeconds, resp.Stages[0].Seconds)
+	}
+
+	missing := post(t, s.Handler(), "/api/v1/predict",
+		`{"workload":"sql","slaves":3,"cores":8,"stage":"no-such-stage"}`)
+	if missing.Code != 500 {
+		t.Errorf("unknown stage status = %d, want 500", missing.Code)
+	}
+}
+
+func TestPredictFaulty(t *testing.T) {
+	s := newTestServer(t, nil)
+	body := `{"workload":"lr-small","slaves":3,"cores":8,"hdfs":"ssd","local":"hdd",
+		"faults":{"task_failure_prob":0.05,"shuffle_fetch_failure_prob":0.05}}`
+	rec := post(t, s.Handler(), "/api/v1/predict", body)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Inflation <= 1 {
+		t.Errorf("faulty inflation = %v, want > 1", resp.Inflation)
+	}
+	if resp.BaseSeconds <= 0 || resp.TotalSeconds <= resp.BaseSeconds {
+		t.Errorf("faulty total %v should exceed base %v", resp.TotalSeconds, resp.BaseSeconds)
+	}
+}
+
+func TestSimulateRoute(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := post(t, s.Handler(), "/api/v1/simulate", `{"workload":"sql","slaves":3,"cores":8}`)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalSeconds <= 0 || len(resp.Stages) == 0 {
+		t.Errorf("implausible simulation: %+v", resp)
+	}
+	if resp.Faults != nil {
+		t.Errorf("fault-free run reported faults: %+v", resp.Faults)
+	}
+	checkGolden(t, "simulate_sql", rec.Body.Bytes())
+
+	faulty := post(t, s.Handler(), "/api/v1/simulate",
+		`{"workload":"sql","slaves":3,"cores":8,"faults":{"task_failure_prob":0.05,"max_task_failures":10,"seed":7}}`)
+	if faulty.Code != 200 {
+		t.Fatalf("faulty status = %d: %s", faulty.Code, faulty.Body)
+	}
+	var fresp SimulateResponse
+	if err := json.Unmarshal(faulty.Body.Bytes(), &fresp); err != nil {
+		t.Fatal(err)
+	}
+	if fresp.Faults == nil || fresp.Faults.TaskFailures == 0 {
+		t.Errorf("injected faults not reported: %+v", fresp.Faults)
+	}
+}
+
+func TestWhatifRoutes(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := post(t, s.Handler(), "/api/v1/whatif",
+		`{"workload":"lr-small","slaves":3,"max_cores":16}`)
+	if rec.Code != 200 {
+		t.Fatalf("model status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp WhatifResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 5 { // 1,2,4,8,16
+		t.Errorf("model backend returned %d points, want 5", len(resp.Points))
+	}
+	if resp.Points[0].Bottlenecks == nil {
+		t.Errorf("model backend should report bottlenecks")
+	}
+
+	sim := post(t, s.Handler(), "/api/v1/whatif",
+		`{"workload":"sql","slaves":3,"max_cores":8,"backend":"sim"}`)
+	if sim.Code != 200 {
+		t.Fatalf("sim status = %d: %s", sim.Code, sim.Body)
+	}
+	var simResp WhatifResponse
+	if err := json.Unmarshal(sim.Body.Bytes(), &simResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(simResp.Points) != 4 { // 1,2,4,8
+		t.Errorf("sim backend returned %d points, want 4", len(simResp.Points))
+	}
+	if simResp.Points[0].Bottlenecks != nil {
+		t.Errorf("sim backend should not report Eq.1 bottlenecks")
+	}
+	if simResp.Points[0].TotalSeconds <= simResp.Points[len(simResp.Points)-1].TotalSeconds {
+		t.Errorf("more cores should not be slower at small P: %+v", simResp.Points)
+	}
+}
+
+func TestRecommendRoute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search over the full cloud space")
+	}
+	s := newTestServer(t, nil)
+	rec := post(t, s.Handler(), "/api/v1/recommend", `{"workload":"lr-small","slaves":3,"top":3}`)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp RecommendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Best) != 3 {
+		t.Errorf("got %d candidates, want 3", len(resp.Best))
+	}
+	if len(resp.References) != 2 {
+		t.Errorf("got %d references, want 2 (R1, R2)", len(resp.References))
+	}
+	for i := 1; i < len(resp.Best); i++ {
+		if resp.Best[i].CostUSD < resp.Best[i-1].CostUSD {
+			t.Errorf("candidates not sorted by cost: %+v", resp.Best)
+		}
+	}
+}
+
+func TestSweepRoute(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := post(t, s.Handler(), "/api/v1/sweep", `{
+		"workloads":["lr-small"],
+		"nodes":[3],
+		"cores":[4,8],
+		"devices":[{"hdfs":"ssd","local":"ssd"},{"hdfs":"ssd","local":"hdd"}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(resp.Points))
+	}
+	for _, p := range resp.Points {
+		if p.Err != "" || p.TotalSeconds <= 0 {
+			t.Errorf("bad point: %+v", p)
+		}
+	}
+}
+
+// TestMalformedBodies asserts every POST route answers 400 (not 500, not
+// a hang) to the standard abuse: syntactically broken JSON, unknown
+// fields, missing workload, bad devices, bad enum values, out-of-range
+// numbers.
+func TestMalformedBodies(t *testing.T) {
+	s := newTestServer(t, nil)
+	routes := []string{"/api/v1/predict", "/api/v1/simulate", "/api/v1/whatif", "/api/v1/recommend", "/api/v1/sweep"}
+	common := []string{
+		`{`,                      // truncated JSON
+		`[]`,                     // wrong JSON kind
+		`{"workload":"sql"}}`,    // trailing garbage
+		`{"wrokload":"sql"}`,     // unknown field (typo)
+		`{}`,                     // missing workload(s)
+		`{"workload":"no-such"}`, // unregistered workload
+	}
+	perRoute := map[string][]string{
+		"/api/v1/predict": {
+			`{"workload":"sql","hdfs":"floppy"}`,
+			`{"workload":"sql","mode":"ernest"}`,
+			`{"workload":"sql","slaves":-1}`,
+			`{"workload":"sql","faults":{"task_failure_prob":1.5}}`,
+		},
+		"/api/v1/simulate": {
+			`{"workload":"sql","stragglers":2}`,
+			`{"workload":"sql","local":"pd-ssd:0GB"}`,
+		},
+		"/api/v1/whatif": {
+			`{"workload":"sql","max_cores":-4}`,
+			`{"workload":"sql","backend":"crystal-ball"}`,
+		},
+		"/api/v1/recommend": {
+			`{"workload":"sql","top":999}`,
+		},
+		"/api/v1/sweep": {
+			`{"workloads":["sql"],"nodes":[0]}`,
+			`{"workloads":["sql"],"devices":[{"hdfs":"tape","local":"ssd"}]}`,
+		},
+	}
+	for _, route := range routes {
+		bodies := common
+		if route == "/api/v1/sweep" {
+			// sweep uses "workloads"; its missing/unknown cases are below.
+			bodies = []string{`{`, `[]`, `{"workloads":["sql"]}}`, `{"wrokloads":["sql"]}`, `{}`, `{"workloads":["no-such"]}`}
+		}
+		for _, body := range append(bodies, perRoute[route]...) {
+			rec := post(t, s.Handler(), route, body)
+			if rec.Code != 400 {
+				t.Errorf("%s with %q: status = %d, want 400 (%s)", route, body, rec.Code, rec.Body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Errorf("%s with %q: error body not structured: %s", route, body, rec.Body)
+			}
+		}
+	}
+}
+
+// TestCacheHitByteIdentical asserts the caching contract: the second
+// identical request is a hit and replays the exact same bytes, and a
+// semantically identical body (different field order, defaults spelled
+// out) shares the entry.
+func TestCacheHitByteIdentical(t *testing.T) {
+	s := newTestServer(t, nil)
+	body := `{"workload":"lr-small","slaves":3,"cores":8}`
+	first := post(t, s.Handler(), "/api/v1/predict", body)
+	if first.Code != 200 {
+		t.Fatalf("status = %d: %s", first.Code, first.Body)
+	}
+	if h := first.Header().Get("X-Cache"); h != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", h)
+	}
+	second := post(t, s.Handler(), "/api/v1/predict", body)
+	if second.Code != 200 {
+		t.Fatalf("status = %d: %s", second.Code, second.Body)
+	}
+	if h := second.Header().Get("X-Cache"); h != "hit" {
+		t.Errorf("second request X-Cache = %q, want hit", h)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Errorf("cache hit not byte-identical:\n%s\n%s", first.Body, second.Body)
+	}
+	// Same question, different spelling: field order changed, defaults
+	// explicit, whitespace added.
+	respelled := post(t, s.Handler(), "/api/v1/predict",
+		` {"cores": 8, "slaves": 3, "local": "ssd", "hdfs": "ssd", "mode": "doppio", "workload": "lr-small"} `)
+	if h := respelled.Header().Get("X-Cache"); h != "hit" {
+		t.Errorf("canonicalized request X-Cache = %q, want hit", h)
+	}
+	if !bytes.Equal(first.Body.Bytes(), respelled.Body.Bytes()) {
+		t.Errorf("canonicalized hit not byte-identical")
+	}
+	stats := s.CacheStats()
+	if stats.Hits < 2 {
+		t.Errorf("stats.Hits = %d, want >= 2", stats.Hits)
+	}
+}
+
+// TestRequestTimeout503 asserts a request whose computation outlives the
+// per-request deadline gets a 503 and a structured error.
+func TestRequestTimeout503(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.RequestTimeout = 20 * time.Millisecond })
+	s.buildDelay = 300 * time.Millisecond
+	start := time.Now()
+	rec := post(t, s.Handler(), "/api/v1/simulate", `{"workload":"sql","slaves":3,"cores":8}`)
+	if rec.Code != 503 {
+		t.Fatalf("status = %d, want 503 (%s)", rec.Code, rec.Body)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("timeout took %v, deadline was 20ms", elapsed)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Errorf("503 body not structured: %s", rec.Body)
+	}
+}
+
+// TestLimiter429 asserts the concurrency limiter sheds with 429 once
+// MaxInFlight requests are being served, and counts the sheds.
+func TestLimiter429(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxInFlight = 1 })
+	s.buildDelay = 500 * time.Millisecond
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		done <- post(t, s.Handler(), "/api/v1/simulate", `{"workload":"sql","slaves":3,"cores":8}`)
+	}()
+	// Wait until the slow request holds the only slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.inflight.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shed := post(t, s.Handler(), "/api/v1/simulate", `{"workload":"sql","slaves":3,"cores":4}`)
+	if shed.Code != 429 {
+		t.Fatalf("status = %d, want 429 (%s)", shed.Code, shed.Body)
+	}
+	if got := s.shed.Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	first := <-done
+	if first.Code != 200 {
+		t.Errorf("slow request status = %d, want 200 (%s)", first.Code, first.Body)
+	}
+}
+
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+
+// TestMetricsEndpoint asserts /metrics parses as Prometheus text and
+// carries the advertised series: per-route requests and latency, cache
+// counters with a nonzero hit ratio after a repeat request, in-flight
+// gauge and shed counter.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	body := `{"workload":"sql","slaves":3,"cores":8}`
+	post(t, s.Handler(), "/api/v1/simulate", body)
+	post(t, s.Handler(), "/api/v1/simulate", body) // cache hit
+	post(t, s.Handler(), "/api/v1/predict", `{"workload":"nope"}`)
+
+	rec := get(t, s.Handler(), "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	out := rec.Body.String()
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line does not parse as Prometheus text: %q", line)
+		}
+	}
+	for _, want := range []string{
+		`doppio_http_requests_total{route="/api/v1/simulate",code="200"} 2`,
+		`doppio_http_requests_total{route="/api/v1/predict",code="400"} 1`,
+		`doppio_http_request_duration_seconds_count{route="/api/v1/simulate"} 2`,
+		"doppio_http_in_flight 0",
+		"doppio_http_shed_total 0",
+		"doppio_cache_hits_total 1",
+		"doppio_cache_misses_total 1",
+		"doppio_cache_hit_ratio 0.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestProbes(t *testing.T) {
+	s := newTestServer(t, nil)
+	if rec := get(t, s.Handler(), "/healthz"); rec.Code != 200 {
+		t.Errorf("healthz = %d, want 200", rec.Code)
+	}
+	// Readiness is off until Run starts listening.
+	if rec := get(t, s.Handler(), "/readyz"); rec.Code != 503 {
+		t.Errorf("readyz before Run = %d, want 503", rec.Code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := get(t, s.Handler(), "/api/v1/predict")
+	if rec.Code != 405 {
+		t.Errorf("GET on POST route = %d, want 405", rec.Code)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"defaults", Config{}, true},
+		{"explicit", Config{Addr: "127.0.0.1:8080", MaxInFlight: 4}, true},
+		{"bad addr", Config{Addr: "no-port-here"}, false},
+		{"bad port", Config{Addr: "127.0.0.1:notaport"}, false},
+		{"negative inflight", Config{MaxInFlight: -1}, false},
+		{"negative timeout", Config{RequestTimeout: -time.Second}, false},
+		{"negative drain", Config{DrainTimeout: -time.Second}, false},
+		{"negative cache", Config{CacheEntries: -5}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestConcurrentMixedLoad drives every route from many goroutines; run
+// under -race it is the service-layer analogue of the experiment
+// harness's concurrency audits.
+func TestConcurrentMixedLoad(t *testing.T) {
+	s := newTestServer(t, nil)
+	bodies := map[string]string{
+		"/api/v1/predict":  `{"workload":"lr-small","slaves":3,"cores":8}`,
+		"/api/v1/simulate": `{"workload":"sql","slaves":3,"cores":8}`,
+		"/api/v1/whatif":   `{"workload":"sql","slaves":3,"max_cores":8}`,
+		"/api/v1/sweep":    `{"workloads":["sql"],"nodes":[3],"cores":[4,8]}`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for route, body := range bodies {
+				rec := post(t, s.Handler(), route, body)
+				if rec.Code != 200 {
+					errs <- fmt.Sprintf("%s: %d %s", route, rec.Code, rec.Body)
+				}
+				if mrec := get(t, s.Handler(), "/metrics"); mrec.Code != 200 {
+					errs <- fmt.Sprintf("/metrics: %d", mrec.Code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	stats := s.CacheStats()
+	if stats.Hits == 0 {
+		t.Errorf("32 requests over 4 distinct bodies should hit the cache: %+v", stats)
+	}
+}
