@@ -11,6 +11,8 @@
 //	doppio sim [flags] <workload>      simulate a workload, print stages + iostat
 //	doppio predict [flags] <workload>  calibrate, predict, compare with sim
 //	doppio optimize [flags]            search the cloud configuration space
+//	doppio recommend [flags]           constrained search (-deadline/-budget)
+//	                                   with Eq. 1 monotonicity pruning
 //	doppio whatif [flags] <workload>   sweep core counts with the calibrated model
 //	doppio serve [flags]               HTTP prediction service (docs/SERVING.md)
 //	doppio fio                         fio-like sweep of the device models

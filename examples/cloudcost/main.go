@@ -65,7 +65,7 @@ func main() {
 		{"R1 (Spark docs: 1 disk per 2 cores)", cloud.R1(10, 16)},
 		{"R2 (Cloudera: 1 disk per core)", cloud.R2(10, 16)},
 	} {
-		d, err := eval(ref.spec)
+		d, err := eval.Evaluate(ref.spec)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -68,6 +68,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = a.cmdPredict(args[1:])
 	case "optimize":
 		err = a.cmdOptimize(args[1:])
+	case "recommend":
+		err = a.cmdRecommend(args[1:])
 	case "whatif":
 		err = a.cmdWhatif(args[1:])
 	case "serve":
@@ -104,6 +106,8 @@ func usage(w io.Writer) {
   doppio sim [flags] <workload>      simulate a workload on a cluster
   doppio predict [flags] <workload>  calibrated model vs simulator
   doppio optimize [flags]            search cloud configurations for min cost
+  doppio recommend [flags]           constrained search with deadline/budget
+                                     pruning (see -deadline, -budget, -no-prune)
   doppio whatif [flags] <workload>   sweep core counts with the calibrated model
   doppio serve [flags]               HTTP prediction service (see docs/SERVING.md);
                                      SIGTERM drains in-flight requests
@@ -480,7 +484,7 @@ func (a *app) cmdOptimize(args []string) error {
 		name string
 		spec cloud.ClusterSpec
 	}{{"R1", cloud.R1(*slaves, 16)}, {"R2", cloud.R2(*slaves, 16)}} {
-		d, err := eval(ref.spec)
+		d, err := eval.Evaluate(ref.spec)
 		if err != nil {
 			return err
 		}
@@ -488,6 +492,85 @@ func (a *app) cmdOptimize(args []string) error {
 		fmt.Fprintf(a.out, "reference %s: %v time=%.0fmin cost=%s (optimal saves %.0f%%)\n",
 			ref.name, ref.spec, d.Minutes(), usd(c), (1-cands[0].Cost/c)*100)
 	}
+	return nil
+}
+
+// cmdRecommend is the constrained flavour of cmdOptimize: it searches
+// the same space but under a deadline and/or budget, using
+// PrunedSearch's Eq. 1 monotonicity bounds to skip configurations that
+// provably cannot be feasible. -no-prune runs the exhaustive
+// GridSearch-then-Filter reference path instead — same answer, every
+// point evaluated — so the two modes A/B the pruning on real
+// calibrations.
+func (a *app) cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
+	slaves := fs.Int("slaves", 10, "worker node count")
+	workload := fs.String("workload", "gatk4", "workload to optimise for")
+	top := fs.Int("top", 10, "show the N cheapest feasible configurations")
+	deadline := fs.Float64("deadline", 0, "longest admissible runtime in minutes (0 = none)")
+	budget := fs.Float64("budget", 0, "highest admissible cost in dollars (0 = none)")
+	noPrune := fs.Bool("no-prune", false, "evaluate the full grid and filter (reference path)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *deadline < 0 {
+		return fmt.Errorf("recommend: -deadline must be >= 0")
+	}
+	if *budget < 0 {
+		return fmt.Errorf("recommend: -budget must be >= 0")
+	}
+	w, err := workloads.Get(*workload)
+	if err != nil {
+		return err
+	}
+
+	ssd := cloud.NewDisk(cloud.PDSSD, 500*units.GB)
+	hdd := cloud.NewDisk(cloud.PDStandard, 200*units.GB)
+	base := spark.DefaultTestbed(3, 1, ssd, ssd)
+	fmt.Fprintln(a.out, "# calibrating on virtual disks (4 sample runs, 3 slaves)...")
+	cal, err := core.Calibrate(base, ssd, hdd, w.Build)
+	if err != nil {
+		return err
+	}
+	eval := optimizer.ModelEvaluator(cal.Model)
+	pricing := cloud.DefaultPricing()
+	space := optimizer.DefaultSpace(*slaves)
+	cons := optimizer.Constraints{
+		Deadline: time.Duration(*deadline * float64(time.Minute)),
+		Budget:   *budget,
+	}
+
+	var rep optimizer.SearchReport
+	if *noPrune {
+		cands, err := optimizer.GridSearch(space, eval, pricing)
+		if err != nil {
+			return err
+		}
+		rep = optimizer.SearchReport{
+			Candidates: optimizer.Filter(cands, cons),
+			Evaluated:  space.Size(),
+			Total:      space.Size(),
+		}
+	} else {
+		rep, err = optimizer.PrunedSearch(space, eval, pricing, cons)
+		if err != nil {
+			return err
+		}
+	}
+
+	if len(rep.Candidates) == 0 {
+		fmt.Fprintln(a.out, "no feasible configuration under the given constraints")
+	} else {
+		fmt.Fprintf(a.out, "%-55s %10s %8s\n", "configuration", "time(min)", "cost")
+		for i, c := range rep.Candidates {
+			if i >= *top {
+				break
+			}
+			fmt.Fprintf(a.out, "%-55s %10.0f %8s\n", c.Spec.String(), c.Time.Minutes(), usd(c.Cost))
+		}
+	}
+	fmt.Fprintf(a.out, "# evaluated %d, pruned %d, total %d configurations\n",
+		rep.Evaluated, rep.Pruned, rep.Total)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -209,6 +210,58 @@ func TestOptimize(t *testing.T) {
 	out2, _, code := run(t, "optimize", "-slaves", "3", "-workload", "svm", "-descend")
 	if code != 0 || !strings.Contains(out2, "best after") {
 		t.Errorf("descend output: code=%d", code)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a calibration plus a constrained search")
+	}
+	// A loose deadline keeps the space feasible while still exercising the
+	// pruning path; the footer must account for the whole space.
+	out, _, code := run(t, "recommend", "-slaves", "3", "-workload", "svm", "-top", "3", "-deadline", "600")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"configuration", "# evaluated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recommend output missing %q", want)
+		}
+	}
+	var evaluated, pruned, total int
+	if _, err := fmt.Sscanf(out[strings.Index(out, "# evaluated"):],
+		"# evaluated %d, pruned %d, total %d", &evaluated, &pruned, &total); err != nil {
+		t.Fatalf("footer did not parse: %v\n%s", err, out)
+	}
+	if evaluated+pruned != total || total == 0 {
+		t.Errorf("accounting: evaluated=%d pruned=%d total=%d", evaluated, pruned, total)
+	}
+
+	// -no-prune runs the exhaustive reference path: same candidates, every
+	// point evaluated.
+	out2, _, code := run(t, "recommend", "-slaves", "3", "-workload", "svm", "-top", "3", "-deadline", "600", "-no-prune")
+	if code != 0 {
+		t.Fatalf("no-prune exit = %d", code)
+	}
+	var evaluated2, pruned2, total2 int
+	if _, err := fmt.Sscanf(out2[strings.Index(out2, "# evaluated"):],
+		"# evaluated %d, pruned %d, total %d", &evaluated2, &pruned2, &total2); err != nil {
+		t.Fatalf("no-prune footer did not parse: %v\n%s", err, out2)
+	}
+	if evaluated2 != total2 || pruned2 != 0 || total2 != total {
+		t.Errorf("no-prune accounting: evaluated=%d pruned=%d total=%d", evaluated2, pruned2, total2)
+	}
+	// Candidate tables (everything between the header and the footer) must
+	// agree between the two modes.
+	table := func(s string) string {
+		return s[strings.Index(s, "configuration"):strings.Index(s, "# evaluated")]
+	}
+	if table(out) != table(out2) {
+		t.Errorf("pruned and no-prune tables differ:\n%s\nvs\n%s", table(out), table(out2))
+	}
+
+	if _, _, code := run(t, "recommend", "-deadline", "-5"); code == 0 {
+		t.Error("negative deadline should fail")
 	}
 }
 

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Env is the part of a Platform that does not depend on the cluster
+// shape: the device bandwidth curves and the HDFS configuration. A
+// model compiled against an Env can be evaluated for any (N, P) — that
+// is what makes the compiled form reusable across a whole search grid,
+// where the devices are fixed per subspace and only the shape varies.
+type Env struct {
+	Curves      Curves
+	Replication int
+	BlockSize   units.ByteSize
+}
+
+// EnvOf extracts the environment of a platform.
+func EnvOf(pl Platform) Env {
+	return Env{Curves: pl.Curves, Replication: pl.Replication, BlockSize: pl.BlockSize}
+}
+
+// Validate checks the environment.
+func (e Env) Validate() error {
+	switch {
+	case e.Replication <= 0:
+		return fmt.Errorf("core: Replication must be positive, got %d", e.Replication)
+	case e.BlockSize <= 0:
+		return fmt.Errorf("core: BlockSize must be positive")
+	case e.Curves.HDFSRead == nil || e.Curves.HDFSWrite == nil ||
+		e.Curves.LocalRead == nil || e.Curves.LocalWrite == nil:
+		return fmt.Errorf("core: incomplete curve set")
+	}
+	return nil
+}
+
+// platform reconstructs a Platform for the op-level helpers (which
+// never read N or P).
+func (e Env) platform() Platform {
+	return Platform{N: 1, P: 1, Curves: e.Curves, Replication: e.Replication, BlockSize: e.BlockSize}
+}
+
+// checkShape validates a cluster shape with the same errors
+// Platform.Validate reports, so the compiled path and the classic path
+// fail identically.
+func checkShape(n, p int) error {
+	switch {
+	case n <= 0:
+		return fmt.Errorf("core: N must be positive, got %d", n)
+	case p <= 0:
+		return fmt.Errorf("core: P must be positive, got %d", p)
+	}
+	return nil
+}
+
+// Shape is one (N, P) cluster shape in a batch prediction.
+type Shape struct {
+	// N is the number of slave nodes, P the executor cores per node.
+	N, P int
+}
+
+// compiledGroup is the per-group input of the t_scale term. count is
+// stored pre-converted so the hot loop does no int-to-float work, but
+// the arithmetic — count/(N·P)·t_g, summed in group order — is exactly
+// the expression StageModel.Predict evaluates.
+type compiledGroup struct {
+	count float64 // float64(GroupModel.Count)
+	tgSec float64 // GroupModel.TaskTime(env, mode) in seconds
+}
+
+// compiledStage is the flat, shape-independent residue of one
+// StageModel against one Env: everything Eq. 1 needs except N and P.
+type compiledStage struct {
+	name   string
+	groups []compiledGroup
+	// readSec/writeSec are Σ D_op/BW_op device-seconds per (device,
+	// direction) path, accumulated in the same (group, op) order as
+	// StageModel.Predict. Index 0 is the Spark Local device, 1 is HDFS.
+	readSec  [2]float64
+	writeSec [2]float64
+	// tAvg is the count-weighted average task time (shape-independent).
+	tAvg                              time.Duration
+	deltaScale, deltaRead, deltaWrite time.Duration
+}
+
+// CompiledModel is an AppModel compiled against a fixed environment:
+// all curve lookups, request-size resolution, replication amplification
+// and per-op aggregation are done once, leaving per-prediction work of
+// a handful of floating-point operations per stage. A CompiledModel is
+// immutable after Compile and therefore safe for concurrent use; the
+// prediction methods allocate nothing (PredictBatch is the zero-alloc
+// steady-state API).
+//
+// Predictions are byte-identical to AppModel.Predict on a Platform with
+// the same environment: the compiled form preserves the exact
+// floating-point expression order of the classic path.
+type CompiledModel struct {
+	app    string
+	mode   Mode
+	stages []compiledStage
+}
+
+// Compile flattens the model against the environment. The model and
+// environment are validated once here instead of per prediction.
+func Compile(a AppModel, env Env, mode Mode) (*CompiledModel, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	return compile(a, env, mode), nil
+}
+
+// compile assumes a validated model and environment.
+func compile(a AppModel, env Env, mode Mode) *CompiledModel {
+	pl := env.platform()
+	cm := &CompiledModel{app: a.Name, mode: mode, stages: make([]compiledStage, 0, len(a.Stages))}
+	for _, s := range a.Stages {
+		cs := compiledStage{
+			name:       s.Name,
+			groups:     make([]compiledGroup, 0, len(s.Groups)),
+			deltaScale: s.DeltaScale,
+			deltaRead:  s.DeltaRead,
+			deltaWrite: s.DeltaWrite,
+		}
+		var weighted float64
+		total := 0
+		for _, g := range s.Groups {
+			tg := g.TaskTime(pl, mode).Seconds()
+			cs.groups = append(cs.groups, compiledGroup{count: float64(g.Count), tgSec: tg})
+			weighted += float64(g.Count) * tg
+			total += g.Count
+		}
+		if total > 0 {
+			cs.tAvg = units.SecDuration(weighted / float64(total))
+		}
+		// Per-path D/BW sums, same op walk as StageModel.Predict.
+		for _, g := range s.Groups {
+			for _, op := range g.Ops {
+				bw := effBW(op, pl, mode)
+				if bw <= 0 || op.BytesPerTask <= 0 {
+					continue
+				}
+				vol := units.ByteSize(int64(g.Count)) * opVolume(op, pl)
+				sec := float64(vol) / float64(bw)
+				d := deviceIdx(op.Kind)
+				if op.Kind.IsRead() {
+					cs.readSec[d] += sec
+				} else {
+					cs.writeSec[d] += sec
+				}
+			}
+		}
+		cm.stages = append(cm.stages, cs)
+	}
+	return cm
+}
+
+// App returns the compiled model's application name.
+func (c *CompiledModel) App() string { return c.app }
+
+// Mode returns the model variant the compilation resolved.
+func (c *CompiledModel) Mode() Mode { return c.mode }
+
+// stageIOTerms are one stage's shape-dependent I/O limit terms. They
+// depend on N only, so batch evaluation computes them once per node
+// count and reuses them across the P axis — reuse is byte-identical to
+// recomputation because the operations are deterministic.
+type stageIOTerms struct {
+	read, write, dev time.Duration
+}
+
+// ioTerms evaluates the three I/O limit terms of Eq. 1, mirroring
+// StageModel.Predict operation for operation.
+func (cs *compiledStage) ioTerms(n int) stageIOTerms {
+	var io stageIOTerms
+	nf := float64(n)
+	if r := maxf(cs.readSec[0], cs.readSec[1]); r > 0 {
+		io.read = units.SecDuration(r/nf) + cs.deltaRead
+	}
+	if w := maxf(cs.writeSec[0], cs.writeSec[1]); w > 0 {
+		io.write = units.SecDuration(w/nf) + cs.deltaWrite
+	}
+	for d := 0; d < 2; d++ {
+		combined := cs.readSec[d] + cs.writeSec[d]
+		if combined <= 0 {
+			continue
+		}
+		lim := units.SecDuration(combined / nf)
+		if cs.readSec[d] > 0 {
+			lim += cs.deltaRead
+		}
+		if cs.writeSec[d] > 0 {
+			lim += cs.deltaWrite
+		}
+		if lim > io.dev {
+			io.dev = lim
+		}
+	}
+	return io
+}
+
+// scale evaluates t_scale: Σ_g Count_g/(N·P)·t_avg_g + δ_scale, with
+// the per-group expression order of StageModel.Predict.
+func (cs *compiledStage) scale(n, p int) time.Duration {
+	var scaleSec float64
+	np := float64(n * p)
+	for _, g := range cs.groups {
+		scaleSec += g.count / np * g.tgSec
+	}
+	return units.SecDuration(scaleSec) + cs.deltaScale
+}
+
+// timeWith combines precomputed I/O terms with the shape's scaling term
+// into the stage time, applying the mode's overlap rule.
+func (cs *compiledStage) timeWith(io stageIOTerms, n, p int, mode Mode) time.Duration {
+	ts := cs.scale(n, p)
+	if mode == ModeNoOverlap {
+		return ts + io.read + io.write
+	}
+	t := ts
+	if io.read > t {
+		t = io.read
+	}
+	if io.write > t {
+		t = io.write
+	}
+	if io.dev > t {
+		t = io.dev
+	}
+	return t
+}
+
+// evalStage evaluates Eq. 1 for one compiled stage, byte-identical to
+// StageModel.Predict, without allocating.
+func (c *CompiledModel) evalStage(cs *compiledStage, n, p int) StagePrediction {
+	pred := StagePrediction{Name: cs.name, TAvg: cs.tAvg}
+	pred.TScale = cs.scale(n, p)
+	io := cs.ioTerms(n)
+	pred.TReadLimit, pred.TWriteLimit, pred.TDeviceLimit = io.read, io.write, io.dev
+
+	if c.mode == ModeNoOverlap {
+		pred.T = pred.TScale + pred.TReadLimit + pred.TWriteLimit
+		pred.Bottleneck = "sum"
+		return pred
+	}
+
+	pred.T = pred.TScale
+	pred.Bottleneck = "scale"
+	if pred.TReadLimit > pred.T {
+		pred.T = pred.TReadLimit
+		pred.Bottleneck = "read"
+	}
+	if pred.TWriteLimit > pred.T {
+		pred.T = pred.TWriteLimit
+		pred.Bottleneck = "write"
+	}
+	if pred.TDeviceLimit > pred.T {
+		pred.T = pred.TDeviceLimit
+		pred.Bottleneck = "device"
+	}
+	return pred
+}
+
+// Predict evaluates the compiled model for one cluster shape, returning
+// the full per-stage breakdown (this allocates the stage slice; use
+// Total or PredictBatch on the hot path).
+func (c *CompiledModel) Predict(n, p int) (AppPrediction, error) {
+	if err := checkShape(n, p); err != nil {
+		return AppPrediction{}, err
+	}
+	out := AppPrediction{App: c.app, Stages: make([]StagePrediction, len(c.stages))}
+	for i := range c.stages {
+		sp := c.evalStage(&c.stages[i], n, p)
+		out.Stages[i] = sp
+		out.Total += sp.T
+	}
+	return out, nil
+}
+
+// Total evaluates t_app for one shape without allocating.
+func (c *CompiledModel) Total(n, p int) (time.Duration, error) {
+	if err := checkShape(n, p); err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for i := range c.stages {
+		total += c.evalStage(&c.stages[i], n, p).T
+	}
+	return total, nil
+}
+
+// PredictBatch evaluates t_app for every shape, writing results into
+// the caller-provided slab. It allocates nothing (the slab is sized by
+// the caller, typically reused across batches), making it the
+// steady-state API for grid sweeps; it is safe to call concurrently on
+// the same CompiledModel. It returns out[:len(shapes)].
+func (c *CompiledModel) PredictBatch(shapes []Shape, out []time.Duration) ([]time.Duration, error) {
+	if len(out) < len(shapes) {
+		return nil, fmt.Errorf("core: PredictBatch: out has %d slots for %d shapes", len(out), len(shapes))
+	}
+	for _, sh := range shapes {
+		if err := checkShape(sh.N, sh.P); err != nil {
+			return nil, err
+		}
+	}
+	// The I/O limit terms depend on N only; batches are typically sorted
+	// or grouped by N (grid enumerations vary P innermost), so caching
+	// the last N's terms removes most of the per-shape work. Better
+	// still, the three terms fold to a single duration per stage: under
+	// overlap the stage time is max(t_scale, read, write, device) — equal
+	// to max(t_scale, fold) with fold = max(read, write, device) — and
+	// under ModeNoOverlap it is t_scale + (read + write); int64 duration
+	// addition is associative, so both folds are exact. Stage counts
+	// beyond the stack buffer fall back to per-shape evaluation.
+	stages := c.stages
+	var foldBuf [64]time.Duration
+	if len(stages) > len(foldBuf) {
+		for i, sh := range shapes {
+			var total time.Duration
+			for j := range stages {
+				total += c.evalStage(&stages[j], sh.N, sh.P).T
+			}
+			out[i] = total
+		}
+		return out[:len(shapes)], nil
+	}
+	fold := foldBuf[:len(stages)]
+	noOverlap := c.mode == ModeNoOverlap
+	lastN := 0 // shapes are validated, so N >= 1 marks the cache filled
+	for i, sh := range shapes {
+		if sh.N != lastN {
+			for j := range stages {
+				io := stages[j].ioTerms(sh.N)
+				if noOverlap {
+					fold[j] = io.read + io.write
+				} else {
+					f := io.read
+					if io.write > f {
+						f = io.write
+					}
+					if io.dev > f {
+						f = io.dev
+					}
+					fold[j] = f
+				}
+			}
+			lastN = sh.N
+		}
+		np := float64(sh.N * sh.P)
+		var total time.Duration
+		for j := range stages {
+			var scaleSec float64
+			for _, g := range stages[j].groups {
+				scaleSec += g.count / np * g.tgSec
+			}
+			ts := units.SecDuration(scaleSec) + stages[j].deltaScale
+			if noOverlap {
+				ts += fold[j]
+			} else if fold[j] > ts {
+				ts = fold[j]
+			}
+			total += ts
+		}
+		out[i] = total
+	}
+	return out[:len(shapes)], nil
+}
+
+// TopBottleneck returns the most common per-stage bottleneck for the
+// shape, with ties resolved in stage order (the same census rule the
+// serve sweep endpoint has always used). It does not allocate.
+func (c *CompiledModel) TopBottleneck(n, p int) (string, error) {
+	if err := checkShape(n, p); err != nil {
+		return "", err
+	}
+	// Indexes into bottleneckNames; mirrors the string census of the
+	// sweep handler: top switches only on a strictly greater count.
+	var counts [5]int
+	top := -1
+	for i := range c.stages {
+		sp := c.evalStage(&c.stages[i], n, p)
+		k := bottleneckIndex(sp.Bottleneck)
+		counts[k]++
+		if top < 0 || counts[k] > counts[top] {
+			top = k
+		}
+	}
+	if top < 0 {
+		return "", nil
+	}
+	return bottleneckNames[top], nil
+}
+
+var bottleneckNames = [5]string{"scale", "read", "write", "device", "sum"}
+
+func bottleneckIndex(b string) int {
+	for i, n := range bottleneckNames {
+		if n == b {
+			return i
+		}
+	}
+	return 0
+}

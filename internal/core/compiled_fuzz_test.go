@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// fuzzKinds are the op kinds a model may carry (everything but
+// OpCompute, which Validate rejects).
+var fuzzKinds = []spark.OpKind{
+	spark.OpHDFSRead, spark.OpHDFSWrite,
+	spark.OpShuffleRead, spark.OpShuffleWrite,
+	spark.OpPersistRead, spark.OpPersistWrite,
+}
+
+// fuzzCurve derives a valid monotone-request-size curve from the rng.
+func fuzzCurve(r *rand.Rand) *disk.Curve {
+	n := 1 + r.Intn(5)
+	pts := make([]disk.CurvePoint, n)
+	req := units.ByteSize(1 + r.Intn(64))
+	for i := range pts {
+		pts[i] = disk.CurvePoint{
+			ReqSize:   req * units.KB,
+			Bandwidth: units.MBps(0.5 + 600*r.Float64()),
+		}
+		req *= units.ByteSize(2 + r.Intn(8))
+	}
+	return disk.MustCurve(pts)
+}
+
+// fuzzModel derives a valid model and environment from the rng. Zeros
+// are sprinkled deliberately: zero bytes, zero T, zero coupled rate and
+// zero deltas all take distinct branches in the compiler.
+func fuzzModel(r *rand.Rand) (AppModel, Env) {
+	env := Env{
+		Curves: Curves{
+			HDFSRead:   fuzzCurve(r),
+			HDFSWrite:  fuzzCurve(r),
+			LocalRead:  fuzzCurve(r),
+			LocalWrite: fuzzCurve(r),
+		},
+		Replication: 1 + r.Intn(3),
+		BlockSize:   units.ByteSize(1+r.Intn(256)) * units.MB,
+	}
+	app := AppModel{Name: "fuzz"}
+	for s := 0; s < 1+r.Intn(4); s++ {
+		st := StageModel{
+			Name:       string(rune('a' + s)),
+			DeltaScale: time.Duration(r.Intn(3)) * time.Second,
+			DeltaRead:  time.Duration(r.Intn(2)) * time.Second,
+			DeltaWrite: time.Duration(r.Intn(2)) * time.Second,
+		}
+		for g := 0; g < 1+r.Intn(3); g++ {
+			gm := GroupModel{
+				Name:           string(rune('p' + g)),
+				Count:          1 + r.Intn(2000),
+				ComputePerTask: time.Duration(r.Int63n(int64(10 * time.Second))),
+			}
+			for o := 0; o < r.Intn(4); o++ {
+				op := OpModel{
+					Kind:         fuzzKinds[r.Intn(len(fuzzKinds))],
+					BytesPerTask: units.ByteSize(r.Int63n(int64(units.GB))),
+				}
+				if r.Intn(2) == 0 {
+					op.ReqSize = units.ByteSize(r.Int63n(int64(64 * units.MB)))
+				}
+				if r.Intn(2) == 0 {
+					op.T = units.MBps(1 + 400*r.Float64())
+				}
+				if r.Intn(3) == 0 {
+					op.CoupledRate = units.MBps(1 + 800*r.Float64())
+				}
+				gm.Ops = append(gm.Ops, op)
+			}
+			st.Groups = append(st.Groups, gm)
+		}
+		app.Stages = append(app.Stages, st)
+	}
+	return app, env
+}
+
+// FuzzCompiledPredict holds the compiled fast path and the classic
+// per-stage path byte-identical on randomized models, environments,
+// shapes and modes. Seeds live in testdata/fuzz/FuzzCompiledPredict.
+func FuzzCompiledPredict(f *testing.F) {
+	f.Add(uint64(1), 3, 8, 0)
+	f.Add(uint64(42), 10, 36, 1)
+	f.Add(uint64(7), 32, 16, 2)
+	f.Add(uint64(1234567), 1, 1, 0)
+	f.Fuzz(func(t *testing.T, seed uint64, n, p, mode int) {
+		n = 1 + abs(n)%4096
+		p = 1 + abs(p)%4096
+		m := Mode(abs(mode) % 3)
+		r := rand.New(rand.NewSource(int64(seed)))
+		app, env := fuzzModel(r)
+		if err := app.Validate(); err != nil {
+			t.Fatalf("fuzzModel built an invalid model: %v", err)
+		}
+		pl := Platform{N: n, P: p, Curves: env.Curves, Replication: env.Replication, BlockSize: env.BlockSize}
+		want := refPredict(app, pl, m)
+
+		got, err := app.Predict(pl, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d shape (%d,%d) mode %v: compiled diverges\n got %+v\nwant %+v",
+				seed, n, p, m, got, want)
+		}
+
+		cm, err := Compile(app, env, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [1]time.Duration
+		batch, err := cm.PredictBatch([]Shape{{N: n, P: p}}, out[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[0] != want.Total {
+			t.Fatalf("seed %d shape (%d,%d) mode %v: batch total %v != %v",
+				seed, n, p, m, batch[0], want.Total)
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		// Avoid the MinInt overflow: any fixed positive value keeps the
+		// mapping deterministic.
+		if v == -v {
+			return 1
+		}
+		return -v
+	}
+	return v
+}

@@ -81,22 +81,13 @@ type Platform struct {
 	BlockSize units.ByteSize
 }
 
-// Validate checks the platform.
+// Validate checks the platform: the cluster shape plus the environment
+// (Env.Validate).
 func (p Platform) Validate() error {
-	switch {
-	case p.N <= 0:
-		return fmt.Errorf("core: N must be positive, got %d", p.N)
-	case p.P <= 0:
-		return fmt.Errorf("core: P must be positive, got %d", p.P)
-	case p.Replication <= 0:
-		return fmt.Errorf("core: Replication must be positive, got %d", p.Replication)
-	case p.BlockSize <= 0:
-		return fmt.Errorf("core: BlockSize must be positive")
-	case p.Curves.HDFSRead == nil || p.Curves.HDFSWrite == nil ||
-		p.Curves.LocalRead == nil || p.Curves.LocalWrite == nil:
-		return fmt.Errorf("core: incomplete curve set")
+	if err := checkShape(p.N, p.P); err != nil {
+		return err
 	}
-	return nil
+	return EnvOf(p).Validate()
 }
 
 // PlatformFor builds a Platform matching a simulator cluster config,

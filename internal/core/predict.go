@@ -267,7 +267,11 @@ func (s StageModel) Predict(pl Platform, mode Mode) StagePrediction {
 	return pred
 }
 
-// Predict evaluates the whole application: t_app = Σ t_stage.
+// Predict evaluates the whole application: t_app = Σ t_stage. It is a
+// thin wrapper over the compiled fast path — compile against the
+// platform's environment, evaluate at (N, P) — and returns results
+// byte-identical to evaluating StageModel.Predict per stage (the fuzz
+// target FuzzCompiledPredict holds the two paths together).
 func (a AppModel) Predict(pl Platform, mode Mode) (AppPrediction, error) {
 	if err := a.Validate(); err != nil {
 		return AppPrediction{}, err
@@ -275,13 +279,7 @@ func (a AppModel) Predict(pl Platform, mode Mode) (AppPrediction, error) {
 	if err := pl.Validate(); err != nil {
 		return AppPrediction{}, err
 	}
-	out := AppPrediction{App: a.Name}
-	for _, s := range a.Stages {
-		sp := s.Predict(pl, mode)
-		out.Stages = append(out.Stages, sp)
-		out.Total += sp.T
-	}
-	return out, nil
+	return compile(a, EnvOf(pl), mode).Predict(pl.N, pl.P)
 }
 
 // ErrorRate returns |predicted-measured| / measured; it is the metric

@@ -33,7 +33,7 @@ func tableV(context.Context) (*Table, error) {
 }
 
 // cloudEval builds the model evaluator from the cloud calibration.
-func cloudEval(ctx context.Context) (optimizer.Evaluator, error) {
+func cloudEval(ctx context.Context) (*optimizer.CompiledEvaluator, error) {
 	cal, err := calibratedCloud(ctx, "gatk4")
 	if err != nil {
 		return nil, err
@@ -82,7 +82,7 @@ func fig13(ctx context.Context) (*Table, error) {
 		fig13Point{"reference", "R2 (16TB)", cloud.R2(10, 16)},
 	)
 	outcomes := sweep.Map(points, 0, func(p fig13Point) (time.Duration, error) {
-		return eval(p.spec)
+		return eval.Evaluate(p.spec)
 	})
 	durations, err := sweep.Values(outcomes)
 	if err != nil {
@@ -121,7 +121,7 @@ func fig14(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return pair{}, err
 		}
-		mt, err := eval(spec)
+		mt, err := eval.Evaluate(spec)
 		if err != nil {
 			return pair{}, err
 		}
@@ -167,7 +167,7 @@ func fig15(ctx context.Context) (*Table, error) {
 			})
 		}
 	}
-	outcomes := sweep.Map(specs, 0, eval)
+	outcomes := sweep.Map(specs, 0, eval.Evaluate)
 	durations, err := sweep.Values(outcomes)
 	if err != nil {
 		return nil, err
@@ -221,7 +221,7 @@ func headline(ctx context.Context) (*Table, error) {
 		{"R1 (Spark guide, 8TB)", "saving_R1", cloud.R1(10, 16)},
 		{"R2 (Cloudera guide, 16TB)", "saving_R2", cloud.R2(10, 16)},
 	} {
-		d, err := eval(ref.spec)
+		d, err := eval.Evaluate(ref.spec)
 		if err != nil {
 			return nil, err
 		}

@@ -137,3 +137,35 @@ func (g Grid) Points() []Point {
 
 // Size reports the number of points the grid enumerates.
 func (g Grid) Size() int { return len(g.Points()) }
+
+// Group is one key-sharing chunk of a sweep: the points that can share
+// expensive per-key setup (a calibration, a compiled model), plus their
+// positions in the original slice so results land back in input order.
+type Group[K comparable, P any] struct {
+	Key     K
+	Points  []P
+	Indices []int
+}
+
+// GroupBy partitions points by key. Groups appear in first-appearance
+// order and keep their points in input order, so iterating groups and
+// writing results at Indices reproduces exactly the input ordering — the
+// planner's contract with preallocated result slabs. Callers that
+// process groups concurrently may write to disjoint slab indices
+// without further synchronisation.
+func GroupBy[K comparable, P any](points []P, key func(P) K) []Group[K, P] {
+	order := make(map[K]int, len(points))
+	var groups []Group[K, P]
+	for i, p := range points {
+		k := key(p)
+		g, ok := order[k]
+		if !ok {
+			g = len(groups)
+			order[k] = g
+			groups = append(groups, Group[K, P]{Key: k})
+		}
+		groups[g].Points = append(groups[g].Points, p)
+		groups[g].Indices = append(groups[g].Indices, i)
+	}
+	return groups
+}

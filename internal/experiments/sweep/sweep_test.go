@@ -121,3 +121,43 @@ func TestGridEmptyAxes(t *testing.T) {
 		t.Errorf("pts[2] = %+v", pts[2])
 	}
 }
+
+func TestGroupBy(t *testing.T) {
+	points := []string{"b1", "a1", "b2", "c1", "a2", "b3"}
+	groups := GroupBy(points, func(s string) byte { return s[0] })
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	// First-appearance order of keys.
+	for i, want := range []byte{'b', 'a', 'c'} {
+		if groups[i].Key != want {
+			t.Fatalf("group %d key = %c, want %c", i, groups[i].Key, want)
+		}
+	}
+	// Input order within groups, and indices addressing the original slice.
+	slab := make([]string, len(points))
+	total := 0
+	for _, g := range groups {
+		if len(g.Points) != len(g.Indices) {
+			t.Fatalf("group %c: %d points, %d indices", g.Key, len(g.Points), len(g.Indices))
+		}
+		for j, idx := range g.Indices {
+			if points[idx] != g.Points[j] {
+				t.Fatalf("group %c point %d: index %d holds %q, want %q", g.Key, j, idx, points[idx], g.Points[j])
+			}
+			slab[idx] = g.Points[j]
+		}
+		total += len(g.Points)
+	}
+	if total != len(points) {
+		t.Fatalf("groups cover %d points, want %d", total, len(points))
+	}
+	for i := range points {
+		if slab[i] != points[i] {
+			t.Fatalf("slab[%d] = %q, want %q (input order not reproduced)", i, slab[i], points[i])
+		}
+	}
+	if got := GroupBy(nil, func(s string) byte { return 0 }); len(got) != 0 {
+		t.Fatalf("GroupBy(nil) = %v, want empty", got)
+	}
+}

@@ -1,0 +1,106 @@
+package optimizer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// benchModel is a hand-built multi-stage model of gatk4-ish shape (no
+// calibration: benchmarks must not depend on simulator runs). Sizes are
+// per-task volumes; the absolute numbers only need to be plausible.
+func benchModel() core.AppModel {
+	return core.AppModel{
+		Name: "bench",
+		Stages: []core.StageModel{
+			{
+				Name: "ingest",
+				Groups: []core.GroupModel{{
+					Name: "map", Count: 640, ComputePerTask: 2 * time.Second,
+					Ops: []core.OpModel{
+						{Kind: spark.OpHDFSRead, BytesPerTask: 128 * units.MB, T: units.MBps(180)},
+						{Kind: spark.OpShuffleWrite, BytesPerTask: 48 * units.MB},
+					},
+				}},
+				DeltaScale: 800 * time.Millisecond,
+				DeltaWrite: 300 * time.Millisecond,
+			},
+			{
+				Name: "shuffle",
+				Groups: []core.GroupModel{
+					{
+						Name: "reduce", Count: 512, ComputePerTask: 1500 * time.Millisecond,
+						Ops: []core.OpModel{
+							{Kind: spark.OpShuffleRead, BytesPerTask: 60 * units.MB, ReqSize: 2 * units.MB},
+							{Kind: spark.OpPersistWrite, BytesPerTask: 32 * units.MB, CoupledRate: units.MBps(400)},
+						},
+					},
+					{
+						Name: "side", Count: 64, ComputePerTask: 3 * time.Second,
+						Ops: []core.OpModel{
+							{Kind: spark.OpHDFSRead, BytesPerTask: 64 * units.MB},
+						},
+					},
+				},
+				DeltaScale: time.Second,
+				DeltaRead:  500 * time.Millisecond,
+			},
+			{
+				Name: "iterate",
+				Groups: []core.GroupModel{{
+					Name: "cached", Count: 1024, ComputePerTask: 900 * time.Millisecond,
+					Ops: []core.OpModel{
+						{Kind: spark.OpPersistRead, BytesPerTask: 24 * units.MB, T: units.MBps(500)},
+					},
+				}},
+			},
+			{
+				Name: "emit",
+				Groups: []core.GroupModel{{
+					Name: "write", Count: 320, ComputePerTask: 1200 * time.Millisecond,
+					Ops: []core.OpModel{
+						{Kind: spark.OpShuffleRead, BytesPerTask: 40 * units.MB, ReqSize: 2 * units.MB},
+						{Kind: spark.OpHDFSWrite, BytesPerTask: 96 * units.MB, T: units.MBps(150)},
+					},
+				}},
+				DeltaScale: 600 * time.Millisecond,
+				DeltaWrite: 700 * time.Millisecond,
+			},
+		},
+	}
+}
+
+// benchSpace is the acceptance grid: a 32-node cluster, 16 machine
+// shapes, 4 device pairs = 64 candidate configurations per search.
+func benchSpace() Space {
+	return Space{
+		Slaves:     32,
+		VCPUs:      []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32},
+		HDFSTypes:  []cloud.DiskType{cloud.PDStandard},
+		HDFSSizes:  []units.ByteSize{units.TB},
+		LocalTypes: []cloud.DiskType{cloud.PDStandard, cloud.PDSSD},
+		LocalSizes: []units.ByteSize{500 * units.GB, 2 * units.TB},
+	}
+}
+
+// BenchmarkGridSearch is the headline number of the analytical fast
+// path: one full grid search on the 32-node × 16-core × 4-device grid
+// through ModelEvaluator, exactly what recommend and the serve endpoint
+// do per request on a warm evaluator. Gated in docs/BENCH_model.json.
+func BenchmarkGridSearch(b *testing.B) {
+	model := benchModel()
+	eval := ModelEvaluator(model)
+	pricing := cloud.DefaultPricing()
+	space := benchSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GridSearch(space, eval, pricing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,35 +7,42 @@ package optimizer
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cloud"
-	"repro/internal/core"
 	"repro/internal/experiments/sweep"
 	"repro/internal/spark"
 	"repro/internal/units"
 )
 
-// Evaluator predicts the application runtime on a candidate
-// configuration. Evaluators must be safe for concurrent use: GridSearch
-// fans evaluations out over a worker pool.
+// SpecEvaluator predicts the application runtime on a candidate
+// configuration. Evaluators must be safe for concurrent use: the
+// searches fan evaluations out over a worker pool.
+type SpecEvaluator interface {
+	Evaluate(spec cloud.ClusterSpec) (time.Duration, error)
+}
+
+// BatchEvaluator is a SpecEvaluator that can additionally fill a whole
+// slab of predictions at once. GridSearch and PrunedSearch detect it
+// and route entire subspaces through one call — the compiled-model fast
+// path (see CompiledEvaluator).
+type BatchEvaluator interface {
+	SpecEvaluator
+	// EvaluateBatch writes the runtime of specs[i] to out[i]. out must
+	// have at least len(specs) slots. Callers get the best throughput
+	// when specs sharing a device combination are adjacent.
+	EvaluateBatch(specs []cloud.ClusterSpec, out []time.Duration) error
+}
+
+// Evaluator is the plain-function evaluator form (the simulator-backed
+// evaluator and most test evaluators). It implements SpecEvaluator.
 type Evaluator func(spec cloud.ClusterSpec) (time.Duration, error)
 
-// ModelEvaluator builds an Evaluator from a calibrated Doppio model:
-// profile the candidate's virtual disks, assemble the platform, apply
-// Eq. 1. This is what makes exploring thousands of configurations
-// feasible.
-func ModelEvaluator(model core.AppModel) Evaluator {
-	return func(spec cloud.ClusterSpec) (time.Duration, error) {
-		cfg := spec.ClusterConfig()
-		pred, err := model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
-		if err != nil {
-			return 0, err
-		}
-		return pred.Total, nil
-	}
-}
+// Evaluate implements SpecEvaluator.
+func (f Evaluator) Evaluate(spec cloud.ClusterSpec) (time.Duration, error) { return f(spec) }
 
 // SimEvaluator builds an Evaluator that runs the full cluster simulator
 // — the "measured" side used to verify the optimizer's picks (paper
@@ -121,18 +128,65 @@ func (s Space) Specs() []cloud.ClusterSpec {
 	return out
 }
 
-// GridSearch evaluates the full space and returns candidates sorted by
-// cost (cheapest first; ties keep the deterministic enumeration order).
-// Evaluations fan out over a GOMAXPROCS-sized worker pool — the model
-// evaluator makes each point cheap, but the simulator-backed evaluator
-// used for verification gains the full core count.
-func GridSearch(space Space, eval Evaluator, pricing cloud.Pricing) ([]Candidate, error) {
-	specs := space.Specs()
-	if len(specs) == 0 {
+// candCompare is the total order on candidates: cost, then runtime,
+// then nodes, cores and device names. Every code path that ranks
+// candidates (GridSearch, PrunedSearch, Best) uses it, so equal-cost
+// configurations order identically across runs and across search
+// strategies — the pre-fix sort was stable only on cost, which made
+// optimizer tables flap between -parallel runs.
+func candCompare(a, b Candidate) int {
+	switch {
+	case a.Cost != b.Cost:
+		return cmpOrd(a.Cost, b.Cost)
+	case a.Time != b.Time:
+		return cmpOrd(a.Time, b.Time)
+	case a.Spec.Slaves != b.Spec.Slaves:
+		return cmpOrd(a.Spec.Slaves, b.Spec.Slaves)
+	case a.Spec.VCPUs != b.Spec.VCPUs:
+		return cmpOrd(a.Spec.VCPUs, b.Spec.VCPUs)
+	case a.Spec.HDFSType != b.Spec.HDFSType:
+		return cmpOrd(a.Spec.HDFSType.String(), b.Spec.HDFSType.String())
+	case a.Spec.HDFSSize != b.Spec.HDFSSize:
+		return cmpOrd(a.Spec.HDFSSize, b.Spec.HDFSSize)
+	case a.Spec.LocalType != b.Spec.LocalType:
+		return cmpOrd(a.Spec.LocalType.String(), b.Spec.LocalType.String())
+	default:
+		return cmpOrd(a.Spec.LocalSize, b.Spec.LocalSize)
+	}
+}
+
+func cmpOrd[T int | float64 | time.Duration | units.ByteSize | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func sortCandidates(cands []Candidate) {
+	slices.SortFunc(cands, candCompare)
+}
+
+// GridSearch evaluates the full space and returns candidates sorted
+// cheapest-first under the candCompare total order. A BatchEvaluator
+// (the compiled model) is routed subspace-at-a-time through
+// EvaluateBatch; any other evaluator fans out over a GOMAXPROCS-sized
+// worker pool — each simulator-backed evaluation gains the full core
+// count, while the compiled path avoids paying pool overhead per
+// microsecond-scale point.
+func GridSearch(space Space, eval SpecEvaluator, pricing cloud.Pricing) ([]Candidate, error) {
+	if space.Size() == 0 {
 		return nil, fmt.Errorf("optimizer: empty search space")
 	}
+	if be, ok := eval.(BatchEvaluator); ok {
+		return batchGrid(space, be, pricing)
+	}
+	specs := space.Specs()
 	outcomes := sweep.Map(specs, 0, func(spec cloud.ClusterSpec) (Candidate, error) {
-		d, err := eval(spec)
+		d, err := eval.Evaluate(spec)
 		if err != nil {
 			return Candidate{}, fmt.Errorf("optimizer: evaluating %v: %w", spec, err)
 		}
@@ -142,18 +196,179 @@ func GridSearch(space Space, eval Evaluator, pricing cloud.Pricing) ([]Candidate
 	if err != nil {
 		return nil, err
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	sortCandidates(out)
 	return out, nil
 }
 
-// Best returns the cheapest candidate of a sorted or unsorted list.
+// candKey pairs a candidate's cost with its slab index so sorting
+// moves 16-byte keys instead of 64-byte candidates.
+type candKey struct {
+	cost float64
+	idx  int32
+}
+
+// keyLess orders keys by cost, deferring exact-cost ties to the
+// candCompare total order. Small enough to inline into sortKeys's
+// loops — a closure-based sort pays an indirect call per comparison,
+// which at grid sizes is most of the sort's cost.
+func keyLess(a, b candKey, tie func(a, b int32) bool) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return tie(a.idx, b.idx)
+}
+
+// sortKeys is a median-of-three quicksort with an insertion-sort floor,
+// specialised to candKey so the hot float comparison stays inline. Grid
+// subspaces are small (tens to thousands of points), so no depth guard
+// is needed; ties recurse through the tie callback only on exact cost
+// collisions.
+func sortKeys(keys []candKey, tie func(a, b int32) bool) {
+	for len(keys) > 12 {
+		m := len(keys) / 2
+		last := len(keys) - 1
+		if keyLess(keys[m], keys[0], tie) {
+			keys[0], keys[m] = keys[m], keys[0]
+		}
+		if keyLess(keys[last], keys[m], tie) {
+			keys[m], keys[last] = keys[last], keys[m]
+			if keyLess(keys[m], keys[0], tie) {
+				keys[0], keys[m] = keys[m], keys[0]
+			}
+		}
+		pivot := keys[m]
+		i, j := 0, last
+		for i <= j {
+			for keyLess(keys[i], pivot, tie) {
+				i++
+			}
+			for keyLess(pivot, keys[j], tie) {
+				j--
+			}
+			if i <= j {
+				keys[i], keys[j] = keys[j], keys[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, iterate on the larger: bounds
+		// stack depth by log n.
+		if j < len(keys)-i {
+			sortKeys(keys[:j+1], tie)
+			keys = keys[i:]
+		} else {
+			sortKeys(keys[i:], tie)
+			keys = keys[:j+1]
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		j := i - 1
+		for j >= 0 && keyLess(k, keys[j], tie) {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = k
+	}
+}
+
+// gridScratch is batchGrid's reusable working set; pooling it makes
+// the steady-state search allocate only the returned candidate slice.
+type gridScratch struct {
+	specs []cloud.ClusterSpec
+	outs  []time.Duration
+	keys  []candKey
+}
+
+var gridPool = sync.Pool{New: func() any { return new(gridScratch) }}
+
+func (g *gridScratch) grow(size int) {
+	if cap(g.specs) < size {
+		g.specs = make([]cloud.ClusterSpec, 0, size)
+		g.outs = make([]time.Duration, size)
+		g.keys = make([]candKey, size)
+	}
+	g.specs = g.specs[:0]
+}
+
+// batchGrid is GridSearch for batch-capable evaluators: enumerate the
+// space device-combination-major (so EvaluateBatch sees one long run
+// per compiled environment), fill one pooled slab, price and sort. The
+// enumeration order differs from Specs() but the result does not:
+// candCompare is a total order, so sorting erases enumeration order
+// (TestGridSearchBatchMatchesPool pins the equivalence).
+func batchGrid(space Space, be BatchEvaluator, pricing cloud.Pricing) ([]Candidate, error) {
+	size := space.Size()
+	g := gridPool.Get().(*gridScratch)
+	defer gridPool.Put(g)
+	g.grow(size)
+	for _, ht := range space.HDFSTypes {
+		for _, hs := range space.HDFSSizes {
+			for _, lt := range space.LocalTypes {
+				for _, ls := range space.LocalSizes {
+					for _, v := range space.VCPUs {
+						g.specs = append(g.specs, cloud.ClusterSpec{
+							Slaves: space.Slaves, VCPUs: v,
+							HDFSType: ht, HDFSSize: hs,
+							LocalType: lt, LocalSize: ls,
+						})
+					}
+				}
+			}
+		}
+	}
+	specs, outs := g.specs, g.outs[:size]
+	if err := be.EvaluateBatch(specs, outs); err != nil {
+		return nil, err
+	}
+	// Sort (cost, index) keys instead of candidates: almost every
+	// comparison resolves on cost alone, and the rare tie falls back to
+	// the full candCompare order — the same total order sortCandidates
+	// produces, at a fraction of the moves.
+	// Price combo-major so each device pair's disk rates are derived
+	// once; the expression tree per point is exactly ClusterSpec.Cost's
+	// ((v·rate + dh + dl)·slaves)·hours, so the keys match the pool
+	// path's costs bit for bit.
+	keys := g.keys[:size]
+	slavesF := float64(space.Slaves)
+	i := 0
+	for _, ht := range space.HDFSTypes {
+		for _, hs := range space.HDFSSizes {
+			dh := pricing.DiskDollarsPerHour(ht, hs)
+			for _, lt := range space.LocalTypes {
+				for _, ls := range space.LocalSizes {
+					dl := pricing.DiskDollarsPerHour(lt, ls)
+					for _, v := range space.VCPUs {
+						perNode := float64(v)*pricing.VCPUPerHour + dh + dl
+						keys[i] = candKey{cost: perNode * slavesF * outs[i].Hours(), idx: int32(i)}
+						i++
+					}
+				}
+			}
+		}
+	}
+	sortKeys(keys, func(a, b int32) bool {
+		return candCompare(
+			Candidate{Spec: specs[a], Time: outs[a], Cost: 0},
+			Candidate{Spec: specs[b], Time: outs[b], Cost: 0},
+		) < 0
+	})
+	cands := make([]Candidate, size)
+	for j, k := range keys {
+		cands[j] = Candidate{Spec: specs[k.idx], Time: outs[k.idx], Cost: k.cost}
+	}
+	return cands, nil
+}
+
+// Best returns the cheapest candidate of a sorted or unsorted list
+// (ties resolved by the candCompare total order).
 func Best(cands []Candidate) (Candidate, error) {
 	if len(cands) == 0 {
 		return Candidate{}, fmt.Errorf("optimizer: no candidates")
 	}
 	best := cands[0]
 	for _, c := range cands[1:] {
-		if c.Cost < best.Cost {
+		if candCompare(c, best) < 0 {
 			best = c
 		}
 	}
@@ -166,15 +381,25 @@ func Best(cands []Candidate) (Candidate, error) {
 // until no single move helps. It evaluates far fewer points than the
 // grid and, on the convex-ish cost surfaces of Section VI, finds the
 // same optimum.
-func CoordinateDescent(space Space, start cloud.ClusterSpec, eval Evaluator, pricing cloud.Pricing) (Candidate, int, error) {
+// A visited-set memo makes revisits free: descent paths cross the same
+// specs repeatedly (the start point is its own first neighbour wave's
+// anchor, and adjacent waves share most of their neighbourhoods), so
+// only first visits count toward the returned evaluation count.
+func CoordinateDescent(space Space, start cloud.ClusterSpec, eval SpecEvaluator, pricing cloud.Pricing) (Candidate, int, error) {
 	evals := 0
+	visited := make(map[cloud.ClusterSpec]Candidate)
 	score := func(s cloud.ClusterSpec) (Candidate, error) {
+		if c, ok := visited[s]; ok {
+			return c, nil
+		}
 		evals++
-		d, err := eval(s)
+		d, err := eval.Evaluate(s)
 		if err != nil {
 			return Candidate{}, err
 		}
-		return Candidate{Spec: s, Time: d, Cost: s.Cost(d, pricing)}, nil
+		c := Candidate{Spec: s, Time: d, Cost: s.Cost(d, pricing)}
+		visited[s] = c
+		return c, nil
 	}
 	cur, err := score(start)
 	if err != nil {

@@ -132,7 +132,7 @@ func TestOptimalConfiguration(t *testing.T) {
 
 	// Headline savings vs R1 (38%) and R2 (57%).
 	check := func(name string, ref cloud.ClusterSpec, want float64) {
-		d, err := eval(ref)
+		d, err := eval.Evaluate(ref)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +204,7 @@ func TestFig14Verification(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mt, err := eval(spec)
+		mt, err := eval.Evaluate(spec)
 		if err != nil {
 			t.Fatal(err)
 		}

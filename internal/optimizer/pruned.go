@@ -1,0 +1,164 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cloud"
+)
+
+// Constraints bound a provisioning search. Zero values mean
+// unconstrained: a Deadline of 0 admits any runtime, a Budget of 0 any
+// cost.
+type Constraints struct {
+	// Deadline is the longest admissible predicted runtime.
+	Deadline time.Duration
+	// Budget is the highest admissible dollar cost for the run.
+	Budget float64
+}
+
+// constrained reports whether any bound is active.
+func (c Constraints) constrained() bool { return c.Deadline > 0 || c.Budget > 0 }
+
+// admits reports whether a candidate satisfies the constraints.
+func (c Constraints) admits(cand Candidate) bool {
+	if c.Deadline > 0 && cand.Time > c.Deadline {
+		return false
+	}
+	if c.Budget > 0 && cand.Cost > c.Budget {
+		return false
+	}
+	return true
+}
+
+// SearchReport is a constrained search's result: the feasible
+// candidates in candCompare order, plus an accounting of how much of
+// the space the search actually evaluated. Evaluated + Pruned == Total
+// always holds.
+type SearchReport struct {
+	// Candidates are the feasible configurations, cheapest first.
+	Candidates []Candidate
+	// Evaluated counts model evaluations performed.
+	Evaluated int
+	// Pruned counts configurations rejected without evaluation.
+	Pruned int
+	// Total is the size of the search space.
+	Total int
+}
+
+// Filter drops candidates that violate the constraints, preserving
+// order. It is the reference semantics for PrunedSearch:
+// PrunedSearch(space, eval, pricing, cons).Candidates is provably — and
+// property-tested — equal to Filter(GridSearch(space, eval, pricing),
+// cons).
+func Filter(cands []Candidate, cons Constraints) []Candidate {
+	out := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if cons.admits(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// PrunedSearch is GridSearch under constraints, exact but lazy: it
+// exploits the monotonicity of Eq. 1 in the parallelism axis to skip
+// subspaces that cannot contain a feasible configuration, without ever
+// skipping one that can.
+//
+// The pruning argument, from the paper's model structure:
+//
+//   - t_scale ∝ 1/(N·P) and the I/O limit terms ∝ 1/N, so along the P
+//     axis (devices and N fixed) predicted runtime is non-increasing in
+//     P: T(P) ≥ T(Pmax) for every P ≤ Pmax. Evaluating the largest P
+//     first therefore yields a lower bound tFloor on the whole slice,
+//     and as P decreases runtime only grows — the first P whose runtime
+//     exceeds the deadline proves every smaller P infeasible.
+//   - $/hr is strictly increasing in P and independent of runtime, so
+//     cost(P) = $/hr(P)·T(P) has no such shape — but spec.Cost(tFloor)
+//     is a valid lower bound on cost(P) for each P (same $/hr,
+//     runtime ≥ tFloor ≥ 0, both non-negative), so a budget below it
+//     proves P infeasible without evaluation.
+//
+// Both bounds rest on runtime being non-increasing in P — Eq. 1's
+// guaranteed shape for the Doppio evaluator — and under it they only
+// ever reject points whose true (time, cost) Filter would also have
+// rejected. The result is therefore exactly Filter(GridSearch(...)),
+// with strictly fewer evaluations whenever a constraint binds
+// (TestPrunedMatchesGrid pins the equivalence on randomized monotone
+// spaces and pricings).
+//
+// Unconstrained searches fall back to GridSearch wholesale (nothing can
+// be pruned) and report Evaluated == Total.
+func PrunedSearch(space Space, eval SpecEvaluator, pricing cloud.Pricing, cons Constraints) (SearchReport, error) {
+	total := space.Size()
+	if total == 0 {
+		return SearchReport{}, fmt.Errorf("optimizer: empty search space")
+	}
+	if !cons.constrained() {
+		cands, err := GridSearch(space, eval, pricing)
+		if err != nil {
+			return SearchReport{}, err
+		}
+		return SearchReport{Candidates: cands, Evaluated: total, Total: total}, nil
+	}
+
+	// Parallelism values, largest first (the space may list them in any
+	// order): the head of each slice is then its runtime lower bound.
+	vcpus := append([]int(nil), space.VCPUs...)
+	sort.Sort(sort.Reverse(sort.IntSlice(vcpus)))
+
+	rep := SearchReport{Total: total}
+	cands := []Candidate{} // non-nil: matches Filter on an empty result
+	for _, ht := range space.HDFSTypes {
+		for _, hs := range space.HDFSSizes {
+			for _, lt := range space.LocalTypes {
+				for _, ls := range space.LocalSizes {
+					base := cloud.ClusterSpec{
+						Slaves:   space.Slaves,
+						HDFSType: ht, HDFSSize: hs,
+						LocalType: lt, LocalSize: ls,
+					}
+					var tFloor time.Duration
+					dead := false
+					for k, v := range vcpus {
+						spec := base
+						spec.VCPUs = v
+						if dead {
+							rep.Pruned++
+							continue
+						}
+						if k > 0 && cons.Budget > 0 && spec.Cost(tFloor, pricing) > cons.Budget {
+							// $/hr at this P times the slice's runtime floor
+							// already exceeds the budget; the true cost is at
+							// least that.
+							rep.Pruned++
+							continue
+						}
+						d, err := eval.Evaluate(spec)
+						if err != nil {
+							return SearchReport{}, fmt.Errorf("optimizer: evaluating %v: %w", spec, err)
+						}
+						rep.Evaluated++
+						if k == 0 || d < tFloor {
+							tFloor = d
+						}
+						if cons.Deadline > 0 && d > cons.Deadline {
+							// Runtime is non-increasing in P: every remaining
+							// (smaller) P is at least as slow.
+							dead = true
+						}
+						c := Candidate{Spec: spec, Time: d, Cost: spec.Cost(d, pricing)}
+						if cons.admits(c) {
+							cands = append(cands, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	sortCandidates(cands)
+	rep.Candidates = cands
+	return rep, nil
+}

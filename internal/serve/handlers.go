@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
@@ -677,6 +678,11 @@ type RecommendRequest struct {
 	Workload string `json:"workload"`
 	Slaves   int    `json:"slaves"`
 	Top      int    `json:"top"`
+	// DeadlineMinutes bounds the admissible predicted runtime; 0 means
+	// unconstrained. With a deadline set the search prunes subspaces
+	// using Eq. 1's monotonicity instead of evaluating the full grid
+	// (omitempty keeps cache keys for deadline-free requests unchanged).
+	DeadlineMinutes float64 `json:"deadline_minutes,omitempty"`
 }
 
 func (req *RecommendRequest) normalize() error {
@@ -697,6 +703,9 @@ func (req *RecommendRequest) normalize() error {
 	}
 	if req.Top < 1 || req.Top > 50 {
 		return fmt.Errorf("top %d outside [1, 50]", req.Top)
+	}
+	if req.DeadlineMinutes < 0 {
+		return fmt.Errorf("deadline_minutes %g must be non-negative", req.DeadlineMinutes)
 	}
 	return nil
 }
@@ -737,12 +746,17 @@ type ReferenceJSON struct {
 	Saving      float64 `json:"saving"`
 }
 
-// RecommendResponse lists the cheapest configurations and the
-// references.
+// RecommendResponse lists the cheapest (feasible) configurations, the
+// references, and the search's evaluation accounting: evaluated +
+// pruned always equals space_size. Without a deadline everything is
+// evaluated; with one, pruned reports the work Eq. 1's monotonicity
+// saved.
 type RecommendResponse struct {
 	Workload   string          `json:"workload"`
 	Slaves     int             `json:"slaves"`
 	SpaceSize  int             `json:"space_size"`
+	Evaluated  int             `json:"evaluated"`
+	Pruned     int             `json:"pruned"`
 	Best       []CandidateJSON `json:"best"`
 	References []ReferenceJSON `json:"references"`
 }
@@ -773,12 +787,17 @@ func (s *Server) computeRecommend(req RecommendRequest) ([]byte, error) {
 	eval := optimizer.ModelEvaluator(cal.Model)
 	pricing := cloud.DefaultPricing()
 	space := optimizer.DefaultSpace(req.Slaves)
-	cands, err := optimizer.GridSearch(space, eval, pricing)
+	cons := optimizer.Constraints{Deadline: time.Duration(req.DeadlineMinutes * float64(time.Minute))}
+	rep, err := optimizer.PrunedSearch(space, eval, pricing, cons)
 	if err != nil {
 		return nil, err
 	}
+	s.optEvaluated.Add(uint64(rep.Evaluated))
+	s.optPruned.Add(uint64(rep.Pruned))
+	cands := rep.Candidates
 	resp := RecommendResponse{
 		Workload: req.Workload, Slaves: req.Slaves, SpaceSize: space.Size(),
+		Evaluated: rep.Evaluated, Pruned: rep.Pruned,
 	}
 	for i, c := range cands {
 		if i >= req.Top {
@@ -790,17 +809,21 @@ func (s *Server) computeRecommend(req RecommendRequest) ([]byte, error) {
 		name string
 		spec cloud.ClusterSpec
 	}{{"R1", cloud.R1(req.Slaves, 16)}, {"R2", cloud.R2(req.Slaves, 16)}} {
-		d, err := eval(ref.spec)
+		d, err := eval.Evaluate(ref.spec)
 		if err != nil {
 			return nil, err
 		}
 		cost := ref.spec.Cost(d, pricing)
+		saving := 0.0
+		if len(cands) > 0 {
+			saving = 1 - cands[0].Cost/cost
+		}
 		resp.References = append(resp.References, ReferenceJSON{
 			Name:        ref.name,
 			Spec:        ref.spec.String(),
 			TimeMinutes: d.Minutes(),
 			CostUSD:     cost,
-			Saving:      1 - cands[0].Cost/cost,
+			Saving:      saving,
 		})
 	}
 	return marshalBody(resp)
@@ -914,41 +937,65 @@ func (s *Server) computeSweep(req SweepRequest) ([]byte, error) {
 			},
 		})
 	}
-	outcomes := sweep.Map(grid.Points(), 0, func(p sweep.Point) (SweepPointJSON, error) {
-		hdfsName, localName, _ := strings.Cut(p.Devices.Name, "/")
-		out := SweepPointJSON{
-			Workload: p.Workload, Nodes: p.Nodes, Cores: p.Cores,
-			HDFS: hdfsName, Local: localName,
-		}
-		cal, err := s.calibration(p.Workload, p.Nodes)
-		if err != nil {
-			return out, err
-		}
-		cfg := spark.DefaultTestbed(p.Nodes, p.Cores, p.Devices.HDFS(), p.Devices.Local())
-		pred, err := cal.Model.Predict(core.PlatformFor(cfg), core.ModeDoppio)
-		if err != nil {
-			return out, err
-		}
-		out.TotalSeconds = pred.Total.Seconds()
-		counts := map[string]int{}
-		top := ""
-		for _, st := range pred.Stages {
-			counts[st.Bottleneck]++
-			if top == "" || counts[st.Bottleneck] > counts[top] {
-				top = st.Bottleneck
+	// The sweep planner: a calibration (and the model compiled against
+	// its devices) depends on (workload, nodes, device pair) but not on
+	// the cores axis, so points are grouped by that key, each group pays
+	// for calibration and compilation once, and its shapes stream through
+	// the zero-alloc PredictBatch. Groups fan out over the worker pool
+	// and write to disjoint indices of one preallocated result slab, so
+	// the response keeps row-major grid order without reassembly.
+	points := grid.Points()
+	type calKey struct {
+		workload string
+		nodes    int
+		devices  string
+	}
+	groups := sweep.GroupBy(points, func(p sweep.Point) calKey {
+		return calKey{p.Workload, p.Nodes, p.Devices.Name}
+	})
+	slab := make([]SweepPointJSON, len(points))
+	sweep.Map(groups, 0, func(g sweep.Group[calKey, sweep.Point]) (struct{}, error) {
+		hdfsName, localName, _ := strings.Cut(g.Key.devices, "/")
+		for j, p := range g.Points {
+			slab[g.Indices[j]] = SweepPointJSON{
+				Workload: p.Workload, Nodes: p.Nodes, Cores: p.Cores,
+				HDFS: hdfsName, Local: localName,
 			}
 		}
-		out.Bottleneck = top
-		return out, nil
-	})
-	resp := SweepResponse{}
-	for _, o := range outcomes {
-		point := o.Value
-		if o.Err != nil {
-			point.Err = o.Err.Error()
-			point.TotalSeconds = 0
+		fail := func(err error) (struct{}, error) {
+			for _, idx := range g.Indices {
+				slab[idx].Err = err.Error()
+			}
+			return struct{}{}, nil
 		}
-		resp.Points = append(resp.Points, point)
-	}
-	return marshalBody(resp)
+		cal, err := s.calibration(g.Key.workload, g.Key.nodes)
+		if err != nil {
+			return fail(err)
+		}
+		dev := g.Points[0].Devices
+		cfg := spark.DefaultTestbed(g.Key.nodes, 1, dev.HDFS(), dev.Local())
+		cm, err := core.Compile(cal.Model, core.EnvOf(core.PlatformFor(cfg)), core.ModeDoppio)
+		if err != nil {
+			return fail(err)
+		}
+		shapes := make([]core.Shape, len(g.Points))
+		for j, p := range g.Points {
+			shapes[j] = core.Shape{N: p.Nodes, P: p.Cores}
+		}
+		totals := make([]time.Duration, len(shapes))
+		if _, err := cm.PredictBatch(shapes, totals); err != nil {
+			return fail(err)
+		}
+		for j, idx := range g.Indices {
+			slab[idx].TotalSeconds = totals[j].Seconds()
+			top, err := cm.TopBottleneck(shapes[j].N, shapes[j].P)
+			if err != nil {
+				return fail(err)
+			}
+			slab[idx].Bottleneck = top
+		}
+		return struct{}{}, nil
+	})
+	s.sweepPoints.Add(uint64(len(points)))
+	return marshalBody(SweepResponse{Points: slab})
 }

@@ -106,6 +106,10 @@ type Server struct {
 	inflight *obs.Gauge        // doppio_http_in_flight
 	shed     *obs.Counter      // doppio_http_shed_total
 
+	optEvaluated *obs.Counter // doppio_optimizer_evaluated_total
+	optPruned    *obs.Counter // doppio_optimizer_pruned_total
+	sweepPoints  *obs.Counter // doppio_sweep_points_total
+
 	logMu sync.Mutex
 
 	started chan struct{}
@@ -138,6 +142,12 @@ func New(cfg Config) (*Server, error) {
 		"API requests currently being served.")
 	s.shed = s.reg.NewCounter("doppio_http_shed_total",
 		"API requests shed with 429 by the concurrency limiter.")
+	s.optEvaluated = s.reg.NewCounter("doppio_optimizer_evaluated_total",
+		"Provisioning-space configurations evaluated by /api/v1/recommend searches.")
+	s.optPruned = s.reg.NewCounter("doppio_optimizer_pruned_total",
+		"Provisioning-space configurations pruned without evaluation by /api/v1/recommend searches.")
+	s.sweepPoints = s.reg.NewCounter("doppio_sweep_points_total",
+		"Grid points predicted by /api/v1/sweep requests.")
 	s.reg.NewCounterFunc("doppio_cache_hits_total",
 		"Result/calibration cache lookups answered from cache.",
 		func() float64 { return float64(s.cache.Stats().Hits) })

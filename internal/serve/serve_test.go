@@ -261,6 +261,58 @@ func TestRecommendRoute(t *testing.T) {
 			t.Errorf("candidates not sorted by cost: %+v", resp.Best)
 		}
 	}
+	if resp.Evaluated != resp.SpaceSize || resp.Pruned != 0 {
+		t.Errorf("unconstrained search: evaluated=%d pruned=%d, want %d/0",
+			resp.Evaluated, resp.Pruned, resp.SpaceSize)
+	}
+}
+
+// TestRecommendDeadline exercises the pruned search path: a deadline at
+// the best candidate's own runtime keeps at least one feasible
+// configuration while pruning part of the space, every returned
+// candidate respects the bound, and the accounting always closes
+// (evaluated + pruned == space_size).
+func TestRecommendDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search over the full cloud space")
+	}
+	s := newTestServer(t, nil)
+	rec := post(t, s.Handler(), "/api/v1/recommend", `{"workload":"lr-small","slaves":3,"top":3}`)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var free RecommendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &free); err != nil {
+		t.Fatal(err)
+	}
+	deadline := free.Best[0].TimeMinutes
+	rec = post(t, s.Handler(), "/api/v1/recommend", fmt.Sprintf(
+		`{"workload":"lr-small","slaves":3,"top":3,"deadline_minutes":%g}`, deadline))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp RecommendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Best) == 0 {
+		t.Fatal("deadline at a feasible runtime returned no candidates")
+	}
+	for _, c := range resp.Best {
+		if c.TimeMinutes > deadline {
+			t.Errorf("candidate %+v exceeds deadline %g min", c, deadline)
+		}
+	}
+	if resp.Evaluated+resp.Pruned != resp.SpaceSize {
+		t.Errorf("accounting: %d evaluated + %d pruned != %d", resp.Evaluated, resp.Pruned, resp.SpaceSize)
+	}
+	if resp.Pruned == 0 {
+		t.Error("binding deadline pruned nothing")
+	}
+	if s.optEvaluated.Value() == 0 || s.optPruned.Value() == 0 {
+		t.Errorf("optimizer counters not advanced: evaluated=%d pruned=%d",
+			s.optEvaluated.Value(), s.optPruned.Value())
+	}
 }
 
 func TestSweepRoute(t *testing.T) {
@@ -284,6 +336,17 @@ func TestSweepRoute(t *testing.T) {
 		if p.Err != "" || p.TotalSeconds <= 0 {
 			t.Errorf("bad point: %+v", p)
 		}
+		if p.Bottleneck == "" {
+			t.Errorf("point missing bottleneck: %+v", p)
+		}
+	}
+	// Row-major grid order: cores vary before devices in Grid.Points.
+	if resp.Points[0].Cores != 4 || resp.Points[0].Local != "ssd" ||
+		resp.Points[1].Local != "hdd" || resp.Points[2].Cores != 8 {
+		t.Errorf("points not in row-major grid order: %+v", resp.Points)
+	}
+	if got := s.sweepPoints.Value(); got != 4 {
+		t.Errorf("doppio_sweep_points_total = %d, want 4", got)
 	}
 }
 
