@@ -15,6 +15,8 @@
 //	                                   with Eq. 1 monotonicity pruning
 //	doppio whatif [flags] <workload>   sweep core counts with the calibrated model
 //	doppio serve [flags]               HTTP prediction service (docs/SERVING.md)
+//	doppio campaign plan|run|merge     resumable, checkpointed parameter
+//	                                   studies (docs/CAMPAIGN.md)
 //	doppio fio                         fio-like sweep of the device models
 //
 // `doppio run` bounds each artifact with -timeout and cancels cleanly
@@ -25,7 +27,11 @@
 // `doppio serve` exposes predict/simulate/whatif/recommend/sweep as
 // cached JSON endpoints with /healthz, /readyz and Prometheus-text
 // /metrics, and drains gracefully on SIGTERM; cmd/loadgen drives it for
-// the CI service gate.
+// the CI service gate. `doppio campaign` expands a JSON study config
+// into a deterministic point list, checkpoints every completed point to
+// an fsync'd JSONL file (kill-safe, resumable with -resume, shardable
+// across processes), and merges checkpoints into one report;
+// cmd/campaignsmoke drives its kill-and-resume CI gate.
 //
 // The implementation lives in internal/cli.
 package main

@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/experiments"
@@ -67,11 +68,14 @@ func run(tolPath string, parallel int) error {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "artifact\tmetric\tvalue\twindow\tstatus")
-	var bad int
+	// offending collects every failure with its committed window so the
+	// final error names each one alongside the tolerance file to edit —
+	// the CI log tail is all most readers see.
+	var offending []string
 	for _, r := range reports {
 		if r.Err != nil {
 			fmt.Fprintf(tw, "%s\t—\t—\t—\tERROR: %v\n", r.ID, r.Err)
-			bad++
+			offending = append(offending, fmt.Sprintf("%s failed to run: %v", r.ID, r.Err))
 			continue
 		}
 		metrics := make([]string, 0, len(tol[r.ID]))
@@ -85,10 +89,10 @@ func run(tolPath string, parallel int) error {
 			switch {
 			case !ok:
 				fmt.Fprintf(tw, "%s\t%s\t—\t[%g, %g]\tMISSING\n", r.ID, m, w.Min, w.Max)
-				bad++
+				offending = append(offending, fmt.Sprintf("%s/%s missing (window [%g, %g])", r.ID, m, w.Min, w.Max))
 			case v < w.Min || v > w.Max:
 				fmt.Fprintf(tw, "%s\t%s\t%g\t[%g, %g]\tOUT OF TOLERANCE\n", r.ID, m, v, w.Min, w.Max)
-				bad++
+				offending = append(offending, fmt.Sprintf("%s/%s = %g outside window [%g, %g]", r.ID, m, v, w.Min, w.Max))
 			default:
 				fmt.Fprintf(tw, "%s\t%s\t%g\t[%g, %g]\tok\n", r.ID, m, v, w.Min, w.Max)
 			}
@@ -97,8 +101,12 @@ func run(tolPath string, parallel int) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	if bad > 0 {
-		return fmt.Errorf("%d metric(s) outside committed tolerances (see docs/CI.md)", bad)
+	if len(offending) > 0 {
+		for _, o := range offending {
+			fmt.Fprintf(os.Stderr, "metriccheck: FAIL %s\n", o)
+		}
+		return fmt.Errorf("%d metric(s) outside the windows committed in %s: %s (update that file if the model legitimately changed; see docs/CI.md)",
+			len(offending), tolPath, strings.Join(offending, "; "))
 	}
 	fmt.Println("all headline metrics within committed tolerances")
 	return nil

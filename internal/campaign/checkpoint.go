@@ -1,0 +1,233 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// checkpointKind and checkpointVersion identify the file format. The
+// version bumps on incompatible record changes; resume refuses a
+// checkpoint whose version it does not understand.
+const (
+	checkpointKind    = "doppio-campaign-checkpoint"
+	checkpointVersion = 1
+)
+
+// Header is the first JSONL record of a checkpoint file. It binds the
+// file to one study (by config hash) and one shard assignment, so a
+// checkpoint can never be resumed — or merged — against a study it was
+// not produced by.
+type Header struct {
+	Kind       string `json:"kind"`
+	Version    int    `json:"version"`
+	Campaign   string `json:"campaign"`
+	ConfigHash string `json:"config_hash"`
+	// Shards/Shard record the partitioning the file was written under
+	// (1/0 for an unsharded run).
+	Shards int `json:"shards"`
+	Shard  int `json:"shard"`
+}
+
+// Record is one completed point. ElapsedMS is wall-clock bookkeeping
+// and is deliberately excluded from merged reports, which must be
+// byte-identical across interrupted, resumed and sharded executions.
+type Record struct {
+	Hash  string `json:"hash"`
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Result holds the point's deterministic outcome; zero when Error is
+	// set.
+	Result PointResult `json:"result"`
+	// Error is a deterministic point failure (e.g. the fault layer
+	// aborting the app). Environmental failures — cancellation, point
+	// timeouts — are never checkpointed, so resume retries them.
+	Error     string `json:"error,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// payloadEqual reports whether two records agree on everything except
+// bookkeeping (ElapsedMS) — the test for a benign duplicate.
+func payloadEqual(a, b Record) bool {
+	a.ElapsedMS, b.ElapsedMS = 0, 0
+	return a == b
+}
+
+// Appender appends fsync'd records to a checkpoint file. It is safe for
+// concurrent use; each Append is one write+fsync under a mutex, so a
+// SIGKILL can lose at most the final, partially written line — which
+// ReadCheckpoint tolerates.
+type Appender struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// CreateCheckpoint creates a fresh checkpoint file with the given
+// header. It refuses to overwrite an existing file: an interrupted
+// study's checkpoint is the durable state -resume exists for, so
+// clobbering it must be an explicit `rm`.
+func CreateCheckpoint(path string, h Header) (*Appender, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("campaign: checkpoint %s already exists (resume with -resume, or remove it to start over)", path)
+		}
+		return nil, err
+	}
+	a := &Appender{f: f}
+	if err := a.appendJSON(h); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: writing checkpoint header: %w", err)
+	}
+	return a, nil
+}
+
+// OpenCheckpoint opens an existing checkpoint for appending, after the
+// caller has validated its header via ReadCheckpoint. A truncated final
+// line from a previous crash is first trimmed away so the next record
+// starts on a clean line boundary.
+func OpenCheckpoint(path string, validLen int64) (*Appender, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: trimming torn checkpoint tail: %w", err)
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Appender{f: f}, nil
+}
+
+// Append durably records one completed point.
+func (a *Appender) Append(r Record) error {
+	return a.appendJSON(r)
+}
+
+func (a *Appender) appendJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := a.f.Write(b); err != nil {
+		return err
+	}
+	return a.f.Sync()
+}
+
+// Close closes the underlying file.
+func (a *Appender) Close() error { return a.f.Close() }
+
+// Checkpoint is the decoded content of a checkpoint file.
+type Checkpoint struct {
+	Header  Header
+	Records []Record
+	// Duplicates counts records whose hash had already appeared (with an
+	// identical payload); Records keeps only the first of each.
+	Duplicates int
+	// Truncated reports that the file ended in a partial record — the
+	// expected signature of a SIGKILL between write and fsync. The torn
+	// tail is ignored.
+	Truncated bool
+	// ValidLen is the byte offset of the end of the last intact record:
+	// where appending may safely continue.
+	ValidLen int64
+}
+
+// ReadCheckpoint parses a checkpoint file. It tolerates exactly one
+// torn record at the very end of the file (a crash artifact); garbage
+// anywhere else is corruption and fails. Duplicate point hashes with
+// identical payloads collapse to the first occurrence; conflicting
+// payloads for the same hash fail — same study, same point, different
+// result means something is deeply wrong.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("campaign: checkpoint %s is empty (no header)", path)
+	}
+	cp := &Checkpoint{}
+	byHash := map[string]int{}
+	offset := int64(0)
+	for lineNo := 0; len(data) > 0; lineNo++ {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// No terminating newline: the fsync'd prefix ends before this
+			// line, so it can only be a torn tail.
+			if lineNo == 0 {
+				return nil, fmt.Errorf("campaign: checkpoint %s: header record is truncated", path)
+			}
+			cp.Truncated = true
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if lineNo == 0 {
+			if err := json.Unmarshal(line, &cp.Header); err != nil {
+				return nil, fmt.Errorf("campaign: checkpoint %s: bad header: %w", path, err)
+			}
+			if cp.Header.Kind != checkpointKind {
+				return nil, fmt.Errorf("campaign: %s is not a campaign checkpoint (kind %q)", path, cp.Header.Kind)
+			}
+			if cp.Header.Version != checkpointVersion {
+				return nil, fmt.Errorf("campaign: checkpoint %s has version %d, this build understands %d", path, cp.Header.Version, checkpointVersion)
+			}
+			offset += int64(nl) + 1
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Hash == "" {
+			if len(data) == 0 {
+				// Final line: a torn write that happened to contain a
+				// newline in its lost suffix. Ignore it; resume re-runs
+				// the point.
+				cp.Truncated = true
+				break
+			}
+			if err == nil {
+				err = fmt.Errorf("record has no hash")
+			}
+			return nil, fmt.Errorf("campaign: checkpoint %s: corrupt record on line %d: %v", path, lineNo+1, err)
+		}
+		if prev, dup := byHash[rec.Hash]; dup {
+			if !payloadEqual(cp.Records[prev], rec) {
+				return nil, fmt.Errorf("campaign: checkpoint %s: conflicting results for point %s (line %d)", path, rec.Name, lineNo+1)
+			}
+			cp.Duplicates++
+			offset += int64(nl) + 1
+			continue
+		}
+		byHash[rec.Hash] = len(cp.Records)
+		cp.Records = append(cp.Records, rec)
+		offset += int64(nl) + 1
+	}
+	cp.ValidLen = offset
+	return cp, nil
+}
+
+// Completed indexes the checkpoint's records by point hash, after
+// verifying the file belongs to this study. The config-hash check is
+// what makes resuming against the wrong study impossible: a checkpoint
+// written under any other base config, axes, mode or format version
+// hashes differently and is refused.
+func (cp *Checkpoint) Completed(configHash string) (map[string]Record, error) {
+	if cp.Header.ConfigHash != configHash {
+		return nil, fmt.Errorf("campaign: checkpoint was written for config hash %.12s…, this study hashes to %.12s…; refusing to resume (the study config changed — start a fresh checkpoint)",
+			cp.Header.ConfigHash, configHash)
+	}
+	out := make(map[string]Record, len(cp.Records))
+	for _, r := range cp.Records {
+		out[r.Hash] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{
+		Kind: checkpointKind, Version: checkpointVersion,
+		Campaign: "unit", ConfigHash: testConfig().Hash(), Shards: 1, Shard: 0,
+	}
+}
+
+func testRecord(i int) Record {
+	return Record{
+		Hash: fmt.Sprintf("hash-%04d", i), Index: i, Name: fmt.Sprintf("point-%d", i),
+		Result: PointResult{TotalSeconds: float64(i), Tasks: i}, ElapsedMS: int64(i) * 3,
+	}
+}
+
+// writeCheckpoint builds a checkpoint file through the real Appender.
+func writeCheckpoint(t *testing.T, path string, recs ...Record) {
+	t.Helper()
+	app, err := CreateCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := app.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	writeCheckpoint(t, path, testRecord(0), testRecord(1), testRecord(2))
+	cp, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Truncated || cp.Duplicates != 0 || len(cp.Records) != 3 {
+		t.Fatalf("got truncated=%v dups=%d records=%d", cp.Truncated, cp.Duplicates, len(cp.Records))
+	}
+	if cp.Records[1] != testRecord(1) {
+		t.Fatalf("record round-trip mismatch: %+v", cp.Records[1])
+	}
+	if fi, _ := os.Stat(path); cp.ValidLen != fi.Size() {
+		t.Fatalf("ValidLen %d != file size %d for an intact file", cp.ValidLen, fi.Size())
+	}
+}
+
+func TestReadCheckpointTornTail(t *testing.T) {
+	for _, tail := range []string{
+		`{"hash":"hash-trunc","index":9,"na`,  // no newline: classic torn write
+		"{garbage}\n",                         // unparseable final line (newline survived)
+		`{"index":9,"name":"no-hash"}` + "\n", // parseable but hashless final line
+	} {
+		path := filepath.Join(t.TempDir(), "c.jsonl")
+		writeCheckpoint(t, path, testRecord(0), testRecord(1))
+		intact, _ := os.Stat(path)
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString(tail)
+		f.Close()
+
+		cp, err := ReadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("tail %q: ReadCheckpoint should tolerate a torn final record, got %v", tail, err)
+		}
+		if !cp.Truncated || len(cp.Records) != 2 {
+			t.Fatalf("tail %q: truncated=%v records=%d, want true/2", tail, cp.Truncated, len(cp.Records))
+		}
+		if cp.ValidLen != intact.Size() {
+			t.Fatalf("tail %q: ValidLen %d, want %d (end of last intact record)", tail, cp.ValidLen, intact.Size())
+		}
+
+		// Resume path: OpenCheckpoint trims the torn tail, and appending
+		// continues on a clean line boundary.
+		app, err := OpenCheckpoint(path, cp.ValidLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Append(testRecord(2)); err != nil {
+			t.Fatal(err)
+		}
+		app.Close()
+		cp2, err := ReadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("tail %q: reread after trim+append: %v", tail, err)
+		}
+		if cp2.Truncated || len(cp2.Records) != 3 {
+			t.Fatalf("tail %q: after trim+append truncated=%v records=%d, want false/3", tail, cp2.Truncated, len(cp2.Records))
+		}
+	}
+}
+
+func TestReadCheckpointMidFileGarbageIsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	writeCheckpoint(t, path, testRecord(0))
+	data, _ := os.ReadFile(path)
+	data = append(data, []byte("{broken\n")...)
+	line, err := json.Marshal(testRecord(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(append(data, line...), '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file garbage: got %v, want a corruption error", err)
+	}
+}
+
+func TestReadCheckpointDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	dup := testRecord(1)
+	dup.ElapsedMS += 500 // bookkeeping may differ; payload is what counts
+	writeCheckpoint(t, path, testRecord(0), testRecord(1), dup)
+	cp, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("benign duplicate: %v", err)
+	}
+	if cp.Duplicates != 1 || len(cp.Records) != 2 {
+		t.Fatalf("dups=%d records=%d, want 1/2", cp.Duplicates, len(cp.Records))
+	}
+
+	// Same hash, different payload: the file is lying about a point.
+	conflictPath := filepath.Join(t.TempDir(), "c.jsonl")
+	conflict := testRecord(1)
+	conflict.Result.TotalSeconds += 1
+	writeCheckpoint(t, conflictPath, testRecord(1), conflict)
+	if _, err := ReadCheckpoint(conflictPath); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflicting duplicate: got %v, want a conflict error", err)
+	}
+}
+
+func TestCompletedRefusesForeignConfigHash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	writeCheckpoint(t, path, testRecord(0))
+	cp, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Completed(testConfig().Hash()); err != nil {
+		t.Fatalf("matching hash refused: %v", err)
+	}
+	other := testConfig()
+	other.Base.Seed = 42
+	if _, err := cp.Completed(other.Hash()); err == nil || !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("foreign hash: got %v, want a refusal", err)
+	}
+}
+
+func TestCreateCheckpointRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	writeCheckpoint(t, path)
+	if _, err := CreateCheckpoint(path, testHeader()); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("existing file: got %v, want the resume hint", err)
+	}
+}
+
+// TestConcurrentAppend exercises the Appender under the race detector:
+// many goroutines completing points at once must yield a checkpoint
+// with every record intact and parseable.
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	app, err := CreateCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = app.Append(testRecord(i))
+		}(i)
+	}
+	wg.Wait()
+	app.Close()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	cp, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Truncated || cp.Duplicates != 0 || len(cp.Records) != n {
+		t.Fatalf("got truncated=%v dups=%d records=%d, want false/0/%d", cp.Truncated, cp.Duplicates, len(cp.Records), n)
+	}
+	seen := map[int]bool{}
+	for _, r := range cp.Records {
+		if seen[r.Index] {
+			t.Fatalf("record %d appears twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+}

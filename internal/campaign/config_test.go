@@ -1,0 +1,176 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig is a small two-axis sql study used across the package's
+// tests: cheap points (a few ms each), several of them.
+func testConfig() Config {
+	return Config{
+		Name: "unit",
+		Base: Base{Workload: "sql"},
+		Axes: Axes{
+			Nodes: []int{2, 4},
+			Seeds: []uint64{1, 2, 3},
+		},
+	}.withDefaults()
+}
+
+func TestPointsDeterministicRowMajor(t *testing.T) {
+	cfg := Config{
+		Name: "det",
+		Base: Base{Workload: "sql"},
+		Axes: Axes{
+			Nodes:   []int{2, 4},
+			Devices: []string{"hdd", "ssd"},
+			Seeds:   []uint64{1, 2},
+		},
+	}.withDefaults()
+	a, b := cfg.Points(), cfg.Points()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two expansions of the same config differ")
+	}
+	if len(a) != cfg.Size() || len(a) != 8 {
+		t.Fatalf("expanded %d points, Size() = %d, want 8", len(a), cfg.Size())
+	}
+	for i, p := range a {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+	}
+	// Row-major: seeds vary fastest, then devices, then nodes.
+	wantNames := []string{
+		"sql/n2/p4/hdd/q0/x1/s1", "sql/n2/p4/hdd/q0/x1/s2",
+		"sql/n2/p4/ssd/q0/x1/s1", "sql/n2/p4/ssd/q0/x1/s2",
+		"sql/n4/p4/hdd/q0/x1/s1", "sql/n4/p4/hdd/q0/x1/s2",
+		"sql/n4/p4/ssd/q0/x1/s1", "sql/n4/p4/ssd/q0/x1/s2",
+	}
+	for i, want := range wantNames {
+		if got := a[i].Name(); got != want {
+			t.Fatalf("point %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestShardDisjointCover(t *testing.T) {
+	points := testConfig().Points()
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		seen := map[int]int{}
+		for i := 0; i < n; i++ {
+			for _, p := range Shard(points, n, i) {
+				seen[p.Index]++
+			}
+		}
+		if len(seen) != len(points) {
+			t.Fatalf("shards 0..%d cover %d of %d points", n-1, len(seen), len(points))
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: point %d assigned to %d shards", n, idx, c)
+			}
+		}
+	}
+}
+
+func TestHashCoversIdentityNotExecutionKnobs(t *testing.T) {
+	base := testConfig()
+	h := base.Hash()
+	if h != base.Hash() {
+		t.Fatal("hash is not stable")
+	}
+
+	// Execution knobs must not move the hash: a resumed run may use a
+	// different pool size or point deadline.
+	tuned := base
+	tuned.Parallel = 16
+	tuned.PointTimeout = Duration(time.Minute)
+	if tuned.Hash() != h {
+		t.Fatal("parallel/point_timeout changed the config hash")
+	}
+
+	// Everything that can change a result must move it.
+	for name, mutate := range map[string]func(*Config){
+		"name":       func(c *Config) { c.Name = "other" },
+		"mode":       func(c *Config) { c.Mode = ModeModel },
+		"base seed":  func(c *Config) { c.Base.Seed = 99 },
+		"fault rate": func(c *Config) { c.Base.FetchFailProb = 0.01 },
+		"axis value": func(c *Config) { c.Axes.Nodes = []int{2, 8} },
+		"new axis":   func(c *Config) { c.Axes.DataScales = []float64{1, 2} },
+	} {
+		c := base
+		mutate(&c)
+		if c.Hash() == h {
+			t.Fatalf("changing %s did not change the config hash", name)
+		}
+	}
+
+	// Spelling out a default must hash like omitting it.
+	explicit := base
+	explicit.Base.Device = "ssd"
+	explicit.Mode = ModeSim
+	if explicit.Hash() != h {
+		t.Fatal("explicit defaults hash differently from omitted ones")
+	}
+}
+
+func TestPointHashBindsStudy(t *testing.T) {
+	a, b := testConfig(), testConfig()
+	b.Base.FetchFailProb = 0.01
+	p := a.Points()[0]
+	if a.PointHash(p) == b.PointHash(p) {
+		t.Fatal("the same point hashes identically under different configs")
+	}
+	if a.PointHash(p) == a.PointHash(a.Points()[1]) {
+		t.Fatal("different points hash identically")
+	}
+}
+
+func TestParseConfigRejections(t *testing.T) {
+	cases := map[string]string{
+		"typoed axis":    `{"name":"x","base":{"workload":"sql"},"axes":{"sseds":[1]}}`,
+		"unknown field":  `{"name":"x","frobnicate":1,"base":{"workload":"sql"}}`,
+		"no workload":    `{"name":"x","axes":{"nodes":[2]}}`,
+		"bad workload":   `{"name":"x","base":{"workload":"nope"}}`,
+		"bad device":     `{"name":"x","base":{"workload":"sql","device":"floppy"}}`,
+		"bad name":       `{"name":"Not A Name","base":{"workload":"sql"}}`,
+		"bad fault rate": `{"name":"x","base":{"workload":"sql"},"axes":{"fetch_fail_probs":[1.5]}}`,
+		"bad scale":      `{"name":"x","base":{"workload":"sql"},"axes":{"data_scales":[0]}}`,
+		"bad mode":       `{"name":"x","mode":"turbo","base":{"workload":"sql"}}`,
+	}
+	for what, raw := range cases {
+		if _, err := ParseConfig([]byte(raw)); err == nil {
+			t.Errorf("ParseConfig accepted config with %s", what)
+		}
+	}
+}
+
+func TestParseConfigDurations(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"name":"x","base":{"workload":"sql"},"point_timeout":"90s"}`))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if time.Duration(cfg.PointTimeout) != 90*time.Second {
+		t.Fatalf("point_timeout = %v, want 90s", time.Duration(cfg.PointTimeout))
+	}
+	cfg, err = ParseConfig([]byte(`{"name":"x","base":{"workload":"sql"},"point_timeout":45}`))
+	if err != nil {
+		t.Fatalf("ParseConfig (numeric): %v", err)
+	}
+	if time.Duration(cfg.PointTimeout) != 45*time.Second {
+		t.Fatalf("numeric point_timeout = %v, want 45s", time.Duration(cfg.PointTimeout))
+	}
+}
+
+func TestPointNameFormat(t *testing.T) {
+	p := Point{Workload: "sql", Nodes: 2, Cores: 8, Device: "hdd", FetchFailProb: 0.05, DataScale: 1.5, Seed: 7}
+	if got := p.Name(); got != "sql/n2/p8/hdd/q0.05/x1.5/s7" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if strings.Contains(p.Name(), " ") {
+		t.Fatal("point names must not contain spaces (they key bench JSON)")
+	}
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Progress is the campaign's observability surface: obs-backed counters
+// that render in the Prometheus text format, for the -metrics flag and
+// for tests asserting resume behaviour (skipped vs executed) without
+// parsing human output. A nil *Progress is a valid no-op recorder.
+type Progress struct {
+	reg *obs.Registry
+
+	total     *obs.Gauge
+	inFlight  *obs.Gauge
+	completed *obs.Gauge // executed and durably checkpointed by this run
+	skipped   *obs.Gauge // satisfied from the checkpoint on resume
+	failed    *obs.Gauge // recorded deterministic failures (this run)
+	deferred  *obs.Counter
+	appends   *obs.Counter
+}
+
+// NewProgress builds the campaign metric set on a fresh registry.
+func NewProgress() *Progress {
+	reg := obs.NewRegistry()
+	points := reg.NewGaugeVec("doppio_campaign_points",
+		"campaign points by state for the current run", "state")
+	return &Progress{
+		reg:       reg,
+		total:     points.With("total"),
+		inFlight:  points.With("in_flight"),
+		completed: points.With("completed"),
+		skipped:   points.With("skipped"),
+		failed:    points.With("failed"),
+		deferred: reg.NewCounter("doppio_campaign_points_deferred_total",
+			"points hit by cancellation or point timeout, left for -resume"),
+		appends: reg.NewCounter("doppio_campaign_checkpoint_appends_total",
+			"durable checkpoint record appends"),
+	}
+}
+
+// WriteFile renders the registry to path in Prometheus text format.
+func (p *Progress) WriteFile(path string) error {
+	if p == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (p *Progress) studyLoaded(total, skipped int) {
+	if p == nil {
+		return
+	}
+	p.total.Set(int64(total))
+	p.skipped.Set(int64(skipped))
+}
+
+func (p *Progress) pointStarted() {
+	if p == nil {
+		return
+	}
+	p.inFlight.Inc()
+}
+
+func (p *Progress) pointFinished() {
+	if p == nil {
+		return
+	}
+	p.inFlight.Dec()
+}
+
+func (p *Progress) pointCompleted(failed bool) {
+	if p == nil {
+		return
+	}
+	p.completed.Inc()
+	p.appends.Inc()
+	if failed {
+		p.failed.Inc()
+	}
+}
+
+func (p *Progress) pointUnfinished() {
+	if p == nil {
+		return
+	}
+	p.deferred.Inc()
+}

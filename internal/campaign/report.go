@@ -1,0 +1,225 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+// Merged is the union of one study's checkpoint files: exactly one
+// record per expanded point, in point-index order.
+type Merged struct {
+	Config  Config
+	Hash    string
+	Records []Record
+	// Duplicates counts benign repeats collapsed during the union
+	// (within a file, or the same point appearing in two overlapping
+	// checkpoints with identical payloads).
+	Duplicates int
+	// Sources is the number of checkpoint files merged.
+	Sources int
+}
+
+// Merge combines shard (or resumed) checkpoints into one result set.
+// Every checkpoint must carry this study's config hash; records are
+// validated against the study's own point hashes, so a file with
+// records for points this study does not expand to fails loudly. A
+// point missing from every checkpoint fails with the points named —
+// the exactly-once guarantee the campaign-smoke CI gate leans on.
+func Merge(cfg Config, paths []string) (*Merged, error) {
+	cfg = cfg.withDefaults()
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("campaign: merge needs at least one checkpoint")
+	}
+	hash := cfg.Hash()
+	points := cfg.Points()
+	want := make(map[string]Point, len(points))
+	for _, p := range points {
+		want[cfg.PointHash(p)] = p
+	}
+	got := make(map[string]Record, len(points))
+	m := &Merged{Config: cfg, Hash: hash, Sources: len(paths)}
+	for _, path := range paths {
+		cp, err := ReadCheckpoint(path)
+		if err != nil {
+			return nil, err
+		}
+		if cp.Header.ConfigHash != hash {
+			return nil, fmt.Errorf("campaign: %s was written for config hash %.12s…, this study hashes to %.12s…; refusing to merge",
+				path, cp.Header.ConfigHash, hash)
+		}
+		m.Duplicates += cp.Duplicates
+		for _, rec := range cp.Records {
+			if _, ok := want[rec.Hash]; !ok {
+				return nil, fmt.Errorf("campaign: %s record %q does not belong to this study (corrupt or hand-edited checkpoint)", path, rec.Name)
+			}
+			if prev, dup := got[rec.Hash]; dup {
+				if !payloadEqual(prev, rec) {
+					return nil, fmt.Errorf("campaign: conflicting results for point %s across checkpoints", rec.Name)
+				}
+				m.Duplicates++
+				continue
+			}
+			got[rec.Hash] = rec
+		}
+	}
+	var missing []string
+	for h, p := range want {
+		if _, ok := got[h]; !ok {
+			missing = append(missing, p.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		if len(missing) > 8 {
+			missing = append(missing[:8], fmt.Sprintf("… %d more", len(missing)-8))
+		}
+		return nil, fmt.Errorf("campaign: %d of %d points missing from the merged checkpoints (%s); run the remaining shards or resume",
+			len(want)-len(got), len(want), joinComma(missing))
+	}
+	m.Records = make([]Record, 0, len(got))
+	for _, rec := range got {
+		m.Records = append(m.Records, rec)
+	}
+	sort.Slice(m.Records, func(i, j int) bool { return m.Records[i].Index < m.Records[j].Index })
+	return m, nil
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// Table renders the merged study as an experiments.Table — the same
+// artifact shape every figN report uses, so campaign output rides the
+// existing text/CSV/markdown renderers. Every cell is a deterministic
+// function of the study: wall-clock bookkeeping (ElapsedMS) is
+// deliberately left out, which is what makes an interrupted-and-resumed
+// report byte-identical to an uninterrupted one.
+func (m *Merged) Table() *experiments.Table {
+	t := &experiments.Table{
+		ID:    "campaign/" + m.Config.Name,
+		Title: fmt.Sprintf("Campaign %s: %d points (%s mode)", m.Config.Name, len(m.Records), m.Config.Mode),
+	}
+	model := m.Config.Mode == ModeModel
+	t.Columns = []string{"point", "total(min)", "core-sec", "tasks", "retries", "recomp"}
+	if model {
+		t.Columns = append(t.Columns, "model(min)", "err")
+	}
+	t.Columns = append(t.Columns, "status")
+	var failed int
+	var totalSec, coreSec float64
+	for _, rec := range m.Records {
+		if rec.Error != "" {
+			failed++
+			row := []string{rec.Name, "-", "-", "-", "-", "-"}
+			if model {
+				row = append(row, "-", "-")
+			}
+			t.AddRow(append(row, "FAILED: "+rec.Error)...)
+			continue
+		}
+		r := rec.Result
+		totalSec += r.TotalSeconds
+		coreSec += r.CoreSeconds
+		row := []string{
+			rec.Name,
+			fmt.Sprintf("%.1f", r.TotalSeconds/60),
+			fmt.Sprintf("%.0f", r.CoreSeconds),
+			strconv.Itoa(r.Tasks),
+			strconv.Itoa(r.Retries),
+			strconv.Itoa(r.Recomputes),
+		}
+		if model {
+			row = append(row,
+				fmt.Sprintf("%.1f", r.PredictedSeconds/60),
+				fmt.Sprintf("%.1f%%", r.ModelErrPct))
+		}
+		t.AddRow(append(row, "ok")...)
+	}
+	t.SetMetric("points", float64(len(m.Records)))
+	t.SetMetric("points_failed", float64(failed))
+	t.SetMetric("sim_seconds_sum", totalSec)
+	t.SetMetric("core_seconds_sum", coreSec)
+	// Notes must not mention the checkpoint count or duplicates: those
+	// depend on how the study was executed, and the report contract is
+	// byte-identity across executions. They go on the CLI summary line.
+	t.Note("config hash %s", m.Hash)
+	t.Note("%d points merged, %d failed", len(m.Records), failed)
+	return t
+}
+
+// benchFile is the BENCH-style JSON the campaign emits for trend
+// tracking, shaped after docs/BENCH_*.json: a note, identity fields,
+// and a name-keyed map of numeric series that diffs cleanly between
+// runs of the same study.
+type benchFile struct {
+	Note       string                `json:"note"`
+	Campaign   string                `json:"campaign"`
+	ConfigHash string                `json:"config_hash"`
+	Mode       string                `json:"mode"`
+	Points     map[string]benchPoint `json:"points"`
+	Summary    map[string]float64    `json:"summary"`
+	Failures   map[string]string     `json:"failures,omitempty"`
+}
+
+type benchPoint struct {
+	TotalSeconds     float64 `json:"total_seconds"`
+	CoreSeconds      float64 `json:"core_seconds"`
+	Retries          int     `json:"retries,omitempty"`
+	Recomputes       int     `json:"recomputes,omitempty"`
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	ModelErrPct      float64 `json:"model_err_pct,omitempty"`
+}
+
+// WriteBenchJSON writes the trend-tracking artifact. Map keys are
+// point names; encoding/json sorts them, so the bytes are deterministic
+// for a given merged result.
+func (m *Merged) WriteBenchJSON(w io.Writer) error {
+	bf := benchFile{
+		Note: "doppio campaign trend metrics; every value is deterministic for the config hash. " +
+			"Diff two runs of the same study to track drift.",
+		Campaign:   m.Config.Name,
+		ConfigHash: m.Hash,
+		Mode:       m.Config.Mode,
+		Points:     make(map[string]benchPoint, len(m.Records)),
+		Summary:    map[string]float64{},
+	}
+	var totalSec, coreSec float64
+	failed := 0
+	for _, rec := range m.Records {
+		if rec.Error != "" {
+			failed++
+			if bf.Failures == nil {
+				bf.Failures = map[string]string{}
+			}
+			bf.Failures[rec.Name] = rec.Error
+			continue
+		}
+		r := rec.Result
+		bf.Points[rec.Name] = benchPoint{
+			TotalSeconds: r.TotalSeconds, CoreSeconds: r.CoreSeconds,
+			Retries: r.Retries, Recomputes: r.Recomputes,
+			PredictedSeconds: r.PredictedSeconds, ModelErrPct: r.ModelErrPct,
+		}
+		totalSec += r.TotalSeconds
+		coreSec += r.CoreSeconds
+	}
+	bf.Summary["points"] = float64(len(m.Records))
+	bf.Summary["points_failed"] = float64(failed)
+	bf.Summary["sim_seconds_sum"] = totalSec
+	bf.Summary["core_seconds_sum"] = coreSec
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}

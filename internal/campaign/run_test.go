@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// mergedBytes renders a study's merged report + bench JSON from the
+// given checkpoints — the artifacts the byte-identity contract covers.
+func mergedBytes(t *testing.T, cfg Config, paths ...string) (report, bench []byte) {
+	t.Helper()
+	m, err := Merge(cfg, paths)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	var rb, bb bytes.Buffer
+	if _, err := m.Table().WriteTo(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBenchJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	return rb.Bytes(), bb.Bytes()
+}
+
+func TestRunCompleteAndMerge(t *testing.T) {
+	cfg := testConfig()
+	ckpt := filepath.Join(t.TempDir(), "c.jsonl")
+	sum, err := Run(context.Background(), cfg, RunOptions{CheckpointPath: ckpt, Parallel: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := cfg.Size()
+	if sum.Total != want || sum.Executed != want || sum.Skipped != 0 || sum.Unfinished != 0 || sum.Failed != 0 {
+		t.Fatalf("summary %+v, want %d points all executed", sum, want)
+	}
+	m, err := Merge(cfg, []string{ckpt})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if len(m.Records) != want {
+		t.Fatalf("merged %d records, want %d", len(m.Records), want)
+	}
+	for i, rec := range m.Records {
+		if i > 0 && rec.Index <= m.Records[i-1].Index {
+			t.Fatalf("merged records not in index order at %d", i)
+		}
+		if rec.Result.TotalSeconds <= 0 || rec.Result.Tasks <= 0 {
+			t.Fatalf("record %s has empty result %+v", rec.Name, rec.Result)
+		}
+	}
+}
+
+// TestRunInterruptResumeByteIdentical is the in-process twin of the CI
+// campaign-smoke gate: cancel a run after a few points, resume it, and
+// require the merged artifacts to match an uninterrupted run's bytes.
+func TestRunInterruptResumeByteIdentical(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+
+	refCkpt := filepath.Join(dir, "ref.jsonl")
+	if _, err := Run(context.Background(), cfg, RunOptions{CheckpointPath: refCkpt, Parallel: 2}); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refReport, refBench := mergedBytes(t, cfg, refCkpt)
+
+	// Interrupted run: the log writer cancels the context after the
+	// second completed point — mid-run, with work still queued.
+	ckpt := filepath.Join(dir, "int.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sum, err := Run(ctx, cfg, RunOptions{
+		CheckpointPath: ckpt, Parallel: 1,
+		Log: &cancelAfterLines{n: 2, cancel: cancel},
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v (summary %+v), want ErrInterrupted", err, sum)
+	}
+	if sum.Executed == 0 || sum.Unfinished == 0 {
+		t.Fatalf("interruption landed badly: %+v (need some executed, some unfinished)", sum)
+	}
+
+	cp, err := ReadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("post-interrupt checkpoint: %v", err)
+	}
+	durable := len(cp.Records)
+
+	resumed, err := Run(context.Background(), cfg, RunOptions{CheckpointPath: ckpt, Resume: true, Parallel: 2})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.Skipped != durable || resumed.Executed != cfg.Size()-durable || resumed.Unfinished != 0 {
+		t.Fatalf("resume wasted work: %+v with %d durable records", resumed, durable)
+	}
+
+	report, bench := mergedBytes(t, cfg, ckpt)
+	if !bytes.Equal(report, refReport) {
+		t.Fatalf("interrupted+resumed report differs from uninterrupted:\n--- ref\n%s\n--- got\n%s", refReport, report)
+	}
+	if !bytes.Equal(bench, refBench) {
+		t.Fatal("interrupted+resumed bench JSON differs from uninterrupted")
+	}
+}
+
+// cancelAfterLines is an io.Writer that cancels a context after n
+// writes — Run emits one log line per completed point.
+type cancelAfterLines struct {
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterLines) Write(p []byte) (int, error) {
+	if c.n--; c.n == 0 {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+func TestRunShardsMergeByteIdentical(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+
+	refCkpt := filepath.Join(dir, "ref.jsonl")
+	if _, err := Run(context.Background(), cfg, RunOptions{CheckpointPath: refCkpt, Parallel: 2}); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refReport, refBench := mergedBytes(t, cfg, refCkpt)
+
+	var ckpts []string
+	for shard := 0; shard < 2; shard++ {
+		ckpt := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", shard))
+		ckpts = append(ckpts, ckpt)
+		sum, err := Run(context.Background(), cfg, RunOptions{
+			CheckpointPath: ckpt, Shards: 2, Shard: shard, Parallel: 2,
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		if sum.Executed != sum.Total {
+			t.Fatalf("shard %d executed %d of %d", shard, sum.Executed, sum.Total)
+		}
+	}
+	// One shard alone must refuse to merge: points are missing.
+	if _, err := Merge(cfg, ckpts[:1]); err == nil {
+		t.Fatal("merging a single shard of two should report missing points")
+	}
+	report, bench := mergedBytes(t, cfg, ckpts...)
+	if !bytes.Equal(report, refReport) || !bytes.Equal(bench, refBench) {
+		t.Fatal("2-shard merge differs from the uninterrupted run's bytes")
+	}
+}
+
+func TestRunRefusals(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "c.jsonl")
+	if _, err := Run(context.Background(), cfg, RunOptions{CheckpointPath: ckpt, Parallel: 2}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+
+	// Existing checkpoint without -resume.
+	if _, err := Run(context.Background(), cfg, RunOptions{CheckpointPath: ckpt}); err == nil {
+		t.Fatal("Run overwrote an existing checkpoint without Resume")
+	}
+
+	// Resume under a different config (hash mismatch) must refuse.
+	other := cfg
+	other.Base.FetchFailProb = 0.01
+	if _, err := Run(context.Background(), other, RunOptions{CheckpointPath: ckpt, Resume: true}); err == nil {
+		t.Fatal("Run resumed a checkpoint from a different config")
+	}
+
+	// Resume under a different shard assignment must refuse.
+	if _, err := Run(context.Background(), cfg, RunOptions{CheckpointPath: ckpt, Resume: true, Shards: 2, Shard: 0}); err == nil {
+		t.Fatal("Run resumed an unsharded checkpoint as shard 0 of 2")
+	}
+
+	// Merging a checkpoint against a different config must refuse.
+	if _, err := Merge(other, []string{ckpt}); err == nil {
+		t.Fatal("Merge accepted a checkpoint from a different config")
+	}
+}

@@ -74,6 +74,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = a.cmdWhatif(args[1:])
 	case "serve":
 		err = a.cmdServe(ctx, args[1:])
+	case "campaign":
+		err = a.cmdCampaign(ctx, args[1:])
 	case "fio":
 		err = a.cmdFio()
 	case "help", "-h", "--help":
@@ -111,6 +113,9 @@ func usage(w io.Writer) {
   doppio whatif [flags] <workload>   sweep core counts with the calibrated model
   doppio serve [flags]               HTTP prediction service (see docs/SERVING.md);
                                      SIGTERM drains in-flight requests
+  doppio campaign plan|run|merge     resumable, checkpointed parameter studies
+                                     (see docs/CAMPAIGN.md); run checkpoints every
+                                     completed point and -resume skips them
   doppio fio                         effective-bandwidth sweep of HDD/SSD models
 `)
 }

@@ -269,6 +269,16 @@ func calibratedCloud(ctx context.Context, workload string) (*core.Calibration, e
 	})
 }
 
+// SharedTestbedCalibration exposes the artifact calibration cache to
+// other subsystems — the campaign runner's model mode calibrates here —
+// with the same singleflight keying the figN artifacts use, so a
+// campaign sharing a workload with an artifact run (or with its own
+// sibling points) reuses one fitted model instead of paying the four
+// sample runs again.
+func SharedTestbedCalibration(ctx context.Context, workload string) (*core.Calibration, error) {
+	return calibratedTestbed(ctx, workload)
+}
+
 func calibrated(ctx context.Context, key string, build func() (*core.Calibration, error)) (*core.Calibration, error) {
 	calMu.Lock()
 	e, ok := calCache[key]

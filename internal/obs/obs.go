@@ -232,6 +232,23 @@ func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
 	f.get(nil, func() metric { return &funcMetric{fn: fn} })
 }
 
+// GaugeVec is a gauge family with labels — one series per label-value
+// combination. The campaign runner uses it for its progress counters
+// (points by state), where bulk Set on resume and Inc/Dec in flight
+// both occur.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, "gauge", labels...)}
+}
+
+// With returns (creating if needed) the gauge for the label values.
+// Hot paths should resolve once and reuse the returned gauge.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
 // CounterVec is a counter family with labels.
 type CounterVec struct{ f *family }
 
