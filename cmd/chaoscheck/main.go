@@ -1,0 +1,543 @@
+// Command chaoscheck is the CI cluster-e2e gate: it proves the sharded
+// serve tier hides a replica crash from clients. Using a built doppio
+// binary it
+//
+//  1. boots three `doppio serve` replicas and one `doppio route` front
+//     tier over them, then warms a corpus of distinct requests through
+//     the router, recording each response's bytes and serving replica;
+//  2. gates the sharding contract: a repeated request is a cache hit on
+//     the same replica, and the router's response bytes match a direct
+//     request to that replica byte for byte;
+//  3. drives sustained load through the router, SIGKILLs the busiest
+//     replica mid-load, restarts it, and gates that clients saw zero
+//     transport errors, zero non-2xx responses, and a bounded p99 —
+//     with at least one failover and one retry actually exercised;
+//  4. gates re-admission: the doppio_cluster_replica_healthy gauge for
+//     the restarted replica returns to 1 and a trailing window of
+//     corpus requests is served by it again, with every response still
+//     byte-identical to the pre-crash reference;
+//  5. shuts everything down with SIGTERM and requires clean exits.
+//
+// Usage:
+//
+//	go build -o /tmp/doppio ./cmd/doppio
+//	go run ./cmd/chaoscheck -doppio /tmp/doppio [-metrics-out /tmp/router.prom]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+const (
+	replicaCount = 3
+	loadWorkers  = 6
+	loadDuration = 8 * time.Second
+	killAfter    = 2 * time.Second
+	restartAfter = 3 * time.Second // after the kill
+	p99Budget    = 2 * time.Second
+	recoveryWait = 20 * time.Second
+)
+
+func main() {
+	doppio := flag.String("doppio", "", "path to a built doppio binary (required)")
+	port := flag.Int("port", 19080, "router port; replicas use the next ports")
+	metricsOut := flag.String("metrics-out", "", "write the router's final /metrics scrape here")
+	keep := flag.Bool("keep", false, "keep the log directory for debugging")
+	flag.Parse()
+	if *doppio == "" {
+		fmt.Fprintln(os.Stderr, "chaoscheck: -doppio is required (go build -o /tmp/doppio ./cmd/doppio)")
+		os.Exit(1)
+	}
+	bin, err := filepath.Abs(*doppio)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaoscheck:", err)
+		os.Exit(1)
+	}
+	dir, err := os.MkdirTemp("", "chaoscheck-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaoscheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# log directory %s\n", dir)
+
+	c := &chaos{
+		bin:    bin,
+		dir:    dir,
+		client: &http.Client{Timeout: 15 * time.Second},
+		router: fmt.Sprintf("127.0.0.1:%d", *port),
+	}
+	for i := 1; i <= replicaCount; i++ {
+		c.replicas = append(c.replicas, fmt.Sprintf("127.0.0.1:%d", *port+i))
+	}
+	defer c.killAll()
+
+	c.boot()
+	c.warm()
+	killed := c.loadWithKill()
+	c.awaitReadmission(killed)
+	c.verifyCounters()
+	if *metricsOut != "" {
+		c.dumpMetrics(*metricsOut)
+	}
+	c.shutdown()
+	if !*keep {
+		os.RemoveAll(dir)
+	}
+	fmt.Println("PASS cluster-e2e: replica SIGKILL was invisible to clients; ring re-admitted the restarted replica byte-identically")
+}
+
+// corpusItem is one distinct logical request with its reference bytes.
+type corpusItem struct {
+	name string
+	path string
+	body string
+	ref  []byte // response bytes from the warm pass
+	home string // X-Served-By from the warm pass
+}
+
+type chaos struct {
+	bin, dir string
+	client   *http.Client
+	router   string   // router host:port
+	replicas []string // replica host:port, index 0..2
+
+	procs  map[string]*proc
+	corpus []*corpusItem
+}
+
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	done chan error
+	log  *os.File
+}
+
+// start launches one doppio subcommand with its own log file.
+func (c *chaos) start(name string, args ...string) {
+	if c.procs == nil {
+		c.procs = map[string]*proc{}
+	}
+	logF, err := os.Create(filepath.Join(c.dir, name+".log"))
+	if err != nil {
+		c.fatal("creating log for %s: %v", name, err)
+	}
+	cmd := exec.Command(c.bin, args...)
+	cmd.Stdout, cmd.Stderr = logF, logF
+	if err := cmd.Start(); err != nil {
+		c.fatal("starting %s: %v", name, err)
+	}
+	p := &proc{name: name, cmd: cmd, done: make(chan error, 1), log: logF}
+	go func() { p.done <- cmd.Wait() }()
+	c.procs[name] = p
+}
+
+// killAll SIGKILLs everything still running (fatal-path cleanup).
+func (c *chaos) killAll() {
+	for _, p := range c.procs {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+		}
+		p.log.Close()
+	}
+}
+
+func (c *chaos) fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chaoscheck: FAIL: "+format+"\n", args...)
+	for name := range c.procs {
+		fmt.Fprintf(os.Stderr, "chaoscheck: see %s\n", filepath.Join(c.dir, name+".log"))
+	}
+	c.killAll()
+	os.Exit(1)
+}
+
+func (c *chaos) replicaName(addr string) string {
+	return "replica-" + addr[strings.LastIndex(addr, ":")+1:]
+}
+
+func (c *chaos) startReplica(addr string) {
+	c.start(c.replicaName(addr), "serve", "-addr", addr, "-request-timeout", "10s")
+}
+
+// boot starts the three replicas and the router, then waits for ready.
+func (c *chaos) boot() {
+	for _, addr := range c.replicas {
+		c.startReplica(addr)
+	}
+	routeArgs := []string{
+		"route", "-addr", c.router,
+		"-probe-interval", "200ms",
+		"-fail-after", "2", "-recover-after", "2",
+		"-breaker-threshold", "3", "-breaker-cooldown", "1s",
+		"-max-retries", "3", "-retry-base", "20ms", "-retry-max", "500ms",
+		"-request-timeout", "10s",
+	}
+	for _, addr := range c.replicas {
+		routeArgs = append(routeArgs, "-replica", addr)
+	}
+	c.start("router", routeArgs...)
+	for _, addr := range append([]string{c.router}, c.replicas...) {
+		c.waitReady(addr, 30*time.Second)
+	}
+	fmt.Printf("ok  booted %d replicas behind router %s\n", replicaCount, c.router)
+}
+
+func (c *chaos) waitReady(addr string, patience time.Duration) {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := c.client.Get("http://" + addr + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			c.fatal("%s never became ready (%v)", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// buildCorpus enumerates ~24 distinct requests spanning the cached POST
+// endpoints, cheap enough for CI but varied enough to spread across all
+// shards.
+func buildCorpus() []*corpusItem {
+	var items []*corpusItem
+	for _, w := range []string{"lr-small", "sql"} {
+		for slaves := 2; slaves <= 4; slaves++ {
+			for _, cores := range []int{4, 8, 16} {
+				items = append(items, &corpusItem{
+					name: fmt.Sprintf("predict-%s-%d-%d", w, slaves, cores),
+					path: "/api/v1/predict",
+					body: fmt.Sprintf(`{"workload":%q,"slaves":%d,"cores":%d}`, w, slaves, cores),
+				})
+			}
+		}
+	}
+	for _, cores := range []int{4, 8} {
+		items = append(items, &corpusItem{
+			name: fmt.Sprintf("whatif-%d", cores),
+			path: "/api/v1/whatif",
+			body: fmt.Sprintf(`{"workload":"lr-small","slaves":3,"max_cores":%d}`, cores),
+		})
+		items = append(items, &corpusItem{
+			name: fmt.Sprintf("simulate-%d", cores),
+			path: "/api/v1/simulate",
+			body: fmt.Sprintf(`{"workload":"sql","slaves":3,"cores":%d}`, cores),
+		})
+	}
+	return items
+}
+
+type reply struct {
+	status   int
+	body     []byte
+	servedBy string
+	cache    string
+	route    string
+	err      error
+}
+
+func (c *chaos) post(base string, it *corpusItem) reply {
+	resp, err := c.client.Post("http://"+base+it.path, "application/json", strings.NewReader(it.body))
+	if err != nil {
+		return reply{err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return reply{err: err}
+	}
+	return reply{
+		status:   resp.StatusCode,
+		body:     body,
+		servedBy: resp.Header.Get("X-Served-By"),
+		cache:    resp.Header.Get("X-Cache"),
+		route:    resp.Header.Get("X-Route-Status"),
+	}
+}
+
+// warm populates the corpus references and gates the sharding contract.
+func (c *chaos) warm() {
+	c.corpus = buildCorpus()
+	byHome := map[string]int{}
+	for _, it := range c.corpus {
+		first := c.post(c.router, it)
+		if first.err != nil || first.status != http.StatusOK {
+			c.fatal("warm %s: status %d err %v", it.name, first.status, first.err)
+		}
+		it.ref, it.home = first.body, first.servedBy
+		byHome[it.home]++
+
+		// Same logical request again: must hit the same replica's cache
+		// and return the same bytes.
+		again := c.post(c.router, it)
+		if again.err != nil || again.status != http.StatusOK {
+			c.fatal("re-request %s: status %d err %v", it.name, again.status, again.err)
+		}
+		if again.servedBy != it.home {
+			c.fatal("%s moved replicas with no membership change: %s then %s", it.name, it.home, again.servedBy)
+		}
+		if again.cache != "hit" {
+			c.fatal("%s second request was not a cache hit (X-Cache %q)", it.name, again.cache)
+		}
+		if !bytes.Equal(again.body, it.ref) {
+			c.fatal("%s cache hit returned different bytes", it.name)
+		}
+
+		// Byte-identity across the proxy: asking the home replica
+		// directly must produce exactly the router's bytes.
+		direct := c.post(it.home, it)
+		if direct.err != nil || direct.status != http.StatusOK {
+			c.fatal("direct %s to %s: status %d err %v", it.name, it.home, direct.status, direct.err)
+		}
+		if !bytes.Equal(direct.body, it.ref) {
+			c.fatal("%s direct response differs from routed response", it.name)
+		}
+	}
+	if len(byHome) < 2 {
+		c.fatal("corpus all landed on one replica (%v); sharding is not spreading", byHome)
+	}
+	fmt.Printf("ok  warmed %d corpus items across %d shards %v\n", len(c.corpus), len(byHome), byHome)
+}
+
+// loadWithKill drives sustained load, SIGKILLs the busiest replica
+// mid-load, restarts it, and gates the client-visible outcome. Returns
+// the killed replica's host:port.
+func (c *chaos) loadWithKill() string {
+	// The victim is the replica owning the most corpus items, so the
+	// crash is guaranteed to hit in-demand shards.
+	byHome := map[string]int{}
+	for _, it := range c.corpus {
+		byHome[it.home]++
+	}
+	victim := ""
+	for addr, n := range byHome {
+		if victim == "" || n > byHome[victim] || (n == byHome[victim] && addr < victim) {
+			victim = addr
+		}
+	}
+
+	var mu sync.Mutex
+	var errors []string
+	var non2xx []string
+	var latencies []time.Duration
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < loadWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := c.corpus[i%len(c.corpus)]
+				t0 := time.Now()
+				r := c.post(c.router, it)
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if r.err != nil {
+					errors = append(errors, fmt.Sprintf("%s: %v", it.name, r.err))
+				} else if r.status != http.StatusOK {
+					non2xx = append(non2xx, fmt.Sprintf("%s: %d", it.name, r.status))
+				} else if !bytes.Equal(r.body, it.ref) {
+					errors = append(errors, fmt.Sprintf("%s: response bytes changed under load", it.name))
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	time.Sleep(killAfter)
+	vp := c.procs[c.replicaName(victim)]
+	if err := vp.cmd.Process.Kill(); err != nil {
+		c.fatal("SIGKILL %s: %v", victim, err)
+	}
+	<-vp.done
+	fmt.Printf("ok  SIGKILLed %s mid-load\n", victim)
+
+	time.Sleep(restartAfter)
+	c.startReplica(victim)
+
+	time.Sleep(loadDuration - killAfter - restartAfter)
+	close(stop)
+	wg.Wait()
+
+	if len(errors) > 0 {
+		c.fatal("%d client-visible transport errors through the crash; first: %s", len(errors), errors[0])
+	}
+	if len(non2xx) > 0 {
+		c.fatal("%d non-2xx responses through the crash; first: %s", len(non2xx), non2xx[0])
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[int(0.99*float64(len(latencies)-1))]
+	if p99 > p99Budget {
+		c.fatal("p99 %v exceeds %v budget through the crash", p99, p99Budget)
+	}
+	fmt.Printf("ok  %d requests through the crash: zero errors, zero non-2xx, p99 %v\n", len(latencies), p99.Round(time.Millisecond))
+	return victim
+}
+
+// awaitReadmission gates recovery: the router's health gauge for the
+// restarted replica returns to 1, and a trailing window of corpus
+// requests is served by it again with the reference bytes.
+func (c *chaos) awaitReadmission(killed string) {
+	c.waitReady(killed, 30*time.Second)
+	gauge := fmt.Sprintf(`doppio_cluster_replica_healthy{replica=%q}`, killed)
+	deadline := time.Now().Add(recoveryWait)
+	for {
+		m := c.scrape(c.router)
+		if m[gauge] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			c.fatal("router never re-admitted %s: %s = %v", killed, gauge, m[gauge])
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	served := 0
+	for _, it := range c.corpus {
+		r := c.post(c.router, it)
+		if r.err != nil || r.status != http.StatusOK {
+			c.fatal("post-recovery %s: status %d err %v", it.name, r.status, r.err)
+		}
+		if !bytes.Equal(r.body, it.ref) {
+			c.fatal("post-recovery %s: response differs from pre-crash reference", it.name)
+		}
+		if r.servedBy == killed {
+			served++
+		}
+	}
+	if served == 0 {
+		c.fatal("restarted replica %s served none of the trailing window; ring did not re-admit it", killed)
+	}
+	fmt.Printf("ok  %s re-admitted: healthy gauge 1, serving %d/%d of the trailing window, bytes identical\n",
+		killed, served, len(c.corpus))
+}
+
+// verifyCounters gates that the chaos actually exercised the machinery.
+func (c *chaos) verifyCounters() {
+	m := c.scrape(c.router)
+	failovers := sumFamily(m, "doppio_cluster_failovers_total")
+	retries := sumFamily(m, "doppio_cluster_retries_total")
+	if failovers < 1 {
+		c.fatal("doppio_cluster_failovers_total = %v; the kill never forced a failover", failovers)
+	}
+	if retries < 1 {
+		c.fatal("doppio_cluster_retries_total = %v; the kill never forced a retry", retries)
+	}
+	healthy := sumFamily(m, "doppio_cluster_replica_healthy")
+	if healthy != replicaCount {
+		c.fatal("doppio_cluster_replica_healthy sums to %v, want %d", healthy, replicaCount)
+	}
+	fmt.Printf("ok  chaos exercised the stack: %v failovers, %v retries, %v/%d replicas healthy\n",
+		failovers, retries, healthy, replicaCount)
+}
+
+// scrape returns every /metrics series, keyed by its full name
+// including labels.
+func (c *chaos) scrape(addr string) map[string]float64 {
+	resp, err := c.client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		c.fatal("scraping %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			c.fatal("unparseable metrics line %q", line)
+		}
+		v, perr := strconv.ParseFloat(value, 64)
+		if perr != nil {
+			c.fatal("unparseable metrics value in %q", line)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		c.fatal("reading metrics: %v", err)
+	}
+	return out
+}
+
+// sumFamily adds every series of one family (bare name or labeled).
+func sumFamily(m map[string]float64, family string) float64 {
+	total := 0.0
+	for name, v := range m {
+		if name == family || strings.HasPrefix(name, family+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// dumpMetrics writes the router's final exposition for metriccheck.
+func (c *chaos) dumpMetrics(path string) {
+	resp, err := c.client.Get("http://" + c.router + "/metrics")
+	if err != nil {
+		c.fatal("final scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.fatal("final scrape: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		c.fatal("writing %s: %v", path, err)
+	}
+	fmt.Printf("ok  wrote final router metrics to %s\n", path)
+}
+
+// shutdown SIGTERMs everything and requires clean drains.
+func (c *chaos) shutdown() {
+	names := make([]string, 0, len(c.procs))
+	for name := range c.procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := c.procs[name]
+		if p.cmd.ProcessState != nil {
+			continue // the SIGKILLed original; its restart is a separate proc
+		}
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			c.fatal("SIGTERM %s: %v", name, err)
+		}
+		select {
+		case err := <-p.done:
+			if err != nil {
+				c.fatal("%s exited uncleanly after SIGTERM: %v", name, err)
+			}
+		case <-time.After(30 * time.Second):
+			c.fatal("%s did not drain within 30s of SIGTERM", name)
+		}
+	}
+	fmt.Println("ok  clean SIGTERM shutdown of router and replicas")
+}

@@ -56,26 +56,43 @@ func defaultMix() []request {
 
 // sample is one completed request.
 type sample struct {
-	name    string
-	status  int
-	latency time.Duration
-	err     error
+	name        string
+	status      int
+	latency     time.Duration
+	err         error
+	servedBy    string // X-Served-By: replica attribution
+	cache       string // X-Cache: hit | miss
+	routeStatus string // X-Route-Status: primary | failover | hedged | error
+}
+
+// shardStats is one replica's view of a clustered run, keyed by its
+// X-Served-By identity.
+type shardStats struct {
+	Requests  int     `json:"requests"`
+	Share     float64 `json:"share"`
+	CacheHits int     `json:"cache_hits"`
+	HitRatio  float64 `json:"hit_ratio"`
 }
 
 // summary aggregates a run for the JSON report.
 type summary struct {
-	Requests      int                `json:"requests"`
-	Errors        int                `json:"errors"`
-	Status        map[string]int     `json:"status"`
-	P50Ms         float64            `json:"p50_ms"`
-	P90Ms         float64            `json:"p90_ms"`
-	P99Ms         float64            `json:"p99_ms"`
-	MaxMs         float64            `json:"max_ms"`
-	AchievedQPS   float64            `json:"achieved_qps"`
-	ByRoute       map[string]float64 `json:"p99_by_route_ms"`
-	CacheHits     float64            `json:"cache_hits,omitempty"`
-	CacheMisses   float64            `json:"cache_misses,omitempty"`
-	CacheHitRatio float64            `json:"cache_hit_ratio,omitempty"`
+	Requests      int                   `json:"requests"`
+	Errors        int                   `json:"errors"`
+	Status        map[string]int        `json:"status"`
+	Non2xx        map[string]int        `json:"non_2xx,omitempty"`
+	P50Ms         float64               `json:"p50_ms"`
+	P90Ms         float64               `json:"p90_ms"`
+	P99Ms         float64               `json:"p99_ms"`
+	MaxMs         float64               `json:"max_ms"`
+	AchievedQPS   float64               `json:"achieved_qps"`
+	ByRoute       map[string]float64    `json:"p99_by_route_ms"`
+	CacheHits     float64               `json:"cache_hits,omitempty"`
+	CacheMisses   float64               `json:"cache_misses,omitempty"`
+	CacheHitRatio float64               `json:"cache_hit_ratio,omitempty"`
+	Shards        map[string]shardStats `json:"shards,omitempty"`
+	ShardSkew     float64               `json:"shard_skew,omitempty"`
+	Failovers     int                   `json:"failovers,omitempty"`
+	Hedged        int                   `json:"hedged,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -93,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		failOn5xx    = fs.Bool("fail-on-5xx", false, "fail if any request returns a 5xx")
 		minHitRatio  = fs.Float64("min-cache-hit-ratio", 0, "fail if the server's cache hit ratio (from /metrics) is below this")
 		checkMetrics = fs.Bool("check-metrics", false, "scrape and validate /metrics after the run")
+		cluster      = fs.Bool("cluster", false, "report per-shard request share and hit ratio from X-Served-By/X-Cache headers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -128,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	close(samples)
 	collectWG.Wait()
 
-	sum := summarize(collected, elapsed)
+	sum := summarize(collected, elapsed, *cluster)
 	failures := assess(&sum, *maxP99, *failOn5xx)
 
 	if *checkMetrics || *minHitRatio > 0 {
@@ -261,6 +279,9 @@ func issue(client *http.Client, base string, r request) sample {
 		resp.Body.Close()
 		s.status = resp.StatusCode
 		s.latency = time.Since(start)
+		s.servedBy = resp.Header.Get("X-Served-By")
+		s.cache = resp.Header.Get("X-Cache")
+		s.routeStatus = resp.Header.Get("X-Route-Status")
 	}
 	return s
 }
@@ -275,7 +296,7 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
-func summarize(collected []sample, elapsed time.Duration) summary {
+func summarize(collected []sample, elapsed time.Duration, cluster bool) summary {
 	sum := summary{
 		Requests: len(collected),
 		Status:   map[string]int{},
@@ -288,9 +309,19 @@ func summarize(collected []sample, elapsed time.Duration) summary {
 			sum.Errors++
 			continue
 		}
-		sum.Status[strconv.Itoa(s.status)]++
+		code := strconv.Itoa(s.status)
+		sum.Status[code]++
+		if s.status < 200 || s.status > 299 {
+			if sum.Non2xx == nil {
+				sum.Non2xx = map[string]int{}
+			}
+			sum.Non2xx[code]++
+		}
 		all = append(all, s.latency)
 		byRoute[s.name] = append(byRoute[s.name], s.latency)
+	}
+	if cluster {
+		clusterStats(&sum, collected)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	sum.P50Ms = ms(percentile(all, 0.50))
@@ -307,6 +338,58 @@ func summarize(collected []sample, elapsed time.Duration) summary {
 		sum.ByRoute[name] = ms(percentile(lats, 0.99))
 	}
 	return sum
+}
+
+// clusterStats attributes samples to shards via the X-Served-By header
+// a clustered deployment stamps, and measures how evenly the router
+// spread the mix: per-shard request share and cache-hit ratio, the
+// max/min share skew, and how many responses arrived via failover or a
+// winning hedge.
+func clusterStats(sum *summary, collected []sample) {
+	shards := map[string]shardStats{}
+	attributed := 0
+	for _, s := range collected {
+		if s.err != nil {
+			continue
+		}
+		switch s.routeStatus {
+		case "failover":
+			sum.Failovers++
+		case "hedged":
+			sum.Hedged++
+		}
+		if s.servedBy == "" {
+			continue
+		}
+		st := shards[s.servedBy]
+		st.Requests++
+		if s.cache == "hit" {
+			st.CacheHits++
+		}
+		shards[s.servedBy] = st
+		attributed++
+	}
+	if len(shards) == 0 {
+		return
+	}
+	minShare, maxShare := 1.0, 0.0
+	for id, st := range shards {
+		st.Share = float64(st.Requests) / float64(attributed)
+		if st.Requests > 0 {
+			st.HitRatio = float64(st.CacheHits) / float64(st.Requests)
+		}
+		shards[id] = st
+		if st.Share < minShare {
+			minShare = st.Share
+		}
+		if st.Share > maxShare {
+			maxShare = st.Share
+		}
+	}
+	sum.Shards = shards
+	if minShare > 0 {
+		sum.ShardSkew = maxShare / minShare
+	}
 }
 
 // assess applies the SLO gates and returns human-readable failures.

@@ -113,7 +113,7 @@ func TestSummarizePercentiles(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		collected = append(collected, sample{name: "r", status: 200, latency: time.Duration(i) * time.Millisecond})
 	}
-	sum := summarize(collected, 10*time.Second)
+	sum := summarize(collected, 10*time.Second, false)
 	if sum.Requests != 100 || sum.Errors != 0 {
 		t.Errorf("requests = %d, errors = %d", sum.Requests, sum.Errors)
 	}
@@ -144,6 +144,68 @@ func TestAssessGates(t *testing.T) {
 	empty := summary{Status: map[string]int{}}
 	if fails := assess(&empty, 0, false); len(fails) != 1 {
 		t.Errorf("empty run failures = %v, want 1", fails)
+	}
+}
+
+func TestSummarizeNon2xxBreakdown(t *testing.T) {
+	collected := []sample{
+		{name: "a", status: 200, latency: time.Millisecond},
+		{name: "a", status: 404, latency: time.Millisecond},
+		{name: "a", status: 404, latency: time.Millisecond},
+		{name: "a", status: 503, latency: time.Millisecond},
+	}
+	sum := summarize(collected, time.Second, false)
+	if sum.Non2xx["404"] != 2 || sum.Non2xx["503"] != 1 {
+		t.Errorf("non-2xx breakdown = %v, want 404:2 503:1", sum.Non2xx)
+	}
+	if _, ok := sum.Non2xx["200"]; ok {
+		t.Error("200 counted as non-2xx")
+	}
+	clean := summarize([]sample{{name: "a", status: 200, latency: time.Millisecond}}, time.Second, false)
+	if clean.Non2xx != nil {
+		t.Errorf("clean run has non-2xx map %v, want omitted", clean.Non2xx)
+	}
+}
+
+func TestSummarizeClusterShards(t *testing.T) {
+	mk := func(n int, served, cache, route string) []sample {
+		out := make([]sample, n)
+		for i := range out {
+			out[i] = sample{name: "r", status: 200, latency: time.Millisecond,
+				servedBy: served, cache: cache, routeStatus: route}
+		}
+		return out
+	}
+	var collected []sample
+	collected = append(collected, mk(6, "r1:1", "hit", "primary")...)
+	collected = append(collected, mk(2, "r2:2", "miss", "primary")...)
+	collected = append(collected, mk(2, "r2:2", "hit", "failover")...)
+	collected = append(collected, mk(2, "r3:3", "miss", "hedged")...)
+
+	sum := summarize(collected, time.Second, true)
+	if len(sum.Shards) != 3 {
+		t.Fatalf("shards = %v, want 3 entries", sum.Shards)
+	}
+	r1 := sum.Shards["r1:1"]
+	if r1.Requests != 6 || r1.Share != 0.5 || r1.HitRatio != 1 {
+		t.Errorf("r1 stats = %+v", r1)
+	}
+	r2 := sum.Shards["r2:2"]
+	if r2.Requests != 4 || r2.CacheHits != 2 || r2.HitRatio != 0.5 {
+		t.Errorf("r2 stats = %+v", r2)
+	}
+	// Shares 0.5 / 0.333 / 0.167: skew = 3.
+	if sum.ShardSkew < 2.9 || sum.ShardSkew > 3.1 {
+		t.Errorf("shard skew = %v, want ~3", sum.ShardSkew)
+	}
+	if sum.Failovers != 2 || sum.Hedged != 2 {
+		t.Errorf("failovers = %d hedged = %d, want 2/2", sum.Failovers, sum.Hedged)
+	}
+
+	// Without -cluster the shard section stays out of the report.
+	flat := summarize(collected, time.Second, false)
+	if flat.Shards != nil || flat.Failovers != 0 {
+		t.Errorf("non-cluster summary leaked shard stats: %+v", flat)
 	}
 }
 

@@ -6,12 +6,24 @@
 // that still compile and still produce tables; see docs/CI.md for how
 // to update the tolerances when the model legitimately changes.
 //
+// The tolerance file may also carry "prom:" sections whose windows
+// apply to a Prometheus text scrape instead of a regenerated
+// experiment. With -prom FILE, metriccheck checks ONLY those sections
+// against the scrape (the cluster-e2e job feeds it the router's final
+// /metrics dump); without -prom, prom: sections are skipped so the
+// bench-smoke job is unaffected. A scrape value is the sum of every
+// series in the family (labeled or bare); a family that is absent from
+// the scrape is an error unless experiments.NondeterministicMetric
+// allows it to vary, in which case it counts as 0.
+//
 // Usage:
 //
 //	go run ./cmd/metriccheck [-tolerances docs/tolerances.json] [-parallel N]
+//	go run ./cmd/metriccheck [-tolerances docs/tolerances.json] -prom /tmp/router.prom
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -19,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
@@ -34,14 +47,15 @@ type window struct {
 func main() {
 	tolPath := flag.String("tolerances", "docs/tolerances.json", "tolerance file (artifact -> metric -> {min,max})")
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+	promPath := flag.String("prom", "", "Prometheus text scrape; check only the prom: tolerance sections against it")
 	flag.Parse()
-	if err := run(*tolPath, *parallel); err != nil {
+	if err := run(*tolPath, *promPath, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "metriccheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tolPath string, parallel int) error {
+func run(tolPath, promPath string, parallel int) error {
 	data, err := os.ReadFile(tolPath)
 	if err != nil {
 		return err
@@ -52,6 +66,24 @@ func run(tolPath string, parallel int) error {
 	}
 	if len(tol) == 0 {
 		return fmt.Errorf("%s names no artifacts", tolPath)
+	}
+	// Partition: "prom:" sections gate a scrape, the rest regenerate
+	// experiments. Each CI job runs exactly one of the two passes.
+	promTol := map[string]map[string]window{}
+	for id := range tol {
+		if strings.HasPrefix(id, "prom:") {
+			promTol[id] = tol[id]
+			delete(tol, id)
+		}
+	}
+	if promPath != "" {
+		if len(promTol) == 0 {
+			return fmt.Errorf("-prom given but %s has no prom: sections", tolPath)
+		}
+		return runProm(tolPath, promPath, promTol)
+	}
+	if len(tol) == 0 {
+		return fmt.Errorf("%s names no experiment artifacts (prom: sections need -prom)", tolPath)
 	}
 	ids := make([]string, 0, len(tol))
 	for id := range tol {
@@ -110,4 +142,97 @@ func run(tolPath string, parallel int) error {
 	}
 	fmt.Println("all headline metrics within committed tolerances")
 	return nil
+}
+
+// runProm checks the prom: tolerance sections against one Prometheus
+// text scrape.
+func runProm(tolPath, promPath string, tol map[string]map[string]window) error {
+	series, err := parsePromFile(promPath)
+	if err != nil {
+		return err
+	}
+	sections := make([]string, 0, len(tol))
+	for id := range tol {
+		sections = append(sections, id)
+	}
+	sort.Strings(sections)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "section\tmetric\tvalue\twindow\tstatus")
+	var offending []string
+	for _, id := range sections {
+		metrics := make([]string, 0, len(tol[id]))
+		for m := range tol[id] {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			w := tol[id][m]
+			v, found := sumFamily(series, m)
+			switch {
+			case !found && !experiments.NondeterministicMetric(m):
+				fmt.Fprintf(tw, "%s\t%s\t—\t[%g, %g]\tMISSING\n", id, m, w.Min, w.Max)
+				offending = append(offending, fmt.Sprintf("%s/%s missing from %s (window [%g, %g])", id, m, promPath, w.Min, w.Max))
+			case v < w.Min || v > w.Max:
+				fmt.Fprintf(tw, "%s\t%s\t%g\t[%g, %g]\tOUT OF TOLERANCE\n", id, m, v, w.Min, w.Max)
+				offending = append(offending, fmt.Sprintf("%s/%s = %g outside window [%g, %g]", id, m, v, w.Min, w.Max))
+			default:
+				fmt.Fprintf(tw, "%s\t%s\t%g\t[%g, %g]\tok\n", id, m, v, w.Min, w.Max)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(offending) > 0 {
+		for _, o := range offending {
+			fmt.Fprintf(os.Stderr, "metriccheck: FAIL %s\n", o)
+		}
+		return fmt.Errorf("%d metric(s) outside the windows committed in %s: %s (update that file if the service legitimately changed; see docs/CI.md)",
+			len(offending), tolPath, strings.Join(offending, "; "))
+	}
+	fmt.Println("all scraped metrics within committed tolerances")
+	return nil
+}
+
+// parsePromFile reads a Prometheus text exposition into full-series-
+// name -> value.
+func parsePromFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("%s: unparseable metrics line %q", path, line)
+		}
+		v, perr := strconv.ParseFloat(value, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("%s: unparseable value in %q", path, line)
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}
+
+// sumFamily adds every series of one family — the bare name or any
+// labeled expansion — and reports whether any series existed at all.
+func sumFamily(series map[string]float64, family string) (float64, bool) {
+	total, found := 0.0, false
+	for name, v := range series {
+		if name == family || strings.HasPrefix(name, family+"{") {
+			total += v
+			found = true
+		}
+	}
+	return total, found
 }

@@ -74,6 +74,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = a.cmdWhatif(args[1:])
 	case "serve":
 		err = a.cmdServe(ctx, args[1:])
+	case "route":
+		err = a.cmdRoute(ctx, args[1:])
 	case "campaign":
 		err = a.cmdCampaign(ctx, args[1:])
 	case "fio":
@@ -113,6 +115,9 @@ func usage(w io.Writer) {
   doppio whatif [flags] <workload>   sweep core counts with the calibrated model
   doppio serve [flags]               HTTP prediction service (see docs/SERVING.md);
                                      SIGTERM drains in-flight requests
+  doppio route [flags]               fault-tolerant sharding front tier over N
+                                     serve replicas: consistent-hash routing,
+                                     health-checked failover, retries, hedging
   doppio campaign plan|run|merge     resumable, checkpointed parameter studies
                                      (see docs/CAMPAIGN.md); run checkpoints every
                                      completed point and -resume skips them
@@ -604,6 +609,7 @@ func (a *app) cmdServe(ctx context.Context, args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on shutdown")
 	cacheSize := fs.Int("cache-size", 512, "bounded result/calibration cache entries")
 	accessLog := fs.String("access-log", "", `JSON access log destination: a file path, or "-" for stdout (empty = off)`)
+	replicaID := fs.String("replica-id", "", "name stamped in X-Served-By and the access log (empty = bound host:port)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -639,6 +645,7 @@ func (a *app) cmdServe(ctx context.Context, args []string) error {
 		DrainTimeout:   *drainTimeout,
 		CacheEntries:   *cacheSize,
 		AccessLog:      logW,
+		ReplicaID:      *replicaID,
 	})
 	if err != nil {
 		return err

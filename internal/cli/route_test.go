@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRouteRequiresReplicas(t *testing.T) {
+	_, errOut, code := run(t, "route")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "at least one -replica") {
+		t.Fatalf("stderr %q lacks replica requirement", errOut)
+	}
+}
+
+func TestRouteFlagValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad addr":         {"route", "-addr", "nope", "-replica", "127.0.0.1:8081"},
+		"bad replica":      {"route", "-replica", "ftp://127.0.0.1:8081"},
+		"dup replica":      {"route", "-replica", "127.0.0.1:8081", "-replica", "http://127.0.0.1:8081"},
+		"zero vnodes":      {"route", "-vnodes", "0", "-replica", "127.0.0.1:8081"},
+		"negative retries": {"route", "-max-retries", "-1", "-replica", "127.0.0.1:8081"},
+		"stray arg":        {"route", "-replica", "127.0.0.1:8081", "extra"},
+	} {
+		if _, _, code := run(t, args...); code != 1 {
+			t.Errorf("%s: exit = %d, want 1", name, code)
+		}
+	}
+}
+
+func TestRouteRunsAndDrains(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer backend.Close()
+	replica := strings.TrimPrefix(backend.URL, "http://")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errW syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- runMain(ctx, []string{
+			"route", "-addr", "127.0.0.1:0", "-replica", replica,
+			"-probe-interval", "50ms", "-drain-timeout", "2s",
+		}, &out, &errW)
+	}()
+	// Give the router time to bind and announce itself, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "doppio route listening") {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never announced; stdout=%q stderr=%q", out.String(), errW.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit = %d, stderr=%q", code, errW.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("route did not drain after cancel")
+	}
+}
+
+func TestServeReplicaIDFlagRejectsNothing(t *testing.T) {
+	// -replica-id is free-form; just pin that the flag parses and an
+	// invalid listen address still fails first.
+	_, errOut, code := run(t, "serve", "-replica-id", "r1", "-addr", "nope")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "addr") {
+		t.Fatalf("stderr %q lacks addr error", errOut)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position. The numeric values are
+// exported on the doppio_cluster_breaker_state gauge, so keep them
+// stable: closed < half-open < open reads as "degree of distrust".
+type BreakerState int32
+
+const (
+	// BreakerClosed passes every request; consecutive failures are
+	// counted against the trip threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits exactly one trial request; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+	// BreakerOpen rejects requests until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-replica circuit breaker. The router consults it
+// before proxying: a replica that has failed threshold times in a row
+// stops receiving traffic for cooldown, then gets one half-open trial
+// request; success closes the circuit, failure re-opens it for another
+// cooldown. This turns a dead replica from "every request to its shard
+// pays a connect timeout" into "one probe per cooldown pays it".
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for the state-transition tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	trial    bool // a half-open trial is in flight
+}
+
+// NewBreaker returns a closed breaker tripping after threshold
+// consecutive failures (<=0 means 3) and cooling down for cooldown
+// (<=0 means 3s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 3 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed, consuming the half-open
+// trial slot when it grants one. Callers that get true MUST report the
+// outcome via Success or Failure, or an open breaker's trial slot leaks
+// until the next cooldown.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.trial = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success records a completed request: the circuit closes and the
+// failure streak resets, whatever state it was in.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.trial = false
+}
+
+// Failure records a failed request. In closed state it counts toward
+// the threshold; a failed half-open trial re-opens immediately; in open
+// state (a last-resort attempt when every replica was down) it re-arms
+// the cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trial = false
+	case BreakerOpen:
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current position (open reported as open even if the
+// cooldown has elapsed: the transition to half-open happens in Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

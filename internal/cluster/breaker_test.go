@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives Breaker transitions deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	// Each step is one operation against the breaker plus the state the
+	// breaker must be in afterwards. op: "fail", "ok", "allow" (expect
+	// granted), "deny" (expect rejected), "sleep" (advance past cooldown).
+	type step struct {
+		op   string
+		want BreakerState
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"trips at threshold", []step{
+			{"fail", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"fail", BreakerOpen},
+		}},
+		{"success resets the streak", []step{
+			{"fail", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"ok", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"fail", BreakerOpen},
+		}},
+		{"open rejects until cooldown then half-opens", []step{
+			{"fail", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"fail", BreakerOpen},
+			{"deny", BreakerOpen},
+			{"sleep", BreakerOpen},
+			{"allow", BreakerHalfOpen},
+		}},
+		{"half-open trial success closes", []step{
+			{"fail", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"fail", BreakerOpen},
+			{"sleep", BreakerOpen},
+			{"allow", BreakerHalfOpen},
+			{"ok", BreakerClosed},
+			{"allow", BreakerClosed},
+		}},
+		{"half-open trial failure reopens", []step{
+			{"fail", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"fail", BreakerOpen},
+			{"sleep", BreakerOpen},
+			{"allow", BreakerHalfOpen},
+			{"fail", BreakerOpen},
+			{"deny", BreakerOpen},
+		}},
+		{"half-open admits exactly one trial", []step{
+			{"fail", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"fail", BreakerOpen},
+			{"sleep", BreakerOpen},
+			{"allow", BreakerHalfOpen},
+			{"deny", BreakerHalfOpen},
+			{"ok", BreakerClosed},
+		}},
+		{"failure while open re-arms the cooldown", []step{
+			{"fail", BreakerClosed},
+			{"fail", BreakerClosed},
+			{"fail", BreakerOpen},
+			{"sleep", BreakerOpen},
+			// A last-resort attempt (every replica down) failed while open:
+			// the clock restarts, so the next Allow must still be denied.
+			{"fail", BreakerOpen},
+			{"deny", BreakerOpen},
+			{"sleep", BreakerOpen},
+			{"allow", BreakerHalfOpen},
+		}},
+	}
+	const cooldown = 5 * time.Second
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := newTestBreaker(3, cooldown)
+			for i, st := range tc.steps {
+				switch st.op {
+				case "fail":
+					b.Failure()
+				case "ok":
+					b.Success()
+				case "allow":
+					if !b.Allow() {
+						t.Fatalf("step %d: Allow denied, want granted", i)
+					}
+				case "deny":
+					if b.Allow() {
+						t.Fatalf("step %d: Allow granted, want denied", i)
+					}
+				case "sleep":
+					clk.advance(cooldown + time.Millisecond)
+				default:
+					t.Fatalf("step %d: unknown op %q", i, st.op)
+				}
+				if got := b.State(); got != st.want {
+					t.Fatalf("step %d (%s): state %v, want %v", i, st.op, got, st.want)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.threshold != 3 || b.cooldown != 3*time.Second {
+		t.Fatalf("defaults: threshold=%d cooldown=%v, want 3/3s", b.threshold, b.cooldown)
+	}
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half-open", BreakerOpen: "open", BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

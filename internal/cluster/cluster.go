@@ -1,0 +1,211 @@
+// Package cluster implements `doppio route`: a fault-tolerant sharding
+// front tier over N `doppio serve` replicas. The router consistent-
+// hashes each request's canonical key — the same canonical bytes the
+// replica cache keys on (serve.CanonicalShardKey) — so every logical
+// request has one home replica and the byte-identical cache-hit
+// property survives sharding. Around each proxied call it wraps the
+// recovery discipline PR 2 gave the simulated Spark cluster, applied to
+// the serving path itself:
+//
+//   - per-replica health from active /readyz probes plus passive
+//     observation of proxied outcomes (health.go);
+//   - a closed/open/half-open circuit breaker per replica (breaker.go);
+//   - bounded retries with exponential backoff and jitter on connect
+//     errors and 5xx, failing over to the next replica on the hash ring
+//     (proxy.go) — a re-routed request recomputes on a cold replica and
+//     still returns the exact bytes the home replica would have served;
+//   - optional hedged duplicates after a latency threshold for tail
+//     tolerance.
+//
+// Everything is stdlib-only, mirroring internal/serve.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config tunes the router.
+type Config struct {
+	// Addr is the listen address (default ":8090").
+	Addr string
+	// Replicas lists the backend `doppio serve` instances as host:port
+	// or http://host:port. At least one is required; the host:port is
+	// the replica's ring identity and must match the replica's default
+	// ReplicaID so X-Served-By attribution lines up.
+	Replicas []string
+	// VNodes is the ring points per replica (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the active /readyz probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default: ProbeInterval, capped at 1s).
+	ProbeTimeout time.Duration
+	// FailAfter consecutive probe failures mark a replica down (default 2).
+	FailAfter int
+	// RecoverAfter consecutive probe successes mark it back up (default 2).
+	RecoverAfter int
+	// BreakerThreshold consecutive proxied failures open the circuit
+	// (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects traffic before
+	// granting a half-open trial (default 3s).
+	BreakerCooldown time.Duration
+	// MaxRetries bounds the extra attempts after the first (default 3);
+	// each retry fails over to the next replica in ring order.
+	MaxRetries int
+	// RetryBase is the first backoff delay; it doubles per retry with
+	// jitter (default 50ms).
+	RetryBase time.Duration
+	// RetryMax caps the backoff (default 1s).
+	RetryMax time.Duration
+	// HedgeAfter launches a duplicate request to the next replica when
+	// the primary has not answered within this delay; first response
+	// wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// RequestTimeout bounds one client request across all attempts
+	// (default 30s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 30s).
+	DrainTimeout time.Duration
+	// AccessLog receives one JSON line per routed request (nil = discard).
+	AccessLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8090"
+	}
+	if c.VNodes == 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = c.ProbeInterval
+		if c.ProbeTimeout > time.Second {
+			c.ProbeTimeout = time.Second
+		}
+	}
+	if c.FailAfter == 0 {
+		c.FailAfter = 2
+	}
+	if c.RecoverAfter == 0 {
+		c.RecoverAfter = 2
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 3 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Validate rejects configurations the flag layer should have caught.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if _, port, err := net.SplitHostPort(c.Addr); err != nil {
+		return fmt.Errorf("cluster: bad listen address %q: %v", c.Addr, err)
+	} else if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("cluster: bad listen port %q", port)
+	}
+	if len(c.Replicas) == 0 {
+		return fmt.Errorf("cluster: at least one replica is required")
+	}
+	seen := map[string]bool{}
+	for _, r := range c.Replicas {
+		id, _, err := normalizeReplica(r)
+		if err != nil {
+			return err
+		}
+		if seen[id] {
+			return fmt.Errorf("cluster: duplicate replica %q", id)
+		}
+		seen[id] = true
+	}
+	for name, v := range map[string]int{
+		"VNodes": c.VNodes, "FailAfter": c.FailAfter, "RecoverAfter": c.RecoverAfter,
+		"BreakerThreshold": c.BreakerThreshold,
+	} {
+		if v < 1 {
+			return fmt.Errorf("cluster: %s must be positive", name)
+		}
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("cluster: MaxRetries must not be negative")
+	}
+	for name, d := range map[string]time.Duration{
+		"ProbeInterval": c.ProbeInterval, "ProbeTimeout": c.ProbeTimeout,
+		"BreakerCooldown": c.BreakerCooldown, "RetryBase": c.RetryBase,
+		"RetryMax": c.RetryMax, "RequestTimeout": c.RequestTimeout,
+		"DrainTimeout": c.DrainTimeout,
+	} {
+		if d <= 0 {
+			return fmt.Errorf("cluster: %s must be positive", name)
+		}
+	}
+	if c.HedgeAfter < 0 {
+		return fmt.Errorf("cluster: HedgeAfter must not be negative")
+	}
+	return nil
+}
+
+// normalizeReplica turns "host:port" or "http(s)://host:port" into the
+// ring identity (host:port) and the base URL.
+func normalizeReplica(s string) (id, base string, err error) {
+	raw := s
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", "", fmt.Errorf("cluster: bad replica %q: %v", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", "", fmt.Errorf("cluster: bad replica %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" || u.Port() == "" {
+		return "", "", fmt.Errorf("cluster: bad replica %q: need host:port", raw)
+	}
+	if u.Path != "" && u.Path != "/" {
+		return "", "", fmt.Errorf("cluster: bad replica %q: no path allowed", raw)
+	}
+	return u.Host, u.Scheme + "://" + u.Host, nil
+}
+
+// sortedReplicaSpecs returns (id, base) pairs sorted by id, matching
+// the ring's membership order.
+func sortedReplicaSpecs(replicas []string) ([][2]string, error) {
+	specs := make([][2]string, 0, len(replicas))
+	for _, r := range replicas {
+		id, base, err := normalizeReplica(r)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, [2]string{id, base})
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i][0] < specs[j][0] })
+	return specs, nil
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// replica is one backend `doppio serve` process as the router sees it:
+// its identity (the host:port the ring shards by), its base URL, its
+// circuit breaker, and its health state. Health is driven from two
+// sides — an active /readyz probe loop and passive observation of
+// proxied-request outcomes — because probes alone react a full interval
+// late and passive signals alone can't notice a recovery on a replica
+// that receives no traffic (its shard moved away).
+type replica struct {
+	id      string // host:port; ring member and metric label
+	base    string // http://host:port
+	breaker *Breaker
+
+	healthyGauge *obs.Gauge // doppio_cluster_replica_healthy{replica}
+	breakerGauge *obs.Gauge // doppio_cluster_breaker_state{replica}
+
+	mu           sync.Mutex
+	probeHealthy bool
+	probeFails   int
+	probeOKs     int
+	lastErr      string
+}
+
+// available reports whether the router should prefer this replica: the
+// probes say ready and the breaker is not open. (An open breaker's
+// half-open trial is granted inside Allow at attempt time.)
+func (r *replica) available() bool {
+	r.mu.Lock()
+	ok := r.probeHealthy
+	r.mu.Unlock()
+	return ok && r.breaker.State() != BreakerOpen
+}
+
+// probeOK reports just the active-probe view, without the breaker. The
+// attempt picker uses it so that breaker admission stays with Allow —
+// which must be the one to consume a half-open trial slot.
+func (r *replica) probeOK() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.probeHealthy
+}
+
+// refreshGauges re-exports the health and breaker-state gauges; called
+// after every observation so /metrics always shows the current view.
+func (r *replica) refreshGauges() {
+	if r.available() {
+		r.healthyGauge.Set(1)
+	} else {
+		r.healthyGauge.Set(0)
+	}
+	r.breakerGauge.Set(int64(r.breaker.State()))
+}
+
+// observeProbe folds one active /readyz result into the health state.
+// failAfter consecutive failures mark the replica down; recoverAfter
+// consecutive successes mark it back up and reset the breaker — an
+// actively-ready replica should not stay quarantined by a breaker that
+// opened while it was dead.
+func (r *replica) observeProbe(ok bool, err error, failAfter, recoverAfter int) {
+	r.mu.Lock()
+	if ok {
+		r.probeOKs++
+		r.probeFails = 0
+		r.lastErr = ""
+		if !r.probeHealthy && r.probeOKs >= recoverAfter {
+			r.probeHealthy = true
+			r.mu.Unlock()
+			r.breaker.Success()
+			r.refreshGauges()
+			return
+		}
+	} else {
+		r.probeFails++
+		r.probeOKs = 0
+		if err != nil {
+			r.lastErr = err.Error()
+		}
+		if r.probeHealthy && r.probeFails >= failAfter {
+			r.probeHealthy = false
+		}
+	}
+	r.mu.Unlock()
+	r.refreshGauges()
+}
+
+// observeResult folds one proxied-request outcome into the breaker (and
+// thereby the health gauge). Passive failure is what catches a replica
+// dying between probes: the first few requests after a SIGKILL fail
+// fast, trip the breaker, and traffic routes around the corpse before
+// the prober has noticed.
+func (r *replica) observeResult(ok bool) {
+	if ok {
+		r.breaker.Success()
+	} else {
+		r.breaker.Failure()
+	}
+	r.refreshGauges()
+}
+
+// probeLoop drives the active /readyz probes until ctx is cancelled.
+// All replicas are probed concurrently each tick; a tick is skipped if
+// the previous one is somehow still running (slow probe timeouts).
+func (rt *Router) probeLoop(ctx context.Context) {
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var wg sync.WaitGroup
+		for _, rep := range rt.replicas {
+			wg.Add(1)
+			go func(rep *replica) {
+				defer wg.Done()
+				ok, err := rt.probe(ctx, rep)
+				rep.observeProbe(ok, err, rt.cfg.FailAfter, rt.cfg.RecoverAfter)
+				rt.probes.With(rep.id, okLabel(ok)).Inc()
+			}(rep)
+		}
+		wg.Wait()
+	}
+}
+
+// probe issues one GET /readyz with its own timeout.
+func (rt *Router) probe(ctx context.Context, rep *replica) (bool, error) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.base+"/readyz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+func okLabel(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "fail"
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxProxyBody bounds one upstream response; the largest legitimate
+// body (a dense sweep grid) is well under this.
+const maxProxyBody = 16 << 20
+
+// proxyReq is the replayable form of one client request: the body is
+// buffered so the same request can be retried, failed over, or hedged.
+// Every API endpoint is a pure function of its canonical body, which is
+// what makes duplicate in-flight attempts safe.
+type proxyReq struct {
+	method      string
+	uri         string // path plus raw query
+	contentType string
+	body        []byte
+}
+
+// upstream is one replica's buffered answer.
+type upstream struct {
+	status int
+	header http.Header
+	body   []byte
+	rep    *replica
+}
+
+// routeMeta accounts for how a request was served, for the response
+// headers, the access log, and the metrics.
+type routeMeta struct {
+	attempts int
+	hedged   bool
+	hedgeWon bool
+	failover bool
+}
+
+// deliverable reports whether an attempt's outcome should be returned
+// to the client: any transport-level success below 5xx except a 429
+// shed (another replica may have capacity). 4xx client errors are
+// deliverable — every replica would answer the same.
+func deliverable(up *upstream, err error) bool {
+	return err == nil && up.status != http.StatusTooManyRequests && up.status < 500
+}
+
+// forward issues one attempt against one replica and buffers the reply.
+func (rt *Router) forward(ctx context.Context, pr proxyReq, rep *replica) (*upstream, error) {
+	req, err := http.NewRequestWithContext(ctx, pr.method, rep.base+pr.uri, bytes.NewReader(pr.body))
+	if err != nil {
+		return nil, err
+	}
+	if pr.contentType != "" {
+		req.Header.Set("Content-Type", pr.contentType)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		// A connection that died mid-body: the attempt failed even though
+		// headers arrived; the caller may retry.
+		return nil, err
+	}
+	return &upstream{status: resp.StatusCode, header: resp.Header, body: body, rep: rep}, nil
+}
+
+// observeOutcome feeds one attempt's result into the per-replica
+// counters and the breaker. A 429 shed counts as alive (the limiter
+// answered), everything else below 5xx counts as success.
+func (rt *Router) observeOutcome(rep *replica, up *upstream, err error) {
+	code := "error"
+	ok := false
+	if err == nil {
+		code = strconv.Itoa(up.status)
+		ok = up.status < 500
+	}
+	rt.replicaRequests.With(rep.id, code).Inc()
+	rep.observeResult(ok)
+}
+
+// pickIndex scans the preference order from position from for the first
+// replica that is probe-healthy and whose breaker admits the attempt
+// (consuming a half-open trial slot when it grants one). When every
+// replica is down or open it falls back to the preferred candidate
+// anyway: a last-resort attempt beats a guaranteed 502, and its outcome
+// re-arms or closes the breaker.
+func (rt *Router) pickIndex(order []*replica, from int) int {
+	n := len(order)
+	for off := 0; off < n; off++ {
+		i := (from + off) % n
+		rep := order[i]
+		if rep.probeOK() && rep.breaker.Allow() {
+			return i
+		}
+	}
+	return from % n
+}
+
+// hedgeBackup returns the best distinct replica to hedge onto, or nil.
+func (rt *Router) hedgeBackup(order []*replica, primaryIdx int) *replica {
+	for off := 1; off < len(order); off++ {
+		rep := order[(primaryIdx+off)%len(order)]
+		if rep.probeOK() && rep.breaker.State() == BreakerClosed {
+			return rep
+		}
+	}
+	return nil
+}
+
+// do runs the full robustness stack for one request: up to
+// 1+MaxRetries attempts, each on the next admissible replica in ring
+// preference order, with exponential backoff + jitter between attempts
+// and an optional hedge on the first one. It returns the first
+// deliverable answer, or the last failure when the budget is spent.
+func (rt *Router) do(ctx context.Context, pr proxyReq, order []*replica) (*upstream, routeMeta, error) {
+	var meta routeMeta
+	var lastUp *upstream
+	var lastErr error
+	idx := 0
+	for attempt := 0; attempt <= rt.cfg.MaxRetries; attempt++ {
+		i := rt.pickIndex(order, idx)
+		rep := order[i]
+		meta.attempts++
+		var up *upstream
+		var err error
+		if attempt == 0 && rt.cfg.HedgeAfter > 0 {
+			up, err = rt.hedgedForward(ctx, pr, rep, rt.hedgeBackup(order, i), &meta)
+		} else {
+			up, err = rt.forward(ctx, pr, rep)
+			rt.observeOutcome(rep, up, err)
+		}
+		if deliverable(up, err) {
+			if up.rep != order[0] {
+				meta.failover = true
+				rt.failovers.Inc()
+			}
+			return up, meta, nil
+		}
+		lastUp, lastErr = up, err
+		if ctx.Err() != nil || attempt == rt.cfg.MaxRetries {
+			break
+		}
+		rt.retries.Inc()
+		idx = i + 1 // fail over to the next preference
+		if !rt.sleepBackoff(ctx, attempt) {
+			break
+		}
+	}
+	return lastUp, meta, lastErr
+}
+
+// hedgedForward races the primary against one backup: the backup fires
+// only if the primary has not answered within HedgeAfter, and the first
+// deliverable response wins (the loser is cancelled). A primary failure
+// before the hedge fires returns immediately so the outer retry loop
+// handles it as an ordinary failover.
+func (rt *Router) hedgedForward(ctx context.Context, pr proxyReq, primary, backup *replica, meta *routeMeta) (*upstream, error) {
+	if backup == nil {
+		up, err := rt.forward(ctx, pr, primary)
+		rt.observeOutcome(primary, up, err)
+		return up, err
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		up    *upstream
+		err   error
+		rep   *replica
+		hedge bool
+	}
+	ch := make(chan res, 2)
+	fire := func(rep *replica, hedge bool) {
+		go func() {
+			up, err := rt.forward(hctx, pr, rep)
+			ch <- res{up, err, rep, hedge}
+		}()
+	}
+	fire(primary, false)
+	outstanding := 1
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+	timerC := timer.C
+	var last res
+	for {
+		select {
+		case <-timerC:
+			timerC = nil
+			meta.hedged = true
+			rt.hedges.Inc()
+			fire(backup, true)
+			outstanding++
+		case r := <-ch:
+			outstanding--
+			rt.observeOutcome(r.rep, r.up, r.err)
+			if deliverable(r.up, r.err) {
+				if r.hedge {
+					meta.hedgeWon = true
+					rt.hedgeWins.Inc()
+				}
+				return r.up, nil
+			}
+			last = r
+			if outstanding == 0 {
+				return last.up, last.err
+			}
+		}
+	}
+}
+
+// sleepBackoff waits the attempt's backoff (base doubling per attempt,
+// capped, jittered over the upper half so synchronized retries from
+// concurrent requests spread out). Returns false if ctx expired first.
+func (rt *Router) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := rt.cfg.RetryBase << uint(attempt)
+	if d > rt.cfg.RetryMax || d <= 0 {
+		d = rt.cfg.RetryMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over replica IDs. Each replica owns
+// VNodes points on a 64-bit circle; a key belongs to the replica owning
+// the first point at or clockwise of the key's hash. The properties the
+// router leans on:
+//
+//   - stability: a key's owner depends only on the replica set, not on
+//     insertion order or lookup history, so every router instance (and
+//     every restart) shards identically;
+//   - bounded movement: removing one replica moves only the keys that
+//     replica owned — every other key keeps its owner, so the surviving
+//     replicas keep their caches warm through a failure;
+//   - a total preference order: Sequence lists all replicas in ring
+//     order from the key's primary, giving failover a deterministic
+//     next-best replica whose cache is the most likely to be reused for
+//     re-routed keys.
+//
+// A Ring is immutable after construction; membership changes build a
+// new Ring (cheap: membership is a handful of replicas).
+type Ring struct {
+	replicas []string // sorted, unique
+	points   []ringPoint
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int // index into replicas
+}
+
+// DefaultVNodes spreads each replica over enough points that the
+// largest/smallest shard-share ratio stays close to 1 for small
+// replica counts.
+const DefaultVNodes = 128
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// fnv64a alone leaves visible structure on short, similar inputs
+	// (vnode labels differ only in a trailing digit), which skews the
+	// per-replica share badly; a splitmix64 finalizer scatters it.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring over the given replica IDs with vnodes points
+// per replica (<=0 means DefaultVNodes).
+func NewRing(replicas []string, vnodes int) (*Ring, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one replica")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	rs := append([]string(nil), replicas...)
+	sort.Strings(rs)
+	for i, rep := range rs {
+		if rep == "" {
+			return nil, fmt.Errorf("cluster: empty replica id")
+		}
+		if i > 0 && rs[i-1] == rep {
+			return nil, fmt.Errorf("cluster: duplicate replica %q", rep)
+		}
+	}
+	r := &Ring{replicas: rs, points: make([]ringPoint, 0, len(rs)*vnodes)}
+	for i, rep := range rs {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", rep, v)), replica: i})
+		}
+	}
+	// Ties (astronomically unlikely with fnv64a over distinct strings)
+	// break by replica name so the order is still deterministic.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r, nil
+}
+
+// Replicas returns the membership in sorted order.
+func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// at returns the index of the first ring point at or after key's hash.
+func (r *Ring) at(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Primary returns the replica that owns key.
+func (r *Ring) Primary(key string) string {
+	return r.replicas[r.points[r.at(key)].replica]
+}
+
+// Sequence returns every replica in preference order for key: the
+// primary first, then each new replica encountered walking the ring
+// clockwise. Failover tries them in this order.
+func (r *Ring) Sequence(key string) []string {
+	out := make([]string, 0, len(r.replicas))
+	seen := make([]bool, len(r.replicas))
+	start := r.at(key)
+	for n := 0; n < len(r.points) && len(out) < len(r.replicas); n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, r.replicas[p.replica])
+		}
+	}
+	return out
+}

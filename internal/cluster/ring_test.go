@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("POST /api/v1/predict\x00{\"workload\":\"wc\",\"slaves\":%d}", i)
+	}
+	return keys
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 0); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty replica id accepted")
+	}
+}
+
+func TestRingStableAcrossConstructions(t *testing.T) {
+	// Same membership in any order must shard identically: routers built
+	// independently (restarts, multiple front tiers) have to agree.
+	a, err := NewRing([]string{"h1:1", "h2:2", "h3:3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"h3:3", "h1:1", "h2:2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(500) {
+		if a.Primary(k) != b.Primary(k) {
+			t.Fatalf("key %q: primary differs across constructions: %q vs %q", k, a.Primary(k), b.Primary(k))
+		}
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	r, err := NewRing([]string{"h1:1", "h2:2", "h3:3", "h4:4"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(200) {
+		seq := r.Sequence(k)
+		if len(seq) != 4 {
+			t.Fatalf("key %q: sequence has %d entries, want 4", k, len(seq))
+		}
+		if seq[0] != r.Primary(k) {
+			t.Fatalf("key %q: sequence head %q != primary %q", k, seq[0], r.Primary(k))
+		}
+		seen := map[string]bool{}
+		for _, rep := range seq {
+			if seen[rep] {
+				t.Fatalf("key %q: replica %q repeated in sequence %v", k, rep, seq)
+			}
+			seen[rep] = true
+		}
+	}
+}
+
+func TestRingBoundedMovementOnRemoval(t *testing.T) {
+	// The consistent-hashing contract: removing one replica moves ONLY
+	// the keys that replica owned. Every other key keeps its primary, so
+	// surviving replicas keep their caches warm through a failure.
+	members := []string{"h1:1", "h2:2", "h3:3", "h4:4"}
+	full, err := NewRing(members, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := "h3:3"
+	reduced, err := NewRing([]string{"h1:1", "h2:2", "h4:4"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(5000)
+	moved := 0
+	for _, k := range keys {
+		before, after := full.Primary(k), reduced.Primary(k)
+		if before == removed {
+			moved++
+			if after == removed {
+				t.Fatalf("key %q still assigned to removed replica", k)
+			}
+			// An orphaned key must land on its old first failover choice:
+			// that is the replica whose cache a router already warmed for it.
+			want := full.Sequence(k)[1]
+			if after != want {
+				t.Fatalf("key %q: moved to %q, want old failover choice %q", k, after, want)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved from %q to %q though %q was removed", k, before, after, removed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed replica; test vacuous")
+	}
+}
+
+func TestRingBoundedMovementOnAddition(t *testing.T) {
+	// Adding a replica may only steal keys for itself.
+	small, err := NewRing([]string{"h1:1", "h2:2", "h3:3"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing([]string{"h1:1", "h2:2", "h3:3", "h4:4"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := 0
+	for _, k := range ringKeys(5000) {
+		before, after := small.Primary(k), big.Primary(k)
+		if before != after {
+			if after != "h4:4" {
+				t.Fatalf("key %q moved %q -> %q on addition of h4:4", k, before, after)
+			}
+			stolen++
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("new replica stole no keys; test vacuous")
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	// With DefaultVNodes the per-replica share should be roughly fair:
+	// no replica under half or over double its fair share.
+	members := []string{"h1:1", "h2:2", "h3:3", "h4:4", "h5:5"}
+	r, err := NewRing(members, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	n := 20000
+	for _, k := range ringKeys(n) {
+		counts[r.Primary(k)]++
+	}
+	fair := float64(n) / float64(len(members))
+	for _, rep := range members {
+		share := float64(counts[rep])
+		if share < fair/2 || share > fair*2 {
+			t.Fatalf("replica %q owns %d of %d keys (fair %.0f): distribution too skewed: %v",
+				rep, counts[rep], n, fair, counts)
+		}
+	}
+}

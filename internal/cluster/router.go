@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// maxBodyBytes mirrors the replica-side request bound.
+const maxBodyBytes = 1 << 20
+
+// Router is the sharding, fault-tolerant front tier.
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	replicas []*replica // in ring (sorted-id) order
+	byID     map[string]*replica
+	client   *http.Client
+	reg      *obs.Registry
+	health   *obs.Health
+	handler  http.Handler
+
+	requests        *obs.CounterVec   // doppio_cluster_requests_total{code}
+	latency         *obs.HistogramVec // doppio_cluster_request_duration_seconds{outcome}
+	retries         *obs.Counter      // doppio_cluster_retries_total
+	failovers       *obs.Counter      // doppio_cluster_failovers_total
+	hedges          *obs.Counter      // doppio_cluster_hedges_total
+	hedgeWins       *obs.Counter      // doppio_cluster_hedge_wins_total
+	replicaRequests *obs.CounterVec   // doppio_cluster_replica_requests_total{replica,code}
+	probes          *obs.CounterVec   // doppio_cluster_probes_total{replica,result}
+
+	logMu   sync.Mutex
+	started chan struct{}
+	addr    atomic.Value // string, set once listening
+}
+
+// New assembles a Router (no listener yet; see Run and Handler).
+func New(cfg Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	specs, err := sortedReplicaSpecs(cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(specs))
+	for i, sp := range specs {
+		ids[i] = sp[0]
+	}
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		byID:   make(map[string]*replica, len(specs)),
+		reg:    obs.NewRegistry(),
+		health: obs.NewHealth(),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		started: make(chan struct{}),
+	}
+	rt.requests = rt.reg.NewCounterVec("doppio_cluster_requests_total",
+		"Client requests routed, by final status code.", "code")
+	rt.latency = rt.reg.NewHistogramVec("doppio_cluster_request_duration_seconds",
+		"Client-observed routing latency across all attempts, by outcome.", nil, "outcome")
+	rt.retries = rt.reg.NewCounter("doppio_cluster_retries_total",
+		"Attempts retried after a connect error or 5xx.")
+	rt.failovers = rt.reg.NewCounter("doppio_cluster_failovers_total",
+		"Requests served by a replica other than their hash-ring primary.")
+	rt.hedges = rt.reg.NewCounter("doppio_cluster_hedges_total",
+		"Hedged duplicate requests launched after the latency threshold.")
+	rt.hedgeWins = rt.reg.NewCounter("doppio_cluster_hedge_wins_total",
+		"Hedged duplicates that answered before the primary attempt.")
+	rt.replicaRequests = rt.reg.NewCounterVec("doppio_cluster_replica_requests_total",
+		"Proxied attempts, by replica and status code (error = transport failure).", "replica", "code")
+	rt.probes = rt.reg.NewCounterVec("doppio_cluster_probes_total",
+		"Active /readyz probes, by replica and result.", "replica", "result")
+	healthyVec := rt.reg.NewGaugeVec("doppio_cluster_replica_healthy",
+		"1 while the replica is probe-healthy with a non-open breaker.", "replica")
+	breakerVec := rt.reg.NewGaugeVec("doppio_cluster_breaker_state",
+		"Circuit-breaker position per replica: 0 closed, 1 half-open, 2 open.", "replica")
+
+	for _, sp := range specs {
+		rep := &replica{
+			id:           sp[0],
+			base:         sp[1],
+			breaker:      NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			healthyGauge: healthyVec.With(sp[0]),
+			breakerGauge: breakerVec.With(sp[0]),
+			// Start optimistic: the first probe (or the first passive
+			// failure) corrects a wrong guess within one interval, while a
+			// pessimistic start would 502 every request until the prober's
+			// first pass even in a perfectly healthy cluster.
+			probeHealthy: true,
+		}
+		rep.refreshGauges()
+		rt.replicas = append(rt.replicas, rep)
+		rt.byID[rep.id] = rep
+		// Resolve common series now so /metrics lists every replica from
+		// the first scrape.
+		rt.probes.With(rep.id, "ok")
+		rt.probes.With(rep.id, "fail")
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", rt.health.HealthzHandler())
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.Handle("GET /metrics", rt.reg.Handler())
+	mux.HandleFunc("/api/", rt.handleProxy)
+	rt.handler = mux
+	return rt, nil
+}
+
+// Handler returns the full route tree; tests drive it through httptest.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Ring exposes the hash ring (read-only) so tools and tests can reason
+// about key placement.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Addr returns the bound listen address once Run has started.
+func (rt *Router) Addr() string {
+	if v := rt.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Started is closed once the listener is accepting.
+func (rt *Router) Started() <-chan struct{} { return rt.started }
+
+// StartProbes launches the active health-probe loop; it stops when ctx
+// is cancelled. Run calls this; Handler-only tests may call it
+// directly.
+func (rt *Router) StartProbes(ctx context.Context) {
+	go rt.probeLoop(ctx)
+}
+
+// Run listens and routes until ctx is cancelled, then drains like the
+// replicas do: readiness flips off first, in-flight requests get
+// DrainTimeout to finish.
+func (rt *Router) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", rt.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	rt.addr.Store(ln.Addr().String())
+	srv := &http.Server{
+		Handler:           rt.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	rt.StartProbes(probeCtx)
+	rt.health.SetReady(true)
+	close(rt.started)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("cluster: %w", err)
+	case <-ctx.Done():
+	}
+	rt.health.SetReady(false)
+	dctx, cancel := context.WithTimeout(context.Background(), rt.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("cluster: drain: %w", err)
+	}
+	return nil
+}
+
+// handleReadyz reports the router ready while it is accepting AND at
+// least one replica is available — a router fronting only corpses
+// should be pulled from its own load balancer.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !rt.health.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	for _, rep := range rt.replicas {
+		if rep.available() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ready\n"))
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write([]byte("no healthy replicas\n"))
+}
+
+// errorResponse mirrors the replica error body shape.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(errorResponse{Error: err.Error()})
+	w.Write(append(body, '\n'))
+}
+
+// handleProxy is the catch-all /api/ entry: canonicalize, shard, and
+// run the robustness stack.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %v", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", maxBodyBytes))
+		return
+	}
+	uri := r.URL.Path
+	if r.URL.RawQuery != "" {
+		uri += "?" + r.URL.RawQuery
+	}
+	// The shard key IS the replica cache key whenever the request is
+	// canonicalizable, so byte-identical cache hits survive sharding. A
+	// request no replica could canonicalize (it will be answered 400/404)
+	// still shards deterministically, by its raw bytes.
+	key, canonical := serve.CanonicalShardKey(r.Method, r.URL.Path, body)
+	if !canonical {
+		key = r.Method + " " + uri + "\x00" + string(body)
+	}
+	seq := rt.ring.Sequence(key)
+	order := make([]*replica, len(seq))
+	for i, id := range seq {
+		order[i] = rt.byID[id]
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+	pr := proxyReq{method: r.Method, uri: uri, contentType: r.Header.Get("Content-Type"), body: body}
+	up, meta, doErr := rt.do(ctx, pr, order)
+
+	outcome := "primary"
+	switch {
+	case up == nil:
+		outcome = "error"
+	case meta.hedgeWon:
+		outcome = "hedged"
+	case meta.failover:
+		outcome = "failover"
+	}
+	var status int
+	servedBy := ""
+	if up == nil {
+		w.Header().Set("X-Route-Status", outcome)
+		w.Header().Set("X-Route-Attempts", strconv.Itoa(meta.attempts))
+		status = http.StatusBadGateway
+		writeError(w, status, fmt.Errorf("no replica could serve the request after %d attempts: %v", meta.attempts, doErr))
+	} else {
+		for _, h := range []string{"Content-Type", "X-Cache", "X-Served-By"} {
+			if v := up.header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		if w.Header().Get("X-Served-By") == "" {
+			w.Header().Set("X-Served-By", up.rep.id)
+		}
+		servedBy = w.Header().Get("X-Served-By")
+		w.Header().Set("X-Route-Status", outcome)
+		w.Header().Set("X-Route-Attempts", strconv.Itoa(meta.attempts))
+		status = up.status
+		w.WriteHeader(status)
+		w.Write(up.body)
+	}
+	dur := time.Since(start)
+	rt.requests.With(strconv.Itoa(status)).Inc()
+	rt.latency.With(outcome).Observe(dur.Seconds())
+	rt.accessLog(r, seq[0], servedBy, status, outcome, meta, dur)
+}
+
+// accessLog emits one structured line per routed request.
+func (rt *Router) accessLog(r *http.Request, shard, servedBy string, status int, outcome string, meta routeMeta, dur time.Duration) {
+	if rt.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(struct {
+		Time     string  `json:"time"`
+		Method   string  `json:"method"`
+		Path     string  `json:"path"`
+		Shard    string  `json:"shard"`
+		Replica  string  `json:"replica,omitempty"`
+		Status   int     `json:"status"`
+		Outcome  string  `json:"outcome"`
+		Attempts int     `json:"attempts"`
+		Hedged   bool    `json:"hedged,omitempty"`
+		Millis   float64 `json:"duration_ms"`
+		Remote   string  `json:"remote"`
+	}{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		Method:   r.Method,
+		Path:     r.URL.Path,
+		Shard:    shard,
+		Replica:  servedBy,
+		Status:   status,
+		Outcome:  outcome,
+		Attempts: meta.attempts,
+		Hedged:   meta.hedged,
+		Millis:   float64(dur.Microseconds()) / 1000,
+		Remote:   r.RemoteAddr,
+	})
+	if err != nil {
+		return
+	}
+	rt.logMu.Lock()
+	defer rt.logMu.Unlock()
+	rt.cfg.AccessLog.Write(append(line, '\n'))
+}

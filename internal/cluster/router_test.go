@@ -1,0 +1,488 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// newBackend starts a real `doppio serve` handler on a fresh local
+// port and returns the (listener host:port) replica id, which is both
+// the ring identity and the default X-Served-By value.
+func newBackend(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ln.Addr().String()
+	s, err := serve.New(serve.Config{ReplicaID: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return ts, id
+}
+
+func newTestRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.health.SetReady(true) // Run does this; tests drive Handler directly
+	return rt
+}
+
+// predictBodyFor scans request bodies until one shards to the wanted
+// replica. Deterministic: the ring is a pure function of membership.
+func predictBodyFor(t *testing.T, rt *Router, want string) []byte {
+	t.Helper()
+	for s := 1; s <= 128; s++ {
+		body := []byte(fmt.Sprintf(`{"workload":"lr-small","slaves":%d,"cores":8}`, s))
+		key, ok := serve.CanonicalShardKey("POST", "/api/v1/predict", body)
+		if !ok {
+			t.Fatalf("canonical predict body rejected: %s", body)
+		}
+		if rt.ring.Primary(key) == want {
+			return body
+		}
+	}
+	t.Fatalf("no predict body shards to %s", want)
+	return nil
+}
+
+func doPredict(t *testing.T, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/predict", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRouterShardsDeterministicallyAndPreservesCacheHits(t *testing.T) {
+	_, id1 := newBackend(t)
+	_, id2 := newBackend(t)
+	_, id3 := newBackend(t)
+	rt := newTestRouter(t, Config{Replicas: []string{id1, id2, id3}, HedgeAfter: 0})
+
+	body := []byte(`{"workload":"lr-small","slaves":5,"cores":8}`)
+	first := doPredict(t, rt.Handler(), body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first request: status %d body %s", first.Code, first.Body.String())
+	}
+	if got := first.Header().Get("X-Route-Status"); got != "primary" {
+		t.Fatalf("first request: X-Route-Status %q, want primary", got)
+	}
+	served := first.Header().Get("X-Served-By")
+	key, _ := serve.CanonicalShardKey("POST", "/api/v1/predict", body)
+	if want := rt.ring.Primary(key); served != want {
+		t.Fatalf("served by %q, ring primary is %q", served, want)
+	}
+
+	// The same logical request — different JSON spelling — must land on
+	// the same replica and hit its cache byte-identically.
+	respelled := []byte(`{"cores":8,"slaves":5,"workload":"lr-small"}`)
+	second := doPredict(t, rt.Handler(), respelled)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second request: status %d", second.Code)
+	}
+	if got := second.Header().Get("X-Served-By"); got != served {
+		t.Fatalf("respelled request served by %q, want %q", got, served)
+	}
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("respelled request X-Cache %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cache hit body differs from first response")
+	}
+}
+
+func TestRouterFailoverIsByteIdentical(t *testing.T) {
+	ts1, id1 := newBackend(t)
+	_, id2 := newBackend(t)
+	_, id3 := newBackend(t)
+	rt := newTestRouter(t, Config{
+		Replicas:  []string{id1, id2, id3},
+		RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
+	})
+	body := predictBodyFor(t, rt, id1)
+
+	// Reference bytes: what the healthy cluster serves for this request.
+	before := doPredict(t, rt.Handler(), body)
+	if before.Code != http.StatusOK {
+		t.Fatalf("warm request: status %d", before.Code)
+	}
+
+	ts1.Close() // SIGKILL stand-in: connections now refuse
+	after := doPredict(t, rt.Handler(), body)
+	if after.Code != http.StatusOK {
+		t.Fatalf("failover request: status %d body %s", after.Code, after.Body.String())
+	}
+	if got := after.Header().Get("X-Route-Status"); got != "failover" {
+		t.Fatalf("X-Route-Status %q, want failover", got)
+	}
+	if got := after.Header().Get("X-Served-By"); got == id1 {
+		t.Fatal("failover response claims the dead replica served it")
+	}
+	// Graceful degradation is allowed to recompute on a cold replica but
+	// NOT to answer differently: the bytes must match the primary's.
+	if !bytes.Equal(before.Body.Bytes(), after.Body.Bytes()) {
+		t.Fatal("failover response differs from the primary's bytes")
+	}
+	if rt.failovers.Value() == 0 {
+		t.Fatal("failovers counter not incremented")
+	}
+	if rt.retries.Value() == 0 {
+		t.Fatal("retries counter not incremented")
+	}
+}
+
+func TestRouterRetriesOn5xx(t *testing.T) {
+	// A replica that fails twice then recovers: the router must absorb
+	// the 500s with retries and still answer 200.
+	var calls atomic.Int64
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flakyID := ln.Addr().String()
+	inner, err := serve.New(serve.Config{ReplicaID: flakyID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		inner.Handler().ServeHTTP(w, r)
+	}))
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	rt := newTestRouter(t, Config{
+		Replicas:  []string{flakyID},
+		RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
+	})
+	body := []byte(`{"workload":"lr-small","slaves":3,"cores":8}`)
+	rec := doPredict(t, rt.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 after retries; body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Route-Attempts"); got != "3" {
+		t.Fatalf("X-Route-Attempts %q, want 3", got)
+	}
+	if rt.retries.Value() != 2 {
+		t.Fatalf("retries counter %d, want 2", rt.retries.Value())
+	}
+}
+
+func TestRouterBreakerShortCircuitsDeadReplica(t *testing.T) {
+	ts1, id1 := newBackend(t)
+	_, id2 := newBackend(t)
+	rt := newTestRouter(t, Config{
+		Replicas:         []string{id1, id2},
+		BreakerThreshold: 2, BreakerCooldown: time.Hour,
+		RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
+	})
+	body := predictBodyFor(t, rt, id1)
+	ts1.Close()
+
+	// First requests pay the failed attempt against the dead primary.
+	for i := 0; i < 2; i++ {
+		rec := doPredict(t, rt.Handler(), body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	dead := rt.byID[id1]
+	if got := dead.breaker.State(); got != BreakerOpen {
+		t.Fatalf("dead replica breaker %v after %d failures, want open", got, 2)
+	}
+	if dead.healthyGauge.Value() != 0 {
+		t.Fatal("doppio_cluster_replica_healthy still 1 for dead replica")
+	}
+	if dead.breakerGauge.Value() != int64(BreakerOpen) {
+		t.Fatalf("breaker gauge %d, want %d", dead.breakerGauge.Value(), BreakerOpen)
+	}
+
+	// With the breaker open the router must route around the corpse on
+	// the first attempt: no retry, no connect timeout paid.
+	rec := doPredict(t, rt.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-open request: status %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Route-Attempts"); got != "1" {
+		t.Fatalf("post-open X-Route-Attempts %q, want 1", got)
+	}
+	if got := rec.Header().Get("X-Route-Status"); got != "failover" {
+		t.Fatalf("post-open X-Route-Status %q, want failover", got)
+	}
+}
+
+func TestRouterBreakerRecoversViaProbe(t *testing.T) {
+	ts1, id1 := newBackend(t)
+	_, id2 := newBackend(t)
+	rt := newTestRouter(t, Config{
+		Replicas:         []string{id1, id2},
+		BreakerThreshold: 1, BreakerCooldown: time.Hour,
+		FailAfter: 1, RecoverAfter: 1,
+		RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
+	})
+	body := predictBodyFor(t, rt, id1)
+	ts1.Close()
+	if rec := doPredict(t, rt.Handler(), body); rec.Code != http.StatusOK {
+		t.Fatalf("failover request: status %d", rec.Code)
+	}
+	rep := rt.byID[id1]
+	if rep.breaker.State() != BreakerOpen {
+		t.Fatalf("breaker %v, want open", rep.breaker.State())
+	}
+
+	// Restart the replica on the SAME port (as a supervisor would) and
+	// deliver one probe result: the probe recovery must reset the
+	// breaker even though its hour-long cooldown has not elapsed.
+	ln, err := net.Listen("tcp", id1)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", id1, err)
+	}
+	s2, err := serve.New(serve.Config{ReplicaID: id1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serve only reports ready from Run (which owns the listener); the
+	// handler-only test backend needs readiness faked for the probe.
+	ready := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		s2.Handler().ServeHTTP(w, r)
+	})
+	ts1b := httptest.NewUnstartedServer(ready)
+	ts1b.Listener.Close()
+	ts1b.Listener = ln
+	ts1b.Start()
+	t.Cleanup(ts1b.Close)
+
+	rep.observeProbe(false, fmt.Errorf("down"), rt.cfg.FailAfter, rt.cfg.RecoverAfter)
+	ok, err := rt.probe(context.Background(), rep)
+	if !ok {
+		t.Fatalf("probe of restarted replica failed: %v", err)
+	}
+	rep.observeProbe(ok, nil, rt.cfg.FailAfter, rt.cfg.RecoverAfter)
+	if rep.breaker.State() != BreakerClosed {
+		t.Fatalf("breaker %v after probe recovery, want closed", rep.breaker.State())
+	}
+	if rep.healthyGauge.Value() != 1 {
+		t.Fatal("healthy gauge not restored after probe recovery")
+	}
+	rec := doPredict(t, rt.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-recovery request: status %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Served-By"); got != id1 {
+		t.Fatalf("post-recovery served by %q, want readmitted primary %q", got, id1)
+	}
+}
+
+func TestRouterHedgesSlowPrimary(t *testing.T) {
+	// Primary answers correctly but slowly; the hedge to the next ring
+	// replica must win and the client must never see the stall.
+	lnSlow, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowID := lnSlow.Addr().String()
+	innerSlow, err := serve.New(serve.Config{ReplicaID: slowID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsSlow := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/") {
+			time.Sleep(2 * time.Second)
+		}
+		innerSlow.Handler().ServeHTTP(w, r)
+	}))
+	tsSlow.Listener.Close()
+	tsSlow.Listener = lnSlow
+	tsSlow.Start()
+	t.Cleanup(tsSlow.Close)
+
+	_, fastID := newBackend(t)
+	rt := newTestRouter(t, Config{
+		Replicas:   []string{slowID, fastID},
+		HedgeAfter: 20 * time.Millisecond,
+	})
+	body := predictBodyFor(t, rt, slowID)
+	start := time.Now()
+	rec := doPredict(t, rt.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Route-Status"); got != "hedged" {
+		t.Fatalf("X-Route-Status %q, want hedged", got)
+	}
+	if got := rec.Header().Get("X-Served-By"); got != fastID {
+		t.Fatalf("served by %q, want hedge target %q", got, fastID)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged request took %v; the slow primary stalled the client", elapsed)
+	}
+	if rt.hedges.Value() == 0 || rt.hedgeWins.Value() == 0 {
+		t.Fatalf("hedge counters: launched=%d won=%d, want both > 0", rt.hedges.Value(), rt.hedgeWins.Value())
+	}
+}
+
+func TestRouterAllReplicasDownAnswers502(t *testing.T) {
+	ts1, id1 := newBackend(t)
+	ts2, id2 := newBackend(t)
+	rt := newTestRouter(t, Config{
+		Replicas:   []string{id1, id2},
+		MaxRetries: 1, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
+	})
+	ts1.Close()
+	ts2.Close()
+	rec := doPredict(t, rt.Handler(), []byte(`{"workload":"lr-small","slaves":3}`))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", rec.Code)
+	}
+	if got := rec.Header().Get("X-Route-Status"); got != "error" {
+		t.Fatalf("X-Route-Status %q, want error", got)
+	}
+	if !strings.Contains(rec.Body.String(), "no replica could serve") {
+		t.Fatalf("error body %q lacks explanation", rec.Body.String())
+	}
+}
+
+func TestRouterNonCanonicalRequestsStillRoute(t *testing.T) {
+	// A request no replica can canonicalize (unknown endpoint) still
+	// shards deterministically by raw bytes and passes the replica's
+	// 4xx straight through — 4xx is deliverable, not retryable.
+	_, id1 := newBackend(t)
+	_, id2 := newBackend(t)
+	rt := newTestRouter(t, Config{Replicas: []string{id1, id2}})
+	var first string
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/nonsense", strings.NewReader(`{}`))
+		rec := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("status %d, want replica's 404 passed through", rec.Code)
+		}
+		if got := rec.Header().Get("X-Route-Attempts"); got != "1" {
+			t.Fatalf("X-Route-Attempts %q, want 1 (4xx must not retry)", got)
+		}
+		if i == 0 {
+			first = rec.Header().Get("X-Served-By")
+		} else if got := rec.Header().Get("X-Served-By"); got != first {
+			t.Fatalf("non-canonical request moved replica: %q then %q", first, got)
+		}
+	}
+}
+
+func TestRouterReadyz(t *testing.T) {
+	_, id1 := newBackend(t)
+	rt := newTestRouter(t, Config{Replicas: []string{id1}})
+	get := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rec
+	}
+	if rec := get(); rec.Code != http.StatusOK {
+		t.Fatalf("ready router: readyz %d", rec.Code)
+	}
+	// Every replica unavailable: the router must report itself not ready
+	// so its own load balancer stops sending traffic.
+	rep := rt.byID[id1]
+	rep.mu.Lock()
+	rep.probeHealthy = false
+	rep.mu.Unlock()
+	if rec := get(); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no-healthy-replicas readyz %d, want 503", rec.Code)
+	}
+	rep.mu.Lock()
+	rep.probeHealthy = true
+	rep.mu.Unlock()
+	rt.health.SetReady(false) // draining
+	if rec := get(); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz %d, want 503", rec.Code)
+	}
+}
+
+func TestRouterRunServesAndDrains(t *testing.T) {
+	_, id1 := newBackend(t)
+	rt, err := New(Config{Addr: "127.0.0.1:0", Replicas: []string{id1}, ProbeInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rt.Run(ctx) }()
+	select {
+	case <-rt.Started():
+	case <-time.After(5 * time.Second):
+		t.Fatal("router did not start")
+	}
+	resp, err := http.Post("http://"+rt.Addr()+"/api/v1/predict", "application/json",
+		strings.NewReader(`{"workload":"lr-small","slaves":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Let at least one probe tick land so the probe loop's counters run.
+	time.Sleep(120 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("router did not drain")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := Config{Replicas: []string{"127.0.0.1:1234"}}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, cfg := range map[string]Config{
+		"no replicas":       {},
+		"bad addr":          {Addr: "nope", Replicas: []string{"127.0.0.1:1234"}},
+		"dup replica":       {Replicas: []string{"127.0.0.1:1234", "http://127.0.0.1:1234"}},
+		"bad scheme":        {Replicas: []string{"ftp://127.0.0.1:1234"}},
+		"replica path":      {Replicas: []string{"http://127.0.0.1:1234/api"}},
+		"replica no port":   {Replicas: []string{"127.0.0.1"}},
+		"negative retries":  {Replicas: []string{"127.0.0.1:1234"}, MaxRetries: -1},
+		"negative hedge":    {Replicas: []string{"127.0.0.1:1234"}, HedgeAfter: -time.Second},
+		"negative interval": {Replicas: []string{"127.0.0.1:1234"}, ProbeInterval: -time.Second},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

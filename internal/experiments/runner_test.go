@@ -400,12 +400,19 @@ func TestRunReportsCalibrationCacheStats(t *testing.T) {
 }
 
 func TestNondeterministicMetricPredicate(t *testing.T) {
-	for _, k := range []string{RuntimeMetric, CacheHitsMetric, CacheMissesMetric} {
+	for _, k := range []string{
+		RuntimeMetric, CacheHitsMetric, CacheMissesMetric,
+		"doppio_cluster_retries_total", "doppio_cluster_failovers_total",
+		"doppio_cluster_probes_total",
+	} {
 		if !NondeterministicMetric(k) {
 			t.Errorf("%s should be nondeterministic", k)
 		}
 	}
-	for _, k := range []string{CacheLookupsMetric, "avg_error"} {
+	for _, k := range []string{
+		CacheLookupsMetric, "avg_error",
+		"doppio_cluster_replica_healthy", "doppio_cluster_breaker_state",
+	} {
 		if NondeterministicMetric(k) {
 			t.Errorf("%s should be deterministic", k)
 		}

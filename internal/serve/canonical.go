@@ -1,0 +1,55 @@
+package serve
+
+import "bytes"
+
+// normalizer is any API request shape that can apply its defaults and
+// validate itself; after a successful normalize the struct is fully
+// specified, so its marshal form is canonical.
+type normalizer interface{ normalize() error }
+
+// CanonicalShardKey canonicalizes one API request exactly the way the
+// serve cache does and returns the resulting key. It is the contract a
+// fronting router needs to shard by: two bodies that differ only in
+// JSON field order, whitespace, or explicitly-spelled defaults produce
+// the same key here AND hit the same cache entry on the replica, so the
+// byte-identical cache-hit property survives sharding — whichever
+// replica the key consistently hashes to holds the one cached entry.
+//
+// The second return is false when the request cannot be canonicalized:
+// an unknown route, malformed JSON, or a body that fails validation.
+// Such requests would be answered with a 400/404 by any replica, so a
+// router may shard them however it likes (e.g. by raw bytes).
+func CanonicalShardKey(method, path string, body []byte) (string, bool) {
+	var req normalizer
+	switch method + " " + path {
+	case "GET /api/v1/workloads":
+		// No body to canonicalize: the route is the key.
+		return path, true
+	case "POST /api/v1/predict":
+		req = &PredictRequest{}
+	case "POST /api/v1/simulate":
+		req = &SimulateRequest{}
+	case "POST /api/v1/whatif":
+		req = &WhatifRequest{}
+	case "POST /api/v1/recommend":
+		req = &RecommendRequest{}
+	case "POST /api/v1/sweep":
+		req = &SweepRequest{}
+	default:
+		return "", false
+	}
+	if err := decodeStrict(bytes.NewReader(body), req); err != nil {
+		return "", false
+	}
+	if err := req.normalize(); err != nil {
+		return "", false
+	}
+	// cacheKey marshals the normalized struct; marshalling through the
+	// pointer produces the same bytes the handlers produce from the
+	// value, so this IS the replica's cache key for the request.
+	key, err := cacheKey(path, req)
+	if err != nil {
+		return "", false
+	}
+	return key, true
+}

@@ -48,6 +48,11 @@ type Config struct {
 	CacheEntries int
 	// AccessLog receives one JSON line per request (nil = discard).
 	AccessLog io.Writer
+	// ReplicaID names this replica in the X-Served-By header stamped on
+	// every response (probes and API alike) and in the access log, so a
+	// fronting router and the load generator can attribute responses in a
+	// multi-replica deployment. Empty means the bound host:port.
+	ReplicaID string
 }
 
 func (c Config) withDefaults() Config {
@@ -165,9 +170,9 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return s.cache.Stats().HitRatio() })
 
 	mux := http.NewServeMux()
-	mux.Handle("GET /healthz", s.health.HealthzHandler())
-	mux.Handle("GET /readyz", s.health.ReadyzHandler())
-	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /healthz", s.stampReplica(s.health.HealthzHandler()))
+	mux.Handle("GET /readyz", s.stampReplica(s.health.ReadyzHandler()))
+	mux.Handle("GET /metrics", s.stampReplica(s.reg.Handler()))
 	for _, ep := range s.endpoints() {
 		mux.Handle(ep.method+" "+ep.route, s.instrument(ep.route, ep.handler))
 		// Resolve the common series now so /metrics lists every route
@@ -196,6 +201,28 @@ func (s *Server) Addr() string {
 
 // Started is closed once the listener is accepting and readiness is up.
 func (s *Server) Started() <-chan struct{} { return s.started }
+
+// ReplicaID is this replica's stable identity: Config.ReplicaID when
+// set, the bound host:port once listening, the configured listen
+// address otherwise (Handler-only tests).
+func (s *Server) ReplicaID() string {
+	if s.cfg.ReplicaID != "" {
+		return s.cfg.ReplicaID
+	}
+	if a := s.Addr(); a != "" {
+		return a
+	}
+	return s.cfg.Addr
+}
+
+// stampReplica adds the X-Served-By identity header to non-API
+// responses (probes, metrics); API responses get it in instrument.
+func (s *Server) stampReplica(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Served-By", s.ReplicaID())
+		h.ServeHTTP(w, r)
+	})
+}
 
 // Run listens and serves until ctx is cancelled, then drains: readiness
 // flips to 503 so load balancers stop routing here, and in-flight
@@ -260,6 +287,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
+		rec.Header().Set("X-Served-By", s.ReplicaID())
 		defer func() {
 			if p := recover(); p != nil {
 				if rec.status == 0 {
@@ -299,23 +327,25 @@ func (s *Server) accessLog(r *http.Request, route string, rec *statusRecorder, d
 		return
 	}
 	line, err := json.Marshal(struct {
-		Time   string  `json:"time"`
-		Method string  `json:"method"`
-		Route  string  `json:"route"`
-		Path   string  `json:"path"`
-		Status int     `json:"status"`
-		Bytes  int     `json:"bytes"`
-		Millis float64 `json:"duration_ms"`
-		Remote string  `json:"remote"`
+		Time    string  `json:"time"`
+		Replica string  `json:"replica"`
+		Method  string  `json:"method"`
+		Route   string  `json:"route"`
+		Path    string  `json:"path"`
+		Status  int     `json:"status"`
+		Bytes   int     `json:"bytes"`
+		Millis  float64 `json:"duration_ms"`
+		Remote  string  `json:"remote"`
 	}{
-		Time:   time.Now().UTC().Format(time.RFC3339Nano),
-		Method: r.Method,
-		Route:  route,
-		Path:   r.URL.Path,
-		Status: rec.status,
-		Bytes:  rec.bytes,
-		Millis: float64(dur.Microseconds()) / 1000,
-		Remote: r.RemoteAddr,
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+		Replica: s.ReplicaID(),
+		Method:  r.Method,
+		Route:   route,
+		Path:    r.URL.Path,
+		Status:  rec.status,
+		Bytes:   rec.bytes,
+		Millis:  float64(dur.Microseconds()) / 1000,
+		Remote:  r.RemoteAddr,
 	})
 	if err != nil {
 		return
