@@ -16,12 +16,19 @@
 //     the restarted replica returns to 1 and a trailing window of
 //     corpus requests is served by it again, with every response still
 //     byte-identical to the pre-crash reference;
-//  5. shuts everything down with SIGTERM and requires clean exits.
+//  5. gates warm start: replicas run with -cache-snapshot, so the
+//     restarted replica must serve every corpus key it owns as an
+//     X-Cache hit with the pre-crash bytes and zero recomputes — the
+//     crash cost one process, not one cache;
+//  6. gates coalescing: a barrier-released stampede of identical
+//     requests for a never-seen key costs the whole tier exactly one
+//     cache miss, with most arrivals collapsed at the router;
+//  7. shuts everything down with SIGTERM and requires clean exits.
 //
 // Usage:
 //
 //	go build -o /tmp/doppio ./cmd/doppio
-//	go run ./cmd/chaoscheck -doppio /tmp/doppio [-metrics-out /tmp/router.prom]
+//	go run ./cmd/chaoscheck -doppio /tmp/doppio [-metrics-out /tmp/router.prom] [-replica-metrics-out /tmp/replica.prom]
 package main
 
 import (
@@ -50,12 +57,17 @@ const (
 	restartAfter = 3 * time.Second // after the kill
 	p99Budget    = 2 * time.Second
 	recoveryWait = 20 * time.Second
+
+	snapInterval = 300 * time.Millisecond // replica -cache-snapshot-interval
+	hotCacheTTL  = time.Second            // router -hot-cache-ttl
+	stampedeN    = 32                     // barrier-released identical requests
 )
 
 func main() {
 	doppio := flag.String("doppio", "", "path to a built doppio binary (required)")
 	port := flag.Int("port", 19080, "router port; replicas use the next ports")
 	metricsOut := flag.String("metrics-out", "", "write the router's final /metrics scrape here")
+	replicaMetricsOut := flag.String("replica-metrics-out", "", "write the restarted replica's final /metrics scrape here")
 	keep := flag.Bool("keep", false, "keep the log directory for debugging")
 	flag.Parse()
 	if *doppio == "" {
@@ -87,17 +99,23 @@ func main() {
 
 	c.boot()
 	c.warm()
+	c.awaitSnapshots()
 	killed := c.loadWithKill()
 	c.awaitReadmission(killed)
+	c.verifyWarmStart(killed)
+	c.stampedeFreshKey()
 	c.verifyCounters()
 	if *metricsOut != "" {
-		c.dumpMetrics(*metricsOut)
+		c.dump(c.router, *metricsOut)
+	}
+	if *replicaMetricsOut != "" {
+		c.dump(killed, *replicaMetricsOut)
 	}
 	c.shutdown()
 	if !*keep {
 		os.RemoveAll(dir)
 	}
-	fmt.Println("PASS cluster-e2e: replica SIGKILL was invisible to clients; ring re-admitted the restarted replica byte-identically")
+	fmt.Println("PASS cluster-e2e: replica SIGKILL was invisible to clients; the restarted replica came back cache-warm and byte-identical")
 }
 
 // corpusItem is one distinct logical request with its reference bytes.
@@ -168,8 +186,19 @@ func (c *chaos) replicaName(addr string) string {
 	return "replica-" + addr[strings.LastIndex(addr, ":")+1:]
 }
 
+// startReplica launches one replica with the full cache plane: a
+// snapshot file keyed by its stable name (a restart reuses it, which is
+// exactly the warm-start path under test) and the peer list for
+// cross-replica read-through.
 func (c *chaos) startReplica(addr string) {
-	c.start(c.replicaName(addr), "serve", "-addr", addr, "-request-timeout", "10s")
+	name := c.replicaName(addr)
+	c.start(name, "serve", "-addr", addr, "-request-timeout", "10s",
+		"-replica-id", addr,
+		"-cache-snapshot", filepath.Join(c.dir, name+".snap"),
+		"-cache-snapshot-interval", snapInterval.String(),
+		"-peers", strings.Join(c.replicas, ","),
+		"-peer-timeout", "500ms",
+	)
 }
 
 // boot starts the three replicas and the router, then waits for ready.
@@ -184,6 +213,7 @@ func (c *chaos) boot() {
 		"-breaker-threshold", "3", "-breaker-cooldown", "1s",
 		"-max-retries", "3", "-retry-base", "20ms", "-retry-max", "500ms",
 		"-request-timeout", "10s",
+		"-hot-cache-ttl", hotCacheTTL.String(),
 	}
 	for _, addr := range c.replicas {
 		routeArgs = append(routeArgs, "-replica", addr)
@@ -316,6 +346,31 @@ func (c *chaos) warm() {
 	fmt.Printf("ok  warmed %d corpus items across %d shards %v\n", len(c.corpus), len(byHome), byHome)
 }
 
+// awaitSnapshots blocks until every replica has completed two snapshot
+// writes after the warm pass, guaranteeing at least one full snapshot
+// cycle started with the entire corpus already cached — so whichever
+// replica the kill picks, its on-disk snapshot covers the corpus.
+func (c *chaos) awaitSnapshots() {
+	base := map[string]float64{}
+	for _, addr := range c.replicas {
+		base[addr] = sumFamily(c.scrape(addr), "doppio_cache_snapshot_writes_total")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, addr := range c.replicas {
+		for {
+			writes := sumFamily(c.scrape(addr), "doppio_cache_snapshot_writes_total")
+			if writes >= base[addr]+2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				c.fatal("%s never snapshotted the warm corpus (writes %v, baseline %v)", addr, writes, base[addr])
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	fmt.Printf("ok  every replica snapshotted the warmed corpus (interval %v)\n", snapInterval)
+}
+
 // loadWithKill drives sustained load, SIGKILLs the busiest replica
 // mid-load, restarts it, and gates the client-visible outcome. Returns
 // the killed replica's host:port.
@@ -416,6 +471,10 @@ func (c *chaos) awaitReadmission(killed string) {
 		time.Sleep(200 * time.Millisecond)
 	}
 
+	// Let the router's hot cache drain first: a replay would carry the
+	// takeover replica's X-Served-By and hide the re-admission we are
+	// here to observe.
+	time.Sleep(hotCacheTTL + 200*time.Millisecond)
 	served := 0
 	for _, it := range c.corpus {
 		r := c.post(c.router, it)
@@ -436,6 +495,115 @@ func (c *chaos) awaitReadmission(killed string) {
 		killed, served, len(c.corpus))
 }
 
+// verifyWarmStart gates the snapshot contract on the restarted replica:
+// it restored entries from disk, serves every corpus key it owns as an
+// X-Cache hit with the pre-crash bytes, and has recomputed nothing —
+// the SIGKILL cost the tier one process, never one cache.
+func (c *chaos) verifyWarmStart(killed string) {
+	m := c.scrape(killed)
+	restored := sumFamily(m, "doppio_cache_snapshot_restored_entries")
+	if restored < 1 {
+		c.fatal("restarted %s restored %v snapshot entries, want >= 1", killed, restored)
+	}
+	checked := 0
+	for _, it := range c.corpus {
+		if it.home != killed {
+			continue
+		}
+		r := c.post(killed, it)
+		if r.err != nil || r.status != http.StatusOK {
+			c.fatal("warm-start %s direct to %s: status %d err %v", it.name, killed, r.status, r.err)
+		}
+		if r.cache != "hit" {
+			c.fatal("warm-start %s on restarted %s was X-Cache %q, want hit from the snapshot", it.name, killed, r.cache)
+		}
+		if !bytes.Equal(r.body, it.ref) {
+			c.fatal("warm-start %s on restarted %s returned different bytes than before the crash", it.name, killed)
+		}
+		checked++
+	}
+	if checked == 0 {
+		c.fatal("no corpus items homed on %s; cannot verify warm start", killed)
+	}
+	if misses := sumFamily(c.scrape(killed), "doppio_cache_misses_total"); misses != 0 {
+		c.fatal("restarted %s recomputed %v keys after restoring a snapshot; warm start leaked work", killed, misses)
+	}
+	fmt.Printf("ok  warm start: %s restored %v entries and served %d owned keys as hits with zero recomputes\n",
+		killed, restored, checked)
+}
+
+// stampedeFreshKey gates router coalescing end to end: a barrier-
+// released burst of identical requests for a key no replica has ever
+// seen must cost the whole tier exactly one cache miss, every response
+// byte-identical, with at least half the burst collapsed at the router.
+// The workload (pagerank) appears nowhere in the corpus, so the one
+// compute also pays a cold calibration — a wide window for followers to
+// pile into the leader's flight.
+func (c *chaos) stampedeFreshKey() {
+	it := &corpusItem{
+		name: "stampede-pagerank",
+		path: "/api/v1/predict",
+		body: `{"workload":"pagerank","slaves":3,"cores":8}`,
+	}
+	missesBefore, coalescedBefore := c.tierMisses(), sumFamily(c.scrape(c.router), "doppio_cluster_coalesced_total")
+
+	replies := make([]reply, stampedeN)
+	barrier := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < stampedeN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-barrier
+			replies[i] = c.post(c.router, it)
+		}(i)
+	}
+	close(barrier)
+	wg.Wait()
+
+	bodies := map[string]bool{}
+	leaders := 0
+	for i, r := range replies {
+		if r.err != nil || r.status != http.StatusOK {
+			c.fatal("stampede request %d: status %d err %v", i, r.status, r.err)
+		}
+		bodies[string(r.body)] = true
+		// Followers replay the leader's X-Cache: miss header; only an
+		// uncollapsed request that itself missed is a distinct compute.
+		if r.cache == "miss" && r.route != "coalesced" && r.route != "cached" {
+			leaders++
+		}
+	}
+	if len(bodies) != 1 {
+		c.fatal("stampede produced %d distinct response bodies, want 1", len(bodies))
+	}
+	if leaders != 1 {
+		c.fatal("stampede reached %d uncollapsed cache misses, want exactly 1 compute", leaders)
+	}
+	// The one compute costs at most two cache misses on its replica: the
+	// result itself plus the workload's first-ever calibration (both live
+	// in the same doppio_cache family). Anything more means requests
+	// leaked past the flight table into parallel computes.
+	if missDelta := c.tierMisses() - missesBefore; missDelta > 2 {
+		c.fatal("stampede of %d identical requests cost the tier %v cache misses, want at most 2 (result + calibration)", stampedeN, missDelta)
+	}
+	coalesced := sumFamily(c.scrape(c.router), "doppio_cluster_coalesced_total") - coalescedBefore
+	if coalesced < stampedeN/2 {
+		c.fatal("only %v of %d stampede requests coalesced, want >= %d", coalesced, stampedeN, stampedeN/2)
+	}
+	fmt.Printf("ok  stampede: %d identical requests -> 1 compute, %v coalesced, byte-identical\n", stampedeN, coalesced)
+}
+
+// tierMisses sums doppio_cache_misses_total across every replica — the
+// tier-wide compute count a stampede must move by exactly one.
+func (c *chaos) tierMisses() float64 {
+	total := 0.0
+	for _, addr := range c.replicas {
+		total += sumFamily(c.scrape(addr), "doppio_cache_misses_total")
+	}
+	return total
+}
+
 // verifyCounters gates that the chaos actually exercised the machinery.
 func (c *chaos) verifyCounters() {
 	m := c.scrape(c.router)
@@ -451,8 +619,14 @@ func (c *chaos) verifyCounters() {
 	if healthy != replicaCount {
 		c.fatal("doppio_cluster_replica_healthy sums to %v, want %d", healthy, replicaCount)
 	}
-	fmt.Printf("ok  chaos exercised the stack: %v failovers, %v retries, %v/%d replicas healthy\n",
-		failovers, retries, healthy, replicaCount)
+	// The sustained load repeats ~22 keys within the hot-cache TTL, so a
+	// run that never replays from the hot cache means the cache is dead.
+	hotHits := sumFamily(m, "doppio_cluster_hotcache_hits_total")
+	if hotHits < 1 {
+		c.fatal("doppio_cluster_hotcache_hits_total = %v; the hot cache never served a repeat", hotHits)
+	}
+	fmt.Printf("ok  chaos exercised the stack: %v failovers, %v retries, %v hot-cache replays, %v/%d replicas healthy\n",
+		failovers, retries, hotHits, healthy, replicaCount)
 }
 
 // scrape returns every /metrics series, keyed by its full name
@@ -498,21 +672,21 @@ func sumFamily(m map[string]float64, family string) float64 {
 	return total
 }
 
-// dumpMetrics writes the router's final exposition for metriccheck.
-func (c *chaos) dumpMetrics(path string) {
-	resp, err := c.client.Get("http://" + c.router + "/metrics")
+// dump writes one process's final /metrics exposition for metriccheck.
+func (c *chaos) dump(addr, path string) {
+	resp, err := c.client.Get("http://" + addr + "/metrics")
 	if err != nil {
-		c.fatal("final scrape: %v", err)
+		c.fatal("final scrape of %s: %v", addr, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		c.fatal("final scrape: %v", err)
+		c.fatal("final scrape of %s: %v", addr, err)
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		c.fatal("writing %s: %v", path, err)
 	}
-	fmt.Printf("ok  wrote final router metrics to %s\n", path)
+	fmt.Printf("ok  wrote final metrics of %s to %s\n", addr, path)
 }
 
 // shutdown SIGTERMs everything and requires clean drains.

@@ -111,6 +111,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		minHitRatio  = fs.Float64("min-cache-hit-ratio", 0, "fail if the server's cache hit ratio (from /metrics) is below this")
 		checkMetrics = fs.Bool("check-metrics", false, "scrape and validate /metrics after the run")
 		cluster      = fs.Bool("cluster", false, "report per-shard request share and hit ratio from X-Served-By/X-Cache headers")
+		stampedeN    = fs.Int("stampede", 0, "instead of the mix, fire N barrier-released identical requests and report time-to-warm (0 = off)")
+		warmTarget   = fs.Float64("warm-target", 0.9, "stampede mode: probe until the running hit ratio reaches this")
+		minCoalesced = fs.Int("min-coalesced", 0, "stampede mode: fail unless at least this many responses were coalesced or router-cached")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -119,11 +122,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: need workers >= 1, qps >= 0, duration > 0")
 		return 2
 	}
+	if *stampedeN < 0 || *warmTarget <= 0 || *warmTarget > 1 {
+		fmt.Fprintln(stderr, "loadgen: need stampede >= 0 and warm-target in (0, 1]")
+		return 2
+	}
 
 	client := &http.Client{Timeout: *timeout}
 	if err := waitReady(client, *base, *readyWait); err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 1
+	}
+
+	if *stampedeN > 0 {
+		return stampede(client, *base, *stampedeN, *warmTarget, *minCoalesced, stdout, stderr)
 	}
 
 	mix := expandMix(defaultMix())
@@ -390,6 +401,156 @@ func clusterStats(sum *summary, collected []sample) {
 	if minShare > 0 {
 		sum.ShardSkew = maxShare / minShare
 	}
+}
+
+// stampedeReport is the JSON summary of a -stampede run: the concurrent
+// burst first, then the sequential warm probe that measures how quickly
+// the tier converges to serving the key from cache.
+type stampedeReport struct {
+	Stampede       int     `json:"stampede"`
+	Errors         int     `json:"errors"`
+	UniqueBodies   int     `json:"unique_bodies"`
+	Coalesced      int     `json:"coalesced"`
+	RouterCached   int     `json:"router_cached"`
+	CacheHits      int     `json:"cache_hits"`
+	BurstP50Ms     float64 `json:"burst_p50_ms"`
+	BurstMaxMs     float64 `json:"burst_max_ms"`
+	FirstHitAfter  int     `json:"first_hit_after_requests"`
+	FirstHitMs     float64 `json:"first_hit_ms"`
+	WarmTarget     float64 `json:"warm_target"`
+	RequestsToWarm int     `json:"requests_to_warm"`
+}
+
+// stampede fires n barrier-released identical predict requests — the
+// worst-case arrival pattern a hot key sees after a failover — then
+// probes sequentially until the tier serves the key warm. The burst must
+// come back byte-identical no matter which layer (flight table, hot
+// cache, replica cache, cold compute) answered each request.
+func stampede(client *http.Client, base string, n int, warmTarget float64, minCoalesced int, stdout, stderr io.Writer) int {
+	const body = `{"workload":"lr-small","slaves":3,"cores":8}`
+	const path = "/api/v1/predict"
+
+	type result struct {
+		status    int
+		body      string
+		latency   time.Duration
+		coalesced bool
+		hotCache  bool
+		cacheHit  bool
+		err       error
+	}
+	results := make([]result, n)
+	barrier := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-barrier
+			start := time.Now()
+			resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+			if err != nil {
+				results[i] = result{err: err, latency: time.Since(start)}
+				return
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results[i] = result{
+				status:    resp.StatusCode,
+				body:      string(b),
+				latency:   time.Since(start),
+				coalesced: resp.Header.Get("X-Route-Coalesced") == "1",
+				hotCache:  resp.Header.Get("X-Route-Cache") == "hit",
+				cacheHit:  resp.Header.Get("X-Cache") == "hit",
+				err:       err,
+			}
+		}(i)
+	}
+	close(barrier)
+	wg.Wait()
+
+	rep := stampedeReport{Stampede: n, WarmTarget: warmTarget}
+	bodies := map[string]bool{}
+	lats := make([]time.Duration, 0, n)
+	for _, r := range results {
+		if r.err != nil || r.status != http.StatusOK {
+			rep.Errors++
+			continue
+		}
+		bodies[r.body] = true
+		lats = append(lats, r.latency)
+		if r.coalesced {
+			rep.Coalesced++
+		}
+		if r.hotCache {
+			rep.RouterCached++
+		}
+		if r.cacheHit {
+			rep.CacheHits++
+		}
+	}
+	rep.UniqueBodies = len(bodies)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.BurstP50Ms = ms(percentile(lats, 0.50))
+	if len(lats) > 0 {
+		rep.BurstMaxMs = ms(lats[len(lats)-1])
+	}
+
+	// Sequential warm probe: how many more requests until the first
+	// cache-served answer, and until the running hit ratio holds the
+	// target. Bounded so a tier that never warms fails fast.
+	const probeLimit = 256
+	hits := 0
+	for i := 1; i <= probeLimit; i++ {
+		start := time.Now()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			rep.Errors++
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		warm := resp.Header.Get("X-Cache") == "hit" || resp.Header.Get("X-Route-Cache") == "hit"
+		resp.Body.Close()
+		if warm {
+			hits++
+			if rep.FirstHitAfter == 0 {
+				rep.FirstHitAfter = i
+				rep.FirstHitMs = ms(time.Since(start))
+			}
+		}
+		if rep.FirstHitAfter > 0 && float64(hits)/float64(i) >= warmTarget {
+			rep.RequestsToWarm = i
+			break
+		}
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+
+	var failures []string
+	if rep.Errors > 0 {
+		failures = append(failures, fmt.Sprintf("%d failed requests", rep.Errors))
+	}
+	if rep.UniqueBodies != 1 {
+		failures = append(failures, fmt.Sprintf("%d distinct response bodies, want 1", rep.UniqueBodies))
+	}
+	if got := rep.Coalesced + rep.RouterCached; got < minCoalesced {
+		failures = append(failures, fmt.Sprintf("only %d responses coalesced or router-cached, want >= %d", got, minCoalesced))
+	}
+	if rep.FirstHitAfter == 0 {
+		failures = append(failures, fmt.Sprintf("no cache hit within %d probe requests", probeLimit))
+	} else if rep.RequestsToWarm == 0 {
+		failures = append(failures, fmt.Sprintf("hit ratio never reached %.2f within %d probe requests", warmTarget, probeLimit))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "loadgen: FAIL: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Fprintln(stderr, "loadgen: stampede checks passed")
+	return 0
 }
 
 // assess applies the SLO gates and returns human-readable failures.

@@ -84,6 +84,50 @@ func TestLoadgenAgainstLiveServer(t *testing.T) {
 	}
 }
 
+// TestLoadgenStampedeAgainstLiveServer fires a 32-wide identical burst
+// at a single warm-startable replica: every answer must be
+// byte-identical, and the sequential probe must find a cache hit
+// immediately (the burst's one compute warms the key).
+func TestLoadgenStampedeAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live server")
+	}
+	base := startServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-base", base,
+		"-stampede", "32",
+		"-warm-target", "0.9",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("stampede exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	var rep stampedeReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Stampede != 32 || rep.Errors != 0 {
+		t.Errorf("stampede=%d errors=%d", rep.Stampede, rep.Errors)
+	}
+	if rep.UniqueBodies != 1 {
+		t.Errorf("unique bodies = %d, want 1", rep.UniqueBodies)
+	}
+	// A bare replica (no router) still collapses the burst in its own
+	// singleflight cache: all but the first are replica cache hits.
+	if rep.CacheHits == 0 {
+		t.Errorf("burst saw no cache hits: %+v", rep)
+	}
+	if rep.FirstHitAfter != 1 {
+		t.Errorf("first probe after the burst should hit, got hit after %d", rep.FirstHitAfter)
+	}
+	if rep.RequestsToWarm == 0 {
+		t.Errorf("never reached warm target: %+v", rep)
+	}
+	if !strings.Contains(stderr.String(), "stampede checks passed") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
 func TestLoadgenBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-workers", "0"}, &stdout, &stderr); code != 2 {
@@ -91,6 +135,12 @@ func TestLoadgenBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"-qps", "-1"}, &stdout, &stderr); code != 2 {
 		t.Errorf("qps=-1 exited %d, want 2", code)
+	}
+	if code := run([]string{"-stampede", "-1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("stampede=-1 exited %d, want 2", code)
+	}
+	if code := run([]string{"-stampede", "8", "-warm-target", "1.5"}, &stdout, &stderr); code != 2 {
+		t.Errorf("warm-target=1.5 exited %d, want 2", code)
 	}
 	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown flag exited %d, want 2", code)

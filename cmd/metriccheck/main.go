@@ -8,18 +8,24 @@
 //
 // The tolerance file may also carry "prom:" sections whose windows
 // apply to a Prometheus text scrape instead of a regenerated
-// experiment. With -prom FILE, metriccheck checks ONLY those sections
-// against the scrape (the cluster-e2e job feeds it the router's final
-// /metrics dump); without -prom, prom: sections are skipped so the
-// bench-smoke job is unaffected. A scrape value is the sum of every
-// series in the family (labeled or bare); a family that is absent from
-// the scrape is an error unless experiments.NondeterministicMetric
-// allows it to vary, in which case it counts as 0.
+// experiment. With -prom, metriccheck checks ONLY those sections
+// against scrapes (the cluster-e2e job feeds it the router's and a
+// replica's final /metrics dumps); without -prom, prom: sections are
+// skipped so the bench-smoke job is unaffected. -prom repeats and takes
+// either a bare FILE (every prom: section reads that one scrape — the
+// single-tier form) or SECTION=FILE mapping one section to its own
+// scrape, e.g. -prom router=/tmp/router.prom -prom serve=/tmp/replica.prom;
+// with mappings, unmapped prom: sections are skipped. A scrape value is
+// the sum of every series in the family (labeled or bare); a family
+// that is absent from the scrape is an error unless
+// experiments.NondeterministicMetric allows it to vary, in which case
+// it counts as 0.
 //
 // Usage:
 //
 //	go run ./cmd/metriccheck [-tolerances docs/tolerances.json] [-parallel N]
 //	go run ./cmd/metriccheck [-tolerances docs/tolerances.json] -prom /tmp/router.prom
+//	go run ./cmd/metriccheck -prom router=/tmp/router.prom -prom serve=/tmp/replica.prom
 package main
 
 import (
@@ -44,18 +50,70 @@ type window struct {
 	Max float64 `json:"max"`
 }
 
+// promFlags collects repeated -prom values, each a bare scrape path or
+// a SECTION=FILE mapping.
+type promFlags []string
+
+func (p *promFlags) String() string { return strings.Join(*p, ",") }
+
+func (p *promFlags) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty -prom value")
+	}
+	*p = append(*p, v)
+	return nil
+}
+
 func main() {
 	tolPath := flag.String("tolerances", "docs/tolerances.json", "tolerance file (artifact -> metric -> {min,max})")
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS)")
-	promPath := flag.String("prom", "", "Prometheus text scrape; check only the prom: tolerance sections against it")
+	var proms promFlags
+	flag.Var(&proms, "prom", "Prometheus text scrape: FILE (all prom: sections) or SECTION=FILE (repeatable)")
 	flag.Parse()
-	if err := run(*tolPath, *promPath, *parallel); err != nil {
+	if err := run(*tolPath, proms, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "metriccheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tolPath, promPath string, parallel int) error {
+// resolvePromMap turns the -prom values into section -> scrape path.
+// Bare paths fan out to every prom: section; SECTION=FILE pins one
+// section (bare "router" means "prom:router"). The two forms don't mix.
+func resolvePromMap(proms []string, promTol map[string]map[string]window) (map[string]string, error) {
+	out := map[string]string{}
+	bare := ""
+	for _, v := range proms {
+		section, path, mapped := strings.Cut(v, "=")
+		if !mapped {
+			if bare != "" {
+				return nil, fmt.Errorf("-prom given twice without SECTION= (use -prom SECTION=FILE to map scrapes)")
+			}
+			bare = v
+			continue
+		}
+		if !strings.HasPrefix(section, "prom:") {
+			section = "prom:" + section
+		}
+		if _, ok := promTol[section]; !ok {
+			return nil, fmt.Errorf("-prom %s: tolerance file has no %q section", v, section)
+		}
+		if _, dup := out[section]; dup {
+			return nil, fmt.Errorf("-prom %s: section %q mapped twice", v, section)
+		}
+		out[section] = path
+	}
+	if bare != "" {
+		if len(out) > 0 {
+			return nil, fmt.Errorf("-prom mixes a bare path with SECTION=FILE mappings; use one form")
+		}
+		for section := range promTol {
+			out[section] = bare
+		}
+	}
+	return out, nil
+}
+
+func run(tolPath string, proms []string, parallel int) error {
 	data, err := os.ReadFile(tolPath)
 	if err != nil {
 		return err
@@ -76,11 +134,15 @@ func run(tolPath, promPath string, parallel int) error {
 			delete(tol, id)
 		}
 	}
-	if promPath != "" {
+	if len(proms) > 0 {
 		if len(promTol) == 0 {
 			return fmt.Errorf("-prom given but %s has no prom: sections", tolPath)
 		}
-		return runProm(tolPath, promPath, promTol)
+		promMap, err := resolvePromMap(proms, promTol)
+		if err != nil {
+			return err
+		}
+		return runProm(tolPath, promMap, promTol)
 	}
 	if len(tol) == 0 {
 		return fmt.Errorf("%s names no experiment artifacts (prom: sections need -prom)", tolPath)
@@ -144,15 +206,22 @@ func run(tolPath, promPath string, parallel int) error {
 	return nil
 }
 
-// runProm checks the prom: tolerance sections against one Prometheus
-// text scrape.
-func runProm(tolPath, promPath string, tol map[string]map[string]window) error {
-	series, err := parsePromFile(promPath)
-	if err != nil {
-		return err
+// runProm checks the mapped prom: tolerance sections, each against its
+// own Prometheus text scrape.
+func runProm(tolPath string, promMap map[string]string, tol map[string]map[string]window) error {
+	parsed := map[string]map[string]float64{} // scrape path -> series
+	for _, path := range promMap {
+		if _, done := parsed[path]; done {
+			continue
+		}
+		series, err := parsePromFile(path)
+		if err != nil {
+			return err
+		}
+		parsed[path] = series
 	}
-	sections := make([]string, 0, len(tol))
-	for id := range tol {
+	sections := make([]string, 0, len(promMap))
+	for id := range promMap {
 		sections = append(sections, id)
 	}
 	sort.Strings(sections)
@@ -161,6 +230,8 @@ func runProm(tolPath, promPath string, tol map[string]map[string]window) error {
 	fmt.Fprintln(tw, "section\tmetric\tvalue\twindow\tstatus")
 	var offending []string
 	for _, id := range sections {
+		promPath := promMap[id]
+		series := parsed[promPath]
 		metrics := make([]string, 0, len(tol[id]))
 		for m := range tol[id] {
 			metrics = append(metrics, m)

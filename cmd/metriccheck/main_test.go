@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeScrape(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestResolvePromMap(t *testing.T) {
+	tol := map[string]map[string]window{
+		"prom:router": {"a_total": {Min: 0, Max: 1}},
+		"prom:serve":  {"b_total": {Min: 0, Max: 1}},
+	}
+
+	// Bare path fans out to every prom: section.
+	m, err := resolvePromMap([]string{"/tmp/x.prom"}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["prom:router"] != "/tmp/x.prom" || m["prom:serve"] != "/tmp/x.prom" {
+		t.Fatalf("bare path map = %v", m)
+	}
+
+	// SECTION=FILE pins sections individually, with or without the
+	// prom: prefix spelled out.
+	m, err = resolvePromMap([]string{"router=/tmp/r.prom", "prom:serve=/tmp/s.prom"}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["prom:router"] != "/tmp/r.prom" || m["prom:serve"] != "/tmp/s.prom" {
+		t.Fatalf("mapped form = %v", m)
+	}
+
+	for name, bad := range map[string][]string{
+		"two bare paths":  {"/tmp/a.prom", "/tmp/b.prom"},
+		"mixed forms":     {"/tmp/a.prom", "serve=/tmp/s.prom"},
+		"unknown section": {"nosuch=/tmp/a.prom"},
+		"duplicate":       {"router=/tmp/a.prom", "router=/tmp/b.prom"},
+	} {
+		if _, err := resolvePromMap(bad, tol); err == nil {
+			t.Errorf("%s: accepted %v", name, bad)
+		}
+	}
+}
+
+func TestRunPromPerSectionScrapes(t *testing.T) {
+	router := writeScrape(t, "router.prom",
+		"doppio_cluster_coalesced_total 63\ndoppio_cluster_hotcache_entries 5\n")
+	replica := writeScrape(t, "replica.prom",
+		"doppio_cache_snapshot_restored_entries 14\ndoppio_cache_hit_ratio 1\n")
+	tol := map[string]map[string]window{
+		"prom:router": {
+			"doppio_cluster_coalesced_total": {Min: 1, Max: 1e12},
+		},
+		"prom:serve": {
+			"doppio_cache_snapshot_restored_entries": {Min: 1, Max: 1e12},
+			"doppio_cache_hit_ratio":                 {Min: 0.9, Max: 1},
+			// Absent but nondeterministic: counts as 0, inside [0, max].
+			"doppio_peer_readthrough_total": {Min: 0, Max: 1e12},
+		},
+	}
+	promMap := map[string]string{"prom:router": router, "prom:serve": replica}
+	if err := runProm("tol.json", promMap, tol); err != nil {
+		t.Fatalf("runProm: %v", err)
+	}
+
+	// A deterministic family (a gauge: no _total suffix) missing from
+	// its mapped scrape must fail even if present in the other scrape.
+	tol["prom:serve"]["doppio_cluster_hotcache_entries"] = window{Min: 0, Max: 1e12}
+	err := runProm("tol.json", promMap, tol)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("cross-scrape leak: err = %v", err)
+	}
+	delete(tol["prom:serve"], "doppio_cluster_hotcache_entries")
+
+	// Out-of-window values fail with the offending section named.
+	tol["prom:serve"]["doppio_cache_hit_ratio"] = window{Min: 0, Max: 0.5}
+	err = runProm("tol.json", promMap, tol)
+	if err == nil || !strings.Contains(err.Error(), "doppio_cache_hit_ratio") {
+		t.Fatalf("window breach: err = %v", err)
+	}
+}
+
+func TestSumFamilySumsLabeledSeries(t *testing.T) {
+	series := map[string]float64{
+		`x_total{result="hit"}`:  2,
+		`x_total{result="miss"}`: 3,
+		"y_total":                7,
+		"x_total_other":          100,
+	}
+	if v, ok := sumFamily(series, "x_total"); !ok || v != 5 {
+		t.Errorf("x_total = %v, %v; want 5, true", v, ok)
+	}
+	if v, ok := sumFamily(series, "y_total"); !ok || v != 7 {
+		t.Errorf("y_total = %v, %v; want 7, true", v, ok)
+	}
+	if _, ok := sumFamily(series, "z_total"); ok {
+		t.Error("z_total found")
+	}
+}

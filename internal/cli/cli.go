@@ -610,6 +610,11 @@ func (a *app) cmdServe(ctx context.Context, args []string) error {
 	cacheSize := fs.Int("cache-size", 512, "bounded result/calibration cache entries")
 	accessLog := fs.String("access-log", "", `JSON access log destination: a file path, or "-" for stdout (empty = off)`)
 	replicaID := fs.String("replica-id", "", "name stamped in X-Served-By and the access log (empty = bound host:port)")
+	snapshotPath := fs.String("cache-snapshot", "", "cache snapshot file for warm starts: restored on boot, rewritten periodically and on drain (empty = off)")
+	snapshotInterval := fs.Duration("cache-snapshot-interval", 30*time.Second, "periodic snapshot write period (with -cache-snapshot)")
+	var peers replicaList
+	fs.Var(&peers, "peers", "comma-separated replica host:port peers (including this one) for cross-replica read-through; requires -replica-id (repeatable)")
+	peerTimeout := fs.Duration("peer-timeout", 150*time.Millisecond, "per-peek deadline for cross-replica read-through")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -622,8 +627,13 @@ func (a *app) cmdServe(ctx context.Context, args []string) error {
 		checkNonNegativeDuration("request-timeout", *reqTimeout),
 		checkNonNegativeDuration("drain-timeout", *drainTimeout),
 		checkPositiveInt("cache-size", *cacheSize),
+		checkNonNegativeDuration("cache-snapshot-interval", *snapshotInterval),
+		checkNonNegativeDuration("peer-timeout", *peerTimeout),
 	); err != nil {
 		return fmt.Errorf("serve: %v", err)
+	}
+	if len(peers) > 0 && *replicaID == "" {
+		return fmt.Errorf("serve: -peers requires -replica-id (the ring identity of this replica)")
 	}
 	var logW io.Writer
 	switch *accessLog {
@@ -639,13 +649,17 @@ func (a *app) cmdServe(ctx context.Context, args []string) error {
 		logW = f
 	}
 	srv, err := serve.New(serve.Config{
-		Addr:           *addr,
-		MaxInFlight:    *maxInflight,
-		RequestTimeout: *reqTimeout,
-		DrainTimeout:   *drainTimeout,
-		CacheEntries:   *cacheSize,
-		AccessLog:      logW,
-		ReplicaID:      *replicaID,
+		Addr:             *addr,
+		MaxInFlight:      *maxInflight,
+		RequestTimeout:   *reqTimeout,
+		DrainTimeout:     *drainTimeout,
+		CacheEntries:     *cacheSize,
+		AccessLog:        logW,
+		ReplicaID:        *replicaID,
+		SnapshotPath:     *snapshotPath,
+		SnapshotInterval: *snapshotInterval,
+		Peers:            peers,
+		PeerTimeout:      *peerTimeout,
 	})
 	if err != nil {
 		return err

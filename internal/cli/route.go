@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/shard"
 )
 
 // replicaList collects repeated -replica flags (and accepts one
@@ -41,7 +42,7 @@ func (a *app) cmdRoute(ctx context.Context, args []string) error {
 	var reps replicaList
 	fs.Var(&reps, "replica", "backend replica host:port (repeatable)")
 	fs.Var(&reps, "replicas", "comma-separated backend replicas (alias for repeated -replica)")
-	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "hash-ring points per replica")
+	vnodes := fs.Int("vnodes", shard.DefaultVNodes, "hash-ring points per replica")
 	probeInterval := fs.Duration("probe-interval", time.Second, "active /readyz probe period")
 	probeTimeout := fs.Duration("probe-timeout", 0, "per-probe deadline (0 = probe-interval, capped at 1s)")
 	failAfter := fs.Int("fail-after", 2, "consecutive probe failures that mark a replica down")
@@ -54,6 +55,8 @@ func (a *app) cmdRoute(ctx context.Context, args []string) error {
 	hedgeAfter := fs.Duration("hedge-after", 0, "duplicate a request to the next replica after this delay (0 = off)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-client-request deadline across all attempts")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on shutdown")
+	hotCacheTTL := fs.Duration("hot-cache-ttl", 2*time.Second, "router-side replay window for hot replica cache hits (0 = off)")
+	hotCacheEntries := fs.Int("hot-cache-entries", 128, "hot-response cache capacity (with -hot-cache-ttl)")
 	accessLog := fs.String("access-log", "", `JSON access log destination: a file path, or "-" for stdout (empty = off)`)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +82,8 @@ func (a *app) cmdRoute(ctx context.Context, args []string) error {
 		checkNonNegativeDuration("hedge-after", *hedgeAfter),
 		checkNonNegativeDuration("request-timeout", *reqTimeout),
 		checkNonNegativeDuration("drain-timeout", *drainTimeout),
+		checkNonNegativeDuration("hot-cache-ttl", *hotCacheTTL),
+		checkNonNegativeInt("hot-cache-entries", *hotCacheEntries),
 	); err != nil {
 		return fmt.Errorf("route: %v", err)
 	}
@@ -111,6 +116,8 @@ func (a *app) cmdRoute(ctx context.Context, args []string) error {
 		HedgeAfter:       *hedgeAfter,
 		RequestTimeout:   *reqTimeout,
 		DrainTimeout:     *drainTimeout,
+		HotCacheTTL:      *hotCacheTTL,
+		HotCacheEntries:  *hotCacheEntries,
 		AccessLog:        logW,
 	})
 	if err != nil {

@@ -26,6 +26,8 @@ func TestRouteFlagValidation(t *testing.T) {
 		"dup replica":      {"route", "-replica", "127.0.0.1:8081", "-replica", "http://127.0.0.1:8081"},
 		"zero vnodes":      {"route", "-vnodes", "0", "-replica", "127.0.0.1:8081"},
 		"negative retries": {"route", "-max-retries", "-1", "-replica", "127.0.0.1:8081"},
+		"negative hot ttl": {"route", "-hot-cache-ttl", "-1s", "-replica", "127.0.0.1:8081"},
+		"negative hot cap": {"route", "-hot-cache-entries", "-1", "-replica", "127.0.0.1:8081"},
 		"stray arg":        {"route", "-replica", "127.0.0.1:8081", "extra"},
 	} {
 		if _, _, code := run(t, args...); code != 1 {

@@ -104,6 +104,10 @@ func TestServeRejectsBadFlags(t *testing.T) {
 		{[]string{"serve", "-drain-timeout", "-1s"}, "-drain-timeout"},
 		{[]string{"serve", "-max-inflight", "0"}, "-max-inflight"},
 		{[]string{"serve", "-cache-size", "0"}, "-cache-size"},
+		{[]string{"serve", "-cache-snapshot-interval", "-1s"}, "-cache-snapshot-interval"},
+		{[]string{"serve", "-peer-timeout", "-1s"}, "-peer-timeout"},
+		{[]string{"serve", "-peers", "127.0.0.1:8081,127.0.0.1:8082"}, "-replica-id"},
+		{[]string{"serve", "-replica-id", "127.0.0.1:9", "-peers", "not-an-addr"}, "peer"},
 		{[]string{"serve", "stray-arg"}, "unexpected argument"},
 	}
 	for _, tc := range cases {

@@ -29,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // Config tunes the router.
@@ -75,6 +77,16 @@ type Config struct {
 	DrainTimeout time.Duration
 	// AccessLog receives one JSON line per routed request (nil = discard).
 	AccessLog io.Writer
+	// HotCacheTTL enables the router's bounded hot-response cache: a
+	// coalesced leader whose upstream answer was a 200 replica cache hit
+	// is replayed to followers of the same canonical key for this long,
+	// so a hot key failing over does not stampede the takeover replica.
+	// 0 disables the hot cache (the zero-value Config keeps the PR 7
+	// behavior; `doppio route` defaults it on).
+	HotCacheTTL time.Duration
+	// HotCacheEntries caps the hot cache (default 128 when HotCacheTTL
+	// is set).
+	HotCacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,7 +94,7 @@ func (c Config) withDefaults() Config {
 		c.Addr = ":8090"
 	}
 	if c.VNodes == 0 {
-		c.VNodes = DefaultVNodes
+		c.VNodes = shard.DefaultVNodes
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = time.Second
@@ -119,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.HotCacheTTL > 0 && c.HotCacheEntries == 0 {
+		c.HotCacheEntries = 128
 	}
 	return c
 }
@@ -168,6 +183,12 @@ func (c Config) Validate() error {
 	}
 	if c.HedgeAfter < 0 {
 		return fmt.Errorf("cluster: HedgeAfter must not be negative")
+	}
+	if c.HotCacheTTL < 0 {
+		return fmt.Errorf("cluster: HotCacheTTL must not be negative")
+	}
+	if c.HotCacheEntries < 0 {
+		return fmt.Errorf("cluster: HotCacheEntries must not be negative")
 	}
 	return nil
 }

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Router-level request collapsing, two layers deep:
+//
+//   - flightTable coalesces concurrent identical requests: the first
+//     arrival for a canonical key (the leader) runs the full routing
+//     stack; every later arrival while it is in flight (a follower)
+//     waits and replays the leader's buffered answer. A stampede of N
+//     identical requests costs exactly one upstream call. Safe because
+//     every API endpoint is a pure function of its canonical body —
+//     the same property that makes retries and hedging safe.
+//
+//   - hotCache keeps the last few coalesced answers for a short TTL.
+//     When a hot key's home replica dies, the ring fails the key over
+//     to a replica that has never seen it; without a buffer the whole
+//     stampede of followers arriving just after the leader finishes
+//     would land there as cold recomputes. The cache only ever stores
+//     200 responses that were replica cache hits (X-Cache: hit), so a
+//     cold first computation is never frozen and the replica-side
+//     warm/cold distinction stays observable through the router.
+//
+// Both layers are keyed on serve.CanonicalShardKey output; requests no
+// replica could canonicalize bypass both.
+
+// flight is one in-flight leader and the answer its followers share.
+type flight struct {
+	done    chan struct{} // closed when up/meta/err are final
+	waiters atomic.Int64  // followers currently waiting (tests/benchmarks)
+	up      *upstream
+	meta    routeMeta
+	err     error
+}
+
+// flightTable tracks in-flight canonical keys.
+type flightTable struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightTable() *flightTable {
+	return &flightTable{flights: map[string]*flight{}}
+}
+
+// join returns the flight for key and whether the caller is its leader.
+// The leader MUST call finish exactly once; followers wait on
+// flight.done (or their own context) and read the shared answer.
+func (ft *flightTable) join(key string) (*flight, bool) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if f, ok := ft.flights[key]; ok {
+		f.waiters.Add(1)
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	ft.flights[key] = f
+	return f, true
+}
+
+// finish publishes the leader's answer and wakes every follower. The
+// key is deleted before done is closed, so a request arriving after the
+// answer is final starts a fresh flight instead of reading stale state.
+func (ft *flightTable) finish(key string, f *flight, up *upstream, meta routeMeta, err error) {
+	f.up, f.meta, f.err = up, meta, err
+	ft.mu.Lock()
+	delete(ft.flights, key)
+	ft.mu.Unlock()
+	close(f.done)
+}
+
+// hotEntry is one cached response with its expiry.
+type hotEntry struct {
+	key     string
+	up      *upstream
+	expires time.Time
+}
+
+// hotCache is a tiny TTL'd LRU over coalesced hot answers. The upstream
+// values it stores are immutable once published (the router buffers
+// each reply exactly once), so entries are shared, not copied.
+type hotCache struct {
+	mu    sync.Mutex
+	cap   int
+	ttl   time.Duration
+	ll    *list.List               // front = most recent
+	items map[string]*list.Element // value: *hotEntry
+	now   func() time.Time         // injectable for TTL tests
+}
+
+func newHotCache(capacity int, ttl time.Duration) *hotCache {
+	if capacity < 1 || ttl <= 0 {
+		return nil
+	}
+	return &hotCache{
+		cap:   capacity,
+		ttl:   ttl,
+		ll:    list.New(),
+		items: map[string]*list.Element{},
+		now:   time.Now,
+	}
+}
+
+// get returns the live cached answer for key, expiring it if stale.
+func (h *hotCache) get(key string) (*upstream, bool) {
+	if h == nil {
+		return nil, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	el, ok := h.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*hotEntry)
+	if h.now().After(e.expires) {
+		h.ll.Remove(el)
+		delete(h.items, key)
+		return nil, false
+	}
+	h.ll.MoveToFront(el)
+	return e.up, true
+}
+
+// put inserts or refreshes an answer, evicting the oldest past the cap.
+func (h *hotCache) put(key string, up *upstream) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	expires := h.now().Add(h.ttl)
+	if el, ok := h.items[key]; ok {
+		e := el.Value.(*hotEntry)
+		e.up, e.expires = up, expires
+		h.ll.MoveToFront(el)
+		return
+	}
+	h.items[key] = h.ll.PushFront(&hotEntry{key: key, up: up, expires: expires})
+	for h.ll.Len() > h.cap {
+		oldest := h.ll.Back()
+		h.ll.Remove(oldest)
+		delete(h.items, oldest.Value.(*hotEntry).key)
+	}
+}
+
+// len reports the live entry count (expired entries may still linger
+// until their next get).
+func (h *hotCache) len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ll.Len()
+}

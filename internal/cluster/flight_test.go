@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockingBackend is a fake replica that counts requests and holds each
+// one until release is closed, so a test can pin any number of
+// followers in the flight table before the leader's answer exists.
+func blockingBackend(t *testing.T, release <-chan struct{}, hits *atomic.Int64) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ln.Addr().String()
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		<-release
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "miss")
+		w.Header().Set("X-Served-By", id)
+		w.Write([]byte(`{"answer":"expensive"}` + "\n"))
+	}))
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return id
+}
+
+func TestRouterCoalescesStampedeTo1Upstream(t *testing.T) {
+	// The acceptance stampede: 64 identical concurrent requests cost
+	// exactly one upstream compute; the other 63 are coalesced followers
+	// with byte-identical responses. Deterministic: the backend blocks
+	// until all 63 followers have joined the leader's flight.
+	release := make(chan struct{})
+	var upstreamHits atomic.Int64
+	id := blockingBackend(t, release, &upstreamHits)
+	rt := newTestRouter(t, Config{Replicas: []string{id}})
+
+	const stampede = 64
+	body := []byte(`{"workload":"lr-small","slaves":3,"cores":8}`)
+	recs := make([]*httptest.ResponseRecorder, stampede)
+	var wg sync.WaitGroup
+	wg.Add(stampede)
+	for i := 0; i < stampede; i++ {
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = doPredict(t, rt.Handler(), body)
+		}(i)
+	}
+	// Wait until the leader reached the backend and all 63 followers are
+	// parked in its flight, then let the single upstream call finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rt.flights.mu.Lock()
+		var waiting int64
+		for _, f := range rt.flights.flights {
+			waiting = f.waiters.Load()
+		}
+		nflights := len(rt.flights.flights)
+		rt.flights.mu.Unlock()
+		if upstreamHits.Load() == 1 && nflights == 1 && waiting == stampede-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stampede never converged: upstream=%d flights=%d waiters=%d",
+				upstreamHits.Load(), nflights, waiting)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := upstreamHits.Load(); got != 1 {
+		t.Fatalf("upstream computed %d times, want exactly 1", got)
+	}
+	if got := rt.coalesced.Value(); got != stampede-1 {
+		t.Fatalf("doppio_cluster_coalesced_total = %d, want %d", got, stampede-1)
+	}
+	want := recs[0].Body.Bytes()
+	coalescedHeaders := 0
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), want) {
+			t.Fatalf("request %d: body differs", i)
+		}
+		if rec.Header().Get("X-Route-Coalesced") == "1" {
+			coalescedHeaders++
+		}
+	}
+	if coalescedHeaders != stampede-1 {
+		t.Fatalf("%d responses carry X-Route-Coalesced, want %d", coalescedHeaders, stampede-1)
+	}
+}
+
+func TestRouterCoalescingPreservesDistinctKeys(t *testing.T) {
+	// Different canonical keys must never share a flight.
+	release := make(chan struct{})
+	close(release) // backend answers immediately
+	var upstreamHits atomic.Int64
+	id := blockingBackend(t, release, &upstreamHits)
+	rt := newTestRouter(t, Config{Replicas: []string{id}})
+	var wg sync.WaitGroup
+	const n = 8
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte(fmt.Sprintf(`{"workload":"lr-small","slaves":%d,"cores":8}`, i+2))
+			rec := doPredict(t, rt.Handler(), body)
+			if rec.Code != http.StatusOK {
+				t.Errorf("key %d: status %d", i, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := upstreamHits.Load(); got != n {
+		t.Fatalf("upstream hits %d, want %d distinct computes", got, n)
+	}
+}
+
+func TestRouterHotCacheServesRepeatsWithoutUpstream(t *testing.T) {
+	// A 200 + X-Cache: hit answer enters the hot cache; repeats within
+	// the TTL replay it with zero upstream calls and the replica's
+	// original attribution headers.
+	var hits atomic.Int64
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ln.Addr().String()
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if n == 1 {
+			w.Header().Set("X-Cache", "miss")
+		} else {
+			w.Header().Set("X-Cache", "hit")
+		}
+		w.Header().Set("X-Served-By", id)
+		w.Write([]byte(`{"answer":1}` + "\n"))
+	}))
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	rt := newTestRouter(t, Config{
+		Replicas:    []string{id},
+		HotCacheTTL: time.Minute,
+	})
+	body := []byte(`{"workload":"lr-small","slaves":3,"cores":8}`)
+
+	// First answer is a replica miss: never hot-cached (a cold compute
+	// must not be frozen as "hot").
+	first := doPredict(t, rt.Handler(), body)
+	if first.Header().Get("X-Cache") != "miss" || first.Header().Get("X-Route-Cache") != "" {
+		t.Fatalf("first: X-Cache %q X-Route-Cache %q", first.Header().Get("X-Cache"), first.Header().Get("X-Route-Cache"))
+	}
+	// Second goes upstream (replica hit) and seeds the hot cache.
+	second := doPredict(t, rt.Handler(), body)
+	if second.Header().Get("X-Cache") != "hit" || second.Header().Get("X-Route-Cache") != "" {
+		t.Fatalf("second: X-Cache %q X-Route-Cache %q", second.Header().Get("X-Cache"), second.Header().Get("X-Route-Cache"))
+	}
+	upstreamSoFar := hits.Load()
+	// Third and later replay from the router without touching upstream.
+	for i := 0; i < 5; i++ {
+		rec := doPredict(t, rt.Handler(), body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("hot replay %d: status %d", i, rec.Code)
+		}
+		if rec.Header().Get("X-Route-Cache") != "hit" {
+			t.Fatalf("hot replay %d: X-Route-Cache %q", i, rec.Header().Get("X-Route-Cache"))
+		}
+		if rec.Header().Get("X-Cache") != "hit" || rec.Header().Get("X-Served-By") != id {
+			t.Fatalf("hot replay %d lost replica attribution: X-Cache %q X-Served-By %q",
+				i, rec.Header().Get("X-Cache"), rec.Header().Get("X-Served-By"))
+		}
+		if !bytes.Equal(rec.Body.Bytes(), second.Body.Bytes()) {
+			t.Fatalf("hot replay %d: body differs", i)
+		}
+	}
+	if got := hits.Load(); got != upstreamSoFar {
+		t.Fatalf("hot replays reached upstream: %d -> %d", upstreamSoFar, got)
+	}
+	if got := rt.hotHits.Value(); got != 5 {
+		t.Fatalf("hotcache_hits_total = %d, want 5", got)
+	}
+}
+
+func TestHotCacheTTLAndCap(t *testing.T) {
+	now := time.Unix(1000, 0)
+	h := newHotCache(2, time.Second)
+	h.now = func() time.Time { return now }
+	mk := func(s string) *upstream { return &upstream{status: 200, body: []byte(s)} }
+
+	h.put("a", mk("A"))
+	h.put("b", mk("B"))
+	if _, ok := h.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	// Cap eviction is LRU: touching a above made b the oldest.
+	h.put("c", mk("C"))
+	if _, ok := h.get("b"); ok {
+		t.Fatal("b survived past the cap")
+	}
+	if h.len() != 2 {
+		t.Fatalf("len %d, want 2", h.len())
+	}
+	// TTL expiry.
+	now = now.Add(2 * time.Second)
+	if _, ok := h.get("a"); ok {
+		t.Fatal("a served after TTL")
+	}
+	// A refresh extends the expiry.
+	h.put("c", mk("C2"))
+	now = now.Add(900 * time.Millisecond)
+	if up, ok := h.get("c"); !ok || string(up.body) != "C2" {
+		t.Fatalf("refreshed c not served: %v", ok)
+	}
+	// Disabled cache is inert.
+	var off *hotCache
+	off.put("x", mk("X"))
+	if _, ok := off.get("x"); ok {
+		t.Fatal("nil hot cache served")
+	}
+	if newHotCache(0, time.Second) != nil || newHotCache(8, 0) != nil {
+		t.Fatal("degenerate hot cache configs must disable it")
+	}
+}
+
+func BenchmarkCoalescedStampede(b *testing.B) {
+	// The follower path of the flight table: 63 followers join a leader's
+	// flight and read its published answer — the hot loop a request
+	// stampede exercises. The leader's upstream work is excluded (a
+	// pre-built answer) so the benchmark isolates coalescing overhead.
+	ft := newFlightTable()
+	up := &upstream{status: 200, body: bytes.Repeat([]byte("x"), 1024), header: http.Header{}}
+	const followers = 63
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, leader := ft.join("key")
+		if !leader {
+			b.Fatal("stale flight")
+		}
+		var wg sync.WaitGroup
+		wg.Add(followers)
+		for j := 0; j < followers; j++ {
+			go func() {
+				defer wg.Done()
+				g, lead := ft.join("key")
+				if lead {
+					panic("follower became leader")
+				}
+				<-g.done
+				if g.up == nil {
+					panic("no shared answer")
+				}
+			}()
+		}
+		for f.waiters.Load() != followers {
+			runtime.Gosched()
+		}
+		ft.finish("key", f, up, routeMeta{}, nil)
+		wg.Wait()
+	}
+}

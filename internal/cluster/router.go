@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // maxBodyBytes mirrors the replica-side request bound.
@@ -22,13 +23,15 @@ const maxBodyBytes = 1 << 20
 // Router is the sharding, fault-tolerant front tier.
 type Router struct {
 	cfg      Config
-	ring     *Ring
+	ring     *shard.Ring
 	replicas []*replica // in ring (sorted-id) order
 	byID     map[string]*replica
 	client   *http.Client
 	reg      *obs.Registry
 	health   *obs.Health
 	handler  http.Handler
+	flights  *flightTable
+	hot      *hotCache // nil when HotCacheTTL is 0
 
 	requests        *obs.CounterVec   // doppio_cluster_requests_total{code}
 	latency         *obs.HistogramVec // doppio_cluster_request_duration_seconds{outcome}
@@ -38,6 +41,9 @@ type Router struct {
 	hedgeWins       *obs.Counter      // doppio_cluster_hedge_wins_total
 	replicaRequests *obs.CounterVec   // doppio_cluster_replica_requests_total{replica,code}
 	probes          *obs.CounterVec   // doppio_cluster_probes_total{replica,result}
+	coalesced       *obs.Counter      // doppio_cluster_coalesced_total
+	hotHits         *obs.Counter      // doppio_cluster_hotcache_hits_total
+	hotMisses       *obs.Counter      // doppio_cluster_hotcache_misses_total
 
 	logMu   sync.Mutex
 	started chan struct{}
@@ -58,7 +64,7 @@ func New(cfg Config) (*Router, error) {
 	for i, sp := range specs {
 		ids[i] = sp[0]
 	}
-	ring, err := NewRing(ids, cfg.VNodes)
+	ring, err := shard.NewRing(ids, cfg.VNodes)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +80,8 @@ func New(cfg Config) (*Router, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}},
 		started: make(chan struct{}),
+		flights: newFlightTable(),
+		hot:     newHotCache(cfg.HotCacheEntries, cfg.HotCacheTTL),
 	}
 	rt.requests = rt.reg.NewCounterVec("doppio_cluster_requests_total",
 		"Client requests routed, by final status code.", "code")
@@ -91,6 +99,15 @@ func New(cfg Config) (*Router, error) {
 		"Proxied attempts, by replica and status code (error = transport failure).", "replica", "code")
 	rt.probes = rt.reg.NewCounterVec("doppio_cluster_probes_total",
 		"Active /readyz probes, by replica and result.", "replica", "result")
+	rt.coalesced = rt.reg.NewCounter("doppio_cluster_coalesced_total",
+		"Requests answered by joining another request's in-flight upstream call.")
+	rt.hotHits = rt.reg.NewCounter("doppio_cluster_hotcache_hits_total",
+		"Requests replayed from the router's TTL'd hot-response cache.")
+	rt.hotMisses = rt.reg.NewCounter("doppio_cluster_hotcache_misses_total",
+		"Canonical requests the hot cache could not answer (cache enabled only).")
+	rt.reg.NewGaugeFunc("doppio_cluster_hotcache_entries",
+		"Live entries in the hot-response cache.",
+		func() float64 { return float64(rt.hot.len()) })
 	healthyVec := rt.reg.NewGaugeVec("doppio_cluster_replica_healthy",
 		"1 while the replica is probe-healthy with a non-open breaker.", "replica")
 	breakerVec := rt.reg.NewGaugeVec("doppio_cluster_breaker_state",
@@ -132,7 +149,7 @@ func (rt *Router) Handler() http.Handler { return rt.handler }
 
 // Ring exposes the hash ring (read-only) so tools and tests can reason
 // about key placement.
-func (rt *Router) Ring() *Ring { return rt.ring }
+func (rt *Router) Ring() *shard.Ring { return rt.ring }
 
 // Addr returns the bound listen address once Run has started.
 func (rt *Router) Addr() string {
@@ -253,12 +270,53 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
 	pr := proxyReq{method: r.Method, uri: uri, contentType: r.Header.Get("Content-Type"), body: body}
-	up, meta, doErr := rt.do(ctx, pr, order)
+
+	// Canonical requests collapse twice before costing an upstream call:
+	// first against the hot-response cache, then against any in-flight
+	// identical request (see flight.go). Non-canonical requests (answered
+	// 400/404 upstream) take the plain path.
+	var up *upstream
+	var meta routeMeta
+	var doErr error
+	served := "" // "", "coalesced", or "hotcache"
+	if canonical && rt.hot != nil {
+		if h, ok := rt.hot.get(key); ok {
+			up, served = h, "hotcache"
+			rt.hotHits.Inc()
+		} else {
+			rt.hotMisses.Inc()
+		}
+	}
+	if up == nil && canonical {
+		f, leader := rt.flights.join(key)
+		if leader {
+			up, meta, doErr = rt.do(ctx, pr, order)
+			rt.flights.finish(key, f, up, meta, doErr)
+			if up != nil && up.status == http.StatusOK && up.header.Get("X-Cache") == "hit" {
+				rt.hot.put(key, up)
+			}
+		} else {
+			served = "coalesced"
+			select {
+			case <-f.done:
+				up, meta, doErr = f.up, f.meta, f.err
+				rt.coalesced.Inc()
+			case <-ctx.Done():
+				doErr = ctx.Err()
+			}
+		}
+	} else if up == nil {
+		up, meta, doErr = rt.do(ctx, pr, order)
+	}
 
 	outcome := "primary"
 	switch {
+	case served == "hotcache":
+		outcome = "cached"
 	case up == nil:
 		outcome = "error"
+	case served == "coalesced":
+		outcome = "coalesced"
 	case meta.hedgeWon:
 		outcome = "hedged"
 	case meta.failover:
@@ -282,7 +340,16 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		}
 		servedBy = w.Header().Get("X-Served-By")
 		w.Header().Set("X-Route-Status", outcome)
+		// Attempts reflect the upstream work this response cost: a
+		// follower reports its leader's attempts, a hot-cache replay
+		// reports zero.
 		w.Header().Set("X-Route-Attempts", strconv.Itoa(meta.attempts))
+		switch served {
+		case "coalesced":
+			w.Header().Set("X-Route-Coalesced", "1")
+		case "hotcache":
+			w.Header().Set("X-Route-Cache", "hit")
+		}
 		status = up.status
 		w.WriteHeader(status)
 		w.Write(up.body)

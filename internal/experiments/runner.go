@@ -55,15 +55,34 @@ const (
 // the scheduling-dependent hit/miss split). Tests comparing serial vs
 // parallel output strip exactly these keys. The `doppio route` counters
 // (doppio_cluster_*_total) are in the same class: how many retries,
-// failovers, hedges, or probes a chaos run records depends entirely on
-// timing, so scrape gates (metriccheck -prom) may only window them, and
-// must tolerate their absence from a quiet scrape.
+// failovers, hedges, coalesced waits, or probes a chaos run records
+// depends entirely on timing, so scrape gates (metriccheck -prom) may
+// only window them, and must tolerate their absence from a quiet
+// scrape. The serve tier's cache-plane counters — snapshot writes
+// (doppio_cache_snapshot_*_total), cross-replica read-throughs
+// (doppio_peer_readthrough_total), and peek traffic
+// (doppio_peek_requests_total) — vary the same way: how many snapshot
+// cycles fit a run and whether a failover window ever triggered a
+// read-through are pure scheduling accidents.
 func NondeterministicMetric(name string) bool {
 	switch name {
 	case RuntimeMetric, CacheHitsMetric, CacheMissesMetric:
 		return true
 	}
-	return strings.HasPrefix(name, "doppio_cluster_") && strings.HasSuffix(name, "_total")
+	if !strings.HasSuffix(name, "_total") {
+		return false
+	}
+	for _, prefix := range []string{
+		"doppio_cluster_",
+		"doppio_cache_snapshot_",
+		"doppio_peer_",
+		"doppio_peek_",
+	} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // Options tunes a RunSet/RunAll invocation.

@@ -84,6 +84,30 @@ func BenchmarkHandlerCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotEncode measures serializing a populated cache into
+// the snapshot wire format with a reused buffer — the steady-state cost
+// of the periodic snapshot loop. The append-style codec must stay
+// zero-alloc so snapshotting never pressures the GC under load.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	entries := make([]snapEntry, 256)
+	for i := range entries {
+		entries[i] = snapEntry{
+			kind: snapKindResult,
+			key:  fmt.Sprintf("/api/v1/predict\x00{\"cores\":8,\"slaves\":%d,\"workload\":\"lr-small\"}", i+1),
+			val:  []byte(`{"workload":"lr-small","predicted_runtime_seconds":142.51,"model":"doppio-io"}`),
+		}
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendSnapshot(buf[:0], entries)
+		if len(buf) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
 // BenchmarkMetricsScrape measures a /metrics render with the full series
 // set populated.
 func BenchmarkMetricsScrape(b *testing.B) {

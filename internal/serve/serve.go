@@ -23,12 +23,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // Config tunes the service.
@@ -53,6 +55,27 @@ type Config struct {
 	// fronting router and the load generator can attribute responses in a
 	// multi-replica deployment. Empty means the bound host:port.
 	ReplicaID string
+	// SnapshotPath enables cache snapshot/warm-start: on boot the cache
+	// is restored from this file (missing file = cold boot; corrupt or
+	// wrong-version file = rejected, logged, cold boot), and Run writes
+	// it back every SnapshotInterval plus once after the shutdown drain.
+	// Empty disables snapshotting.
+	SnapshotPath string
+	// SnapshotInterval is the periodic snapshot cadence when
+	// SnapshotPath is set (default 30s).
+	SnapshotInterval time.Duration
+	// Peers lists every replica of the serve tier (host:port, including
+	// this one) and enables cross-replica read-through: on a local miss
+	// for a result key, the replica peeks the key's hash-ring owner
+	// before computing cold. Requires ReplicaID to be set to this
+	// replica's own entry. Empty disables read-through.
+	Peers []string
+	// PeerTimeout bounds one read-through peek (default 150ms); any
+	// peek that errors or outlives it falls through to local compute.
+	PeerTimeout time.Duration
+	// EventLog receives snapshot/warm-start lifecycle notices, one line
+	// each (nil = stderr).
+	EventLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +93,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 512
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.PeerTimeout == 0 {
+		c.PeerTimeout = 150 * time.Millisecond
+	}
+	if c.EventLog == nil {
+		c.EventLog = os.Stderr
 	}
 	return c
 }
@@ -94,6 +126,29 @@ func (c Config) Validate() error {
 	if c.CacheEntries < 0 {
 		return fmt.Errorf("serve: CacheEntries must be positive, got %d", c.CacheEntries)
 	}
+	if c.SnapshotInterval < 0 {
+		return fmt.Errorf("serve: negative SnapshotInterval %v", c.SnapshotInterval)
+	}
+	if c.PeerTimeout < 0 {
+		return fmt.Errorf("serve: negative PeerTimeout %v", c.PeerTimeout)
+	}
+	if len(c.Peers) > 0 {
+		if c.ReplicaID == "" {
+			return fmt.Errorf("serve: Peers requires ReplicaID (the ring must know which member this replica is)")
+		}
+		self := false
+		for _, p := range c.Peers {
+			if _, _, err := net.SplitHostPort(p); err != nil {
+				return fmt.Errorf("serve: bad peer %q: %v", p, err)
+			}
+			if p == c.ReplicaID {
+				self = true
+			}
+		}
+		if !self {
+			return fmt.Errorf("serve: ReplicaID %q is not in Peers %v", c.ReplicaID, c.Peers)
+		}
+	}
 	return nil
 }
 
@@ -114,6 +169,19 @@ type Server struct {
 	optEvaluated *obs.Counter // doppio_optimizer_evaluated_total
 	optPruned    *obs.Counter // doppio_optimizer_pruned_total
 	sweepPoints  *obs.Counter // doppio_sweep_points_total
+
+	snapWrites      *obs.Counter // doppio_cache_snapshot_writes_total
+	snapWriteErrors *obs.Counter // doppio_cache_snapshot_write_errors_total
+	snapRejected    *obs.Counter // doppio_cache_snapshot_rejected_total
+	snapRestored    *obs.Gauge   // doppio_cache_snapshot_restored_entries
+	snapLastBytes   *obs.Gauge   // doppio_cache_snapshot_last_bytes
+	snapMu          sync.Mutex   // serializes snapshot writes
+	snapBuf         []byte       // reused encode buffer, under snapMu
+
+	peerRing     *shard.Ring     // nil unless Peers configured
+	peerClient   *http.Client    // peek transport, nil unless Peers configured
+	peekRequests *obs.CounterVec // doppio_peek_requests_total{result}
+	readThroughs *obs.CounterVec // doppio_peer_readthrough_total{result}
 
 	logMu sync.Mutex
 
@@ -168,11 +236,42 @@ func New(cfg Config) (*Server, error) {
 	s.reg.NewGaugeFunc("doppio_cache_hit_ratio",
 		"hits/(hits+misses) since start.",
 		func() float64 { return s.cache.Stats().HitRatio() })
+	s.snapWrites = s.reg.NewCounter("doppio_cache_snapshot_writes_total",
+		"Cache snapshots written (periodic + post-drain).")
+	s.snapWriteErrors = s.reg.NewCounter("doppio_cache_snapshot_write_errors_total",
+		"Cache snapshot writes that failed.")
+	s.snapRejected = s.reg.NewCounter("doppio_cache_snapshot_rejected_total",
+		"Boot-time snapshots rejected (corrupt, torn, or wrong version); each meant a cold boot.")
+	s.snapRestored = s.reg.NewGauge("doppio_cache_snapshot_restored_entries",
+		"Cache entries restored from the snapshot at boot (warm start).")
+	s.snapLastBytes = s.reg.NewGauge("doppio_cache_snapshot_last_bytes",
+		"Size of the most recently written snapshot.")
+	s.peekRequests = s.reg.NewCounterVec("doppio_peek_requests_total",
+		"Peer cache probes served on /internal/v1/peek, by result.", "result")
+	s.readThroughs = s.reg.NewCounterVec("doppio_peer_readthrough_total",
+		"Local misses that consulted the key's ring owner, by result.", "result")
+	// Resolve the label values now so every scrape lists them.
+	for _, res := range []string{"hit", "miss", "bad"} {
+		s.peekRequests.With(res)
+	}
+	for _, res := range []string{"hit", "miss", "error"} {
+		s.readThroughs.With(res)
+	}
+
+	if len(cfg.Peers) > 0 {
+		ring, err := shard.NewRing(cfg.Peers, 0)
+		if err != nil {
+			return nil, fmt.Errorf("serve: peers: %w", err)
+		}
+		s.peerRing = ring
+		s.peerClient = newPeerClient(cfg.PeerTimeout)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.stampReplica(s.health.HealthzHandler()))
 	mux.Handle("GET /readyz", s.stampReplica(s.health.ReadyzHandler()))
 	mux.Handle("GET /metrics", s.stampReplica(s.reg.Handler()))
+	mux.Handle("POST "+peekRoute, s.stampReplica(http.HandlerFunc(s.handlePeek)))
 	for _, ep := range s.endpoints() {
 		mux.Handle(ep.method+" "+ep.route, s.instrument(ep.route, ep.handler))
 		// Resolve the common series now so /metrics lists every route
@@ -180,7 +279,15 @@ func New(cfg Config) (*Server, error) {
 		s.latency.With(ep.route)
 	}
 	s.handler = mux
+	if cfg.SnapshotPath != "" {
+		s.loadSnapshot()
+	}
 	return s, nil
+}
+
+// eventf logs one snapshot/warm-start lifecycle line.
+func (s *Server) eventf(format string, args ...any) {
+	fmt.Fprintf(s.cfg.EventLog, format+"\n", args...)
 }
 
 // Handler returns the full route tree (probes, metrics, API); tests
@@ -240,6 +347,18 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	s.health.SetReady(true)
 	close(s.started)
+	var snapDone chan struct{}
+	var stopSnap context.CancelFunc
+	if s.cfg.SnapshotPath != "" {
+		var snapCtx context.Context
+		snapCtx, stopSnap = context.WithCancel(context.Background())
+		defer stopSnap()
+		snapDone = make(chan struct{})
+		go func() {
+			defer close(snapDone)
+			s.snapshotLoop(snapCtx, s.cfg.SnapshotInterval)
+		}()
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
@@ -252,6 +371,17 @@ func (s *Server) Run(ctx context.Context) error {
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("serve: drain: %w", err)
+	}
+	if s.cfg.SnapshotPath != "" {
+		// Final snapshot after the drain: every request this replica
+		// accepted has finished and landed in the cache, so the successor
+		// warm-starts with the complete picture.
+		stopSnap()
+		<-snapDone
+		if err := s.writeSnapshot(); err != nil {
+			s.snapWriteErrors.Inc()
+			s.eventf("serve: drain snapshot failed: %v", err)
+		}
 	}
 	return nil
 }
@@ -368,21 +498,32 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // serveCached answers from the shared cache, building at most once per
-// canonical key across concurrent requests. A request whose context
-// expires first gets 503; the build keeps running and its result lands
-// in the cache for the retry (the same abandonment semantics as the
-// experiment runner's per-artifact deadline).
+// canonical key across concurrent requests. On a local miss the build
+// first tries a cross-replica read-through (see peer.go); the X-Cache
+// header reports where the bytes came from: "hit" (local cache,
+// including snapshot-restored entries), "peer" (ring owner's cache), or
+// "miss" (computed here). A request whose context expires first gets
+// 503; the build keeps running and its result lands in the cache for
+// the retry (the same abandonment semantics as the experiment runner's
+// per-artifact deadline).
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, build func() ([]byte, error)) {
 	type outcome struct {
-		body []byte
-		hit  bool
-		err  error
+		body   []byte
+		source string
+		err    error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
+		// source is written by the build closure and read after cache.do
+		// returns, all within this goroutine — no shared state.
+		source := "miss"
 		v, hit, err := s.cache.do(key, func() (any, error) {
 			if s.buildDelay > 0 {
 				time.Sleep(s.buildDelay)
+			}
+			if body, ok := s.readThrough(key); ok {
+				source = "peer"
+				return body, nil
 			}
 			return build()
 		})
@@ -390,7 +531,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 			ch <- outcome{err: err}
 			return
 		}
-		ch <- outcome{body: v.([]byte), hit: hit}
+		if hit {
+			source = "hit"
+		}
+		ch <- outcome{body: v.([]byte), source: source}
 	}()
 	select {
 	case <-r.Context().Done():
@@ -402,11 +546,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if o.hit {
-			w.Header().Set("X-Cache", "hit")
-		} else {
-			w.Header().Set("X-Cache", "miss")
-		}
+		w.Header().Set("X-Cache", o.source)
 		w.Write(o.body)
 	}
 }

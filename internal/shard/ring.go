@@ -1,4 +1,9 @@
-package cluster
+// Package shard holds the consistent-hash ring shared by the routing
+// tier (internal/cluster) and the serve tier (internal/serve): both
+// must agree on which replica owns a canonical key — the router to
+// route it there, a replica to know which peer to consult on a local
+// miss — so the ring lives below both of them.
+package shard
 
 import (
 	"fmt"
@@ -58,7 +63,7 @@ func hash64(s string) uint64 {
 // per replica (<=0 means DefaultVNodes).
 func NewRing(replicas []string, vnodes int) (*Ring, error) {
 	if len(replicas) == 0 {
-		return nil, fmt.Errorf("cluster: ring needs at least one replica")
+		return nil, fmt.Errorf("shard: ring needs at least one replica")
 	}
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
@@ -67,10 +72,10 @@ func NewRing(replicas []string, vnodes int) (*Ring, error) {
 	sort.Strings(rs)
 	for i, rep := range rs {
 		if rep == "" {
-			return nil, fmt.Errorf("cluster: empty replica id")
+			return nil, fmt.Errorf("shard: empty replica id")
 		}
 		if i > 0 && rs[i-1] == rep {
-			return nil, fmt.Errorf("cluster: duplicate replica %q", rep)
+			return nil, fmt.Errorf("shard: duplicate replica %q", rep)
 		}
 	}
 	r := &Ring{replicas: rs, points: make([]ringPoint, 0, len(rs)*vnodes)}
