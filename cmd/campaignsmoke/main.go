@@ -13,7 +13,11 @@
 //     checkpoint and that the merged report and trend JSON are
 //     byte-identical to the uninterrupted run's;
 //  4. repeats the study as two shards (-shards 2 -shard {0,1}) and gates
-//     that merging the shard checkpoints reproduces the same bytes.
+//     that merging the shard checkpoints reproduces the same bytes;
+//  5. runs a two-point heap_gbs off-vs-on study and gates that the
+//     heap-limited point spilled, stalled and slowed down while the
+//     memory-off point reports no memory activity — the heap axis works
+//     end-to-end through config, checkpoint and trend JSON.
 //
 // Usage:
 //
@@ -87,7 +91,8 @@ func main() {
 	s.uninterrupted()
 	s.killAndResume()
 	s.sharded()
-	fmt.Println("PASS campaign-smoke: kill-and-resume and shard-merge reproduce the uninterrupted bytes with zero recompute waste")
+	s.memoryPoint()
+	fmt.Println("PASS campaign-smoke: kill-and-resume and shard-merge reproduce the uninterrupted bytes with zero recompute waste, and the heap axis spills end-to-end")
 }
 
 type smoke struct {
@@ -185,6 +190,79 @@ func (s *smoke) sharded() {
 	mustIdentical("merged report (2 shards vs uninterrupted)", s.refReport, report)
 	mustIdentical("trend JSON (2 shards vs uninterrupted)", s.refBench, bench)
 	fmt.Println("ok  shards: 2-way fan-out merge byte-identical")
+}
+
+// memStudyJSON sweeps the executor heap off-vs-on at one cheap sql
+// point; 0.5GB is far below the scan stage's ~320MB-per-core working
+// sets, so the second point must spill.
+const memStudyJSON = `{
+  "name": "smokemem",
+  "base": {"workload": "sql", "nodes": 2, "cores": 4},
+  "axes": {"heap_gbs": [0, 0.5]},
+  "parallel": 2
+}`
+
+// memoryPoint gates the heap_gbs axis end-to-end: config → points →
+// simulation → checkpoint → trend JSON.
+func (s *smoke) memoryPoint() {
+	cfgPath := filepath.Join(s.dir, "memstudy.json")
+	if err := os.WriteFile(cfgPath, []byte(memStudyJSON), 0o644); err != nil {
+		fatal("campaignsmoke: %v", err)
+	}
+	ckpt := filepath.Join(s.dir, "mem.jsonl")
+	out := s.run("memory-point run",
+		"campaign", "run", "-config", cfgPath, "-checkpoint", ckpt, "-q")
+	total, _, executed, failed, unfinished := parseSummary(out)
+	if total != 2 || executed != 2 || failed != 0 || unfinished != 0 {
+		fatal("campaignsmoke: memory study summary off: total=%d executed=%d failed=%d unfinished=%d (want 2/2/0/0)",
+			total, executed, failed, unfinished)
+	}
+	benchPath := filepath.Join(s.dir, "mem-bench.json")
+	s.run("memory-point merge", "campaign", "merge", "-config", cfgPath,
+		"-bench", benchPath, ckpt)
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		fatal("campaignsmoke: %v", err)
+	}
+	var bench struct {
+		Points map[string]struct {
+			TotalSeconds   float64 `json:"total_seconds"`
+			SpilledTasks   int     `json:"spilled_tasks"`
+			SpillBytes     int64   `json:"spill_bytes"`
+			GCStallSeconds float64 `json:"gc_stall_seconds"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		fatal("campaignsmoke: parsing %s: %v", benchPath, err)
+	}
+	free, ok := bench.Points["sql/n2/p4/ssd/q0/x1/s0"]
+	if !ok {
+		fatal("campaignsmoke: memory-off point missing from trend JSON (keys: %v)", keysOf(bench.Points))
+	}
+	tight, ok := bench.Points["sql/n2/p4/ssd/h0.5/q0/x1/s0"]
+	if !ok {
+		fatal("campaignsmoke: heap-limited point missing from trend JSON (keys: %v)", keysOf(bench.Points))
+	}
+	if free.SpilledTasks != 0 || free.SpillBytes != 0 || free.GCStallSeconds != 0 {
+		fatal("campaignsmoke: memory-off point reports memory activity: %+v", free)
+	}
+	if tight.SpilledTasks == 0 || tight.SpillBytes <= 0 {
+		fatal("campaignsmoke: heap-limited point did not spill: %+v", tight)
+	}
+	if tight.TotalSeconds <= free.TotalSeconds {
+		fatal("campaignsmoke: heap-limited total %.1fs not above memory-off %.1fs",
+			tight.TotalSeconds, free.TotalSeconds)
+	}
+	fmt.Printf("ok  memory point: 0.5GB heap spilled %d tasks (%d bytes), %.1fs vs %.1fs memory-off\n",
+		tight.SpilledTasks, tight.SpillBytes, tight.TotalSeconds, free.TotalSeconds)
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }
 
 // run executes the doppio binary and returns its combined output.

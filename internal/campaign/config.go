@@ -1,6 +1,6 @@
 // Package campaign turns one-shot doppio runs into durable parameter
 // studies: a JSON study config names the axes to vary (nodes, cores,
-// device, workload, fault rate, data scale, seed) over a fixed base
+// device, workload, executor heap, fault rate, data scale, seed) over a fixed base
 // configuration, expands deterministically into a point list, and runs
 // every point through the streaming sweep engine with per-point
 // panic/error isolation. Completed points are appended to an fsync'd
@@ -88,6 +88,10 @@ type Base struct {
 	// a proportionally larger (or smaller) input at fixed per-partition
 	// volume. Default 1.
 	DataScale float64 `json:"data_scale,omitempty"`
+	// HeapGB is the default executor heap per node in GB. 0 (the
+	// default) disables the memory layer entirely — the legacy regime
+	// with no spill and no GC.
+	HeapGB float64 `json:"heap_gb,omitempty"`
 	// Seed is the default jitter/fault seed.
 	Seed uint64 `json:"seed,omitempty"`
 	// MaxTaskFailures is spark.task.maxFailures for faulty points
@@ -100,10 +104,13 @@ type Base struct {
 // contributes the single Base value, so a config can sweep any subset
 // of the dimensions.
 type Axes struct {
-	Nodes      []int     `json:"nodes,omitempty"`
-	Cores      []int     `json:"cores,omitempty"`
-	Devices    []string  `json:"devices,omitempty"`
-	Workloads  []string  `json:"workloads,omitempty"`
+	Nodes     []int    `json:"nodes,omitempty"`
+	Cores     []int    `json:"cores,omitempty"`
+	Devices   []string `json:"devices,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	// HeapGBs sweeps the executor heap (GB per node). A 0 value is a
+	// memory-layer-off point, so off-vs-on studies are one axis.
+	HeapGBs    []float64 `json:"heap_gbs,omitempty"`
 	FetchFail  []float64 `json:"fetch_fail_probs,omitempty"`
 	DataScales []float64 `json:"data_scales,omitempty"`
 	Seeds      []uint64  `json:"seeds,omitempty"`
@@ -131,23 +138,31 @@ type Config struct {
 // Point is one expanded evaluation point of a study.
 type Point struct {
 	// Index is the point's position in the deterministic row-major
-	// expansion (workloads, nodes, cores, devices, fault rates, data
-	// scales, seeds).
-	Index         int     `json:"index"`
-	Workload      string  `json:"workload"`
-	Nodes         int     `json:"nodes"`
-	Cores         int     `json:"cores"`
-	Device        string  `json:"device"`
+	// expansion (workloads, nodes, cores, devices, heaps, fault rates,
+	// data scales, seeds).
+	Index    int    `json:"index"`
+	Workload string `json:"workload"`
+	Nodes    int    `json:"nodes"`
+	Cores    int    `json:"cores"`
+	Device   string `json:"device"`
+	// HeapGB carries omitempty so points from pre-memory studies hash
+	// and checkpoint byte-identically.
+	HeapGB        float64 `json:"heap_gb,omitempty"`
 	FetchFailProb float64 `json:"fetch_fail_prob"`
 	DataScale     float64 `json:"data_scale"`
 	Seed          uint64  `json:"seed"`
 }
 
 // Name renders the point's compact row label:
-// "lr-small/n4/p8/ssd/q0.05/x1/s3".
+// "lr-small/n4/p8/ssd/q0.05/x1/s3", with an "/h<GB>" segment after the
+// device on memory-limited points ("…/ssd/h0.5/q0.05/x1/s3").
 func (p Point) Name() string {
-	return fmt.Sprintf("%s/n%d/p%d/%s/q%s/x%s/s%d",
-		p.Workload, p.Nodes, p.Cores, p.Device,
+	heap := ""
+	if p.HeapGB != 0 {
+		heap = "/h" + strconv.FormatFloat(p.HeapGB, 'g', -1, 64)
+	}
+	return fmt.Sprintf("%s/n%d/p%d/%s%s/q%s/x%s/s%d",
+		p.Workload, p.Nodes, p.Cores, p.Device, heap,
 		strconv.FormatFloat(p.FetchFailProb, 'g', -1, 64),
 		strconv.FormatFloat(p.DataScale, 'g', -1, 64),
 		p.Seed)
@@ -245,6 +260,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("campaign: core count %d must be at least 1", p)
 		}
 	}
+	for _, h := range append(append([]float64{}, c.Axes.HeapGBs...), c.Base.HeapGB) {
+		if h < 0 || h > 4096 {
+			return fmt.Errorf("campaign: heap %v GB outside [0, 4096] (0 = memory layer off)", h)
+		}
+	}
 	for _, q := range append(append([]float64{}, c.Axes.FetchFail...), c.Base.FetchFailProb) {
 		if q < 0 || q >= 1 {
 			return fmt.Errorf("campaign: fetch-fail probability %v outside [0,1)", q)
@@ -277,32 +297,35 @@ func axis[T any](values []T, base T) []T {
 }
 
 // Points expands the study into its deterministic row-major point list:
-// workloads vary slowest, then nodes, cores, devices, fault rates, data
-// scales, and seeds fastest. The same config always yields the same
-// list in the same order — the property checkpointing, sharding and
-// merging all key on.
+// workloads vary slowest, then nodes, cores, devices, heaps, fault
+// rates, data scales, and seeds fastest. The same config always yields
+// the same list in the same order — the property checkpointing,
+// sharding and merging all key on.
 func (c Config) Points() []Point {
 	c = c.withDefaults()
 	ws := axis(c.Axes.Workloads, c.Base.Workload)
 	ns := axis(c.Axes.Nodes, c.Base.Nodes)
 	ps := axis(c.Axes.Cores, c.Base.Cores)
 	ds := axis(c.Axes.Devices, c.Base.Device)
+	hs := axis(c.Axes.HeapGBs, c.Base.HeapGB)
 	qs := axis(c.Axes.FetchFail, c.Base.FetchFailProb)
 	xs := axis(c.Axes.DataScales, c.Base.DataScale)
 	ss := axis(c.Axes.Seeds, c.Base.Seed)
-	out := make([]Point, 0, len(ws)*len(ns)*len(ps)*len(ds)*len(qs)*len(xs)*len(ss))
+	out := make([]Point, 0, len(ws)*len(ns)*len(ps)*len(ds)*len(hs)*len(qs)*len(xs)*len(ss))
 	for _, w := range ws {
 		for _, n := range ns {
 			for _, p := range ps {
 				for _, d := range ds {
-					for _, q := range qs {
-						for _, x := range xs {
-							for _, s := range ss {
-								out = append(out, Point{
-									Index: len(out), Workload: w,
-									Nodes: n, Cores: p, Device: d,
-									FetchFailProb: q, DataScale: x, Seed: s,
-								})
+					for _, h := range hs {
+						for _, q := range qs {
+							for _, x := range xs {
+								for _, s := range ss {
+									out = append(out, Point{
+										Index: len(out), Workload: w,
+										Nodes: n, Cores: p, Device: d, HeapGB: h,
+										FetchFailProb: q, DataScale: x, Seed: s,
+									})
+								}
 							}
 						}
 					}
@@ -320,6 +343,7 @@ func (c Config) Size() int {
 		len(axis(c.Axes.Nodes, c.Base.Nodes)) *
 		len(axis(c.Axes.Cores, c.Base.Cores)) *
 		len(axis(c.Axes.Devices, c.Base.Device)) *
+		len(axis(c.Axes.HeapGBs, c.Base.HeapGB)) *
 		len(axis(c.Axes.FetchFail, c.Base.FetchFailProb)) *
 		len(axis(c.Axes.DataScales, c.Base.DataScale)) *
 		len(axis(c.Axes.Seeds, c.Base.Seed))

@@ -1,0 +1,117 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHeapAxisExpansion(t *testing.T) {
+	cfg := Config{
+		Name: "heap",
+		Base: Base{Workload: "sql", Nodes: 2},
+		Axes: Axes{
+			Devices: []string{"hdd", "ssd"},
+			HeapGBs: []float64{0, 0.5},
+			Seeds:   []uint64{1},
+		},
+	}.withDefaults()
+	pts := cfg.Points()
+	if len(pts) != 4 || cfg.Size() != 4 {
+		t.Fatalf("expanded %d points, Size() = %d, want 4", len(pts), cfg.Size())
+	}
+	// Heap varies faster than devices, slower than fault rate; a 0 value
+	// renders without an /h segment.
+	wantNames := []string{
+		"sql/n2/p4/hdd/q0/x1/s1", "sql/n2/p4/hdd/h0.5/q0/x1/s1",
+		"sql/n2/p4/ssd/q0/x1/s1", "sql/n2/p4/ssd/h0.5/q0/x1/s1",
+	}
+	for i, want := range wantNames {
+		if got := pts[i].Name(); got != want {
+			t.Fatalf("point %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+// TestHeapHashCompat pins the resume contract: a study that never
+// mentions the heap hashes and checkpoints exactly as it did before the
+// axis existed, so pre-memory checkpoints still resume.
+func TestHeapHashCompat(t *testing.T) {
+	legacy := testConfig()
+	h := legacy.Hash()
+
+	explicit := legacy
+	explicit.Base.HeapGB = 0
+	if explicit.Hash() != h {
+		t.Fatal("explicit heap_gb: 0 hashes differently from omitting it")
+	}
+
+	swept := legacy
+	swept.Axes.HeapGBs = []float64{0, 4}
+	if swept.Hash() == h {
+		t.Fatal("adding a heap axis did not change the config hash")
+	}
+	limited := legacy
+	limited.Base.HeapGB = 8
+	if limited.Hash() == h {
+		t.Fatal("changing base heap did not change the config hash")
+	}
+
+	// Point records from pre-memory studies must serialize (and so
+	// point-hash) byte-identically: heap_gb is omitted at 0.
+	b, err := json.Marshal(legacy.Points()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "heap_gb") {
+		t.Fatalf("zero-heap point marshals a heap_gb key: %s", b)
+	}
+}
+
+func TestHeapValidation(t *testing.T) {
+	for what, raw := range map[string]string{
+		"negative base heap": `{"name":"x","base":{"workload":"sql","heap_gb":-1}}`,
+		"huge axis heap":     `{"name":"x","base":{"workload":"sql"},"axes":{"heap_gbs":[4,5000]}}`,
+	} {
+		if _, err := ParseConfig([]byte(raw)); err == nil {
+			t.Errorf("ParseConfig accepted config with %s", what)
+		}
+	}
+	// 0 in the axis is a memory-off point, not an error.
+	cfg, err := ParseConfig([]byte(`{"name":"x","base":{"workload":"sql"},"axes":{"heap_gbs":[0,0.5]}}`))
+	if err != nil {
+		t.Fatalf("ParseConfig rejected off-vs-on heap axis: %v", err)
+	}
+	if cfg.Size() != 2 {
+		t.Fatalf("Size() = %d, want 2", cfg.Size())
+	}
+}
+
+// TestEvaluatePointHeap runs one memory-off and one heap-limited point
+// and checks the heap point spilled, stalled and slowed down.
+func TestEvaluatePointHeap(t *testing.T) {
+	cfg := Config{Name: "heapeval", Base: Base{Workload: "sql"}}.withDefaults()
+	free := Point{Workload: "sql", Nodes: 4, Cores: 4, Device: "ssd", DataScale: 1}
+	tight := free
+	tight.HeapGB = 0.5
+
+	base, err := EvaluatePoint(context.Background(), cfg, free)
+	if err != nil {
+		t.Fatalf("memory-off point: %v", err)
+	}
+	if base.SpilledTasks != 0 || base.SpillBytes != 0 || base.GCPauses != 0 || base.GCStallSeconds != 0 {
+		t.Fatalf("memory-off point reported memory activity: %+v", base)
+	}
+	lim, err := EvaluatePoint(context.Background(), cfg, tight)
+	if err != nil {
+		t.Fatalf("heap-limited point: %v", err)
+	}
+	if lim.SpilledTasks == 0 || lim.SpillBytes <= 0 {
+		t.Fatalf("0.5GB heap did not spill: %+v", lim)
+	}
+	if lim.TotalSeconds <= base.TotalSeconds {
+		t.Fatalf("heap-limited total %.1fs not above memory-off %.1fs",
+			lim.TotalSeconds, base.TotalSeconds)
+	}
+}

@@ -178,6 +178,10 @@ type benchPoint struct {
 	CoreSeconds      float64 `json:"core_seconds"`
 	Retries          int     `json:"retries,omitempty"`
 	Recomputes       int     `json:"recomputes,omitempty"`
+	SpilledTasks     int     `json:"spilled_tasks,omitempty"`
+	SpillBytes       int64   `json:"spill_bytes,omitempty"`
+	GCPauses         int     `json:"gc_pauses,omitempty"`
+	GCStallSeconds   float64 `json:"gc_stall_seconds,omitempty"`
 	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
 	ModelErrPct      float64 `json:"model_err_pct,omitempty"`
 }
@@ -210,6 +214,8 @@ func (m *Merged) WriteBenchJSON(w io.Writer) error {
 		bf.Points[rec.Name] = benchPoint{
 			TotalSeconds: r.TotalSeconds, CoreSeconds: r.CoreSeconds,
 			Retries: r.Retries, Recomputes: r.Recomputes,
+			SpilledTasks: r.SpilledTasks, SpillBytes: r.SpillBytes,
+			GCPauses: r.GCPauses, GCStallSeconds: r.GCStallSeconds,
 			PredictedSeconds: r.PredictedSeconds, ModelErrPct: r.ModelErrPct,
 		}
 		totalSec += r.TotalSeconds

@@ -33,6 +33,13 @@ type PointResult struct {
 	// fault-free points).
 	Retries    int `json:"retries,omitempty"`
 	Recomputes int `json:"recomputes,omitempty"`
+	// SpilledTasks/SpillBytes/GCPauses/GCStallSeconds summarize memory
+	// pressure on heap-limited points (all zero when the point's heap is
+	// 0, so pre-memory checkpoints stay byte-identical).
+	SpilledTasks   int     `json:"spilled_tasks,omitempty"`
+	SpillBytes     int64   `json:"spill_bytes,omitempty"`
+	GCPauses       int     `json:"gc_pauses,omitempty"`
+	GCStallSeconds float64 `json:"gc_stall_seconds,omitempty"`
 	// PredictedSeconds and ModelErrPct are ModeModel extras: the
 	// analytical model's runtime for the point's platform and its
 	// signed error vs the simulation.
@@ -248,6 +255,7 @@ func EvaluatePoint(ctx context.Context, cfg Config, p Point) (PointResult, error
 	}
 	ccfg := spark.DefaultTestbed(p.Nodes, p.Cores, hdfsDev, localDev)
 	ccfg.Seed = p.Seed
+	ccfg.Memory = spark.MemoryConfig{HeapGB: p.HeapGB}
 	ccfg.Faults = spark.FaultConfig{
 		ShuffleFetchFailureProb: p.FetchFailProb,
 		MaxTaskFailures:         cfg.Base.MaxTaskFailures,
@@ -262,11 +270,15 @@ func EvaluatePoint(ctx context.Context, cfg Config, p Point) (PointResult, error
 		return PointResult{}, err
 	}
 	out := PointResult{
-		TotalSeconds: res.Total.Seconds(),
-		CoreSeconds:  res.CoreSeconds,
-		Tasks:        appTasks(sapp),
-		Retries:      res.Faults.Retries,
-		Recomputes:   res.Faults.Recomputes,
+		TotalSeconds:   res.Total.Seconds(),
+		CoreSeconds:    res.CoreSeconds,
+		Tasks:          appTasks(sapp),
+		Retries:        res.Faults.Retries,
+		Recomputes:     res.Faults.Recomputes,
+		SpilledTasks:   res.Mem.SpilledTasks,
+		SpillBytes:     int64(res.Mem.SpillBytes),
+		GCPauses:       res.Mem.GCPauses,
+		GCStallSeconds: res.Mem.GCStall.Seconds(),
 	}
 	if cfg.Mode == ModeModel {
 		cal, err := experiments.SharedTestbedCalibration(ctx, p.Workload)

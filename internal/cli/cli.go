@@ -15,6 +15,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -252,6 +253,7 @@ type clusterFlags struct {
 	cores      *int
 	hdfs       *string
 	local      *string
+	heapGB     *float64
 	seed       *uint64
 	stragglers *float64
 	speculate  *bool
@@ -268,6 +270,7 @@ func addClusterFlags(fs *flag.FlagSet) clusterFlags {
 		cores:      fs.Int("cores", 36, "executor cores per node P"),
 		hdfs:       fs.String("hdfs", "ssd", "HDFS device: hdd, ssd, pd-standard:SIZE, pd-ssd:SIZE"),
 		local:      fs.String("local", "ssd", "Spark Local device: hdd, ssd, pd-standard:SIZE, pd-ssd:SIZE"),
+		heapGB:     fs.Float64("heap-gb", 0, "executor heap per node in GB (0 = unlimited memory, legacy behaviour)"),
 		seed:       fs.Uint64("seed", 0, "task-time jitter seed (repeat-run error bars)"),
 		stragglers: fs.Float64("stragglers", 0, "fraction of tasks running 5x slower"),
 		speculate:  fs.Bool("speculate", false, "enable Spark-style speculative execution"),
@@ -289,6 +292,7 @@ func (c clusterFlags) config() (spark.ClusterConfig, error) {
 		return spark.ClusterConfig{}, err
 	}
 	cfg := spark.DefaultTestbed(*c.slaves, *c.cores, hd, ld)
+	cfg.Memory = spark.MemoryConfig{HeapGB: *c.heapGB}
 	cfg.Seed = *c.seed
 	if *c.stragglers > 0 {
 		cfg.StragglerFraction = *c.stragglers
@@ -444,8 +448,13 @@ func (a *app) cmdOptimize(args []string) error {
 	workload := fs.String("workload", "gatk4", "workload to optimise for")
 	top := fs.Int("top", 10, "show the N cheapest configurations")
 	descend := fs.Bool("descend", false, "use coordinate descent instead of the full grid")
+	heapGBs := fs.String("heap-gbs", "", "comma-separated executor heap sizes in GB to add as a search axis (empty = memory-free space)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	heaps, err := parseHeapGBs(*heapGBs)
+	if err != nil {
+		return fmt.Errorf("optimize: %v", err)
 	}
 	w, err := workloads.Get(*workload)
 	if err != nil {
@@ -463,6 +472,7 @@ func (a *app) cmdOptimize(args []string) error {
 	eval := optimizer.ModelEvaluator(cal.Model)
 	pricing := cloud.DefaultPricing()
 	space := optimizer.DefaultSpace(*slaves)
+	space.HeapGBs = heaps
 
 	if *descend {
 		start := cloud.ClusterSpec{
@@ -520,8 +530,13 @@ func (a *app) cmdRecommend(args []string) error {
 	deadline := fs.Float64("deadline", 0, "longest admissible runtime in minutes (0 = none)")
 	budget := fs.Float64("budget", 0, "highest admissible cost in dollars (0 = none)")
 	noPrune := fs.Bool("no-prune", false, "evaluate the full grid and filter (reference path)")
+	heapGBs := fs.String("heap-gbs", "", "comma-separated executor heap sizes in GB to add as a search axis (empty = memory-free space)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	heaps, err := parseHeapGBs(*heapGBs)
+	if err != nil {
+		return fmt.Errorf("recommend: %v", err)
 	}
 	if *deadline < 0 {
 		return fmt.Errorf("recommend: -deadline must be >= 0")
@@ -545,6 +560,7 @@ func (a *app) cmdRecommend(args []string) error {
 	eval := optimizer.ModelEvaluator(cal.Model)
 	pricing := cloud.DefaultPricing()
 	space := optimizer.DefaultSpace(*slaves)
+	space.HeapGBs = heaps
 	cons := optimizer.Constraints{
 		Deadline: time.Duration(*deadline * float64(time.Minute)),
 		Budget:   *budget,
@@ -585,6 +601,27 @@ func (a *app) cmdRecommend(args []string) error {
 }
 
 func usd(v float64) string { return fmt.Sprintf("$%.2f", v) }
+
+// parseHeapGBs turns a -heap-gbs value ("4,16,64") into the search
+// space's heap axis. Empty means no axis: the legacy memory-free space.
+func parseHeapGBs(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("heap-gbs: %q is not a number", p)
+		}
+		if v <= 0 || v > 4096 {
+			return nil, fmt.Errorf("heap-gbs: %v outside (0, 4096]", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func (a *app) cmdFio() error {
 	for _, d := range []disk.Device{disk.NewHDD(), disk.NewSSD()} {
@@ -713,7 +750,7 @@ func (a *app) cmdWhatif(args []string) error {
 			bn[s.Bottleneck]++
 		}
 		var parts []string
-		for _, k := range []string{"scale", "read", "write", "device"} {
+		for _, k := range []string{"scale", "read", "write", "device", "memory"} {
 			if bn[k] > 0 {
 				parts = append(parts, fmt.Sprintf("%s:%d", k, bn[k]))
 			}

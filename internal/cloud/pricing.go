@@ -17,6 +17,10 @@ type Pricing struct {
 	SSDPerGBMonth float64
 	// VCPUPerHour is the per-vCPU-hour machine price.
 	VCPUPerHour float64
+	// MemoryGBPerHour is the per-GB-hour price of provisioned executor
+	// memory (the custom-machine RAM rate). Specs with HeapGB 0 pay
+	// nothing, so pricing stays bit-identical for memory-free searches.
+	MemoryGBPerHour float64
 	// HoursPerMonth prorates monthly disk prices (GCP bills per second;
 	// 730 hours/month average).
 	HoursPerMonth float64
@@ -28,6 +32,7 @@ func DefaultPricing() Pricing {
 		StandardPerGBMonth: 0.040,
 		SSDPerGBMonth:      0.170,
 		VCPUPerHour:        0.030,
+		MemoryGBPerHour:    0.0045,
 		HoursPerMonth:      730,
 	}
 }
@@ -54,6 +59,10 @@ type ClusterSpec struct {
 	// LocalType and LocalSize provision the spark.local.dir disk.
 	LocalType DiskType
 	LocalSize units.ByteSize
+	// HeapGB provisions per-node executor memory and enables the
+	// simulator's memory layer and the model's t_mem_limit term. Zero
+	// keeps the legacy memory-free behaviour (and price).
+	HeapGB float64
 }
 
 // Validate checks the spec.
@@ -65,26 +74,37 @@ func (s ClusterSpec) Validate() error {
 		return fmt.Errorf("cloud: VCPUs must be positive")
 	case s.HDFSSize <= 0 || s.LocalSize <= 0:
 		return fmt.Errorf("cloud: disk sizes must be positive")
+	case s.HeapGB < 0:
+		return fmt.Errorf("cloud: HeapGB must be >= 0")
 	}
 	return nil
 }
 
 // String renders the spec compactly.
 func (s ClusterSpec) String() string {
-	return fmt.Sprintf("%dx%dvCPU hdfs=%s/%v local=%s/%v",
+	base := fmt.Sprintf("%dx%dvCPU hdfs=%s/%v local=%s/%v",
 		s.Slaves, s.VCPUs, s.HDFSType, s.HDFSSize, s.LocalType, s.LocalSize)
+	if s.HeapGB > 0 {
+		return fmt.Sprintf("%s heap=%gGB", base, s.HeapGB)
+	}
+	return base
 }
 
 // ClusterConfig builds the simulator configuration for the spec: the
 // paper's testbed software settings on provisioned virtual disks.
 func (s ClusterSpec) ClusterConfig() spark.ClusterConfig {
-	return spark.DefaultTestbed(s.Slaves, s.VCPUs,
+	cfg := spark.DefaultTestbed(s.Slaves, s.VCPUs,
 		NewDisk(s.HDFSType, s.HDFSSize), NewDisk(s.LocalType, s.LocalSize))
+	cfg.Memory = spark.MemoryConfig{HeapGB: s.HeapGB}
+	return cfg
 }
 
-// DollarsPerHour is the spec's burn rate.
+// DollarsPerHour is the spec's burn rate. The expression order matches
+// the optimizer's inline batch pricing term for term, so both paths
+// produce bit-identical costs.
 func (s ClusterSpec) DollarsPerHour(p Pricing) float64 {
 	perNode := float64(s.VCPUs)*p.VCPUPerHour +
+		s.HeapGB*p.MemoryGBPerHour +
 		p.DiskDollarsPerHour(s.HDFSType, s.HDFSSize) +
 		p.DiskDollarsPerHour(s.LocalType, s.LocalSize)
 	return perNode * float64(s.Slaves)

@@ -16,11 +16,14 @@ type Env struct {
 	Curves      Curves
 	Replication int
 	BlockSize   units.ByteSize
+	// Memory enables the t_mem_limit term; the zero value disables it
+	// (see memory.go).
+	Memory MemParams
 }
 
 // EnvOf extracts the environment of a platform.
 func EnvOf(pl Platform) Env {
-	return Env{Curves: pl.Curves, Replication: pl.Replication, BlockSize: pl.BlockSize}
+	return Env{Curves: pl.Curves, Replication: pl.Replication, BlockSize: pl.BlockSize, Memory: pl.Memory}
 }
 
 // Validate checks the environment.
@@ -34,13 +37,13 @@ func (e Env) Validate() error {
 		e.Curves.LocalRead == nil || e.Curves.LocalWrite == nil:
 		return fmt.Errorf("core: incomplete curve set")
 	}
-	return nil
+	return e.Memory.Validate()
 }
 
 // platform reconstructs a Platform for the op-level helpers (which
 // never read N or P).
 func (e Env) platform() Platform {
-	return Platform{N: 1, P: 1, Curves: e.Curves, Replication: e.Replication, BlockSize: e.BlockSize}
+	return Platform{N: 1, P: 1, Curves: e.Curves, Replication: e.Replication, BlockSize: e.BlockSize, Memory: e.Memory}
 }
 
 // checkShape validates a cluster shape with the same errors
@@ -69,6 +72,9 @@ type Shape struct {
 type compiledGroup struct {
 	count float64 // float64(GroupModel.Count)
 	tgSec float64 // GroupModel.TaskTime(env, mode) in seconds
+	// ws is the per-task in-heap working set in bytes for the
+	// t_mem_limit term; zero when the environment's memory model is off.
+	ws float64
 }
 
 // compiledStage is the flat, shape-independent residue of one
@@ -101,6 +107,11 @@ type CompiledModel struct {
 	app    string
 	mode   Mode
 	stages []compiledStage
+	// mem is the curve-resolved memory model; memOn gates every memory
+	// branch so a memory-free environment evaluates the exact legacy
+	// expressions.
+	mem   memEnv
+	memOn bool
 }
 
 // Compile flattens the model against the environment. The model and
@@ -119,6 +130,7 @@ func Compile(a AppModel, env Env, mode Mode) (*CompiledModel, error) {
 func compile(a AppModel, env Env, mode Mode) *CompiledModel {
 	pl := env.platform()
 	cm := &CompiledModel{app: a.Name, mode: mode, stages: make([]compiledStage, 0, len(a.Stages))}
+	cm.mem, cm.memOn = env.Memory.resolve(env.Curves)
 	for _, s := range a.Stages {
 		cs := compiledStage{
 			name:       s.Name,
@@ -131,7 +143,11 @@ func compile(a AppModel, env Env, mode Mode) *CompiledModel {
 		total := 0
 		for _, g := range s.Groups {
 			tg := g.TaskTime(pl, mode).Seconds()
-			cs.groups = append(cs.groups, compiledGroup{count: float64(g.Count), tgSec: tg})
+			cg := compiledGroup{count: float64(g.Count), tgSec: tg}
+			if cm.memOn {
+				cg.ws = cm.mem.groupWS(g)
+			}
+			cs.groups = append(cs.groups, cg)
 			weighted += float64(g.Count) * tg
 			total += g.Count
 		}
@@ -235,6 +251,24 @@ func (cs *compiledStage) timeWith(io stageIOTerms, n, p int, mode Mode) time.Dur
 	return t
 }
 
+// memLimit evaluates one stage's t_mem_limit for a shape without
+// allocating; zero when the environment's memory model is off. The
+// per-group expressions are memEnv.groupTerms, shared with
+// StageModel.Predict for byte-identity.
+func (c *CompiledModel) memLimit(cs *compiledStage, n, p int) time.Duration {
+	if !c.memOn {
+		return 0
+	}
+	nf, pf := float64(n), float64(p)
+	var memScale, memDev float64
+	for _, g := range cs.groups {
+		a, b := c.mem.groupTerms(g.count, g.ws, nf, pf)
+		memScale += a
+		memDev += b
+	}
+	return units.SecDuration(maxf(memScale, memDev))
+}
+
 // evalStage evaluates Eq. 1 for one compiled stage, byte-identical to
 // StageModel.Predict, without allocating.
 func (c *CompiledModel) evalStage(cs *compiledStage, n, p int) StagePrediction {
@@ -242,9 +276,10 @@ func (c *CompiledModel) evalStage(cs *compiledStage, n, p int) StagePrediction {
 	pred.TScale = cs.scale(n, p)
 	io := cs.ioTerms(n)
 	pred.TReadLimit, pred.TWriteLimit, pred.TDeviceLimit = io.read, io.write, io.dev
+	pred.TMemLimit = c.memLimit(cs, n, p)
 
 	if c.mode == ModeNoOverlap {
-		pred.T = pred.TScale + pred.TReadLimit + pred.TWriteLimit
+		pred.T = pred.TScale + pred.TReadLimit + pred.TWriteLimit + pred.TMemLimit
 		pred.Bottleneck = "sum"
 		return pred
 	}
@@ -263,6 +298,10 @@ func (c *CompiledModel) evalStage(cs *compiledStage, n, p int) StagePrediction {
 		pred.T = pred.TDeviceLimit
 		pred.Bottleneck = "device"
 	}
+	if pred.TMemLimit > 0 && pred.TMemLimit > pred.T {
+		pred.Bottleneck = "memory"
+	}
+	pred.T += pred.TMemLimit
 	return pred
 }
 
@@ -364,6 +403,12 @@ func (c *CompiledModel) PredictBatch(shapes []Shape, out []time.Duration) ([]tim
 			} else if fold[j] > ts {
 				ts = fold[j]
 			}
+			// t_mem_limit depends on both N and P, so it sits outside the
+			// N-only fold; the branch is skipped entirely when the memory
+			// model is off, keeping the legacy fast path intact.
+			if c.memOn {
+				ts += c.memLimit(&stages[j], sh.N, sh.P)
+			}
 			total += ts
 		}
 		out[i] = total
@@ -380,7 +425,7 @@ func (c *CompiledModel) TopBottleneck(n, p int) (string, error) {
 	}
 	// Indexes into bottleneckNames; mirrors the string census of the
 	// sweep handler: top switches only on a strictly greater count.
-	var counts [5]int
+	var counts [6]int
 	top := -1
 	for i := range c.stages {
 		sp := c.evalStage(&c.stages[i], n, p)
@@ -396,7 +441,7 @@ func (c *CompiledModel) TopBottleneck(n, p int) (string, error) {
 	return bottleneckNames[top], nil
 }
 
-var bottleneckNames = [5]string{"scale", "read", "write", "device", "sum"}
+var bottleneckNames = [6]string{"scale", "read", "write", "device", "sum", "memory"}
 
 func bottleneckIndex(b string) int {
 	for i, n := range bottleneckNames {

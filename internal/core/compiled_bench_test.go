@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"time"
+
+	"repro/internal/units"
 )
 
 // BenchmarkPredictBatch is the steady-state cost of the compiled model:
@@ -53,6 +55,31 @@ func BenchmarkPredictClassic(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := app.Predict(pl, ModeDoppio); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictBatchMem is BenchmarkPredictBatch with the memory
+// term live: the same 1024-shape slab against an environment whose
+// 1 GB heap makes every stage spill. Gated at 0 allocs/op alongside the
+// memory-free row — t_mem_limit must stay pure arithmetic.
+func BenchmarkPredictBatchMem(b *testing.B) {
+	env := testEnv()
+	env.Memory = MemParams{HeapBytes: units.GB}
+	cm, err := Compile(testApp(), env, ModeDoppio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shapes := make([]Shape, 1024)
+	for i := range shapes {
+		shapes[i] = Shape{N: 1 + i%32, P: 1 + i%36}
+	}
+	out := make([]time.Duration, len(shapes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cm.PredictBatch(shapes, out); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -48,6 +48,23 @@ func fuzzModel(r *rand.Rand) (AppModel, Env) {
 		Replication: 1 + r.Intn(3),
 		BlockSize:   units.ByteSize(1+r.Intn(256)) * units.MB,
 	}
+	// Half the models carry a memory term; partial parameter sets take
+	// the default-resolution branches, tiny heaps the full-spill clamp.
+	if r.Intn(2) == 0 {
+		env.Memory = MemParams{HeapBytes: units.ByteSize(1 + r.Int63n(int64(64*units.GB)))}
+		if r.Intn(2) == 0 {
+			env.Memory.Expansion = 0.5 + 4*r.Float64()
+		}
+		if r.Intn(2) == 0 {
+			env.Memory.SpillReqSize = units.ByteSize(1+r.Intn(4096)) * units.KB
+		}
+		if r.Intn(2) == 0 {
+			env.Memory.GCMaxPause = time.Duration(r.Int63n(int64(2 * time.Second)))
+		}
+		if r.Intn(2) == 0 {
+			env.Memory.GCThreshold = r.Float64()
+		}
+	}
 	app := AppModel{Name: "fuzz"}
 	for s := 0; s < 1+r.Intn(4); s++ {
 		st := StageModel{
@@ -102,7 +119,7 @@ func FuzzCompiledPredict(f *testing.F) {
 		if err := app.Validate(); err != nil {
 			t.Fatalf("fuzzModel built an invalid model: %v", err)
 		}
-		pl := Platform{N: n, P: p, Curves: env.Curves, Replication: env.Replication, BlockSize: env.BlockSize}
+		pl := Platform{N: n, P: p, Curves: env.Curves, Replication: env.Replication, BlockSize: env.BlockSize, Memory: env.Memory}
 		want := refPredict(app, pl, m)
 
 		got, err := app.Predict(pl, m)

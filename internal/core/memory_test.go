@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+	"repro/internal/units"
+)
+
+// memTestModel is a single-stage model whose tasks read one HDFS block
+// each; the working set is ws = Expansion × BytesPerTask.
+func memTestModel(tasks int, perTask units.ByteSize) AppModel {
+	return AppModel{
+		Name: "memtest",
+		Stages: []StageModel{{
+			Name: "scan",
+			Groups: []GroupModel{{
+				Name:           "map",
+				Count:          tasks,
+				ComputePerTask: 2 * time.Second,
+				Ops:            []OpModel{{Kind: spark.OpHDFSRead, BytesPerTask: perTask}},
+			}},
+		}},
+	}
+}
+
+func memTestPlatform(t *testing.T, local disk.Device, heapGB float64) Platform {
+	t.Helper()
+	cfg := spark.DefaultTestbed(4, 4, disk.NewHDD(), local)
+	cfg.Memory = spark.MemoryConfig{HeapGB: heapGB}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl := PlatformFor(cfg)
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestMemLimitDisabledIsZero pins that an unset Memory leaves the term
+// and the prediction untouched.
+func TestMemLimitDisabledIsZero(t *testing.T) {
+	app := memTestModel(64, 128*units.MB)
+	plOff := memTestPlatform(t, disk.NewSSD(), 0)
+	pred, err := app.Predict(plOff, ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pred.Stages {
+		if s.TMemLimit != 0 {
+			t.Fatalf("memory off: TMemLimit = %v, want 0", s.TMemLimit)
+		}
+		if s.Bottleneck == "memory" {
+			t.Fatalf("memory off: bottleneck %q", s.Bottleneck)
+		}
+	}
+}
+
+// TestMemLimitHugeHeapIsZero pins that a heap far above the wave's
+// working set produces no spill and no GC cost.
+func TestMemLimitHugeHeapIsZero(t *testing.T) {
+	app := memTestModel(64, 128*units.MB)
+	pl := memTestPlatform(t, disk.NewSSD(), 1<<20)
+	pred, err := app.Predict(pl, ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pred.Stages[0].TMemLimit; got != 0 {
+		t.Fatalf("huge heap: TMemLimit = %v, want 0", got)
+	}
+	off, err := app.Predict(memTestPlatform(t, disk.NewSSD(), 0), ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Total != off.Total {
+		t.Fatalf("huge heap total %v != memory-off total %v", pred.Total, off.Total)
+	}
+}
+
+// TestMemLimitAdditiveAndDeviceAware checks the term's two load-bearing
+// properties: a binding heap adds time, and the added time is larger on
+// an HDD-backed Local device than on an SSD-backed one (the
+// request-size-aware spill cost).
+func TestMemLimitAdditiveAndDeviceAware(t *testing.T) {
+	// 4 cores × 2.5 × 128 MB = 1.25 GB wave against a 0.5 GB heap: every
+	// task spills.
+	app := memTestModel(64, 128*units.MB)
+	run := func(local disk.Device) (StagePrediction, time.Duration) {
+		t.Helper()
+		pl := memTestPlatform(t, local, 0.5)
+		pred, err := app.Predict(pl, ModeDoppio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred.Stages[0], pred.Total
+	}
+	ssd, ssdTotal := run(disk.NewSSD())
+	hdd, hddTotal := run(disk.NewHDD())
+	if ssd.TMemLimit <= 0 || hdd.TMemLimit <= 0 {
+		t.Fatalf("binding heap: TMemLimit ssd=%v hdd=%v, want both > 0", ssd.TMemLimit, hdd.TMemLimit)
+	}
+	if hdd.TMemLimit <= ssd.TMemLimit {
+		t.Fatalf("spill on HDD (%v) should exceed SSD (%v)", hdd.TMemLimit, ssd.TMemLimit)
+	}
+	// Additivity: T carries the full term on top of the max of the
+	// other candidates.
+	for _, s := range []StagePrediction{ssd, hdd} {
+		base := s.TScale
+		for _, c := range []time.Duration{s.TReadLimit, s.TWriteLimit, s.TDeviceLimit} {
+			if c > base {
+				base = c
+			}
+		}
+		if s.T != base+s.TMemLimit {
+			t.Fatalf("T = %v, want max(candidates) %v + TMemLimit %v", s.T, base, s.TMemLimit)
+		}
+	}
+	if hddTotal <= ssdTotal {
+		t.Fatalf("hdd total %v should exceed ssd total %v", hddTotal, ssdTotal)
+	}
+}
+
+// TestMemLimitMonotoneInHeap pins the property the optimizer's pruning
+// relies on: predicted runtime is non-increasing as the heap grows,
+// everything else fixed.
+func TestMemLimitMonotoneInHeap(t *testing.T) {
+	app := memTestModel(64, 128*units.MB)
+	prev := time.Duration(1<<63 - 1)
+	for _, heap := range []float64{0.25, 0.5, 1, 2, 4, 8, 1024} {
+		pl := memTestPlatform(t, disk.NewHDD(), heap)
+		pred, err := app.Predict(pl, ModeDoppio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.Total > prev {
+			t.Fatalf("heap %v GB: total %v > previous %v (runtime must be non-increasing in heap)", heap, pred.Total, prev)
+		}
+		prev = pred.Total
+	}
+}
+
+// TestMemLimitBottleneckLabel drives the term far above the other
+// candidates and checks the census plumbing end to end.
+func TestMemLimitBottleneckLabel(t *testing.T) {
+	// Tiny heap, huge per-task volume on a slow device: spill dominates.
+	app := memTestModel(256, 512*units.MB)
+	pl := memTestPlatform(t, disk.NewHDD(), 0.1)
+	pred, err := app.Predict(pl, ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pred.Stages[0].Bottleneck; got != "memory" {
+		t.Fatalf("bottleneck = %q, want memory (stage %+v)", got, pred.Stages[0])
+	}
+	cm, err := Compile(app, EnvOf(pl), ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := cm.TopBottleneck(pl.N, pl.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top != "memory" {
+		t.Fatalf("TopBottleneck = %q, want memory", top)
+	}
+}
+
+// TestMemParamsForResolvesDefaults pins that the model and the
+// simulator resolve the same defaulted knob values.
+func TestMemParamsForResolvesDefaults(t *testing.T) {
+	cfg := spark.DefaultTestbed(4, 4, disk.NewHDD(), disk.NewSSD())
+	cfg.Memory = spark.MemoryConfig{HeapGB: 2}
+	mp := MemParamsFor(cfg)
+	if mp.HeapBytes != cfg.Memory.HeapBytes() {
+		t.Fatalf("HeapBytes %v != %v", mp.HeapBytes, cfg.Memory.HeapBytes())
+	}
+	if mp.Expansion != spark.DefaultMemExpansion {
+		t.Fatalf("Expansion %v != default %v", mp.Expansion, spark.DefaultMemExpansion)
+	}
+	if mp.SpillReqSize != spark.DefaultSpillReqSize {
+		t.Fatalf("SpillReqSize %v != default %v", mp.SpillReqSize, units.ByteSize(spark.DefaultSpillReqSize))
+	}
+	if mp.GCMaxPause != 500*time.Millisecond {
+		t.Fatalf("GCMaxPause %v != 500ms", mp.GCMaxPause)
+	}
+	if mp.GCThreshold != spark.DefaultGCThreshold {
+		t.Fatalf("GCThreshold %v != default %v", mp.GCThreshold, spark.DefaultGCThreshold)
+	}
+	if got := MemParamsFor(spark.DefaultTestbed(4, 4, disk.NewHDD(), disk.NewSSD())); got.Enabled() {
+		t.Fatalf("memory-off config resolved to enabled params %+v", got)
+	}
+}
+
+// TestMemParamsValidate covers the parameter bounds.
+func TestMemParamsValidate(t *testing.T) {
+	bad := []MemParams{
+		{HeapBytes: -1},
+		{HeapBytes: units.GB, Expansion: -1},
+		{HeapBytes: units.GB, SpillReqSize: -1},
+		{HeapBytes: units.GB, GCMaxPause: -time.Second},
+		{HeapBytes: units.GB, GCThreshold: 1.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d: %+v validated", i, m)
+		}
+	}
+	if err := (MemParams{}).Validate(); err != nil {
+		t.Fatalf("zero value must validate: %v", err)
+	}
+}
+
+// TestMemLimitBatchMatchesPredict holds PredictBatch and the per-shape
+// Predict identical with the memory term active, across an N×P grid.
+func TestMemLimitBatchMatchesPredict(t *testing.T) {
+	app := memTestModel(128, 128*units.MB)
+	pl := memTestPlatform(t, disk.NewSSD(), 0.75)
+	cm, err := Compile(app, EnvOf(pl), ModeDoppio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shapes []Shape
+	for n := 1; n <= 8; n++ {
+		for p := 1; p <= 8; p++ {
+			shapes = append(shapes, Shape{N: n, P: p})
+		}
+	}
+	out := make([]time.Duration, len(shapes))
+	batch, err := cm.PredictBatch(shapes, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shapes {
+		want, err := cm.Total(sh.N, sh.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Fatalf("shape %+v: batch %v != Total %v", sh, batch[i], want)
+		}
+	}
+}

@@ -3,11 +3,17 @@
 //
 // For every stage i the model computes
 //
-//	t_stage = max(t_scale, t_read_limit, t_write_limit)
+//	t_stage = max(t_scale, t_read_limit, t_write_limit) + t_mem_limit
 //	t_scale       = M/(N·P) · t_avg          + δ_scale
 //	t_read_limit  = D_read /(N · BW_read)    + δ_read
 //	t_write_limit = D_write/(N · BW_write)   + δ_write
 //	t_app = Σ t_stage
+//
+// t_mem_limit is this reproduction's extension for memory-constrained
+// clusters: executor-heap spill served by the Local device plus
+// occupancy-driven GC stalls (see memory.go and docs/MEMORY.md). It is
+// zero — and the model byte-identical to the paper's Eq. 1 — unless
+// Platform.Memory is set.
 //
 // with the two I/O-aware ingredients prior models missed: BW is the
 // device's *effective* bandwidth at the stage's observed request size
@@ -58,9 +64,9 @@ func (c Curves) forOp(kind spark.OpKind) *disk.Curve {
 		return c.HDFSRead
 	case spark.OpHDFSWrite:
 		return c.HDFSWrite
-	case spark.OpShuffleRead, spark.OpPersistRead:
+	case spark.OpShuffleRead, spark.OpPersistRead, spark.OpSpillRead:
 		return c.LocalRead
-	case spark.OpShuffleWrite, spark.OpPersistWrite:
+	case spark.OpShuffleWrite, spark.OpPersistWrite, spark.OpSpillWrite:
 		return c.LocalWrite
 	default:
 		return nil
@@ -79,6 +85,10 @@ type Platform struct {
 	Replication int
 	// BlockSize is dfs.blocksize, the default request size of HDFS ops.
 	BlockSize units.ByteSize
+	// Memory enables the t_mem_limit term (executor-heap spill and GC
+	// stalls, see memory.go). The zero value disables it, leaving every
+	// prediction byte-identical to the memory-free model.
+	Memory MemParams
 }
 
 // Validate checks the platform: the cluster shape plus the environment
@@ -99,6 +109,7 @@ func PlatformFor(cfg spark.ClusterConfig) Platform {
 		Curves:      CurvesFor(cfg.HDFSDisk, cfg.LocalDisk),
 		Replication: cfg.HDFSReplication,
 		BlockSize:   cfg.HDFSBlockSize,
+		Memory:      MemParamsFor(cfg),
 	}
 }
 

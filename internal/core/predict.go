@@ -56,10 +56,16 @@ type StagePrediction struct {
 	// direction binds on a different device, it coincides with
 	// max(TReadLimit, TWriteLimit).
 	TDeviceLimit time.Duration
-	// T is the predicted stage time, max of the candidates.
+	// TMemLimit is the additive memory term: executor-heap overflow
+	// spilled through the Local device plus expected GC stalls (see
+	// memory.go). Zero unless the platform sets Memory.
+	TMemLimit time.Duration
+	// T is the predicted stage time, max of the candidates plus
+	// TMemLimit.
 	T time.Duration
-	// Bottleneck names which term won: "scale", "read", "write" or
-	// "device".
+	// Bottleneck names which term won: "scale", "read", "write",
+	// "device" or "memory" (when TMemLimit exceeds the max of the
+	// others).
 	Bottleneck string
 	// TAvg is the modelled average task time on this platform (per-group
 	// counts weighted), useful for diagnostics.
@@ -244,8 +250,23 @@ func (s StageModel) Predict(pl Platform, mode Mode) StagePrediction {
 		}
 	}
 
+	// t_mem_limit: heap-overflow spill through the Local device plus
+	// expected GC stalls. The same per-group expressions as the compiled
+	// path (memEnv.groupTerms), so classic and compiled stay
+	// byte-identical.
+	if me, on := pl.Memory.resolve(pl.Curves); on {
+		nf, pf := float64(pl.N), float64(pl.P)
+		var memScale, memDev float64
+		for _, g := range s.Groups {
+			a, b := me.groupTerms(float64(g.Count), me.groupWS(g), nf, pf)
+			memScale += a
+			memDev += b
+		}
+		pred.TMemLimit = units.SecDuration(maxf(memScale, memDev))
+	}
+
 	if mode == ModeNoOverlap {
-		pred.T = pred.TScale + pred.TReadLimit + pred.TWriteLimit
+		pred.T = pred.TScale + pred.TReadLimit + pred.TWriteLimit + pred.TMemLimit
 		pred.Bottleneck = "sum"
 		return pred
 	}
@@ -264,6 +285,10 @@ func (s StageModel) Predict(pl Platform, mode Mode) StagePrediction {
 		pred.T = pred.TDeviceLimit
 		pred.Bottleneck = "device"
 	}
+	if pred.TMemLimit > 0 && pred.TMemLimit > pred.T {
+		pred.Bottleneck = "memory"
+	}
+	pred.T += pred.TMemLimit
 	return pred
 }
 

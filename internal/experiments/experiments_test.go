@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-gc", "ablation-model", "errorbars",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig2", "fig3", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
-		"gatk4-full", "headline", "multidisk", "ousterhout", "resilience",
+		"gatk4-full", "headline", "memvolume", "multidisk", "ousterhout", "resilience",
 		"scheduler", "speculation", "tab4", "tab5",
 	}
 	got := IDs()
@@ -189,6 +189,26 @@ func TestExtensionExperiments(t *testing.T) {
 	sc := runExperiment(t, "scheduler")
 	if r := sc.Metrics["wait_reduction"]; r < 0.2 {
 		t.Errorf("scheduler wait reduction %.0f%%; model-driven SJF should cut waits substantially", r*100)
+	}
+}
+
+func TestMemvolumeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory sweep")
+	}
+	mv := runExperiment(t, "memvolume")
+	t.Logf("memvolume metrics: %v", mv.Metrics)
+	if f := mv.Metrics["flat_hdd_inflation"]; f < 0.97 || f > 1.05 {
+		t.Errorf("flat-region HDD inflation %.3f, want ~1 (working set fits the heap)", f)
+	}
+	hdd, ssd := mv.Metrics["hdd_spill_inflation"], mv.Metrics["ssd_spill_inflation"]
+	if hdd <= ssd || ssd <= 1 {
+		t.Errorf("spill inflation hdd=%.2f ssd=%.2f, want hdd > ssd > 1", hdd, ssd)
+	}
+	for _, k := range []string{"model_hdd_agreement", "model_ssd_agreement"} {
+		if a := mv.Metrics[k]; a <= 0 {
+			t.Errorf("%s = %.3f, want positive", k, a)
+		}
 	}
 }
 

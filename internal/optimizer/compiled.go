@@ -14,16 +14,18 @@ import (
 // ClusterSpec is cluster shape (Slaves, VCPUs), which the compiled
 // model takes per prediction: the testbed software configuration
 // (replication, block size) is constant across shapes, so two specs
-// with the same provisioned devices share one compilation.
+// with the same provisioned devices — and the same heap, which feeds
+// the environment's t_mem_limit parameters — share one compilation.
 type deviceKey struct {
 	hdfsType  cloud.DiskType
 	hdfsSize  units.ByteSize
 	localType cloud.DiskType
 	localSize units.ByteSize
+	heapGB    float64
 }
 
 func keyOf(spec cloud.ClusterSpec) deviceKey {
-	return deviceKey{spec.HDFSType, spec.HDFSSize, spec.LocalType, spec.LocalSize}
+	return deviceKey{spec.HDFSType, spec.HDFSSize, spec.LocalType, spec.LocalSize, spec.HeapGB}
 }
 
 // compiledEntry is one environment's lazily-compiled model. The

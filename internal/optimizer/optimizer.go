@@ -73,6 +73,18 @@ type Space struct {
 	HDFSSizes  []units.ByteSize
 	LocalTypes []cloud.DiskType
 	LocalSizes []units.ByteSize
+	// HeapGBs is the optional per-node executor-heap axis. Empty keeps
+	// the legacy memory-free space: every spec carries HeapGB 0 and the
+	// search is unchanged down to the bit pattern of its costs.
+	HeapGBs []float64
+}
+
+// heaps returns the heap axis with the memory-free default applied.
+func (s Space) heaps() []float64 {
+	if len(s.HeapGBs) == 0 {
+		return []float64{0}
+	}
+	return s.HeapGBs
 }
 
 // DefaultSpace mirrors the paper's exploration: 16-vCPU workers (their
@@ -103,7 +115,8 @@ func ByteTB(v float64) units.ByteSize {
 
 // Size reports the number of candidate configurations in the space.
 func (s Space) Size() int {
-	return len(s.VCPUs) * len(s.HDFSTypes) * len(s.HDFSSizes) * len(s.LocalTypes) * len(s.LocalSizes)
+	return len(s.VCPUs) * len(s.HDFSTypes) * len(s.HDFSSizes) *
+		len(s.LocalTypes) * len(s.LocalSizes) * len(s.heaps())
 }
 
 // Specs enumerates the space's candidate configurations in
@@ -115,11 +128,14 @@ func (s Space) Specs() []cloud.ClusterSpec {
 			for _, hs := range s.HDFSSizes {
 				for _, lt := range s.LocalTypes {
 					for _, ls := range s.LocalSizes {
-						out = append(out, cloud.ClusterSpec{
-							Slaves: s.Slaves, VCPUs: v,
-							HDFSType: ht, HDFSSize: hs,
-							LocalType: lt, LocalSize: ls,
-						})
+						for _, hp := range s.heaps() {
+							out = append(out, cloud.ClusterSpec{
+								Slaves: s.Slaves, VCPUs: v,
+								HDFSType: ht, HDFSSize: hs,
+								LocalType: lt, LocalSize: ls,
+								HeapGB: hp,
+							})
+						}
 					}
 				}
 			}
@@ -150,8 +166,10 @@ func candCompare(a, b Candidate) int {
 		return cmpOrd(a.Spec.HDFSSize, b.Spec.HDFSSize)
 	case a.Spec.LocalType != b.Spec.LocalType:
 		return cmpOrd(a.Spec.LocalType.String(), b.Spec.LocalType.String())
-	default:
+	case a.Spec.LocalSize != b.Spec.LocalSize:
 		return cmpOrd(a.Spec.LocalSize, b.Spec.LocalSize)
+	default:
+		return cmpOrd(a.Spec.HeapGB, b.Spec.HeapGB)
 	}
 }
 
@@ -302,16 +320,23 @@ func batchGrid(space Space, be BatchEvaluator, pricing cloud.Pricing) ([]Candida
 	g := gridPool.Get().(*gridScratch)
 	defer gridPool.Put(g)
 	g.grow(size)
+	// The heap axis sits with the device loops: HeapGB is part of the
+	// compiled environment (it changes the model, not just the shape), so
+	// keeping each (devices, heap) run contiguous lets EvaluateBatch
+	// reuse one compilation per run.
 	for _, ht := range space.HDFSTypes {
 		for _, hs := range space.HDFSSizes {
 			for _, lt := range space.LocalTypes {
 				for _, ls := range space.LocalSizes {
-					for _, v := range space.VCPUs {
-						g.specs = append(g.specs, cloud.ClusterSpec{
-							Slaves: space.Slaves, VCPUs: v,
-							HDFSType: ht, HDFSSize: hs,
-							LocalType: lt, LocalSize: ls,
-						})
+					for _, hp := range space.heaps() {
+						for _, v := range space.VCPUs {
+							g.specs = append(g.specs, cloud.ClusterSpec{
+								Slaves: space.Slaves, VCPUs: v,
+								HDFSType: ht, HDFSSize: hs,
+								LocalType: lt, LocalSize: ls,
+								HeapGB: hp,
+							})
+						}
 					}
 				}
 			}
@@ -338,10 +363,12 @@ func batchGrid(space Space, be BatchEvaluator, pricing cloud.Pricing) ([]Candida
 			for _, lt := range space.LocalTypes {
 				for _, ls := range space.LocalSizes {
 					dl := pricing.DiskDollarsPerHour(lt, ls)
-					for _, v := range space.VCPUs {
-						perNode := float64(v)*pricing.VCPUPerHour + dh + dl
-						keys[i] = candKey{cost: perNode * slavesF * outs[i].Hours(), idx: int32(i)}
-						i++
+					for _, hp := range space.heaps() {
+						for _, v := range space.VCPUs {
+							perNode := float64(v)*pricing.VCPUPerHour + hp*pricing.MemoryGBPerHour + dh + dl
+							keys[i] = candKey{cost: perNode * slavesF * outs[i].Hours(), idx: int32(i)}
+							i++
+						}
 					}
 				}
 			}
@@ -442,6 +469,11 @@ func neighbours(space Space, s cloud.ClusterSpec) []cloud.ClusterSpec {
 		n.LocalSize = sz
 		add(n)
 	}
+	for _, hp := range adjacentFloats(space.HeapGBs, s.HeapGB) {
+		n := s
+		n.HeapGB = hp
+		add(n)
+	}
 	// Disk-type switches are paired with every size: the cost surface has
 	// a valley between "large HDD" and "small SSD" optima (the paper's
 	// Fig. 13 vs Fig. 15), and a type flip at constant size cannot cross
@@ -487,6 +519,28 @@ func adjacentInts(vals []int, cur int) []int {
 		}
 	}
 	// Current value outside the space: allow any entry as a move.
+	return sorted
+}
+
+func adjacentFloats(vals []float64, cur float64) []float64 {
+	if len(vals) == 0 {
+		// No heap axis: the coordinate does not exist, so no moves.
+		return nil
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var out []float64
+	for i, v := range sorted {
+		if v == cur {
+			if i > 0 {
+				out = append(out, sorted[i-1])
+			}
+			if i < len(sorted)-1 {
+				out = append(out, sorted[i+1])
+			}
+			return out
+		}
+	}
 	return sorted
 }
 

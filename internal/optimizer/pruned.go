@@ -89,6 +89,16 @@ func Filter(cands []Candidate, cons Constraints) []Candidate {
 // (TestPrunedMatchesGrid pins the equivalence on randomized monotone
 // spaces and pricings).
 //
+// A heap axis (Space.HeapGBs) changes which monotonicity is available:
+// the t_mem_limit term's device bound grows with P (more concurrent
+// working sets spill more), so runtime is no longer guaranteed
+// non-increasing in P. It IS non-increasing in the heap — a larger heap
+// only removes spill and GC (TestMemLimitMonotoneInHeap in
+// internal/core pins this) — and $/hr is strictly increasing in it, the
+// exact structure the P argument needs. Heap-axis searches therefore
+// prune along descending HeapGB per (devices, P) slice and evaluate
+// every P; memory-free spaces keep the legacy P pruning unchanged.
+//
 // Unconstrained searches fall back to GridSearch wholesale (nothing can
 // be pruned) and report Evaluated == Total.
 func PrunedSearch(space Space, eval SpecEvaluator, pricing cloud.Pricing, cons Constraints) (SearchReport, error) {
@@ -104,13 +114,65 @@ func PrunedSearch(space Space, eval SpecEvaluator, pricing cloud.Pricing, cons C
 		return SearchReport{Candidates: cands, Evaluated: total, Total: total}, nil
 	}
 
-	// Parallelism values, largest first (the space may list them in any
-	// order): the head of each slice is then its runtime lower bound.
-	vcpus := append([]int(nil), space.VCPUs...)
-	sort.Sort(sort.Reverse(sort.IntSlice(vcpus)))
-
 	rep := SearchReport{Total: total}
 	cands := []Candidate{} // non-nil: matches Filter on an empty result
+
+	// pruneSlice walks one monotone slice, descending along the axis that
+	// guarantees non-increasing runtime: the head evaluation is the
+	// slice's runtime floor, a deadline miss proves the rest infeasible,
+	// and $/hr·tFloor lower-bounds each later point's cost.
+	pruneSlice := func(specs []cloud.ClusterSpec) error {
+		var tFloor time.Duration
+		dead := false
+		for k, spec := range specs {
+			if dead {
+				rep.Pruned++
+				continue
+			}
+			if k > 0 && cons.Budget > 0 && spec.Cost(tFloor, pricing) > cons.Budget {
+				// $/hr at this point times the slice's runtime floor already
+				// exceeds the budget; the true cost is at least that.
+				rep.Pruned++
+				continue
+			}
+			d, err := eval.Evaluate(spec)
+			if err != nil {
+				return fmt.Errorf("optimizer: evaluating %v: %w", spec, err)
+			}
+			rep.Evaluated++
+			if k == 0 || d < tFloor {
+				tFloor = d
+			}
+			if cons.Deadline > 0 && d > cons.Deadline {
+				// Runtime is non-increasing along the slice: every remaining
+				// point is at least as slow.
+				dead = true
+			}
+			c := Candidate{Spec: spec, Time: d, Cost: spec.Cost(d, pricing)}
+			if cons.admits(c) {
+				cands = append(cands, c)
+			}
+		}
+		return nil
+	}
+
+	heapAxis := len(space.HeapGBs) > 0
+	// Parallelism values, largest first (the space may list them in any
+	// order): with no heap axis the head of each P slice is its runtime
+	// lower bound.
+	vcpus := append([]int(nil), space.VCPUs...)
+	sort.Sort(sort.Reverse(sort.IntSlice(vcpus)))
+	// Heap values, largest first, for heap-axis slices. Memory-free
+	// spaces skip the copy: the legacy path stays allocation-identical.
+	sliceLen := len(vcpus)
+	var heaps []float64
+	if heapAxis {
+		heaps = append([]float64(nil), space.HeapGBs...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(heaps)))
+		sliceLen = len(heaps)
+	}
+
+	slice := make([]cloud.ClusterSpec, 0, sliceLen)
 	for _, ht := range space.HDFSTypes {
 		for _, hs := range space.HDFSSizes {
 			for _, lt := range space.LocalTypes {
@@ -120,38 +182,28 @@ func PrunedSearch(space Space, eval SpecEvaluator, pricing cloud.Pricing, cons C
 						HDFSType: ht, HDFSSize: hs,
 						LocalType: lt, LocalSize: ls,
 					}
-					var tFloor time.Duration
-					dead := false
-					for k, v := range vcpus {
-						spec := base
-						spec.VCPUs = v
-						if dead {
-							rep.Pruned++
-							continue
+					if !heapAxis {
+						slice = slice[:0]
+						for _, v := range vcpus {
+							spec := base
+							spec.VCPUs = v
+							slice = append(slice, spec)
 						}
-						if k > 0 && cons.Budget > 0 && spec.Cost(tFloor, pricing) > cons.Budget {
-							// $/hr at this P times the slice's runtime floor
-							// already exceeds the budget; the true cost is at
-							// least that.
-							rep.Pruned++
-							continue
+						if err := pruneSlice(slice); err != nil {
+							return SearchReport{}, err
 						}
-						d, err := eval.Evaluate(spec)
-						if err != nil {
-							return SearchReport{}, fmt.Errorf("optimizer: evaluating %v: %w", spec, err)
+						continue
+					}
+					for _, v := range vcpus {
+						slice = slice[:0]
+						for _, hp := range heaps {
+							spec := base
+							spec.VCPUs = v
+							spec.HeapGB = hp
+							slice = append(slice, spec)
 						}
-						rep.Evaluated++
-						if k == 0 || d < tFloor {
-							tFloor = d
-						}
-						if cons.Deadline > 0 && d > cons.Deadline {
-							// Runtime is non-increasing in P: every remaining
-							// (smaller) P is at least as slow.
-							dead = true
-						}
-						c := Candidate{Spec: spec, Time: d, Cost: spec.Cost(d, pricing)}
-						if cons.admits(c) {
-							cands = append(cands, c)
+						if err := pruneSlice(slice); err != nil {
+							return SearchReport{}, err
 						}
 					}
 				}

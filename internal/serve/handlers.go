@@ -83,6 +83,11 @@ type ClusterParams struct {
 	Cores    int    `json:"cores"`
 	HDFS     string `json:"hdfs"`
 	Local    string `json:"local"`
+	// HeapGB provisions per-node executor memory, enabling the memory
+	// layer (spill + GC) in simulations and the t_mem_limit term in
+	// predictions. Omitted or zero keeps the legacy memory-free
+	// behaviour, and omitempty keeps legacy cache keys unchanged.
+	HeapGB float64 `json:"heap_gb,omitempty"`
 }
 
 // normalize applies the CLI defaults and validates; after it returns the
@@ -112,6 +117,9 @@ func (c *ClusterParams) normalize() error {
 	if c.Cores < 1 || c.Cores > 1024 {
 		return fmt.Errorf("cores %d outside [1, 1024]", c.Cores)
 	}
+	if c.HeapGB < 0 || c.HeapGB > 4096 {
+		return fmt.Errorf("heap_gb %v outside [0, 4096]", c.HeapGB)
+	}
 	if _, err := cloud.ParseDevice(c.HDFS); err != nil {
 		return fmt.Errorf("hdfs: %v", err)
 	}
@@ -132,7 +140,9 @@ func (c ClusterParams) clusterConfig() (spark.ClusterConfig, error) {
 	if err != nil {
 		return spark.ClusterConfig{}, err
 	}
-	return spark.DefaultTestbed(c.Slaves, c.Cores, hd, ld), nil
+	cfg := spark.DefaultTestbed(c.Slaves, c.Cores, hd, ld)
+	cfg.Memory = spark.MemoryConfig{HeapGB: c.HeapGB}
+	return cfg, nil
 }
 
 // FaultSpec mirrors core.FaultParams / spark.FaultConfig in JSON.
@@ -304,6 +314,7 @@ type StagePredictionJSON struct {
 	ReadLimitSeconds   float64 `json:"read_limit_seconds"`
 	WriteLimitSeconds  float64 `json:"write_limit_seconds"`
 	DeviceLimitSeconds float64 `json:"device_limit_seconds"`
+	MemLimitSeconds    float64 `json:"mem_limit_seconds,omitempty"`
 }
 
 func stageJSON(p core.StagePrediction) StagePredictionJSON {
@@ -315,6 +326,7 @@ func stageJSON(p core.StagePrediction) StagePredictionJSON {
 		ReadLimitSeconds:   p.TReadLimit.Seconds(),
 		WriteLimitSeconds:  p.TWriteLimit.Seconds(),
 		DeviceLimitSeconds: p.TDeviceLimit.Seconds(),
+		MemLimitSeconds:    p.TMemLimit.Seconds(),
 	}
 }
 
@@ -683,6 +695,11 @@ type RecommendRequest struct {
 	// using Eq. 1's monotonicity instead of evaluating the full grid
 	// (omitempty keeps cache keys for deadline-free requests unchanged).
 	DeadlineMinutes float64 `json:"deadline_minutes,omitempty"`
+	// HeapGBs adds an executor-heap axis to the search space: each value
+	// is evaluated with the t_mem_limit term parameterised by that heap
+	// and priced per GB. Empty keeps the memory-free legacy space (and,
+	// via omitempty, the legacy cache keys).
+	HeapGBs []float64 `json:"heap_gbs,omitempty"`
 }
 
 func (req *RecommendRequest) normalize() error {
@@ -707,6 +724,14 @@ func (req *RecommendRequest) normalize() error {
 	if req.DeadlineMinutes < 0 {
 		return fmt.Errorf("deadline_minutes %g must be non-negative", req.DeadlineMinutes)
 	}
+	if len(req.HeapGBs) > 16 {
+		return fmt.Errorf("heap_gbs has %d values, limit 16", len(req.HeapGBs))
+	}
+	for _, h := range req.HeapGBs {
+		if h <= 0 || h > 4096 {
+			return fmt.Errorf("heap_gbs value %v outside (0, 4096]", h)
+		}
+	}
 	return nil
 }
 
@@ -718,6 +743,7 @@ type CandidateJSON struct {
 	HDFSSizeGB   float64 `json:"hdfs_size_gb"`
 	LocalType    string  `json:"local_type"`
 	LocalSizeGB  float64 `json:"local_size_gb"`
+	HeapGB       float64 `json:"heap_gb,omitempty"`
 	TimeMinutes  float64 `json:"time_minutes"`
 	CostUSD      float64 `json:"cost_usd"`
 	SavingVsBest float64 `json:"-"`
@@ -731,6 +757,7 @@ func candidateJSON(c optimizer.Candidate) CandidateJSON {
 		HDFSSizeGB:  c.Spec.HDFSSize.GBytes(),
 		LocalType:   c.Spec.LocalType.String(),
 		LocalSizeGB: c.Spec.LocalSize.GBytes(),
+		HeapGB:      c.Spec.HeapGB,
 		TimeMinutes: c.Time.Minutes(),
 		CostUSD:     c.Cost,
 	}
@@ -787,6 +814,7 @@ func (s *Server) computeRecommend(req RecommendRequest) ([]byte, error) {
 	eval := optimizer.ModelEvaluator(cal.Model)
 	pricing := cloud.DefaultPricing()
 	space := optimizer.DefaultSpace(req.Slaves)
+	space.HeapGBs = req.HeapGBs
 	cons := optimizer.Constraints{Deadline: time.Duration(req.DeadlineMinutes * float64(time.Minute))}
 	rep, err := optimizer.PrunedSearch(space, eval, pricing, cons)
 	if err != nil {

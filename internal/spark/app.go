@@ -22,11 +22,17 @@ const (
 	OpShuffleWrite
 	OpPersistRead
 	OpPersistWrite
+	// OpSpillWrite and OpSpillRead are emitted by the simulator's
+	// memory layer (never by applications): working-set overflow
+	// written to the Local device when a wave outgrows the executor
+	// heap, and re-read before the task completes.
+	OpSpillWrite
+	OpSpillRead
 )
 
 var opKindNames = [...]string{
 	"Compute", "HDFSRead", "HDFSWrite", "ShuffleRead", "ShuffleWrite",
-	"PersistRead", "PersistWrite",
+	"PersistRead", "PersistWrite", "SpillWrite", "SpillRead",
 }
 
 // String names the op kind.
@@ -42,19 +48,20 @@ func (k OpKind) IsIO() bool { return k != OpCompute }
 
 // IsRead reports whether the op reads from a disk.
 func (k OpKind) IsRead() bool {
-	return k == OpHDFSRead || k == OpShuffleRead || k == OpPersistRead
+	return k == OpHDFSRead || k == OpShuffleRead || k == OpPersistRead || k == OpSpillRead
 }
 
 // IsWrite reports whether the op writes to a disk.
 func (k OpKind) IsWrite() bool {
-	return k == OpHDFSWrite || k == OpShuffleWrite || k == OpPersistWrite
+	return k == OpHDFSWrite || k == OpShuffleWrite || k == OpPersistWrite || k == OpSpillWrite
 }
 
 // OnLocal reports whether the op targets the Spark Local disk (as
 // opposed to the HDFS disk).
 func (k OpKind) OnLocal() bool {
 	return k == OpShuffleRead || k == OpShuffleWrite ||
-		k == OpPersistRead || k == OpPersistWrite
+		k == OpPersistRead || k == OpPersistWrite ||
+		k == OpSpillRead || k == OpSpillWrite
 }
 
 // Op is one step of a task. Tasks execute their ops sequentially while
@@ -207,6 +214,8 @@ func (a App) Validate() error {
 			}
 			for oi, op := range g.Ops {
 				switch {
+				case op.Kind == OpSpillRead || op.Kind == OpSpillWrite:
+					return fmt.Errorf("spark: %s/%s group %d op %d: spill ops are emitted by the memory layer, not by applications", a.Name, s.Name, gi, oi)
 				case op.Kind == OpCompute && op.Duration < 0:
 					return fmt.Errorf("spark: %s/%s group %d op %d: negative compute", a.Name, s.Name, gi, oi)
 				case op.Kind == OpCompute && op.CoupledCompute != 0:

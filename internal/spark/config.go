@@ -83,6 +83,14 @@ type ClusterConfig struct {
 	// shuffle-fetch failures with Spark-faithful recovery (see
 	// FaultConfig). The zero value disables the fault layer entirely.
 	Faults FaultConfig
+	// Memory enables per-node executor-heap accounting: working-set
+	// reservation per task, spill to the Local device when a wave's
+	// resident set exceeds the heap, and occupancy-driven GC stalls
+	// (see MemoryConfig). The zero value disables the memory layer
+	// entirely. A memory-enabled run always takes the per-task
+	// simulation path (heap occupancy couples nodes through task
+	// placement, so wave coalescing does not apply).
+	Memory MemoryConfig
 	// DisableCoalescing forces the per-task simulation path even when a
 	// run qualifies for wave coalescing (see docs/PERF.md). Coalescing
 	// is output-preserving, so this knob exists only for A/B equivalence
@@ -160,6 +168,9 @@ func (c ClusterConfig) Validate() error {
 				return fmt.Errorf("spark: %s delivers no write bandwidth at %v requests (zero-sized or misconfigured device?)", d.name, rs)
 			}
 		}
+	}
+	if err := c.Memory.Validate(); err != nil {
+		return err
 	}
 	return c.Faults.Validate(c.Slaves)
 }

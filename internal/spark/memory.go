@@ -1,0 +1,212 @@
+package spark
+
+// Executor-memory model: per-node heap accounting, spill-to-device and
+// occupancy-driven GC stalls. Spark holds a task's working set —
+// deserialized input partitions, shuffle buffers, aggregation maps — in
+// the executor heap; when a wave's resident set outgrows the heap, the
+// overflow spills to the Spark Local device and is re-read before the
+// task completes (MEMORY_AND_DISK semantics). High heap occupancy also
+// triggers stop-the-world collections that stall every core on the
+// node. Both effects are what the scale-up characterizations
+// (arXiv:1507.08340, arXiv:1805.08332) observe once data volume
+// outgrows memory, and both are invisible to Eq. 1 without the
+// t_mem_limit term in internal/core.
+//
+// Like FaultConfig, the zero value disables every memory path: a run
+// with an unset MemoryConfig is event-for-event identical to a run
+// without the memory layer (the registry-wide golden test in
+// internal/workloads pins this byte for byte).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Memory-model defaults, shared with core.MemParamsFor so the simulator
+// and the analytical t_mem_limit term resolve identical values.
+const (
+	// DefaultMemExpansion is the calibrated expansion factor from
+	// on-disk task bytes to in-heap working set. Deserialized JVM
+	// objects run 2-5x their serialized size (Spark tuning guide);
+	// 2.5 matches the SparkBench-style workloads the paper evaluates.
+	DefaultMemExpansion = 2.5
+	// DefaultSpillReqSize is the request size of spill I/O. Spark's
+	// spill files are written through a 32 KB-buffered stream but the
+	// device sees the merged sequential pattern; 256 KB is the
+	// effective operating point fio measures for spill-like traffic.
+	DefaultSpillReqSize = 256 * units.KB
+	// DefaultGCMaxPause is the full-heap stop-the-world pause cost, in
+	// seconds (DurationParam).
+	DefaultGCMaxPause DurationParam = 0.5
+	// DefaultGCThreshold is the heap occupancy where collections start
+	// to cost time (CMS/G1 initiating-occupancy style).
+	DefaultGCThreshold = 0.6
+	// memGCSpread is the deterministic per-task spread of GC pause
+	// lengths around the occupancy-determined mean (±15%, seeded).
+	memGCSpread = 0.15
+)
+
+// saltGC separates the GC-pause draw from the jitter/fault draws that
+// share the splitmix64 hash.
+const saltGC uint64 = 0xFA14
+
+// MemoryConfig enables the executor-memory model. The zero value
+// disables it entirely; a zero-valued MemoryConfig run is
+// event-for-event identical to a run without the memory layer.
+type MemoryConfig struct {
+	// HeapGB is the usable executor heap per node in GB. Zero disables
+	// the memory model (today's behavior); positive values enable heap
+	// accounting, spill and GC stalls.
+	HeapGB float64
+	// Expansion scales a task's on-disk I/O bytes into its in-heap
+	// working set (deserialization blow-up). Zero means
+	// DefaultMemExpansion.
+	Expansion float64
+	// SpillReqSize is the device request size of spill writes and
+	// re-reads; it selects the effective-bandwidth operating point on
+	// the Local device curve, which is what makes HDD and SSD spill
+	// costs diverge. Zero means DefaultSpillReqSize.
+	SpillReqSize units.ByteSize
+	// GCMaxPause is the per-task stop-the-world pause at full heap
+	// occupancy, in seconds. Zero means DefaultGCMaxPause; GC can be
+	// effectively disabled by setting GCThreshold to ~1.
+	GCMaxPause DurationParam
+	// GCThreshold is the heap occupancy (0..1) below which collections
+	// are free. Zero means DefaultGCThreshold.
+	GCThreshold float64
+}
+
+// Enabled reports whether the memory layer is active.
+func (m MemoryConfig) Enabled() bool { return m.HeapGB > 0 }
+
+// HeapBytes returns the usable executor heap per node.
+func (m MemoryConfig) HeapBytes() units.ByteSize {
+	return units.ByteSize(m.HeapGB * float64(units.GB))
+}
+
+// ExpansionFactor returns the working-set expansion with the default
+// applied.
+func (m MemoryConfig) ExpansionFactor() float64 {
+	if m.Expansion > 0 {
+		return m.Expansion
+	}
+	return DefaultMemExpansion
+}
+
+// SpillRequestSize returns the spill request size with the default
+// applied.
+func (m MemoryConfig) SpillRequestSize() units.ByteSize {
+	if m.SpillReqSize > 0 {
+		return m.SpillReqSize
+	}
+	return DefaultSpillReqSize
+}
+
+// GCPauseMax returns the full-occupancy pause with the default applied.
+func (m MemoryConfig) GCPauseMax() time.Duration {
+	p := m.GCMaxPause
+	if p <= 0 {
+		p = DefaultGCMaxPause
+	}
+	return units.SecDuration(p.Seconds())
+}
+
+// GCOccupancyThreshold returns the free-GC occupancy bound with the
+// default applied.
+func (m MemoryConfig) GCOccupancyThreshold() float64 {
+	if m.GCThreshold > 0 {
+		return m.GCThreshold
+	}
+	return DefaultGCThreshold
+}
+
+// Validate checks the memory configuration.
+func (m MemoryConfig) Validate() error {
+	switch {
+	case m.HeapGB < 0:
+		return fmt.Errorf("spark: HeapGB must be >= 0, got %v", m.HeapGB)
+	case m.Expansion < 0:
+		return fmt.Errorf("spark: memory Expansion must be >= 0, got %v", m.Expansion)
+	case m.SpillReqSize < 0:
+		return fmt.Errorf("spark: SpillReqSize must be >= 0, got %v", m.SpillReqSize)
+	case m.GCMaxPause < 0:
+		return fmt.Errorf("spark: GCMaxPause must be >= 0, got %v", m.GCMaxPause)
+	case m.GCThreshold < 0 || m.GCThreshold > 1:
+		return fmt.Errorf("spark: GCThreshold %v outside [0,1]", m.GCThreshold)
+	}
+	return nil
+}
+
+// TaskWorkingSet returns one task's in-heap working set for a group:
+// the expansion factor times the task's total I/O volume.
+func (m MemoryConfig) TaskWorkingSet(g TaskGroup) units.ByteSize {
+	var io units.ByteSize
+	for _, op := range g.Ops {
+		if op.Kind.IsIO() {
+			io += op.Bytes
+		}
+	}
+	return units.ByteSize(m.ExpansionFactor() * float64(io))
+}
+
+// spillFor returns how much of a task's working set ws must spill when
+// reserved on a node already holding resident bytes against the heap:
+// clamp(resident + ws - heap, 0, ws). Never negative, never more than
+// the task's own working set.
+func spillFor(resident, ws, heap units.ByteSize) units.ByteSize {
+	over := resident + ws - heap
+	if over < 0 {
+		return 0
+	}
+	if over > ws {
+		return ws
+	}
+	return over
+}
+
+// gcFraction maps heap occupancy to the fraction of GCPauseMax a
+// completing task pays: zero below the threshold, then a quadratic
+// ramp to 1 at (or beyond) full occupancy. The quadratic matches the
+// super-linear pause growth GC logs show as the live set approaches
+// the heap.
+func (m MemoryConfig) gcFraction(occ float64) float64 {
+	thr := m.GCOccupancyThreshold()
+	if occ <= thr || thr >= 1 {
+		return 0
+	}
+	q := (occ - thr) / (1 - thr)
+	if q > 1 {
+		q = 1
+	}
+	return q * q
+}
+
+// MemStats aggregates memory-layer activity over a stage or run. All
+// fields are zero when the memory layer is disabled.
+type MemStats struct {
+	// SpilledTasks counts task attempts whose working set overflowed
+	// the heap.
+	SpilledTasks int
+	// SpillBytes is the per-task overflow volume reserved to the Local
+	// device (each spilled byte is written once and re-read once, so
+	// the device moves 2x this).
+	SpillBytes units.ByteSize
+	// GCPauses counts occupancy-triggered stop-the-world pauses.
+	GCPauses int
+	// GCStall is the summed pause time; each pause stalls every core
+	// on its node until it ends.
+	GCStall time.Duration
+	// PeakResident is the largest per-node resident working set seen.
+	// It measures demand — each in-flight task charges its full working
+	// set, spilled bytes included — so it can exceed the heap; the
+	// overshoot is what spilled.
+	PeakResident units.ByteSize
+}
+
+// Any reports whether any memory activity was recorded.
+func (s MemStats) Any() bool {
+	return s.SpilledTasks != 0 || s.SpillBytes != 0 || s.GCPauses != 0 ||
+		s.GCStall != 0 || s.PeakResident != 0
+}

@@ -1,0 +1,134 @@
+package spark
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// FuzzMemoryAccounting drives randomized memory configurations through
+// config validation, the spill arithmetic and a small end-to-end
+// simulation, checking the layer's invariants: Validate never panics,
+// per-task spill stays inside [0, working set], peak resident demand
+// never exceeds the node's concurrency times the working set, and a
+// heap too large to matter is indistinguishable from the memory layer
+// being off.
+func FuzzMemoryAccounting(f *testing.F) {
+	f.Add(1.0, 2.5, int64(256), 0.5, 0.6, int64(32), int64(24), int64(2), uint64(1))
+	f.Add(0.25, 4.0, int64(64), 1.0, 0.9, int64(64), int64(48), int64(4), uint64(7))
+	f.Add(0.0, 0.0, int64(0), 0.0, 0.0, int64(8), int64(8), int64(1), uint64(0))
+	f.Fuzz(func(t *testing.T, heapGB, expansion float64, spillKB int64,
+		gcPauseSec, gcThr float64, perTaskMB, tasks, cores int64, seed uint64) {
+		// Validate must reject or accept without panicking, whatever the
+		// raw values are.
+		raw := MemoryConfig{
+			HeapGB:       heapGB,
+			Expansion:    expansion,
+			SpillReqSize: units.ByteSize(spillKB) * units.KB,
+			GCMaxPause:   DurationParam(gcPauseSec),
+			GCThreshold:  gcThr,
+		}
+		rawErr := raw.Validate()
+		if raw.HeapGB < 0 || raw.Expansion < 0 || raw.SpillReqSize < 0 ||
+			raw.GCMaxPause < 0 || raw.GCThreshold < 0 || raw.GCThreshold > 1 {
+			if rawErr == nil {
+				t.Fatalf("Validate accepted %+v", raw)
+			}
+			return
+		}
+		if rawErr != nil {
+			t.Fatalf("Validate rejected in-range %+v: %v", raw, rawErr)
+		}
+
+		// Sanitize the shape parameters into a range the sim can run in
+		// microseconds; the memory parameters keep their fuzzed values
+		// when finite and in-range.
+		mod := func(v, lo, hi int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			if v < 0 { // math.MinInt64
+				v = 0
+			}
+			return lo + v%(hi-lo+1)
+		}
+		if math.IsNaN(heapGB) || math.IsInf(heapGB, 0) || heapGB > 64 {
+			heapGB = 1
+		}
+		cfg := DefaultTestbed(2, int(mod(cores, 1, 4)), disk.NewSSD(), disk.NewHDD())
+		cfg.Seed = seed
+		cfg.Memory = MemoryConfig{
+			HeapGB:       heapGB,
+			Expansion:    expansion,
+			SpillReqSize: raw.SpillReqSize,
+			GCMaxPause:   raw.GCMaxPause,
+			GCThreshold:  gcThr,
+		}
+		if err := cfg.Memory.Validate(); err != nil {
+			t.Fatalf("sanitized config invalid: %v", err)
+		}
+
+		perTask := units.ByteSize(mod(perTaskMB, 1, 64)) * units.MB
+		app := App{Name: "fuzz-mem", Stages: []Stage{{
+			Name: "s",
+			Groups: []TaskGroup{{Name: "g", Count: int(mod(tasks, 1, 48)), Ops: []Op{
+				IO(OpHDFSRead, perTask, 4*units.MB, 0),
+				Compute(50 * time.Millisecond),
+			}}},
+		}}}
+
+		res, err := Run(cfg, app)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		ws := cfg.Memory.TaskWorkingSet(app.Stages[0].Groups[0])
+		nTasks := units.ByteSize(app.Stages[0].Groups[0].Count)
+		if res.Mem.SpillBytes < 0 || res.Mem.SpillBytes > nTasks*ws {
+			t.Fatalf("spill %v outside [0, %v]", res.Mem.SpillBytes, nTasks*ws)
+		}
+		// resident is demand, not in-heap occupancy: it sums the full
+		// working set of every in-flight attempt (spilled bytes
+		// included), so its bound is the node's concurrency, not the
+		// heap.
+		if maxRes := units.ByteSize(cfg.ExecutorCores) * ws; res.Mem.PeakResident > maxRes {
+			t.Fatalf("peak resident %v exceeds %d concurrent working sets (%v)",
+				res.Mem.PeakResident, cfg.ExecutorCores, maxRes)
+		}
+
+		// spillFor's clamp, on the values this run actually saw.
+		heap := cfg.Memory.HeapBytes()
+		for _, resident := range []units.ByteSize{0, heap / 2, heap, heap + ws} {
+			s := spillFor(resident, ws, heap)
+			if s < 0 || s > ws {
+				t.Fatalf("spillFor(%v, %v, %v) = %v outside [0, ws]", resident, ws, heap, s)
+			}
+			if resident+ws <= heap && s != 0 {
+				t.Fatalf("spillFor(%v, %v, %v) = %v, want 0 when the set fits", resident, ws, heap, s)
+			}
+		}
+
+		// A heap that can never bind must be event-for-event identical
+		// to the layer being off.
+		huge := cfg
+		huge.Memory = MemoryConfig{HeapGB: 1 << 30}
+		off := cfg
+		off.Memory = MemoryConfig{}
+		hugeRes, err := Run(huge, app)
+		if err != nil {
+			t.Fatalf("huge-heap run: %v", err)
+		}
+		offRes, err := Run(off, app)
+		if err != nil {
+			t.Fatalf("memory-off run: %v", err)
+		}
+		if hugeRes.Total != offRes.Total {
+			t.Fatalf("huge heap total %v != memory-off total %v", hugeRes.Total, offRes.Total)
+		}
+		if hugeRes.Mem.SpillBytes != 0 || hugeRes.Mem.GCPauses != 0 {
+			t.Fatalf("huge heap still spilled/collected: %+v", hugeRes.Mem)
+		}
+	})
+}

@@ -107,6 +107,9 @@ type StageResult struct {
 	// and their recoveries. Recompute I/O performed on behalf of a fetch
 	// failure is charged to this (consumer) stage's IO stats.
 	Faults FaultStats
+	// Mem records spill and GC activity while the stage was active.
+	// All fields are zero when the memory layer is disabled.
+	Mem MemStats
 }
 
 // HDFSUtil returns the stage's average HDFS-disk utilisation across
@@ -145,6 +148,10 @@ type Result struct {
 	// Faults aggregates fault activity across the whole run. All fields
 	// are zero when the fault layer is disabled.
 	Faults FaultStats
+	// Mem aggregates memory-layer activity (spilled tasks, spill
+	// volume, GC stalls, peak resident set) across the whole run. All
+	// fields are zero when the memory layer is disabled.
+	Mem MemStats
 }
 
 // Stage returns the named stage's result, or false.
@@ -187,6 +194,10 @@ func (r *Result) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(cw, "# faults: %d failed attempts (%d node-lost, %d fetch), %d retries, %d recomputes, %d nodes lost, %d blacklisted\n",
 			f.TaskFailures, f.LostAttempts, f.FetchFailures, f.Retries,
 			f.Recomputes, f.NodesLost, f.NodesBlacklisted)
+	}
+	if m := r.Mem; m.Any() {
+		fmt.Fprintf(cw, "# memory: %d spilled tasks, %v spilled, %d GC pauses (%s stalled), peak resident %v/node\n",
+			m.SpilledTasks, m.SpillBytes, m.GCPauses, m.GCStall, m.PeakResident)
 	}
 	return cw.n, nil
 }

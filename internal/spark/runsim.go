@@ -41,6 +41,12 @@ type node struct {
 	crashed      bool
 	blacklisted  bool
 	taskFailures int
+	// memory state (only touched when the memory layer is on): the
+	// resident working set of in-flight attempts, and the instant
+	// until which a stop-the-world GC pause stalls every core on the
+	// node.
+	resident units.ByteSize
+	gcUntil  time.Duration
 }
 
 // stageState tracks one stage through its execution.
@@ -102,6 +108,12 @@ type attempt struct {
 	failAt      int
 	fetchFailAt int
 	lost        bool
+	// memory layer: the working set reserved on the node for this
+	// attempt (released on every exit path) and the portion that
+	// overflowed the heap (written to the Local device up front and
+	// re-read before the task completes).
+	memBytes units.ByteSize
+	spill    units.ByteSize
 }
 
 type runner struct {
@@ -229,6 +241,13 @@ func coalescable(cfg ClusterConfig, app App) bool {
 		return false
 	}
 	if cfg.Faults.Enabled() || cfg.Speculation || cfg.StragglerFraction > 0 || cfg.ComputeJitter > 0 {
+		return false
+	}
+	// Heap occupancy couples every task on a node to its co-resident
+	// wave: simulating one representative node would need the exact
+	// cross-node placement to reproduce spill decisions, so
+	// memory-enabled runs always take the per-task path.
+	if cfg.Memory.Enabled() {
 		return false
 	}
 	for _, s := range app.Stages {
@@ -531,6 +550,9 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 	task.inflight++
 	a := &attempt{task: task, nd: nd, gi: gi, g: g, taskIdx: taskIdx, start: taskStart, failAt: -1, fetchFailAt: -1}
 	st.running[a] = struct{}{}
+	if r.memOn() {
+		r.reserveMem(st, a)
+	}
 	if f := r.cfg.Faults; f.Enabled() {
 		// Decide this attempt's fate up front, deterministically from
 		// (seed, stage, task, attempt). The failure point is uniform over
@@ -599,10 +621,24 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 		}
 		r.maybeSpeculate(st)
 	}
+	// endTask is what the op walk calls at the task boundary. With the
+	// memory layer off it IS finish, so the zero-heap event sequence is
+	// unchanged; with it on, the spill re-read and the occupancy-driven
+	// GC pause run first (see memEpilogue).
+	endTask := finish
+	if r.memOn() {
+		endTask = func() { r.memEpilogue(st, a, finish) }
+	}
 	runOp = func(i int) {
+		if r.memOn() && r.memGate(nd, func() { runOp(i) }) {
+			// A GC pause on this node stalls the core until it ends; the
+			// op re-dispatches at the pause boundary.
+			return
+		}
 		if task.done {
 			// A speculative sibling won: stand down at the op boundary
 			// (Spark kills the slower attempt).
+			r.releaseMem(a)
 			delete(st.running, a)
 			task.inflight--
 			nd.cores.Release()
@@ -611,6 +647,7 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 		if r.faultsOn() {
 			if r.err != nil {
 				// The application already failed; drain quietly.
+				r.releaseMem(a)
 				delete(st.running, a)
 				task.inflight--
 				nd.cores.Release()
@@ -638,11 +675,11 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 					s.Kind = OpCompute
 					s.Time += r.eng.Now() - opStart
 					s.Count++
-					finish()
+					endTask()
 				})
 				return
 			}
-			finish()
+			endTask()
 			return
 		}
 		op := g.Ops[i]
@@ -672,7 +709,14 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 		r.execOp(st, nd, op, done)
 	}
 	// Task launch overhead occupies the core before the first op.
-	r.eng.After(units.SecDuration(r.cfg.TaskLaunchOverhead.Seconds()), func() { runOp(0) })
+	launch := func() { runOp(0) }
+	if a.spill > 0 {
+		// The heap overflow is written to the Local device before the op
+		// walk begins (Spark spills while building the working set; the
+		// simulator charges it up front at spill request sizes).
+		launch = func() { r.execSpill(st, a, OpSpillWrite, func() { runOp(0) }) }
+	}
+	r.eng.After(units.SecDuration(r.cfg.TaskLaunchOverhead.Seconds()), launch)
 }
 
 // jitterFactor returns the deterministic per-task compute-time multiplier
@@ -701,6 +745,120 @@ func (r *runner) hash01(stageIdx, taskIdx int, salt uint64) float64 {
 // behavior is gated on it so a zero-valued FaultConfig run is
 // event-for-event identical to a run without the fault layer.
 func (r *runner) faultsOn() bool { return r.cfg.Faults.Enabled() }
+
+// memOn reports whether the memory layer is active. Like faultsOn,
+// every memory-path behavior is gated on it so a zero-valued
+// MemoryConfig run is event-for-event identical to a run without the
+// memory layer (golden-pinned in internal/workloads).
+func (r *runner) memOn() bool { return r.cfg.Memory.Enabled() }
+
+// reserveMem charges an attempt's working set against its node's heap
+// and decides, deterministically, how much of it spills: the overflow
+// above the heap, clamped to the task's own set. Counterpart of
+// releaseMem, which every attempt exit path calls.
+func (r *runner) reserveMem(st *stageState, a *attempt) {
+	ws := r.cfg.Memory.TaskWorkingSet(a.g)
+	if ws <= 0 {
+		return
+	}
+	a.spill = spillFor(a.nd.resident, ws, r.cfg.Memory.HeapBytes())
+	a.nd.resident += ws
+	a.memBytes = ws
+	if a.nd.resident > r.res.Mem.PeakResident {
+		r.res.Mem.PeakResident = a.nd.resident
+	}
+	if st.res.Mem.PeakResident < a.nd.resident {
+		st.res.Mem.PeakResident = a.nd.resident
+	}
+	if a.spill > 0 {
+		st.res.Mem.SpilledTasks++
+		r.res.Mem.SpilledTasks++
+		st.res.Mem.SpillBytes += a.spill
+		r.res.Mem.SpillBytes += a.spill
+	}
+}
+
+// releaseMem returns an attempt's working-set reservation to its node.
+// Safe to call on every exit path: it is a no-op once released or when
+// nothing was reserved.
+func (r *runner) releaseMem(a *attempt) {
+	if a.memBytes > 0 {
+		a.nd.resident -= a.memBytes
+		a.memBytes = 0
+	}
+}
+
+// memGate defers f to the end of the node's in-progress GC pause, if
+// one is stalling its cores. Reports whether f was deferred.
+func (r *runner) memGate(nd *node, f func()) bool {
+	if until := nd.gcUntil; r.eng.Now() < until {
+		r.eng.At(until, f)
+		return true
+	}
+	return false
+}
+
+// execSpill runs one spill write or re-read for an attempt's overflow
+// through the regular device path, so the Local curve's request-size
+// behavior (and iostat accounting) applies to spill traffic too.
+func (r *runner) execSpill(st *stageState, a *attempt, kind OpKind, done func()) {
+	op := Op{Kind: kind, Bytes: a.spill, ReqSize: r.cfg.Memory.SpillRequestSize()}
+	opStart := r.eng.Now()
+	r.execOp(st, a.nd, op, func() {
+		r.accountIO(st, op, r.eng.Now()-opStart)
+		done()
+	})
+}
+
+// memEpilogue runs between an attempt's last op and finish: the spill
+// re-read (the overflow must come back from the Local device to emit
+// the task's output), then the occupancy-driven GC pause. The pause
+// holds this core directly and stalls the node's other cores through
+// gcUntil + memGate. Occupancy is sampled before the release — the
+// collection happens under the completing wave's full pressure.
+func (r *runner) memEpilogue(st *stageState, a *attempt, done func()) {
+	fin := func() {
+		pause := r.gcPause(st, a)
+		r.releaseMem(a)
+		if pause <= 0 {
+			done()
+			return
+		}
+		until := r.eng.Now() + pause
+		if until > a.nd.gcUntil {
+			a.nd.gcUntil = until
+		}
+		st.res.Mem.GCPauses++
+		r.res.Mem.GCPauses++
+		st.res.Mem.GCStall += pause
+		r.res.Mem.GCStall += pause
+		r.eng.After(pause, done)
+	}
+	if a.spill > 0 && !a.task.done {
+		r.execSpill(st, a, OpSpillRead, fin)
+		return
+	}
+	fin()
+}
+
+// gcPause returns the stop-the-world pause a completing attempt
+// triggers at its node's current heap occupancy: zero below the
+// threshold, a quadratic ramp above it, spread ±15% by a seeded
+// deterministic draw (same splitmix64 family as jitter and faults).
+func (r *runner) gcPause(st *stageState, a *attempt) time.Duration {
+	heap := r.cfg.Memory.HeapBytes()
+	if heap <= 0 || a.memBytes == 0 {
+		return 0
+	}
+	occ := float64(a.nd.resident) / float64(heap)
+	q := r.cfg.Memory.gcFraction(occ)
+	if q <= 0 {
+		return 0
+	}
+	u := r.hash01(st.idx, a.taskIdx, saltGC)
+	spread := 1 - memGCSpread + 2*memGCSpread*u
+	return units.SecDuration(q * spread * r.cfg.Memory.GCPauseMax().Seconds())
+}
 
 // Salts separating the independent fault decisions drawn per attempt.
 const (
@@ -816,6 +974,7 @@ func (r *runner) noteNodeFailure(nd *node) {
 // against the task's budget, and — unless a sibling attempt is still
 // running — the task retries after exponential backoff.
 func (r *runner) failAttempt(st *stageState, a *attempt, kind FailureKind) {
+	r.releaseMem(a)
 	delete(st.running, a)
 	a.task.inflight--
 	a.nd.cores.Release()
@@ -867,6 +1026,7 @@ func (r *runner) retryTask(st *stageState, a *attempt, delay time.Duration) {
 // sizes, shuffle re-write) on a healthy node. This is the recovery cost
 // the request-size-aware bandwidth curves make device-dependent.
 func (r *runner) fetchFail(st *stageState, a *attempt) {
+	r.releaseMem(a)
 	delete(st.running, a)
 	a.task.inflight--
 	a.nd.cores.Release()

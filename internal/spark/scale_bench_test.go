@@ -129,3 +129,26 @@ func TestScaleAppCoalesces(t *testing.T) {
 		t.Errorf("paths disagree at production scale:\ncoalesced: %+v\nper-task:  %+v", a, b)
 	}
 }
+
+// BenchmarkSimMemSpill is the memory layer's hot path: the mid-size
+// jittered input with a heap small enough that every wave spills and
+// collects, so each task pays reservation accounting, spill I/O through
+// the Local device and a seeded GC stall on top of the fallback path
+// BenchmarkSimMedium prices.
+func BenchmarkSimMemSpill(b *testing.B) {
+	ssd := disk.NewSSD()
+	cfg := DefaultTestbed(8, 8, ssd, ssd) // default jitter 0.15
+	cfg.Memory = MemoryConfig{HeapGB: 0.5}
+	app := scaleAppSized(8, 8, 6400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mem.SpilledTasks == 0 {
+			b.Fatal("benchmark config must exercise the spill path")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package workloads
+
+// Registry-wide golden pin for the memory subsystem: with HeapGB unset
+// the memory layer must be completely inert, so every workload's Result
+// must stay byte-identical to the totals recorded before the memory
+// subsystem existed. The committed golden file was generated from the
+// pre-memory tree; regenerate only with -update and only when a change
+// is *supposed* to alter legacy results (which the memory work is not).
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/spark"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+const legacyGoldenFile = "testdata/memory_legacy_golden.json"
+
+// legacyGolden records, per workload and cluster shape, the exact
+// simulated totals (in nanoseconds) of a zero-heap run.
+type legacyGolden struct {
+	TotalNS  int64   `json:"total_ns"`
+	StageEnd []int64 `json:"stage_end_ns"`
+}
+
+func legacyShapes() []struct {
+	name          string
+	slaves, cores int
+	hdfs, local   disk.Device
+} {
+	hdd, ssd := disk.NewHDD(), disk.NewSSD()
+	return []struct {
+		name          string
+		slaves, cores int
+		hdfs, local   disk.Device
+	}{
+		{"4xSSD", 4, 8, ssd, ssd},
+		{"4xHDD", 4, 8, hdd, hdd},
+		{"8xHybrid", 8, 4, ssd, hdd},
+	}
+}
+
+func legacyRun(t *testing.T, name string, sh struct {
+	name          string
+	slaves, cores int
+	hdfs, local   disk.Device
+}) legacyGolden {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := homogeneousConfig(sh.slaves, sh.cores, sh.hdfs, sh.local)
+	res, err := spark.Run(cfg, w.Build(cfg))
+	if err != nil {
+		t.Fatalf("%s on %s: %v", name, sh.name, err)
+	}
+	g := legacyGolden{TotalNS: int64(res.Total)}
+	for _, st := range res.Stages {
+		g.StageEnd = append(g.StageEnd, int64(st.End))
+	}
+	return g
+}
+
+// TestMemoryLegacyGolden pins every registered workload's zero-heap
+// simulation output to the pre-memory-subsystem goldens, byte for byte.
+func TestMemoryLegacyGolden(t *testing.T) {
+	got := map[string]map[string]legacyGolden{}
+	for _, name := range Names() {
+		got[name] = map[string]legacyGolden{}
+		for _, sh := range legacyShapes() {
+			got[name][sh.name] = legacyRun(t, name, sh)
+		}
+	}
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(legacyGoldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(legacyGoldenFile, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", legacyGoldenFile)
+		return
+	}
+	buf, err := os.ReadFile(legacyGoldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update from a known-good tree): %v", err)
+	}
+	var want map[string]map[string]legacyGolden
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, shapes := range want {
+		for shName, wantG := range shapes {
+			gotG, ok := got[name][shName]
+			if !ok {
+				t.Errorf("golden has %s/%s but run did not produce it", name, shName)
+				continue
+			}
+			if gotG.TotalNS != wantG.TotalNS {
+				t.Errorf("%s/%s: Total drifted from legacy golden: got %d ns, want %d ns",
+					name, shName, gotG.TotalNS, wantG.TotalNS)
+			}
+			for i := range wantG.StageEnd {
+				if i >= len(gotG.StageEnd) || gotG.StageEnd[i] != wantG.StageEnd[i] {
+					t.Errorf("%s/%s: stage %d end drifted from legacy golden", name, shName, i)
+					break
+				}
+			}
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Logf("note: workload %q has no legacy golden entry (new workload?)", name)
+		}
+	}
+}
