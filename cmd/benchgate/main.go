@@ -13,7 +13,7 @@
 //
 //	... | benchgate -baseline docs/BENCH_simcore.json -baseline docs/BENCH_serve.json
 //
-// allocs/op is deterministic and gated strictly; ns/op is machine-
+// allocs/op and B/op are deterministic and gated strictly; ns/op is machine-
 // dependent, so the gate compares against the committed baseline with a
 // relative tolerance (default 15%). See docs/PERF.md for when and how
 // to refresh the baseline.
@@ -37,9 +37,13 @@ type Baseline struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
-// Entry is one benchmark's recorded cost.
+// Entry is one benchmark's recorded cost. BytesPerOp is omitted from
+// baselines written before it was gated; a zero value skips the B/op
+// gate (an actually-zero-byte benchmark is already pinned through its
+// zero allocs/op).
 type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
@@ -148,15 +152,17 @@ func compare(base Baseline, got map[string]Entry, tol float64, out, errW io.Writ
 			continue
 		}
 		nsOK := gate(cur.NsPerOp, want.NsPerOp, tol)
+		bytesOK := want.BytesPerOp == 0 || gate(cur.BytesPerOp, want.BytesPerOp, tol)
 		allocOK := gate(cur.AllocsPerOp, want.AllocsPerOp, tol)
 		status := "ok  "
-		if !nsOK || !allocOK {
+		if !nsOK || !bytesOK || !allocOK {
 			status = "FAIL"
 			failed++
 		}
-		fmt.Fprintf(out, "%s %-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
+		fmt.Fprintf(out, "%s %-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  B/op %10.0f -> %10.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
 			status, name,
 			want.NsPerOp, cur.NsPerOp, delta(cur.NsPerOp, want.NsPerOp),
+			want.BytesPerOp, cur.BytesPerOp, delta(cur.BytesPerOp, want.BytesPerOp),
 			want.AllocsPerOp, cur.AllocsPerOp, delta(cur.AllocsPerOp, want.AllocsPerOp))
 	}
 	if failed > 0 {
@@ -217,6 +223,8 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 			switch f[i+1] {
 			case "ns/op":
 				e.NsPerOp, haveNs = v, true
+			case "B/op":
+				e.BytesPerOp = v
 			case "allocs/op":
 				e.AllocsPerOp, haveAllocs = v, true
 			}

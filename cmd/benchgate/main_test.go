@@ -29,11 +29,11 @@ func TestParseBench(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want 2 (no-benchmem lines skipped): %v", len(got), got)
 	}
 	e := got["BenchmarkEngineEventLoop"]
-	if e.NsPerOp != 28.55 || e.AllocsPerOp != 0 {
+	if e.NsPerOp != 28.55 || e.BytesPerOp != 0 || e.AllocsPerOp != 0 {
 		t.Errorf("EngineEventLoop = %+v", e)
 	}
 	e = got["BenchmarkFlowChurn"]
-	if e.NsPerOp != 382.9 || e.AllocsPerOp != 2 {
+	if e.NsPerOp != 382.9 || e.BytesPerOp != 322 || e.AllocsPerOp != 2 {
 		t.Errorf("FlowChurn = %+v", e)
 	}
 }
@@ -77,6 +77,39 @@ func TestGateFailsOnRegression(t *testing.T) {
 	errW.Reset()
 	if code := run([]string{"-baseline", path, "-tolerance", "0.5"}, strings.NewReader(regressed), &out, &errW); code != 1 {
 		t.Fatalf("alloc regression passed at 50%% tolerance (exit %d)", code)
+	}
+}
+
+// TestGateFailsOnBytesRegression pins the B/op gate: a run whose only
+// regression is bytes-per-op fails against a baseline that recorded
+// them, and passes against a legacy baseline that did not.
+func TestGateFailsOnBytesRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out, errW bytes.Buffer
+	if code := run([]string{"-write", path}, strings.NewReader(benchOut), &out, &errW); code != 0 {
+		t.Fatalf("write exited %d", code)
+	}
+	bloated := strings.Replace(benchOut, "382.9 ns/op	     322 B/op	       2 allocs/op",
+		"382.9 ns/op	     999 B/op	       2 allocs/op", 1)
+	if code := run([]string{"-baseline", path}, strings.NewReader(bloated), &out, &errW); code != 1 {
+		t.Fatalf("B/op regression exited %d, want 1\n%s%s", code, out.String(), errW.String())
+	}
+
+	// A pre-B/op baseline (bytes_per_op absent -> zero) skips the gate.
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	data, err := json.Marshal(Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkFlowChurn": {NsPerOp: 382.9, AllocsPerOp: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacy, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errW.Reset()
+	if code := run([]string{"-baseline", legacy}, strings.NewReader(bloated), &out, &errW); code != 0 {
+		t.Fatalf("legacy baseline without bytes_per_op exited %d, want 0: %s", code, errW.String())
 	}
 }
 

@@ -101,6 +101,8 @@ func (a *app) cmdCampaignRun(ctx context.Context, args []string) error {
 	pointTimeout := fs.Duration("point-timeout", 0, "per-point deadline override (0 = config value; timed-out points are retried on resume)")
 	metricsPath := fs.String("metrics", "", "write campaign progress counters (Prometheus text) to this file on exit")
 	quiet := fs.Bool("q", false, "suppress per-point progress lines")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	shards, shard := campaignShardFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +110,11 @@ func (a *app) cmdCampaignRun(ctx context.Context, args []string) error {
 	if *configPath == "" {
 		return fmt.Errorf("campaign run: -config is required")
 	}
+	stopProf, err := a.startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return fmt.Errorf("campaign run: %v", err)
+	}
+	defer stopProf()
 	if err := firstError(
 		checkShards(*shards, *shard),
 		checkNonNegativeInt("parallel", *parallel),

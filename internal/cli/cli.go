@@ -121,9 +121,50 @@ func usage(w io.Writer) {
                                      health-checked failover, retries, hedging
   doppio campaign plan|run|merge     resumable, checkpointed parameter studies
                                      (see docs/CAMPAIGN.md); run checkpoints every
-                                     completed point and -resume skips them
+                                     completed point, -resume skips them, and
+                                     -cpuprofile/-memprofile write pprof data
   doppio fio                         effective-bandwidth sweep of HDD/SSD models
 `)
+}
+
+// startProfiles begins the optional pprof captures shared by `doppio
+// run` and `doppio campaign run`. The returned stop function (never
+// nil) ends the CPU profile and writes the heap profile; defer it so
+// every exit path flushes the data.
+func (a *app) startProfiles(cpuprofile, memprofile string) (func(), error) {
+	var stopCPU func()
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start CPU profile: %v", err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if memprofile == "" {
+			return
+		}
+		f, err := os.Create(memprofile)
+		if err != nil {
+			fmt.Fprintf(a.out, "# memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(a.out, "# memprofile: %v\n", err)
+		}
+	}, nil
 }
 
 func (a *app) cmdExperiments() error {
@@ -163,31 +204,11 @@ func (a *app) cmdRun(ctx context.Context, args []string) error {
 	); err != nil {
 		return fmt.Errorf("run: %v", err)
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return fmt.Errorf("run: %v", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("run: start CPU profile: %v", err)
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := a.startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return fmt.Errorf("run: %v", err)
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(a.out, "# memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile reflects retained memory
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(a.out, "# memprofile: %v\n", err)
-			}
-		}()
-	}
+	defer stopProf()
 	ids := fs.Args()
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()

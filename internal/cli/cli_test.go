@@ -403,3 +403,37 @@ func TestRunWritesProfiles(t *testing.T) {
 		t.Errorf("bad cpuprofile path exit = %d", code)
 	}
 }
+
+// TestCampaignRunWritesProfiles checks the same pprof hooks on the
+// campaign runner, which is where degraded-mode profiling sessions
+// actually happen (docs/CI.md).
+func TestCampaignRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	config := filepath.Join(dir, "study.json")
+	study := `{"name":"prof","base":{"workload":"sql"},"axes":{"nodes":[2],"seeds":[1]}}`
+	if err := os.WriteFile(config, []byte(study), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	ckpt := filepath.Join(dir, "c.jsonl")
+	_, errOut, code := run(t, "campaign", "run", "-config", config, "-checkpoint", ckpt,
+		"-cpuprofile", cpu, "-memprofile", mem, "-q")
+	if code != 0 {
+		t.Fatalf("campaign run exit = %d: %s", code, errOut)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	_, _, code = run(t, "campaign", "run", "-config", config,
+		"-cpuprofile", filepath.Join(dir, "no-such-dir", "x"))
+	if code != 1 {
+		t.Errorf("bad cpuprofile path exit = %d", code)
+	}
+}

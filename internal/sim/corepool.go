@@ -11,7 +11,14 @@ type CorePool struct {
 	eng      *Engine
 	capacity int
 	inUse    int
-	queue    []func()
+	// queue is a ring buffer of waiting acquirers: popping from the
+	// head advances an index instead of reslicing, so a long-lived pool
+	// keeps one steady-state allocation no matter how many dispatches
+	// pass through it (the naive queue[1:] reslice marches the backing
+	// array forward and reallocates on every wave).
+	queue  []func()
+	head   int
+	queued int
 
 	busyCoreSeconds float64
 	lastChange      time.Duration
@@ -32,7 +39,34 @@ func (p *CorePool) Capacity() int { return p.capacity }
 func (p *CorePool) InUse() int { return p.inUse }
 
 // Queued returns the number of waiting acquirers.
-func (p *CorePool) Queued() int { return len(p.queue) }
+func (p *CorePool) Queued() int { return p.queued }
+
+// push appends a waiter to the ring, growing it when full.
+func (p *CorePool) push(run func()) {
+	if p.queued == len(p.queue) {
+		n := 2 * len(p.queue)
+		if n < 8 {
+			n = 8
+		}
+		grown := make([]func(), n)
+		for i := 0; i < p.queued; i++ {
+			grown[i] = p.queue[(p.head+i)%len(p.queue)]
+		}
+		p.queue, p.head = grown, 0
+	}
+	p.queue[(p.head+p.queued)%len(p.queue)] = run
+	p.queued++
+}
+
+// pop removes and returns the head waiter; the caller guarantees the
+// ring is non-empty.
+func (p *CorePool) pop() func() {
+	run := p.queue[p.head]
+	p.queue[p.head] = nil
+	p.head = (p.head + 1) % len(p.queue)
+	p.queued--
+	return run
+}
 
 // BusyCoreSeconds returns the integral of in-use cores over time, i.e.
 // the total core-seconds consumed so far. Useful for utilisation and
@@ -59,7 +93,7 @@ func (p *CorePool) Acquire(run func()) {
 		p.eng.After(0, run)
 		return
 	}
-	p.queue = append(p.queue, run)
+	p.push(run)
 }
 
 // Release returns a core to the pool, handing it to the head of the wait
@@ -68,10 +102,8 @@ func (p *CorePool) Release() {
 	if p.inUse <= 0 {
 		panic("sim: Release without Acquire")
 	}
-	if len(p.queue) > 0 {
-		next := p.queue[0]
-		p.queue = p.queue[1:]
-		p.eng.After(0, next)
+	if p.queued > 0 {
+		p.eng.After(0, p.pop())
 		return // core ownership transfers; inUse unchanged
 	}
 	p.account()
@@ -86,11 +118,9 @@ func (p *CorePool) SetCapacity(capacity int) {
 		panic("sim: core pool needs positive capacity")
 	}
 	p.capacity = capacity
-	for p.inUse < p.capacity && len(p.queue) > 0 {
-		next := p.queue[0]
-		p.queue = p.queue[1:]
+	for p.inUse < p.capacity && p.queued > 0 {
 		p.account()
 		p.inUse++
-		p.eng.After(0, next)
+		p.eng.After(0, p.pop())
 	}
 }

@@ -22,9 +22,16 @@ import (
 
 // event is a scheduled callback.
 type event struct {
-	at  time.Duration
-	seq uint64 // tie-breaker: FIFO among same-time events
-	fn  func()
+	at time.Duration
+	// phase orders events within one instant: normal events (phase 0)
+	// run before late ones (phase 1, scheduled via AtLate). Late events
+	// are end-of-instant finalizers — they observe every normal event's
+	// effects at their timestamp, which is what makes the Spark
+	// runner's stage-completion bookkeeping independent of event
+	// arrival order (see internal/spark).
+	phase uint8
+	seq   uint64 // tie-breaker: FIFO among same-time, same-phase events
+	fn    func()
 	// gen increments every time the event struct is recycled through the
 	// free-list; Timers snapshot it so cancelling a stale handle cannot
 	// touch an unrelated reused event.
@@ -38,6 +45,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].phase != h[j].phase {
+		return h[i].phase < h[j].phase
 	}
 	return h[i].seq < h[j].seq
 }
@@ -148,6 +158,25 @@ func (e *Engine) At(t time.Duration, fn func()) Timer {
 	}
 	ev := e.alloc()
 	ev.at = t
+	ev.phase = 0
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return Timer{ev: ev, gen: ev.gen, eng: e}
+}
+
+// AtLate schedules fn at absolute virtual time t in the late phase:
+// after every normal event with the same timestamp, however those
+// events were enqueued. Among themselves, late events keep FIFO order.
+// Use it for end-of-instant finalizers that must see a settled state.
+func (e *Engine) AtLate(t time.Duration, fn func()) Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.at = t
+	ev.phase = 1
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++

@@ -111,6 +111,9 @@ type FlowResource struct {
 	lastBusy  time.Duration
 	stats     FlowStats
 	recompute bool // guard against re-entrant recomputation
+	// doneScratch is finishReady's reusable completed-flow buffer, so
+	// the steady-state completion path stays allocation-free.
+	doneScratch []*Flow
 
 	// Observer, when non-nil, is notified on every flow start/finish.
 	// The profiler uses it for iostat-style accounting.
@@ -283,7 +286,7 @@ func (r *FlowResource) removeSorted(f *Flow) {
 func (r *FlowResource) finishReady() {
 	r.timerSet = false
 	r.advance()
-	var done []*Flow
+	done := r.doneScratch[:0]
 	kept := r.flows[:0]
 	for _, f := range r.flows {
 		// A flow is complete when its residue is below an absolute floor
@@ -314,7 +317,11 @@ func (r *FlowResource) finishReady() {
 	}
 	r.reallocate()
 	// Run completions after reallocation so new flows started inside the
-	// callbacks see a consistent resource.
+	// callbacks see a consistent resource. The scratch buffer is parked
+	// back on the resource first: completion callbacks can re-enter
+	// Start, but finishReady itself only runs from timer events, never
+	// recursively.
+	r.doneScratch = done
 	for _, f := range done {
 		if f.OnComplete != nil {
 			f.OnComplete()

@@ -1,0 +1,475 @@
+package spark
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// Salts separating the independent per-attempt and per-task draws.
+const (
+	saltFailProb  uint64 = 0xFA11
+	saltFailAt    uint64 = 0xFA12
+	saltFetch     uint64 = 0xFA13
+	saltStraggler uint64 = 0x5743
+)
+
+// specCopyIdxOffset displaces a speculative copy's task index so its
+// fault draws are independent of the original attempt's.
+const specCopyIdxOffset = 1_000_003
+
+// faultHash01 maps (seeds, stage, task, attempt, salt) to a uniform
+// [0,1) value. Unlike hash01 it mixes in the attempt number, so a
+// retried attempt draws fresh fates, and FaultConfig.Seed, so the
+// failure pattern can vary independently of the jitter pattern.
+func (r *runner) faultHash01(stageIdx, taskIdx, attempt int, salt uint64) float64 {
+	x := r.cfg.Seed ^ (r.cfg.Faults.Seed * 0x9e3779b97f4a7c15)
+	x ^= uint64(stageIdx)<<40 ^ uint64(taskIdx)<<16 ^ uint64(attempt)<<56 ^ salt
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// planPartial decides whether a degraded run (faults, speculation,
+// stragglers — the configurations full coalescing must reject)
+// qualifies for partial coalescing, and if so pre-draws the dirty-node
+// partition: every fault and straggler decision is a pure function of
+// the seeded hashes, so the set of tasks that will draw a degradation
+// event — and the nodes their recovery can touch — is known before the
+// event loop starts. Nodes outside that set execute provably identical
+// event sequences and fold into one representative.
+//
+// The plan is conservative where it can be (recovery taint spans) and
+// exact where it must be (the attempt-1 draws reuse the dispatch-time
+// hash calls verbatim); any runtime violation bails to the per-task
+// path, so a misprediction costs speed, never accuracy.
+func planPartial(cfg ClusterConfig, app App) (dirty []bool, dirtyCount, repReal int, ok bool) {
+	if !partialEligible(cfg, app) {
+		return nil, 0, -1, false
+	}
+	rr := &runner{cfg: cfgDerived{ClusterConfig: cfg}}
+	dirty = rr.drawDirty(app)
+	for _, d := range dirty {
+		if d {
+			dirtyCount++
+		}
+	}
+	// The fold needs a cohort: with fewer than two clean nodes the
+	// representative buys nothing over per-task.
+	if cfg.Slaves-dirtyCount < 2 {
+		return nil, 0, -1, false
+	}
+	repReal = -1
+	for id, d := range dirty {
+		if !d {
+			repReal = id
+			break
+		}
+	}
+	return dirty, dirtyCount, repReal, true
+}
+
+// partialEligible holds the static preconditions for partial
+// coalescing — the properties that make the clean cohort symmetric.
+func partialEligible(cfg ClusterConfig, app App) bool {
+	if cfg.DisableCoalescing || cfg.Slaves <= 2 {
+		return false
+	}
+	if !(cfg.Faults.Enabled() || cfg.Speculation || cfg.StragglerFraction > 0) {
+		return false // clean runs belong to full coalescing
+	}
+	// Jitter draws a distinct factor per task, so no two nodes run the
+	// same schedule; heap occupancy couples co-resident tasks the same
+	// way. Both stay per-task.
+	if cfg.ComputeJitter > 0 || cfg.Memory.Enabled() {
+		return false
+	}
+	// A scheduled crash dirties the whole cluster: surviving nodes
+	// absorb the dead node's share asymmetrically.
+	if len(cfg.Faults.NodeCrashes) > 0 {
+		return false
+	}
+	// A speculation multiplier at or below 1 makes roughly half the
+	// running tasks instant candidates — the clean cohort would bail
+	// immediately.
+	if cfg.Speculation && cfg.SpeculationMultiplier > 0 && cfg.SpeculationMultiplier <= 1 {
+		return false
+	}
+	for _, s := range app.Stages {
+		for _, g := range s.Groups {
+			if g.Count%cfg.Slaves != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// drawDirty replays every attempt-1 fate draw the dispatcher will make
+// — the same faultHash01/hash01 calls with the same salts — and taints
+// the nodes an eventful task's recovery can reach: its home node, plus
+// a window covering retries (each hop moves one node right), the
+// speculative copy (launched one node right), and the follow-on
+// failures drawn on the retry and copy chains.
+func (r *runner) drawDirty(app App) []bool {
+	S := r.cfg.Slaves
+	dirty := make([]bool, S)
+	f := r.cfg.Faults
+	maxF := 1
+	if f.Enabled() {
+		maxF = f.maxTaskFailures()
+	}
+	taint := func(home, span int) {
+		if span >= S {
+			span = S - 1
+		}
+		for k := 0; k <= span; k++ {
+			dirty[(home+k)%S] = true
+		}
+	}
+	for si, s := range app.Stages {
+		idx := 0
+		for _, g := range s.Groups {
+			// draws reports whether attempt number a of hash-index tid
+			// would draw a failure or fetch failure.
+			draws := func(tid, a int) bool {
+				if p := f.TaskFailureProb; p > 0 && r.faultHash01(si, tid, a, saltFailProb) < p {
+					return true
+				}
+				if q := f.ShuffleFetchFailureProb; q > 0 {
+					for i, op := range g.Ops {
+						if op.Kind == OpShuffleRead && r.faultHash01(si, tid, a, saltFetch+uint64(i)<<8) < q {
+							return true
+						}
+					}
+				}
+				return false
+			}
+			for t := 0; t < g.Count; t++ {
+				eventful := f.Enabled() && draws(idx, 1)
+				if sf := r.cfg.StragglerFraction; sf > 0 && r.hash01(si, idx, saltStraggler) < sf {
+					eventful = true
+				}
+				if !eventful {
+					idx++
+					continue
+				}
+				// Count every failure the retry chain and the speculative
+				// copy's chain could draw; attempt numbers are dynamic at
+				// runtime, so scan a window twice the attempt budget.
+				fails := 0
+				if f.Enabled() {
+					for a := 2; a <= 2*maxF; a++ {
+						if draws(idx, a) {
+							fails++
+						}
+					}
+					if r.cfg.Speculation {
+						for a := 1; a <= 2*maxF; a++ {
+							if draws(idx+specCopyIdxOffset, a) {
+								fails++
+							}
+						}
+					}
+				}
+				taint(idx%S, 2+fails)
+				idx++
+			}
+		}
+	}
+	return dirty
+}
+
+// maybeSpeculate launches a second attempt for tasks that have run far
+// past the median completed duration (spark.speculation semantics). It
+// runs in the engine's late phase (see scheduleFinal), so the median
+// and the running set reflect every completion of the current instant.
+func (r *runner) maybeSpeculate(st *stageState) {
+	if !r.cfg.Speculation || st.med == nil || st.med.Len() == 0 || r.err != nil {
+		return
+	}
+	mult := r.cfg.SpeculationMultiplier
+	if mult <= 0 {
+		mult = 1.5
+	}
+	threshold := time.Duration(float64(st.med.Median()) * mult)
+	now := r.eng.Now()
+	// Collect candidates in task order (the running list is insertion-
+	// ordered, not task-ordered) so speculative launches schedule engine
+	// events deterministically.
+	cands := r.cands[:0]
+	for a := st.running; a != nil; a = a.next {
+		if a.task.done || a.task.speculated {
+			continue
+		}
+		if now-a.start < threshold {
+			continue
+		}
+		if a.nd == r.rep {
+			// A clean-cohort task lagging the median breaks the plan's
+			// "nothing notable happens on clean nodes" premise.
+			r.bail()
+		}
+		j := len(cands)
+		cands = append(cands, a)
+		for j > 0 && cands[j-1].taskIdx > a.taskIdx {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+			j--
+		}
+	}
+	for _, a := range cands {
+		a.task.speculated = true
+		// Relaunch on the next node over; the copy is a fresh attempt
+		// (stragglers are machine-local, so the copy runs clean).
+		var other *node
+		var tid int
+		if r.faultsOn() {
+			other, tid = r.pickHealthy(a.nd.id+1, a.nd)
+			if other == nil {
+				// Nowhere to speculate; the original attempt may still
+				// finish on its own.
+				continue
+			}
+		} else {
+			tid = (a.nd.id + 1) % r.cfg.Slaves
+			other = r.byReal[tid]
+		}
+		if r.partial && !r.dirtyReal[tid] {
+			r.bail()
+		}
+		task, gi, idx := a.task, a.gi, a.taskIdx
+		other.cores.Acquire(func() { r.dispatch(st, task, other, gi, idx+specCopyIdxOffset, 1, true) })
+	}
+	r.cands = cands[:0]
+}
+
+// pickHealthy returns the first non-crashed, non-blacklisted node at or
+// after real id start (wrapping), with its real id, preferring any node
+// other than avoid; avoid itself is returned only when it is the sole
+// healthy node. Nil means no healthy node exists.
+func (r *runner) pickHealthy(start int, avoid *node) (*node, int) {
+	n := r.cfg.Slaves
+	var fallback *node
+	fallbackID := -1
+	for k := 0; k < n; k++ {
+		id := (start + k) % n
+		nd := r.byReal[id]
+		if nd.crashed || nd.blacklisted {
+			continue
+		}
+		if nd == avoid {
+			if fallback == nil {
+				fallback, fallbackID = nd, id
+			}
+			continue
+		}
+		return nd, id
+	}
+	return fallback, fallbackID
+}
+
+// noHealthyNodes builds the fatal everything-is-gone error.
+func (r *runner) noHealthyNodes() error {
+	var lost, black int
+	for id := 0; id < r.cfg.Slaves; id++ {
+		n := r.byReal[id]
+		if n.crashed {
+			lost++
+		} else if n.blacklisted {
+			black++
+		}
+	}
+	return &NoHealthyNodesError{App: r.app.Name, Lost: lost, Blacklisted: black}
+}
+
+// failApp records the first fatal error; the engine then drains its
+// in-flight events while every launch path stands down.
+func (r *runner) failApp(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// crashNode executes a scheduled node loss: in-flight attempts on the
+// node die at their next op boundary; queued dispatches bounce to
+// healthy nodes when they reach dispatch.
+func (r *runner) crashNode(nd *node) {
+	if nd.crashed || r.done == len(r.states) || r.err != nil {
+		return
+	}
+	nd.crashed = true
+	r.res.Faults.NodesLost++
+	for _, st := range r.states {
+		if !st.launched || st.completed {
+			continue
+		}
+		for a := st.running; a != nil; a = a.next {
+			if a.nd == nd {
+				a.lost = true
+			}
+		}
+	}
+}
+
+// noteNodeFailure counts an injected failure against the node's
+// blacklist budget (spark.blacklist.maxFailedTasksPerExecutor). The
+// last healthy node is never blacklisted: with uniformly injected
+// failures every node eventually trips the threshold, and a scheduler
+// with zero executors can only abort.
+func (r *runner) noteNodeFailure(nd *node) {
+	nd.taskFailures++
+	t := r.cfg.Faults.BlacklistThreshold
+	if t <= 0 || nd.blacklisted || nd.taskFailures < t {
+		return
+	}
+	healthy := 0
+	for id := 0; id < r.cfg.Slaves; id++ {
+		n := r.byReal[id]
+		if !n.crashed && !n.blacklisted {
+			healthy++
+		}
+	}
+	if healthy <= 1 {
+		return
+	}
+	if r.partial {
+		// Blacklisting reroutes every future dispatch homed on this
+		// node — the clean cohort's schedules stop being symmetric.
+		r.bail()
+	}
+	nd.blacklisted = true
+	r.res.Faults.NodesBlacklisted++
+}
+
+// failAttempt kills one attempt: the core frees, the failure counts
+// against the task's budget, and — unless a sibling attempt is still
+// running — the task retries after exponential backoff. The attempt is
+// recycled here; everything the retry needs is copied out first.
+func (r *runner) failAttempt(st *stageState, a *attempt, kind FailureKind) {
+	r.releaseMem(a)
+	st.removeRunning(a)
+	a.task.inflight--
+	a.nd.cores.Release()
+	task, nd, gi, g, taskIdx := a.task, a.nd, a.gi, a.g, a.taskIdx
+	r.recycle(a)
+	if task.done || r.err != nil {
+		return
+	}
+	task.failures++
+	st.res.Faults.TaskFailures++
+	r.res.Faults.TaskFailures++
+	if kind == FailNodeLost {
+		st.res.Faults.LostAttempts++
+		r.res.Faults.LostAttempts++
+	} else {
+		r.noteNodeFailure(nd)
+	}
+	f := r.cfg.Faults
+	if task.failures >= f.maxTaskFailures() {
+		r.failApp(&TaskFailedError{App: r.app.Name, Stage: st.stage.Name, Task: taskIdx, Failures: task.failures, Kind: kind})
+		return
+	}
+	if task.inflight > 0 {
+		return // a speculative sibling may still win
+	}
+	r.retryTask(st, task, nd.id, gi, g, taskIdx, f.backoff(task.failures))
+}
+
+// retryTask relaunches a task on a healthy node after the backoff.
+func (r *runner) retryTask(st *stageState, task *taskState, fromID, gi int, g TaskGroup, taskIdx int, delay time.Duration) {
+	st.res.Faults.Retries++
+	r.res.Faults.Retries++
+	from := r.byReal[fromID]
+	r.eng.After(delay, func() {
+		if task.done || r.err != nil {
+			return
+		}
+		target, tid := r.pickHealthy(fromID+1, from)
+		if target == nil {
+			r.failApp(r.noHealthyNodes())
+			return
+		}
+		if r.partial && !r.dirtyReal[tid] {
+			r.bail()
+		}
+		target.cores.Acquire(func() { r.dispatch(st, task, target, gi, taskIdx, 1, false) })
+	})
+}
+
+// fetchFail handles a shuffle-fetch failure: the reducer attempt dies,
+// and on stages with a parent one lost map output is recomputed before
+// the retry — re-running the parent op sequence (HDFS re-read at block
+// sizes, shuffle re-write) on a healthy node. This is the recovery cost
+// the request-size-aware bandwidth curves make device-dependent.
+func (r *runner) fetchFail(st *stageState, a *attempt) {
+	r.releaseMem(a)
+	st.removeRunning(a)
+	a.task.inflight--
+	a.nd.cores.Release()
+	task, fromID, gi, g, taskIdx := a.task, a.nd.id, a.gi, a.g, a.taskIdx
+	r.recycle(a)
+	if task.done || r.err != nil {
+		return
+	}
+	task.fetchFailures++
+	st.res.Faults.TaskFailures++
+	st.res.Faults.FetchFailures++
+	r.res.Faults.TaskFailures++
+	r.res.Faults.FetchFailures++
+	f := r.cfg.Faults
+	if task.fetchFailures >= f.maxTaskFailures() {
+		r.failApp(&TaskFailedError{App: r.app.Name, Stage: st.stage.Name, Task: taskIdx, Failures: task.fetchFailures, Kind: FailFetch})
+		return
+	}
+	if task.inflight > 0 {
+		return
+	}
+	if len(st.deps) == 0 {
+		// No parent stage to recompute; degrade to a plain retry.
+		r.retryTask(st, task, fromID, gi, g, taskIdx, f.backoff(task.fetchFailures))
+		return
+	}
+	parent := r.states[st.deps[0]]
+	r.recomputeParent(st, parent, fromID, func() {
+		r.retryTask(st, task, fromID, gi, g, taskIdx, f.backoff(task.fetchFailures))
+	})
+}
+
+// recomputeParent re-runs one parent map task's op sequence on a
+// healthy node, holding a core for the duration. The recompute I/O is
+// charged to the consumer stage st, where the recovery cost shows up in
+// the degraded measurements.
+func (r *runner) recomputeParent(st *stageState, parent *stageState, fromID int, then func()) {
+	st.res.Faults.Recomputes++
+	r.res.Faults.Recomputes++
+	target, tid := r.pickHealthy(fromID, nil)
+	if target == nil {
+		r.failApp(r.noHealthyNodes())
+		return
+	}
+	if r.partial && !r.dirtyReal[tid] {
+		r.bail()
+	}
+	g := parent.stage.Groups[0]
+	target.cores.Acquire(func() {
+		var run func(i int)
+		run = func(i int) {
+			if r.err != nil || i >= len(g.Ops) {
+				target.cores.Release()
+				if r.err == nil {
+					then()
+				}
+				return
+			}
+			op := g.Ops[i]
+			opStart := r.eng.Now()
+			r.execOp(st, target, op, func() {
+				r.accountIO(st, target, op, r.eng.Now()-opStart, 1)
+				run(i + 1)
+			})
+		}
+		r.eng.After(units.SecDuration(r.cfg.TaskLaunchOverhead.Seconds()), func() { run(0) })
+	})
+}

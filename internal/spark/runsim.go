@@ -2,7 +2,6 @@ package spark
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -16,6 +15,19 @@ import (
 // stage barriers on the previous one). When any stage declares
 // DependsOn, the DAG scheduler runs every stage whose dependencies have
 // completed, concurrently — Spark's actual stage semantics.
+//
+// Three execution modes share one event loop, chosen automatically:
+//
+//   - full coalescing: a provably node-symmetric run (see coalescable)
+//     simulates one representative node and folds it back Slaves times;
+//   - partial coalescing: a degraded run (faults, speculation,
+//     stragglers) pre-draws every per-task event from the seeded hashes,
+//     simulates the few "dirty" nodes that host one individually, and
+//     folds one representative over the untouched clean cohort (see
+//     planPartial and docs/PERF.md);
+//   - per-task: everything else, and the oracle the other two modes are
+//     pinned byte-identical against (ClusterConfig.DisableCoalescing
+//     forces it for A/B comparison).
 func Run(cfg ClusterConfig, app App) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -23,13 +35,53 @@ func Run(cfg ClusterConfig, app App) (*Result, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
-	r := newRunner(cfg, app)
+	r := newRunner(cfg, app, false)
+	res, err, bailed := r.runSafe()
+	if !bailed {
+		return res, err
+	}
+	// The partial-coalescing plan was violated at runtime (a degradation
+	// event reached the clean cohort); rerun per-task, which is always
+	// exact.
+	r = newRunner(cfg, app, true)
 	return r.run()
+}
+
+// bailToPerTask is the panic sentinel the partial-coalescing path
+// throws when a runtime event would break cohort symmetry (a retry or
+// speculative copy landing on a clean node, a blacklisting, a
+// representative task drawing an event the plan missed). Run recovers
+// it and replays the whole simulation per-task, so partial coalescing
+// is an optimisation that can never change a Result.
+type bailToPerTask struct{}
+
+// bail abandons the partial-coalesced simulation.
+func (r *runner) bail() { panic(bailToPerTask{}) }
+
+// runSafe runs the simulation, converting a bail sentinel into the
+// bailed flag. Only the partial path installs the recover — the
+// per-task and fully-coalesced paths never bail, and real panics must
+// keep propagating.
+func (r *runner) runSafe() (res *Result, err error, bailed bool) {
+	if r.partial {
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := v.(bailToPerTask); ok {
+					res, err, bailed = nil, nil, true
+					return
+				}
+				panic(v)
+			}
+		}()
+	}
+	res, err = r.run()
+	return res, err, false
 }
 
 // node is one simulated slave.
 type node struct {
-	id    int
+	id    int // real cluster index, also the fault-hash / pickHealthy identity
+	si    int // index into runner.ns (per-node accounting rows)
 	cores *sim.CorePool
 	hdfs  *sim.FlowResource
 	local *sim.FlowResource
@@ -49,6 +101,29 @@ type node struct {
 	gcUntil  time.Duration
 }
 
+// numOpKinds sizes the fixed per-stage accounting arrays.
+const numOpKinds = len(opKindNames)
+
+// netFlowNames precomputes the "<kind>/net" flow labels so the NIC
+// fast path never builds a string per op.
+var netFlowNames = func() (a [numOpKinds]string) {
+	for i := range a {
+		a[i] = OpKind(i).String() + "/net"
+	}
+	return a
+}()
+
+// ioAgg is one op kind's integer stage accounting. The representative
+// node's contributions are folded in at multiplicity inline (integer
+// arithmetic is exact under multiplication); the float Requests
+// accumulator lives in stageState.reqSub instead, per node, so it can
+// be folded in real-node order at stage completion.
+type ioAgg struct {
+	bytes units.ByteSize
+	ops   int
+	time  time.Duration
+}
+
 // stageState tracks one stage through its execution.
 type stageState struct {
 	idx       int
@@ -58,27 +133,58 @@ type stageState struct {
 	completed bool
 	res       *StageResult
 	groups    []GroupResult
-	remaining int
+	remaining int // logical tasks left, counted at full-cluster multiplicity
 	// device utilisation snapshots at the stage's barrier; with
 	// concurrent DAG stages the per-stage attribution is approximate
 	// (shared device time counts toward every overlapping stage).
 	hdfsBusy0, localBusy0 time.Duration
-	// speculation bookkeeping: completed task durations (sorted) and
-	// the in-flight attempts.
-	durations []time.Duration
-	running   map[*attempt]struct{}
-	// reqTrace records, on the coalesced path only, every increment to
-	// the cluster-shared IOStat.Requests accumulators in event order, so
-	// completeStage can replay the additions the replicated nodes would
-	// have made (float addition is order-sensitive; see scaleResult).
-	reqTrace map[OpKind][]reqIncr
+	// io is the integer I/O accounting; the IOStat map is materialised
+	// from it when the stage completes.
+	io [numOpKinds]ioAgg
+	// reqSub accumulates the float IOStat.Requests increments per
+	// simulated node (row = node.si), folded in real-node-id order at
+	// completion so the per-task and coalesced paths perform the same
+	// float additions in the same order.
+	reqSub [][numOpKinds]float64
+	// med tracks the running median of completed task durations for the
+	// speculation threshold (nil when speculation is off).
+	med *medianTracker
+	// running is an intrusive doubly-linked list of in-flight attempts.
+	running *attempt
+	// needsFinal marks the stage for the end-of-instant finalizer (see
+	// runner.finalize).
+	needsFinal bool
+	// tasks is the logical-task slab: one entry per dispatched task,
+	// allocated in a single slice per stage.
+	tasks []taskState
 }
 
-// reqIncr is one recorded IOStat.Requests increment: its virtual instant
-// and value.
-type reqIncr struct {
-	at time.Duration
-	v  float64
+// addRunning links an attempt into the stage's running list.
+func (st *stageState) addRunning(a *attempt) {
+	a.prev = nil
+	a.next = st.running
+	if st.running != nil {
+		st.running.prev = a
+	}
+	st.running = a
+	a.inList = true
+}
+
+// removeRunning unlinks an attempt; safe to call once per attempt.
+func (st *stageState) removeRunning(a *attempt) {
+	if !a.inList {
+		return
+	}
+	a.inList = false
+	if a.prev != nil {
+		a.prev.next = a.next
+	} else if st.running == a {
+		st.running = a.next
+	}
+	if a.next != nil {
+		a.next.prev = a.prev
+	}
+	a.prev, a.next = nil, nil
 }
 
 // taskState is one logical task, possibly executed by several attempts.
@@ -94,63 +200,99 @@ type taskState struct {
 	inflight      int
 }
 
-// attempt is one execution of a task on one node.
+// attempt is one execution of a task on one node. Attempts are pooled
+// on the runner and recycled at every terminal transition, with their
+// callback closures bound once at allocation, so the steady-state task
+// walk performs no per-op or per-task allocation.
 type attempt struct {
+	r       *runner
+	st      *stageState
 	task    *taskState
 	nd      *node
 	gi      int
 	g       TaskGroup
 	taskIdx int
-	start   time.Duration
+	// mult is the attempt's full-cluster multiplicity: 1 normally,
+	// the cohort size when this attempt runs on the representative
+	// node of a coalesced run.
+	mult  int
+	start time.Duration
 	// failAt / fetchFailAt are the op indices at which this attempt is
 	// fated to fail (-1: never). lost marks the attempt killed by its
 	// node's crash; it dies at the next op boundary.
 	failAt      int
 	fetchFailAt int
 	lost        bool
+	speculative bool
 	// memory layer: the working set reserved on the node for this
 	// attempt (released on every exit path) and the portion that
 	// overflowed the heap (written to the Local device up front and
 	// re-read before the task completes).
 	memBytes units.ByteSize
 	spill    units.ByteSize
+	// op-walk state.
+	i         int // current op index
+	jitter    float64
+	gcTime    time.Duration
+	gcIOBytes units.ByteSize
+	curOp     Op // the adjusted copy of g.Ops[i] in flight
+	opStart   time.Duration
+	pending   int // in-flight flows of the current op
+	// flow and netFlow are reused across ops: reassigning the struct
+	// resets the resource-internal fields, so the hot path starts flows
+	// without allocating.
+	flow    sim.Flow
+	netFlow sim.Flow
+	// intrusive links: running list and the runner's free list.
+	prev, next *attempt
+	inList     bool
+	freeNext   *attempt
+	// prebound callbacks, created once per pooled attempt.
+	launchF   func()
+	stepF     func()
+	flowDoneF func()
+	gcDoneF   func()
+	finishF   func()
 }
 
 type runner struct {
 	cfg        cfgDerived
 	app        App
 	eng        *sim.Engine
-	ns         []*node
+	ns         []*node // simulated nodes
+	byReal     []*node // real node id -> simulated node (clean ids map to rep)
+	rep        *node   // cohort representative (nil on the pure per-task path)
+	repReal    int     // the real id the representative impersonates
+	repMult    int     // real nodes the representative stands for
+	partial    bool    // partial (degraded-mode) coalescing active
+	dirtyReal  []bool  // partial mode: real ids simulated individually
 	res        *Result
 	states     []*stageState
 	done       int
 	finishedAt time.Duration
-	// scale is the wave-coalescing replication factor: 1 on the
-	// per-task path; cfg.Slaves when the run is provably node-symmetric
-	// and a single representative node is simulated in place of the
-	// cluster (see coalescable and docs/PERF.md). Every aggregate is
-	// scaled back so the Result is byte-identical to the per-task path.
-	scale int
 	// err is the first fatal failure (attempt budget exhausted, no
 	// healthy nodes left). Once set, no new work launches and the
 	// engine drains its in-flight events.
 	err error
+	// end-of-instant finalizer state (see finalize).
+	finalSet bool
+	finalF   func()
+	// pools and scratch.
+	freeA *attempt
+	cands []*attempt
 }
 
-// busySums totals the device utilisation seconds across nodes (iostat's
-// %util integral, not mere occupancy). Under coalescing each simulated
-// node stands for scale identical nodes; the replicated nodes would
-// accumulate bit-identical UtilSeconds, so adding the representative's
-// converted value scale times reproduces the per-task sum exactly
-// (Duration addition is integer arithmetic).
+// busySums totals the device utilisation seconds across the cluster
+// (iostat's %util integral, not mere occupancy), folding the
+// representative's value once per real node it stands for — the
+// replicated nodes would accumulate bit-identical UtilSeconds, and
+// Duration addition is integer arithmetic, so the fold reproduces the
+// per-task sum exactly.
 func (r *runner) busySums() (hdfs, local time.Duration) {
-	for _, n := range r.ns {
-		h := units.SecDuration(n.hdfs.Stats().UtilSeconds)
-		l := units.SecDuration(n.local.Stats().UtilSeconds)
-		for s := 0; s < r.scale; s++ {
-			hdfs += h
-			local += l
-		}
+	for id := 0; id < r.cfg.Slaves; id++ {
+		n := r.byReal[id]
+		hdfs += units.SecDuration(n.hdfs.Stats().UtilSeconds)
+		local += units.SecDuration(n.local.Stats().UtilSeconds)
 	}
 	return hdfs, local
 }
@@ -161,33 +303,61 @@ type cfgDerived struct {
 	remoteFrac float64 // fraction of shuffle-read bytes crossing the NIC
 }
 
-func newRunner(cfg ClusterConfig, app App) *runner {
+func newRunner(cfg ClusterConfig, app App, forcePerTask bool) *runner {
 	d := cfgDerived{ClusterConfig: cfg}
 	if cfg.Slaves > 1 {
 		// remoteFrac always reflects the full cluster size, even when
-		// coalescing simulates a single representative node.
+		// coalescing simulates a representative node.
 		d.remoteFrac = float64(cfg.Slaves-1) / float64(cfg.Slaves)
 	}
-	scale := 1
+	r := &runner{cfg: d, app: app, repReal: -1, repMult: 1}
+	if !forcePerTask {
+		if coalescable(cfg, app) {
+			r.repReal, r.repMult = 0, cfg.Slaves
+		} else if dirty, dirtyCount, repReal, ok := planPartial(cfg, app); ok {
+			r.partial = true
+			r.dirtyReal = dirty
+			r.repReal = repReal
+			r.repMult = cfg.Slaves - dirtyCount
+		}
+	}
 	simNodes := cfg.Slaves
-	if coalescable(cfg, app) {
-		scale = cfg.Slaves
-		simNodes = 1
+	if r.repReal >= 0 {
+		simNodes = cfg.Slaves - r.repMult + 1
 	}
 	eng := sim.NewEngineSized(simNodes*(cfg.ExecutorCores+4) + 16)
-	r := &runner{cfg: d, app: app, eng: eng, scale: scale}
-	for i := 0; i < simNodes; i++ {
+	r.eng = eng
+	newNode := func(id int) *node {
 		n := &node{
-			id:    i,
+			id:    id,
+			si:    len(r.ns),
 			cores: sim.NewCorePool(eng, cfg.ExecutorCores),
-			hdfs:  sim.NewFlowResource(eng, fmt.Sprintf("node%d/hdfs", i)),
-			local: sim.NewFlowResource(eng, fmt.Sprintf("node%d/local", i)),
+			hdfs:  sim.NewFlowResource(eng, fmt.Sprintf("node%d/hdfs", id)),
+			local: sim.NewFlowResource(eng, fmt.Sprintf("node%d/local", id)),
 		}
 		if cfg.ModelNetwork {
-			n.nic = sim.NewFlowResource(eng, fmt.Sprintf("node%d/nic", i))
+			n.nic = sim.NewFlowResource(eng, fmt.Sprintf("node%d/nic", id))
 		}
 		r.ns = append(r.ns, n)
+		return n
 	}
+	r.byReal = make([]*node, cfg.Slaves)
+	switch {
+	case r.repReal < 0: // per-task: every real node simulated
+		for i := 0; i < cfg.Slaves; i++ {
+			r.byReal[i] = newNode(i)
+		}
+	default: // coalesced: one representative plus any dirty nodes
+		r.rep = newNode(r.repReal)
+		for i := 0; i < cfg.Slaves; i++ {
+			if r.partial && r.dirtyReal[i] {
+				r.byReal[i] = newNode(i)
+			} else {
+				r.byReal[i] = r.rep
+			}
+		}
+	}
+	r.finalF = r.finalize
 	r.res = &Result{App: app.Name, Slaves: cfg.Slaves, Cores: cfg.ExecutorCores}
 	r.states = buildStates(app)
 	return r
@@ -223,19 +393,22 @@ func buildStates(app App) []*stageState {
 	return states
 }
 
-// coalescable reports whether the run qualifies for wave coalescing:
-// simulating one representative node in place of cfg.Slaves identical
-// ones and replicating its timings and metrics. That is exact only when
-// every node provably executes the same event sequence, which requires
+// coalescable reports whether the run qualifies for full wave
+// coalescing: simulating one representative node in place of
+// cfg.Slaves identical ones and folding its timings and metrics back.
+// That is exact only when every node provably executes the same event
+// sequence, which requires
 //
 //   - no fault injection, speculation, stragglers or compute jitter
 //     (each makes tasks or nodes heterogeneous), and
 //   - every task group's count divisible by the node count, so the
 //     round-robin assignment gives all nodes identical task schedules.
 //
-// Anything else falls back to the per-task path automatically. The
-// fallback and the coalesced path produce byte-identical Results — the
-// registry-wide golden test in internal/workloads enforces it.
+// Degraded runs that miss only the first condition may still qualify
+// for partial coalescing (see planPartial); anything else falls back
+// to the per-task path automatically. All paths produce byte-identical
+// Results — the registry-wide golden tests in internal/workloads and
+// internal/spark enforce it.
 func coalescable(cfg ClusterConfig, app App) bool {
 	if cfg.DisableCoalescing || cfg.Slaves <= 1 {
 		return false
@@ -263,7 +436,7 @@ func coalescable(cfg ClusterConfig, app App) bool {
 func (r *runner) run() (*Result, error) {
 	if f := r.cfg.Faults; f.Enabled() {
 		for _, c := range f.NodeCrashes {
-			nd := r.ns[c.Node]
+			nd := r.byReal[c.Node]
 			r.eng.At(units.SecDuration(c.At.Seconds()), func() { r.crashNode(nd) })
 		}
 	}
@@ -286,15 +459,12 @@ func (r *runner) run() (*Result, error) {
 	// drain a little further (cancelled speculative attempts finishing
 	// their in-flight op before standing down).
 	r.res.Total = r.finishedAt
-	// Under coalescing every replicated node's pool would report the
-	// same float, and the per-task path sums them node by node — so add
-	// the representative's value scale times rather than multiplying, to
-	// reproduce the identical float accumulation sequence.
-	for _, n := range r.ns {
-		v := n.cores.BusyCoreSeconds()
-		for s := 0; s < r.scale; s++ {
-			r.res.CoreSeconds += v
-		}
+	// Fold core-seconds in real-node order: each real node the
+	// representative stands for would report a bit-identical float, so
+	// adding the representative's value once per real id reproduces the
+	// per-task accumulation sequence exactly.
+	for id := 0; id < r.cfg.Slaves; id++ {
+		r.res.CoreSeconds += r.byReal[id].cores.BusyCoreSeconds()
 	}
 	return r.res, nil
 }
@@ -333,16 +503,70 @@ func (r *runner) launchReady() {
 	}
 }
 
+// scheduleFinal marks a stage for end-of-instant processing and arms
+// the finalizer. Completion bookkeeping and speculation decisions run
+// in the engine's late phase, after every normal event at the current
+// instant: both observe the instant's fully settled state, which makes
+// them independent of same-time event interleaving — the property that
+// lets the coalesced paths (fewer events per instant) stay
+// byte-identical to the per-task path.
+func (r *runner) scheduleFinal(st *stageState) {
+	st.needsFinal = true
+	if r.finalSet {
+		return
+	}
+	r.finalSet = true
+	r.eng.AtLate(r.eng.Now(), r.finalF)
+}
+
+// finalize is the end-of-instant pass: stages are visited in index
+// order (a canonical order shared by every execution mode), completing
+// those whose last task finished this instant and re-evaluating
+// speculation on the rest.
+func (r *runner) finalize() {
+	r.finalSet = false
+	for _, st := range r.states {
+		if !st.needsFinal {
+			continue
+		}
+		st.needsFinal = false
+		if st.completed || r.err != nil {
+			continue
+		}
+		if st.launched && st.remaining == 0 {
+			r.completeStage(st)
+		} else {
+			r.maybeSpeculate(st)
+		}
+	}
+}
+
 // completeStage records the finished stage and unlocks its dependents.
+// Integer aggregates were folded inline at multiplicity; the float
+// accumulators (device utilisation, request counts) are folded here in
+// real-node-id order, substituting the representative's row for every
+// clean node — bit-identical to the per-task sums because the clean
+// nodes' event sequences are identical to the representative's.
 func (r *runner) completeStage(st *stageState) {
 	st.res.End = r.eng.Now()
 	st.res.Groups = st.groups
 	hdfs, local := r.busySums()
 	st.res.HDFSBusy = hdfs - st.hdfsBusy0
 	st.res.LocalBusy = local - st.localBusy0
-	if r.scale > 1 {
-		r.scaleStage(st)
+	for k := 0; k < numOpKinds; k++ {
+		agg := st.io[k]
+		if agg.ops == 0 {
+			continue
+		}
+		var req float64
+		for id := 0; id < r.cfg.Slaves; id++ {
+			req += st.reqSub[r.byReal[id].si][k]
+		}
+		st.res.IO[OpKind(k)] = IOStat{Bytes: agg.bytes, Ops: agg.ops, Time: agg.time, Requests: req}
 	}
+	st.tasks = nil
+	st.reqSub = nil
+	st.med = nil
 	st.completed = true
 	r.done++
 	if st.res.End > r.finishedAt {
@@ -350,58 +574,6 @@ func (r *runner) completeStage(st *stageState) {
 	}
 	r.res.Stages = append(r.res.Stages, *st.res)
 	r.launchReady()
-}
-
-// scaleStage converts a representative-node stage measurement into the
-// full-cluster one. Integer aggregates (durations, bytes, counts) scale
-// exactly by multiplication; the one cluster-shared float accumulator —
-// IOStat.Requests — is rebuilt by replaying the recorded increment
-// sequence once per replicated node, reproducing the per-task path's
-// float additions bit for bit. (Within a virtual instant the per-task
-// path interleaves nodes in node-major order: each node's resource
-// completes its flows in one cascade before the next node's fires.)
-func (r *runner) scaleStage(st *stageState) {
-	k := time.Duration(r.scale)
-	b := units.ByteSize(r.scale)
-	for gi := range st.groups {
-		g := &st.groups[gi]
-		g.TotalTaskTime *= k
-		for oi := range g.OpTimes {
-			o := &g.OpTimes[oi]
-			o.Time *= k
-			o.Bytes *= b
-			o.Coupled *= k
-			o.Count *= r.scale
-		}
-	}
-	st.res.NetBytes *= b
-	for kind, s := range st.res.IO {
-		s.Bytes *= b
-		s.Ops *= r.scale
-		s.Time *= k
-		s.Requests = replayRequests(st.reqTrace[kind], r.scale)
-		st.res.IO[kind] = s
-	}
-}
-
-// replayRequests folds one op kind's recorded Requests increments as the
-// whole cluster would have: per virtual instant, each of the scale
-// identical nodes contributes the representative's increments in turn.
-func replayRequests(trace []reqIncr, scale int) float64 {
-	var sum float64
-	for i := 0; i < len(trace); {
-		j := i
-		for j < len(trace) && trace[j].at == trace[i].at {
-			j++
-		}
-		for n := 0; n < scale; n++ {
-			for t := i; t < j; t++ {
-				sum += trace[t].v
-			}
-		}
-		i = j
-	}
-	return sum
 }
 
 func (r *runner) launchStage(st *stageState, barrier time.Duration) {
@@ -416,25 +588,38 @@ func (r *runner) launchStage(st *stageState, barrier time.Duration) {
 		IO:    make(map[OpKind]IOStat),
 	}
 	st.groups = make([]GroupResult, len(stage.Groups))
-	st.remaining = stage.Tasks() / r.scale
-	st.running = make(map[*attempt]struct{})
-	if r.scale > 1 {
-		st.reqTrace = make(map[OpKind][]reqIncr)
-	}
+	st.remaining = stage.Tasks()
+	st.reqSub = make([][numOpKinds]float64, len(r.ns))
 	if r.cfg.Speculation {
+		st.med = newMedianTracker(stage.Tasks())
 		// Spark re-evaluates speculation on a timer
 		// (spark.speculation.interval); completions alone would miss a
-		// straggler tail that outlives the last normal task.
+		// straggler tail that outlives the last normal task. The tick
+		// routes through the finalizer so the decision always sees the
+		// instant's settled state.
 		var tick func()
 		tick = func() {
 			if st.completed || r.err != nil {
 				return
 			}
-			r.maybeSpeculate(st)
+			r.scheduleFinal(st)
 			r.eng.After(time.Second, tick)
 		}
 		r.eng.After(time.Second, tick)
 	}
+	// Size the logical-task slab: coalesced modes dispatch only the
+	// representative's and the dirty nodes' shares (group divisibility
+	// is guaranteed by eligibility).
+	dispatched := stage.Tasks()
+	if r.rep != nil {
+		per := 0
+		for _, g := range stage.Groups {
+			per += g.Count / r.cfg.Slaves
+		}
+		dispatched = per * len(r.ns) // dirty nodes + the representative
+	}
+	st.tasks = make([]taskState, dispatched)
+	ti := 0
 	taskIdx := 0
 	for gi, g := range stage.Groups {
 		nOps := len(g.Ops)
@@ -446,85 +631,44 @@ func (r *runner) launchStage(st *stageState, barrier time.Duration) {
 			Count:   g.Count,
 			OpTimes: make([]OpStat, nOps),
 		}
-		// On the coalesced path the representative node runs its 1/scale
-		// share of the group — exactly the tasks round-robin would give
-		// each node (coalescable guarantees divisibility).
-		for t := 0; t < g.Count/r.scale; t++ {
-			nd := r.ns[taskIdx%len(r.ns)]
+		for t := 0; t < g.Count; t++ {
+			idx := taskIdx
+			taskIdx++
+			home := idx % r.cfg.Slaves
+			nd := r.byReal[home]
+			if nd == r.rep && home != r.repReal {
+				continue // clean-cohort sibling: folded into the representative
+			}
+			mult := 1
+			if nd == r.rep {
+				mult = r.repMult
+			}
 			if r.faultsOn() {
-				nd = r.pickHealthy(taskIdx%len(r.ns), nil)
-				if nd == nil {
+				target, tid := r.pickHealthy(home, nil)
+				if target == nil {
 					r.failApp(r.noHealthyNodes())
 					return
 				}
+				if r.partial && tid != home {
+					// A diverted launch would land the task off its home
+					// node; only blacklisting or crashes divert, and both
+					// bail before this point — keep the invariant explicit.
+					r.bail()
+				}
+				nd = target
 			}
-			gi, g, idx := gi, g, taskIdx
-			taskIdx++
-			task := &taskState{}
-			nd.cores.Acquire(func() { r.startAttempt(st, task, nd, gi, g, idx, false) })
+			task := &st.tasks[ti]
+			ti++
+			nd.cores.Acquire(func() { r.dispatch(st, task, nd, gi, idx, mult, false) })
 		}
 	}
 }
 
-// maybeSpeculate launches a second attempt for tasks that have run far
-// past the median completed duration (spark.speculation semantics).
-func (r *runner) maybeSpeculate(st *stageState) {
-	if !r.cfg.Speculation || len(st.durations) == 0 || r.err != nil {
-		return
-	}
-	mult := r.cfg.SpeculationMultiplier
-	if mult <= 0 {
-		mult = 1.5
-	}
-	median := st.durations[len(st.durations)/2]
-	threshold := time.Duration(float64(median) * mult)
-	now := r.eng.Now()
-	var cands []*attempt
-	for a := range st.running {
-		if a.task.done || a.task.speculated {
-			continue
-		}
-		if now-a.start < threshold {
-			continue
-		}
-		cands = append(cands, a)
-	}
-	// Map iteration order varies between runs and speculative launches
-	// schedule engine events, so launch in task order to keep the whole
-	// simulation a deterministic function of its inputs.
-	sort.Slice(cands, func(i, j int) bool { return cands[i].taskIdx < cands[j].taskIdx })
-	for _, a := range cands {
-		a.task.speculated = true
-		// Relaunch on the next node over; the copy is a fresh attempt
-		// (stragglers are machine-local, so the copy runs clean).
-		other := r.ns[(nodeIndex(r.ns, a.nd)+1)%len(r.ns)]
-		if r.faultsOn() {
-			other = r.pickHealthy(a.nd.id+1, a.nd)
-			if other == nil {
-				// Nowhere to speculate; the original attempt may still
-				// finish on its own.
-				continue
-			}
-		}
-		task, gi, g, idx := a.task, a.gi, a.g, a.taskIdx
-		other.cores.Acquire(func() { r.startAttempt(st, task, other, gi, g, idx+1_000_003, true) })
-	}
-}
-
-func nodeIndex(ns []*node, nd *node) int {
-	for i, n := range ns {
-		if n == nd {
-			return i
-		}
-	}
-	return 0
-}
-
-// startAttempt runs one attempt of a task on its node: launch overhead,
-// the op sequence, then GC, then releases the core and decrements the
-// stage barrier. The first attempt to finish wins; later ones notice at
-// the next op boundary and stand down (Spark kills the slower copy).
-func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int, g TaskGroup, taskIdx int, speculative bool) {
+// dispatch runs when a core frees up for a queued task attempt: it
+// re-validates the placement, allocates a pooled attempt, draws the
+// attempt's fates, and begins the op walk.
+func (r *runner) dispatch(st *stageState, task *taskState, nd *node, gi, taskIdx, mult int, speculative bool) {
+	g := st.stage.Groups[gi]
 	if r.faultsOn() {
 		if task.done || r.err != nil {
 			// The task finished (or the app failed) while this dispatch
@@ -536,23 +680,27 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 			// The node went away while the dispatch queued; bounce the
 			// task to a healthy executor.
 			nd.cores.Release()
-			target := r.pickHealthy(nd.id+1, nil)
+			target, tid := r.pickHealthy(nd.id+1, nil)
 			if target == nil {
 				r.failApp(r.noHealthyNodes())
 				return
 			}
-			target.cores.Acquire(func() { r.startAttempt(st, task, target, gi, g, taskIdx, speculative) })
+			if r.partial && !r.dirtyReal[tid] {
+				r.bail()
+			}
+			target.cores.Acquire(func() { r.dispatch(st, task, target, gi, taskIdx, mult, speculative) })
 			return
 		}
 	}
-	taskStart := r.eng.Now()
 	task.attempts++
 	task.inflight++
-	a := &attempt{task: task, nd: nd, gi: gi, g: g, taskIdx: taskIdx, start: taskStart, failAt: -1, fetchFailAt: -1}
-	st.running[a] = struct{}{}
+	a := r.newAttempt(st, task, nd, gi, g, taskIdx, mult, speculative)
+	a.start = r.eng.Now()
+	st.addRunning(a)
 	if r.memOn() {
 		r.reserveMem(st, a)
 	}
+	straggled := false
 	if f := r.cfg.Faults; f.Enabled() {
 		// Decide this attempt's fate up front, deterministically from
 		// (seed, stage, task, attempt). The failure point is uniform over
@@ -572,15 +720,22 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 			}
 		}
 	}
-	jitter := r.jitterFactor(st.idx, taskIdx)
+	a.jitter = r.jitterFactor(st.idx, taskIdx)
 	// Speculative copies run clean: stragglers are machine-local and the
 	// scheduler relaunches on a healthy node.
-	if f := r.cfg.StragglerFraction; !speculative && f > 0 && r.hash01(st.idx, taskIdx, 0x5743) < f {
+	if f := r.cfg.StragglerFraction; !speculative && f > 0 && r.hash01(st.idx, taskIdx, saltStraggler) < f {
 		slow := r.cfg.StragglerSlowdown
 		if slow < 1 {
 			slow = 3
 		}
-		jitter *= slow
+		a.jitter *= slow
+		straggled = true
+	}
+	if nd == r.rep && (a.failAt >= 0 || a.fetchFailAt >= 0 || straggled) {
+		// The pre-draw plan promised the representative's tasks stay
+		// clean; a live draw disagreeing means the plan is stale — replay
+		// per-task rather than silently diverging.
+		r.bail()
 	}
 
 	// JVM garbage collection pauses are spread through the task's
@@ -588,135 +743,282 @@ func (r *runner) startAttempt(st *stageState, task *taskState, nd *node, gi int,
 	// compute (proportional to bytes); the device keeps serving other
 	// tasks during the pauses. Groups without I/O fall back to a
 	// trailing CPU block.
-	var gcTime time.Duration
-	var gcIOBytes units.ByteSize
+	a.gcTime, a.gcIOBytes = 0, 0
 	if g.GC != nil {
-		gcTime = g.GC(r.cfg.ExecutorCores)
-		if gcTime < 0 {
-			gcTime = 0
+		a.gcTime = g.GC(r.cfg.ExecutorCores)
+		if a.gcTime < 0 {
+			a.gcTime = 0
 		}
 		for _, op := range g.Ops {
 			if op.Kind.IsIO() {
-				gcIOBytes += op.Bytes
+				a.gcIOBytes += op.Bytes
 			}
 		}
-	}
-	var runOp func(i int)
-	finish := func() {
-		delete(st.running, a)
-		task.inflight--
-		nd.cores.Release()
-		if task.done {
-			return // a speculative sibling won
-		}
-		task.done = true
-		dur := r.eng.Now() - taskStart
-		gr := &st.groups[gi]
-		gr.TotalTaskTime += dur
-		insertSorted(&st.durations, dur)
-		st.remaining--
-		if st.remaining == 0 {
-			r.completeStage(st)
-			return
-		}
-		r.maybeSpeculate(st)
-	}
-	// endTask is what the op walk calls at the task boundary. With the
-	// memory layer off it IS finish, so the zero-heap event sequence is
-	// unchanged; with it on, the spill re-read and the occupancy-driven
-	// GC pause run first (see memEpilogue).
-	endTask := finish
-	if r.memOn() {
-		endTask = func() { r.memEpilogue(st, a, finish) }
-	}
-	runOp = func(i int) {
-		if r.memOn() && r.memGate(nd, func() { runOp(i) }) {
-			// A GC pause on this node stalls the core until it ends; the
-			// op re-dispatches at the pause boundary.
-			return
-		}
-		if task.done {
-			// A speculative sibling won: stand down at the op boundary
-			// (Spark kills the slower attempt).
-			r.releaseMem(a)
-			delete(st.running, a)
-			task.inflight--
-			nd.cores.Release()
-			return
-		}
-		if r.faultsOn() {
-			if r.err != nil {
-				// The application already failed; drain quietly.
-				r.releaseMem(a)
-				delete(st.running, a)
-				task.inflight--
-				nd.cores.Release()
-				return
-			}
-			if a.lost {
-				r.failAttempt(st, a, FailNodeLost)
-				return
-			}
-			if i == a.fetchFailAt {
-				r.fetchFail(st, a)
-				return
-			}
-			if i == a.failAt {
-				r.failAttempt(st, a, FailInjected)
-				return
-			}
-		}
-		if i >= len(g.Ops) {
-			// GC fallback for compute-only groups: a trailing pause.
-			if gcTime > 0 && gcIOBytes == 0 {
-				opStart := r.eng.Now()
-				r.eng.After(gcTime, func() {
-					s := &st.groups[gi].OpTimes[len(g.Ops)]
-					s.Kind = OpCompute
-					s.Time += r.eng.Now() - opStart
-					s.Count++
-					endTask()
-				})
-				return
-			}
-			endTask()
-			return
-		}
-		op := g.Ops[i]
-		if op.Kind == OpCompute {
-			op.Duration = time.Duration(float64(op.Duration) * jitter)
-		} else {
-			if gcTime > 0 && gcIOBytes > 0 && op.Bytes > 0 {
-				share := float64(op.Bytes) / float64(gcIOBytes)
-				op.CoupledCompute += time.Duration(share * float64(gcTime))
-			}
-			if op.CoupledCompute > 0 {
-				op.CoupledCompute = time.Duration(float64(op.CoupledCompute) * jitter)
-			}
-		}
-		opStart := r.eng.Now()
-		done := func() {
-			elapsed := r.eng.Now() - opStart
-			s := &st.groups[gi].OpTimes[i]
-			s.Kind = op.Kind
-			s.Time += elapsed
-			s.Bytes += op.Bytes
-			s.Coupled += op.CoupledCompute
-			s.Count++
-			r.accountIO(st, op, elapsed)
-			runOp(i + 1)
-		}
-		r.execOp(st, nd, op, done)
 	}
 	// Task launch overhead occupies the core before the first op.
-	launch := func() { runOp(0) }
-	if a.spill > 0 {
-		// The heap overflow is written to the Local device before the op
-		// walk begins (Spark spills while building the working set; the
-		// simulator charges it up front at spill request sizes).
-		launch = func() { r.execSpill(st, a, OpSpillWrite, func() { runOp(0) }) }
+	r.eng.After(units.SecDuration(r.cfg.TaskLaunchOverhead.Seconds()), a.launchF)
+}
+
+// newAttempt takes an attempt from the free list (or grows the pool),
+// binding its callback closures exactly once per pooled object.
+func (r *runner) newAttempt(st *stageState, task *taskState, nd *node, gi int, g TaskGroup, taskIdx, mult int, speculative bool) *attempt {
+	a := r.freeA
+	if a != nil {
+		r.freeA = a.freeNext
+		a.freeNext = nil
+	} else {
+		a = &attempt{r: r}
+		a.launchF = a.launch
+		a.stepF = a.step
+		a.flowDoneF = a.flowDone
+		a.gcDoneF = a.gcDone
+		a.finishF = a.finish
 	}
-	r.eng.After(units.SecDuration(r.cfg.TaskLaunchOverhead.Seconds()), launch)
+	a.st, a.task, a.nd = st, task, nd
+	a.gi, a.g, a.taskIdx, a.mult = gi, g, taskIdx, mult
+	a.speculative = speculative
+	a.failAt, a.fetchFailAt = -1, -1
+	a.lost = false
+	a.memBytes, a.spill = 0, 0
+	a.i, a.pending = 0, 0
+	return a
+}
+
+// recycle returns a terminal attempt to the pool. Every terminal path
+// (finish, stand-down, failure) runs at an op boundary, so no flow or
+// engine event still references the attempt.
+func (r *runner) recycle(a *attempt) {
+	a.st, a.task, a.nd = nil, nil, nil
+	a.g = TaskGroup{}
+	a.freeNext = r.freeA
+	r.freeA = a
+}
+
+// launch begins the op walk after the task-launch overhead (preceded
+// by the up-front spill write when the memory layer charged one).
+func (a *attempt) launch() {
+	if a.spill > 0 {
+		a.r.execSpill(a.st, a, OpSpillWrite, a.stepF)
+		return
+	}
+	a.step()
+}
+
+// step advances the attempt to its next op boundary: the fault and
+// stand-down checks, then the current op's execution.
+func (a *attempt) step() {
+	r, st, task := a.r, a.st, a.task
+	if r.memOn() && r.memGate(a.nd, a.stepF) {
+		// A GC pause on this node stalls the core until it ends; the
+		// op re-dispatches at the pause boundary.
+		return
+	}
+	if task.done {
+		// A speculative sibling won: stand down at the op boundary
+		// (Spark kills the slower attempt).
+		a.standDown()
+		return
+	}
+	if r.faultsOn() {
+		if r.err != nil {
+			// The application already failed; drain quietly.
+			a.standDown()
+			return
+		}
+		if a.lost {
+			r.failAttempt(st, a, FailNodeLost)
+			return
+		}
+		if a.i == a.fetchFailAt {
+			r.fetchFail(st, a)
+			return
+		}
+		if a.i == a.failAt {
+			r.failAttempt(st, a, FailInjected)
+			return
+		}
+	}
+	g := a.g
+	if a.i >= len(g.Ops) {
+		// GC fallback for compute-only groups: a trailing pause.
+		if a.gcTime > 0 && a.gcIOBytes == 0 {
+			a.opStart = r.eng.Now()
+			r.eng.After(a.gcTime, a.gcDoneF)
+			return
+		}
+		a.endTask()
+		return
+	}
+	op := g.Ops[a.i]
+	if op.Kind == OpCompute {
+		op.Duration = time.Duration(float64(op.Duration) * a.jitter)
+	} else {
+		if a.gcTime > 0 && a.gcIOBytes > 0 && op.Bytes > 0 {
+			share := float64(op.Bytes) / float64(a.gcIOBytes)
+			op.CoupledCompute += time.Duration(share * float64(a.gcTime))
+		}
+		if op.CoupledCompute > 0 {
+			op.CoupledCompute = time.Duration(float64(op.CoupledCompute) * a.jitter)
+		}
+	}
+	a.curOp = op
+	a.opStart = r.eng.Now()
+	a.execCurOp()
+}
+
+// gcDone accounts the trailing GC block and ends the task.
+func (a *attempt) gcDone() {
+	s := &a.st.groups[a.gi].OpTimes[len(a.g.Ops)]
+	s.Kind = OpCompute
+	s.Time += (a.r.eng.Now() - a.opStart) * time.Duration(a.mult)
+	s.Count += a.mult
+	a.endTask()
+}
+
+// endTask is the task boundary: with the memory layer off it IS
+// finish, so the zero-heap event sequence is unchanged; with it on,
+// the spill re-read and the occupancy-driven GC pause run first.
+func (a *attempt) endTask() {
+	if a.r.memOn() {
+		a.r.memEpilogue(a.st, a, a.finishF)
+		return
+	}
+	a.finish()
+}
+
+// finish completes the attempt: the first attempt of a task to finish
+// wins; later ones notice at their next op boundary and stand down.
+func (a *attempt) finish() {
+	r, st, task := a.r, a.st, a.task
+	st.removeRunning(a)
+	task.inflight--
+	a.nd.cores.Release()
+	if task.done {
+		r.recycle(a)
+		return // a speculative sibling won
+	}
+	task.done = true
+	dur := r.eng.Now() - a.start
+	gr := &st.groups[a.gi]
+	gr.TotalTaskTime += dur * time.Duration(a.mult)
+	if st.med != nil {
+		st.med.AddN(dur, a.mult)
+	}
+	st.remaining -= a.mult
+	r.scheduleFinal(st)
+	r.recycle(a)
+}
+
+// standDown abandons the attempt (speculative loser or post-error
+// drain) at an op boundary.
+func (a *attempt) standDown() {
+	r := a.r
+	r.releaseMem(a)
+	a.st.removeRunning(a)
+	a.task.inflight--
+	a.nd.cores.Release()
+	r.recycle(a)
+}
+
+// flowDone fires once per completed flow of the current op; the last
+// one accounts the op and advances the walk.
+func (a *attempt) flowDone() {
+	a.pending--
+	if a.pending > 0 {
+		return
+	}
+	r, st, op := a.r, a.st, a.curOp
+	elapsed := r.eng.Now() - a.opStart
+	k := time.Duration(a.mult)
+	s := &st.groups[a.gi].OpTimes[a.i]
+	s.Kind = op.Kind
+	s.Time += elapsed * k
+	s.Bytes += op.Bytes * units.ByteSize(a.mult)
+	s.Coupled += op.CoupledCompute * k
+	s.Count += a.mult
+	r.accountIO(st, a.nd, op, elapsed, a.mult)
+	a.i++
+	a.step()
+}
+
+// execCurOp performs a.curOp allocation-free, reusing the attempt's
+// embedded flow pair. The rare recovery paths (spill, parent
+// recompute) use the generic execOp instead.
+func (a *attempt) execCurOp() {
+	r, op, nd := a.r, a.curOp, a.nd
+	if op.Kind == OpCompute {
+		d := op.Duration
+		if d < 0 {
+			d = 0
+		}
+		a.pending = 1
+		r.eng.After(d, a.flowDoneF)
+		return
+	}
+	if op.Bytes <= 0 {
+		a.pending = 1
+		r.eng.After(0, a.flowDoneF)
+		return
+	}
+
+	reqSize := op.DefaultReqSize(r.cfg.HDFSBlockSize)
+	dev := r.cfg.HDFSDisk
+	res := nd.hdfs
+	if op.Kind.OnLocal() {
+		dev = r.cfg.LocalDisk
+		res = nd.local
+	}
+	var full units.Rate
+	if op.Kind.IsRead() {
+		full = dev.ReadBandwidth(reqSize)
+	} else {
+		full = dev.WriteBandwidth(reqSize)
+	}
+
+	diskBytes := op.Bytes
+	var netBytes units.ByteSize
+	switch op.Kind {
+	case OpHDFSWrite:
+		// dfs.replication copies: one local, the rest remote. The disk
+		// load is symmetric across nodes, so we charge the full
+		// replicated volume to this node's HDFS disk and the remote
+		// copies to the NIC.
+		diskBytes = op.Bytes * units.ByteSize(r.cfg.HDFSReplication)
+		netBytes = op.Bytes * units.ByteSize(r.cfg.HDFSReplication-1)
+	case OpShuffleRead:
+		// A reducer pulls (N-1)/N of its input from remote mapper disks.
+		// Disk load is symmetric; network carries the remote fraction.
+		netBytes = units.ByteSize(float64(op.Bytes) * r.cfg.remoteFrac)
+	}
+
+	a.pending = 1
+	if r.cfg.ModelNetwork && netBytes > 0 {
+		a.pending = 2
+	}
+	var computeRate units.Rate
+	if op.CoupledCompute > 0 {
+		computeRate = units.Over(diskBytes, op.CoupledCompute)
+	}
+	a.flow = sim.Flow{
+		Name:        op.Kind.String(),
+		Bytes:       diskBytes,
+		FullRate:    full,
+		Cap:         op.StreamLimit,
+		ComputeRate: computeRate,
+		OnComplete:  a.flowDoneF,
+	}
+	res.Start(&a.flow)
+	if r.cfg.ModelNetwork && netBytes > 0 {
+		a.st.res.NetBytes += netBytes * units.ByteSize(a.mult)
+		a.netFlow = sim.Flow{
+			Name:       netFlowNames[op.Kind],
+			Bytes:      netBytes,
+			FullRate:   r.cfg.NICRate,
+			Cap:        op.StreamLimit,
+			OnComplete: a.flowDoneF,
+		}
+		nd.nic.Start(&a.netFlow)
+	}
 }
 
 // jitterFactor returns the deterministic per-task compute-time multiplier
@@ -752,383 +1054,31 @@ func (r *runner) faultsOn() bool { return r.cfg.Faults.Enabled() }
 // memory layer (golden-pinned in internal/workloads).
 func (r *runner) memOn() bool { return r.cfg.Memory.Enabled() }
 
-// reserveMem charges an attempt's working set against its node's heap
-// and decides, deterministically, how much of it spills: the overflow
-// above the heap, clamped to the task's own set. Counterpart of
-// releaseMem, which every attempt exit path calls.
-func (r *runner) reserveMem(st *stageState, a *attempt) {
-	ws := r.cfg.Memory.TaskWorkingSet(a.g)
-	if ws <= 0 {
+// accountIO updates the stage-level iostat-style aggregation: integers
+// inline at multiplicity, the float request count into the node's
+// per-stage row (folded at completion; see completeStage). A completed
+// stage's accounting is frozen — late ops of killed speculative
+// attempts no longer shift it.
+func (r *runner) accountIO(st *stageState, nd *node, op Op, elapsed time.Duration, mult int) {
+	if !op.Kind.IsIO() || op.Bytes <= 0 || st.completed {
 		return
 	}
-	a.spill = spillFor(a.nd.resident, ws, r.cfg.Memory.HeapBytes())
-	a.nd.resident += ws
-	a.memBytes = ws
-	if a.nd.resident > r.res.Mem.PeakResident {
-		r.res.Mem.PeakResident = a.nd.resident
-	}
-	if st.res.Mem.PeakResident < a.nd.resident {
-		st.res.Mem.PeakResident = a.nd.resident
-	}
-	if a.spill > 0 {
-		st.res.Mem.SpilledTasks++
-		r.res.Mem.SpilledTasks++
-		st.res.Mem.SpillBytes += a.spill
-		r.res.Mem.SpillBytes += a.spill
-	}
-}
-
-// releaseMem returns an attempt's working-set reservation to its node.
-// Safe to call on every exit path: it is a no-op once released or when
-// nothing was reserved.
-func (r *runner) releaseMem(a *attempt) {
-	if a.memBytes > 0 {
-		a.nd.resident -= a.memBytes
-		a.memBytes = 0
-	}
-}
-
-// memGate defers f to the end of the node's in-progress GC pause, if
-// one is stalling its cores. Reports whether f was deferred.
-func (r *runner) memGate(nd *node, f func()) bool {
-	if until := nd.gcUntil; r.eng.Now() < until {
-		r.eng.At(until, f)
-		return true
-	}
-	return false
-}
-
-// execSpill runs one spill write or re-read for an attempt's overflow
-// through the regular device path, so the Local curve's request-size
-// behavior (and iostat accounting) applies to spill traffic too.
-func (r *runner) execSpill(st *stageState, a *attempt, kind OpKind, done func()) {
-	op := Op{Kind: kind, Bytes: a.spill, ReqSize: r.cfg.Memory.SpillRequestSize()}
-	opStart := r.eng.Now()
-	r.execOp(st, a.nd, op, func() {
-		r.accountIO(st, op, r.eng.Now()-opStart)
-		done()
-	})
-}
-
-// memEpilogue runs between an attempt's last op and finish: the spill
-// re-read (the overflow must come back from the Local device to emit
-// the task's output), then the occupancy-driven GC pause. The pause
-// holds this core directly and stalls the node's other cores through
-// gcUntil + memGate. Occupancy is sampled before the release — the
-// collection happens under the completing wave's full pressure.
-func (r *runner) memEpilogue(st *stageState, a *attempt, done func()) {
-	fin := func() {
-		pause := r.gcPause(st, a)
-		r.releaseMem(a)
-		if pause <= 0 {
-			done()
-			return
-		}
-		until := r.eng.Now() + pause
-		if until > a.nd.gcUntil {
-			a.nd.gcUntil = until
-		}
-		st.res.Mem.GCPauses++
-		r.res.Mem.GCPauses++
-		st.res.Mem.GCStall += pause
-		r.res.Mem.GCStall += pause
-		r.eng.After(pause, done)
-	}
-	if a.spill > 0 && !a.task.done {
-		r.execSpill(st, a, OpSpillRead, fin)
-		return
-	}
-	fin()
-}
-
-// gcPause returns the stop-the-world pause a completing attempt
-// triggers at its node's current heap occupancy: zero below the
-// threshold, a quadratic ramp above it, spread ±15% by a seeded
-// deterministic draw (same splitmix64 family as jitter and faults).
-func (r *runner) gcPause(st *stageState, a *attempt) time.Duration {
-	heap := r.cfg.Memory.HeapBytes()
-	if heap <= 0 || a.memBytes == 0 {
-		return 0
-	}
-	occ := float64(a.nd.resident) / float64(heap)
-	q := r.cfg.Memory.gcFraction(occ)
-	if q <= 0 {
-		return 0
-	}
-	u := r.hash01(st.idx, a.taskIdx, saltGC)
-	spread := 1 - memGCSpread + 2*memGCSpread*u
-	return units.SecDuration(q * spread * r.cfg.Memory.GCPauseMax().Seconds())
-}
-
-// Salts separating the independent fault decisions drawn per attempt.
-const (
-	saltFailProb uint64 = 0xFA11
-	saltFailAt   uint64 = 0xFA12
-	saltFetch    uint64 = 0xFA13
-)
-
-// faultHash01 maps (seeds, stage, task, attempt, salt) to a uniform
-// [0,1) value. Unlike hash01 it mixes in the attempt number, so a
-// retried attempt draws fresh fates, and FaultConfig.Seed, so the
-// failure pattern can vary independently of the jitter pattern.
-func (r *runner) faultHash01(stageIdx, taskIdx, attempt int, salt uint64) float64 {
-	x := r.cfg.Seed ^ (r.cfg.Faults.Seed * 0x9e3779b97f4a7c15)
-	x ^= uint64(stageIdx)<<40 ^ uint64(taskIdx)<<16 ^ uint64(attempt)<<56 ^ salt
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	x ^= x >> 31
-	return float64(x>>11) / float64(1<<53)
-}
-
-// pickHealthy returns the first non-crashed, non-blacklisted node at or
-// after index start (wrapping), preferring any node other than avoid;
-// avoid itself is returned only when it is the sole healthy node. Nil
-// means no healthy node exists.
-func (r *runner) pickHealthy(start int, avoid *node) *node {
-	n := len(r.ns)
-	var fallback *node
-	for k := 0; k < n; k++ {
-		nd := r.ns[(start+k)%n]
-		if nd.crashed || nd.blacklisted {
-			continue
-		}
-		if nd == avoid {
-			if fallback == nil {
-				fallback = nd
-			}
-			continue
-		}
-		return nd
-	}
-	return fallback
-}
-
-// noHealthyNodes builds the fatal everything-is-gone error.
-func (r *runner) noHealthyNodes() error {
-	var lost, black int
-	for _, n := range r.ns {
-		if n.crashed {
-			lost++
-		} else if n.blacklisted {
-			black++
-		}
-	}
-	return &NoHealthyNodesError{App: r.app.Name, Lost: lost, Blacklisted: black}
-}
-
-// failApp records the first fatal error; the engine then drains its
-// in-flight events while every launch path stands down.
-func (r *runner) failApp(err error) {
-	if r.err == nil {
-		r.err = err
-	}
-}
-
-// crashNode executes a scheduled node loss: in-flight attempts on the
-// node die at their next op boundary; queued dispatches bounce to
-// healthy nodes when they reach startAttempt.
-func (r *runner) crashNode(nd *node) {
-	if nd.crashed || r.done == len(r.states) || r.err != nil {
-		return
-	}
-	nd.crashed = true
-	r.res.Faults.NodesLost++
-	for _, st := range r.states {
-		if !st.launched || st.completed || st.running == nil {
-			continue
-		}
-		for a := range st.running {
-			if a.nd == nd {
-				a.lost = true
-			}
-		}
-	}
-}
-
-// noteNodeFailure counts an injected failure against the node's
-// blacklist budget (spark.blacklist.maxFailedTasksPerExecutor). The
-// last healthy node is never blacklisted: with uniformly injected
-// failures every node eventually trips the threshold, and a scheduler
-// with zero executors can only abort.
-func (r *runner) noteNodeFailure(nd *node) {
-	nd.taskFailures++
-	t := r.cfg.Faults.BlacklistThreshold
-	if t <= 0 || nd.blacklisted || nd.taskFailures < t {
-		return
-	}
-	healthy := 0
-	for _, n := range r.ns {
-		if !n.crashed && !n.blacklisted {
-			healthy++
-		}
-	}
-	if healthy <= 1 {
-		return
-	}
-	nd.blacklisted = true
-	r.res.Faults.NodesBlacklisted++
-}
-
-// failAttempt kills one attempt: the core frees, the failure counts
-// against the task's budget, and — unless a sibling attempt is still
-// running — the task retries after exponential backoff.
-func (r *runner) failAttempt(st *stageState, a *attempt, kind FailureKind) {
-	r.releaseMem(a)
-	delete(st.running, a)
-	a.task.inflight--
-	a.nd.cores.Release()
-	task := a.task
-	if task.done || r.err != nil {
-		return
-	}
-	task.failures++
-	st.res.Faults.TaskFailures++
-	r.res.Faults.TaskFailures++
-	if kind == FailNodeLost {
-		st.res.Faults.LostAttempts++
-		r.res.Faults.LostAttempts++
-	} else {
-		r.noteNodeFailure(a.nd)
-	}
-	f := r.cfg.Faults
-	if task.failures >= f.maxTaskFailures() {
-		r.failApp(&TaskFailedError{App: r.app.Name, Stage: st.stage.Name, Task: a.taskIdx, Failures: task.failures, Kind: kind})
-		return
-	}
-	if task.inflight > 0 {
-		return // a speculative sibling may still win
-	}
-	r.retryTask(st, a, f.backoff(task.failures))
-}
-
-// retryTask relaunches a task on a healthy node after the backoff.
-func (r *runner) retryTask(st *stageState, a *attempt, delay time.Duration) {
-	task := a.task
-	st.res.Faults.Retries++
-	r.res.Faults.Retries++
-	r.eng.After(delay, func() {
-		if task.done || r.err != nil {
-			return
-		}
-		target := r.pickHealthy(a.nd.id+1, a.nd)
-		if target == nil {
-			r.failApp(r.noHealthyNodes())
-			return
-		}
-		target.cores.Acquire(func() { r.startAttempt(st, task, target, a.gi, a.g, a.taskIdx, false) })
-	})
-}
-
-// fetchFail handles a shuffle-fetch failure: the reducer attempt dies,
-// and on stages with a parent one lost map output is recomputed before
-// the retry — re-running the parent op sequence (HDFS re-read at block
-// sizes, shuffle re-write) on a healthy node. This is the recovery cost
-// the request-size-aware bandwidth curves make device-dependent.
-func (r *runner) fetchFail(st *stageState, a *attempt) {
-	r.releaseMem(a)
-	delete(st.running, a)
-	a.task.inflight--
-	a.nd.cores.Release()
-	task := a.task
-	if task.done || r.err != nil {
-		return
-	}
-	task.fetchFailures++
-	st.res.Faults.TaskFailures++
-	st.res.Faults.FetchFailures++
-	r.res.Faults.TaskFailures++
-	r.res.Faults.FetchFailures++
-	f := r.cfg.Faults
-	if task.fetchFailures >= f.maxTaskFailures() {
-		r.failApp(&TaskFailedError{App: r.app.Name, Stage: st.stage.Name, Task: a.taskIdx, Failures: task.fetchFailures, Kind: FailFetch})
-		return
-	}
-	if task.inflight > 0 {
-		return
-	}
-	if len(st.deps) == 0 {
-		// No parent stage to recompute; degrade to a plain retry.
-		r.retryTask(st, a, f.backoff(task.fetchFailures))
-		return
-	}
-	parent := r.states[st.deps[0]]
-	r.recomputeParent(st, parent, a, func() { r.retryTask(st, a, f.backoff(task.fetchFailures)) })
-}
-
-// recomputeParent re-runs one parent map task's op sequence on a
-// healthy node, holding a core for the duration. The recompute I/O is
-// charged to the consumer stage st, where the recovery cost shows up in
-// the degraded measurements.
-func (r *runner) recomputeParent(st *stageState, parent *stageState, a *attempt, then func()) {
-	st.res.Faults.Recomputes++
-	r.res.Faults.Recomputes++
-	target := r.pickHealthy(a.nd.id, nil)
-	if target == nil {
-		r.failApp(r.noHealthyNodes())
-		return
-	}
-	g := parent.stage.Groups[0]
-	target.cores.Acquire(func() {
-		var run func(i int)
-		run = func(i int) {
-			if r.err != nil || i >= len(g.Ops) {
-				target.cores.Release()
-				if r.err == nil {
-					then()
-				}
-				return
-			}
-			op := g.Ops[i]
-			opStart := r.eng.Now()
-			r.execOp(st, target, op, func() {
-				r.accountIO(st, op, r.eng.Now()-opStart)
-				run(i + 1)
-			})
-		}
-		r.eng.After(units.SecDuration(r.cfg.TaskLaunchOverhead.Seconds()), func() { run(0) })
-	})
-}
-
-// insertSorted keeps the completed-duration slice ordered for median
-// lookup.
-func insertSorted(ds *[]time.Duration, d time.Duration) {
-	s := *ds
-	i := len(s)
-	s = append(s, d)
-	for i > 0 && s[i-1] > d {
-		s[i] = s[i-1]
-		i--
-	}
-	s[i] = d
-	*ds = s
-}
-
-// accountIO updates the stage-level iostat-style aggregation.
-func (r *runner) accountIO(st *stageState, op Op, elapsed time.Duration) {
-	if !op.Kind.IsIO() || op.Bytes <= 0 {
-		return
-	}
-	s := st.res.IO[op.Kind]
-	s.Time += elapsed
 	bytes := op.Bytes
 	if op.Kind == OpHDFSWrite {
 		bytes *= units.ByteSize(r.cfg.HDFSReplication)
 	}
-	s.Bytes += bytes
-	s.Ops++
-	rs := op.DefaultReqSize(r.cfg.HDFSBlockSize)
-	if rs > 0 {
-		v := float64(bytes) / float64(rs)
-		s.Requests += v
-		if st.reqTrace != nil {
-			st.reqTrace[op.Kind] = append(st.reqTrace[op.Kind], reqIncr{at: r.eng.Now(), v: v})
-		}
+	agg := &st.io[op.Kind]
+	agg.time += elapsed * time.Duration(mult)
+	agg.bytes += bytes * units.ByteSize(mult)
+	agg.ops += mult
+	if rs := op.DefaultReqSize(r.cfg.HDFSBlockSize); rs > 0 {
+		st.reqSub[nd.si][op.Kind] += float64(bytes) / float64(rs)
 	}
-	st.res.IO[op.Kind] = s
 }
 
-// execOp performs one op and calls done when it completes.
+// execOp performs one op and calls done when it completes. This is the
+// generic (allocating) form used by the recovery paths — spill traffic
+// and parent recomputes; the hot per-task walk uses execCurOp.
 func (r *runner) execOp(st *stageState, nd *node, op Op, done func()) {
 	switch op.Kind {
 	case OpCompute:
@@ -1169,15 +1119,9 @@ func (r *runner) execOp(st *stageState, nd *node, op Op, done func()) {
 
 	switch op.Kind {
 	case OpHDFSWrite:
-		// dfs.replication copies: one local, the rest remote. The disk
-		// load is symmetric across nodes, so we charge the full
-		// replicated volume to this node's HDFS disk and the remote
-		// copies to the NIC.
 		diskBytes = op.Bytes * units.ByteSize(r.cfg.HDFSReplication)
 		netBytes = op.Bytes * units.ByteSize(r.cfg.HDFSReplication-1)
 	case OpShuffleRead:
-		// A reducer pulls (N-1)/N of its input from remote mapper disks.
-		// Disk load is symmetric; network carries the remote fraction.
 		netBytes = units.ByteSize(float64(op.Bytes) * r.cfg.remoteFrac)
 	}
 
@@ -1207,7 +1151,7 @@ func (r *runner) execOp(st *stageState, nd *node, op Op, done func()) {
 	if r.cfg.ModelNetwork && netBytes > 0 {
 		st.res.NetBytes += netBytes
 		nd.nic.Start(&sim.Flow{
-			Name:       op.Kind.String() + "/net",
+			Name:       netFlowNames[op.Kind],
 			Bytes:      netBytes,
 			FullRate:   r.cfg.NICRate,
 			Cap:        op.StreamLimit,

@@ -105,6 +105,49 @@ func scaleAppSized(slaves, cores, mapTasks int) App {
 	return app
 }
 
+// faultScaleConfig is the degraded-mode scale input: the production
+// 64×32×100k job with faults, speculation and stragglers all enabled,
+// at rates low enough that most nodes draw no degradation event — the
+// partial-coalescing regime docs/PERF.md describes. The probabilities
+// are per-attempt, so ~2 task failures, ~2 stragglers and a fetch
+// failure or two are expected across the run.
+func faultScaleConfig() (ClusterConfig, App) {
+	ssd := disk.NewSSD()
+	cfg := DefaultTestbed(scaleSlaves, scaleCores, ssd, ssd)
+	cfg.ComputeJitter = 0
+	cfg.Seed = 42
+	cfg.Speculation = true
+	cfg.StragglerFraction = 2e-5
+	cfg.StragglerSlowdown = 3
+	cfg.Faults = FaultConfig{
+		TaskFailureProb:         2e-5,
+		ShuffleFetchFailureProb: 1e-4,
+		RetryBackoff:            0.1,
+		Seed:                    7,
+	}
+	return cfg, scaleApp(scaleSlaves, scaleCores)
+}
+
+// BenchmarkSimFaultScale is the degraded-mode headline benchmark: the
+// docs/BENCH_simfault.json baseline gates it. Faults, speculation and
+// stragglers force the simulator off the fully-symmetric fast path, so
+// this prices the clean-node partial-coalescing + zero-alloc fallback
+// machinery that resilience and chaos campaigns live on.
+func BenchmarkSimFaultScale(b *testing.B) {
+	cfg, app := faultScaleConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Faults.TaskFailures == 0 {
+			b.Fatal("benchmark config must inject at least one task failure")
+		}
+	}
+}
+
 // TestScaleAppCoalesces pins the benchmark's premise: the scale config
 // qualifies for coalescing, and both paths produce identical Results
 // even at the 64×32×100k production size.
